@@ -1,0 +1,40 @@
+//! Experiment E2 substrate: checkpoint (fork) cost and copy-on-write page
+//! accounting for exploration clones.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dice_bench::{install_victim_prefix, internet_trace, load_full_table, provider_router};
+use dice_checkpoint::{CheckpointManager, Checkpointable};
+use dice_core::{CheckpointedRouter, CustomerFilterMode};
+use dice_netsim::TraceGenConfig;
+
+fn bench_checkpoint(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checkpoint");
+    group.sample_size(10);
+
+    let mut router = provider_router(CustomerFilterMode::Erroneous);
+    install_victim_prefix(&mut router);
+    let trace = internet_trace(&TraceGenConfig { prefix_count: 5_000, update_count: 0, ..Default::default() });
+    load_full_table(&mut router, &trace);
+    let manager = CheckpointManager::new(CheckpointedRouter(router));
+
+    group.bench_function("serialize_router_state", |b| {
+        b.iter(|| std::hint::black_box(manager.live().state().state_bytes().len()))
+    });
+
+    group.bench_function("take_checkpoint_fork", |b| {
+        b.iter(|| {
+            let checkpoint = manager.take_checkpoint();
+            std::hint::black_box(checkpoint.memory().page_count())
+        })
+    });
+
+    let checkpoint = manager.take_checkpoint();
+    group.bench_function("unique_page_accounting", |b| {
+        b.iter(|| std::hint::black_box(checkpoint.memory_stats_vs(manager.live()).unique_pages))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_checkpoint);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Experiment E5: time to detect the origin-misconfiguration route leak
+//! with DiCE exploration (§4.2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dice_bench::{customer_peer, install_victim_prefix, observed_customer_update, provider_router};
+use dice_core::{CustomerFilterMode, Dice, DiceConfig};
+use dice_symexec::EngineConfig;
+
+fn bench_detection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("detection");
+    group.sample_size(10);
+
+    group.bench_function("route_leak_detection_erroneous_filter", |b| {
+        let mut router = provider_router(CustomerFilterMode::Erroneous);
+        install_victim_prefix(&mut router);
+        let customer = customer_peer(&router);
+        let observed = observed_customer_update();
+        let dice = Dice::with_config(DiceConfig {
+            engine: EngineConfig { max_runs: 32, ..Default::default() },
+            ..Default::default()
+        });
+        b.iter(|| {
+            let report = dice.run_single(&router, customer, &observed);
+            assert!(report.has_faults());
+            std::hint::black_box(report.faults.len())
+        })
+    });
+
+    group.bench_function("exploration_correct_filter_no_fault", |b| {
+        let mut router = provider_router(CustomerFilterMode::Correct);
+        install_victim_prefix(&mut router);
+        let customer = customer_peer(&router);
+        let observed = observed_customer_update();
+        let dice = Dice::new();
+        b.iter(|| {
+            let report = dice.run_single(&router, customer, &observed);
+            assert!(!report.has_faults());
+            std::hint::black_box(report.runs)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_detection);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Experiment F1 (Figure 1): concolic exploration of a nested-branch
+//! handler — the engine negates predicates to reach every path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dice_symexec::{ConcolicEngine, EngineConfig, ExecCtx, InputValues};
+
+fn figure1_program(ctx: &mut ExecCtx, input: &InputValues) -> u32 {
+    let x = ctx.symbolic_u32("x", input.get_or("x", 0) as u32);
+    let y = ctx.symbolic_u32("y", input.get_or("y", 0) as u32);
+    let p1 = x.gt_const(100, ctx);
+    if ctx.branch_labeled("p1", p1) {
+        let p2 = y.eq_const(7, ctx);
+        if ctx.branch_labeled("p2", p2) {
+            2
+        } else {
+            1
+        }
+    } else {
+        0
+    }
+}
+
+fn bench_exploration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exploration");
+    group.sample_size(20);
+
+    group.bench_function("figure1_full_coverage", |b| {
+        b.iter(|| {
+            let engine = ConcolicEngine::with_config(EngineConfig { max_runs: 16, ..Default::default() });
+            let mut program = figure1_program;
+            let result = engine.explore(&mut program, &[InputValues::new().with("x", 5).with("y", 0)]);
+            assert!(result.coverage.complete_sites() >= 2);
+            std::hint::black_box(result.stats.runs)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_exploration);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Microbenchmark: filter interpretation, concrete (live path) vs symbolic
+//! (exploration path) — the per-branch constraint-recording overhead.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dice_bgp::attributes::RouteAttrs;
+use dice_bgp::prefix::Ipv4Prefix;
+use dice_bgp::route::{PeerId, Route};
+use dice_bgp::AsPath;
+use dice_router::policy::{eval_filter, parse_filter, RouteView};
+use dice_symexec::ExecCtx;
+use std::net::Ipv4Addr;
+
+const FILTER: &str = r#"
+    filter customer_in {
+        if net ~ [ 41.0.0.0/12{12,24} ] && source_as = 17557 then {
+            local_pref = 200;
+            accept;
+        }
+        if net ~ [ 208.65.152.0/22{22,24} ] then accept;
+        reject;
+    }
+"#;
+
+fn sample_route() -> Route {
+    let mut attrs = RouteAttrs::default();
+    attrs.as_path = AsPath::from_sequence([17557, 17557]);
+    attrs.next_hop = Ipv4Addr::new(10, 0, 1, 1);
+    Route::new("41.1.0.0/16".parse::<Ipv4Prefix>().unwrap(), attrs, PeerId(1), 1)
+}
+
+fn bench_policy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy");
+    let filter = parse_filter(FILTER).expect("parses");
+    let route = sample_route();
+
+    group.bench_function("parse_filter", |b| b.iter(|| std::hint::black_box(parse_filter(FILTER).unwrap())));
+
+    group.bench_function("eval_concrete", |b| {
+        b.iter(|| {
+            let mut ctx = ExecCtx::new();
+            std::hint::black_box(eval_filter(&filter, &RouteView::concrete(&route), &mut ctx))
+        })
+    });
+
+    group.bench_function("eval_symbolic", |b| {
+        b.iter(|| {
+            let mut ctx = ExecCtx::new();
+            let view = RouteView {
+                prefix_addr: ctx.symbolic_u32("nlri.addr", route.prefix.addr()),
+                prefix_len: ctx.symbolic_u8("nlri.len", route.prefix.len()),
+                source_as: ctx.symbolic_u32("attr.source_as", 17557),
+                ..RouteView::concrete(&route)
+            };
+            std::hint::black_box(eval_filter(&filter, &view, &mut ctx))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_policy);
+criterion_main!(benches);

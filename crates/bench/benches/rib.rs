@@ -1,0 +1,49 @@
+//! Microbenchmark: RIB insertion and longest-prefix lookup (experiment E1
+//! substrate: table-load speed).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dice_bgp::attributes::RouteAttrs;
+use dice_bgp::prefix::Ipv4Prefix;
+use dice_bgp::route::{PeerId, Route};
+use dice_bgp::AsPath;
+use dice_router::Rib;
+use std::net::Ipv4Addr;
+
+fn route(i: u32) -> Route {
+    let mut attrs = RouteAttrs::default();
+    attrs.as_path = AsPath::from_sequence([1299, 100_000 + i]);
+    attrs.next_hop = Ipv4Addr::new(10, 0, 2, 1);
+    let prefix = Ipv4Prefix::new((20u32 << 24) | (i << 8), 24).expect("valid");
+    Route::new(prefix, attrs, PeerId(2), 2)
+}
+
+fn bench_rib(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rib");
+    group.sample_size(20);
+
+    group.bench_function("announce_10k", |b| {
+        b.iter(|| {
+            let mut rib = Rib::new();
+            for i in 0..10_000 {
+                rib.announce(route(i));
+            }
+            std::hint::black_box(rib.prefix_count())
+        })
+    });
+
+    let mut rib = Rib::new();
+    for i in 0..10_000 {
+        rib.announce(route(i));
+    }
+    group.bench_function("lookup_ip", |b| {
+        b.iter(|| std::hint::black_box(rib.lookup_ip(0x1400_0501)))
+    });
+    group.bench_function("best_covering_route", |b| {
+        let p: Ipv4Prefix = "20.0.5.0/25".parse().unwrap();
+        b.iter(|| std::hint::black_box(rib.best_covering_route(&p)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rib);
+criterion_main!(benches);

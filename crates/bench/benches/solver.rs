@@ -1,0 +1,60 @@
+//! Microbenchmark: solver query latency for the constraint shapes the
+//! BGP handler produces (supports experiment F1 and the CPU-overhead model).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dice_solver::{Solver, TermArena};
+
+fn bench_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver");
+    group.sample_size(20);
+
+    group.bench_function("equality_query", |b| {
+        b.iter(|| {
+            let mut arena = TermArena::new();
+            let x = arena.declare_var("x", 32);
+            let xv = arena.var(x);
+            let c42 = arena.int_const(42_424, 32);
+            let eq = arena.eq(xv, c42);
+            let mut solver = Solver::new();
+            std::hint::black_box(solver.solve(&mut arena, &[eq], None))
+        })
+    });
+
+    group.bench_function("prefix_range_query", |b| {
+        b.iter(|| {
+            let mut arena = TermArena::new();
+            let addr = arena.declare_var("nlri.addr", 32);
+            let len = arena.declare_var("nlri.len", 8);
+            let av = arena.var(addr);
+            let lv = arena.var(len);
+            let lo = arena.int_const(0xd041_9800, 32);
+            let hi = arena.int_const(0xd041_9bff, 32);
+            let min = arena.int_const(22, 8);
+            let max = arena.int_const(24, 8);
+            let c1 = arena.uge(av, lo);
+            let c2 = arena.ule(av, hi);
+            let c3 = arena.uge(lv, min);
+            let c4 = arena.ule(lv, max);
+            let mut solver = Solver::new();
+            std::hint::black_box(solver.solve(&mut arena, &[c1, c2, c3, c4], None))
+        })
+    });
+
+    group.bench_function("unsat_query", |b| {
+        b.iter(|| {
+            let mut arena = TermArena::new();
+            let x = arena.declare_var("x", 16);
+            let xv = arena.var(x);
+            let c5 = arena.int_const(5, 16);
+            let c1 = arena.ult(xv, c5);
+            let c2 = arena.ugt(xv, c5);
+            let mut solver = Solver::new();
+            std::hint::black_box(solver.solve(&mut arena, &[c1, c2], None))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Experiments E3/E4: BGP updates handled per second with and without
+//! exploration sharing the core (§4.1 CPU/performance impact).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dice_bench::{
+    customer_peer, install_victim_prefix, internet_peer, observed_customer_update, provider_router,
+    throughput_updates,
+};
+use dice_core::{CustomerFilterMode, Dice, DiceConfig, SharedCoreScheduler};
+use dice_symexec::EngineConfig;
+
+fn bench_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("throughput");
+    group.sample_size(10);
+
+    let updates = throughput_updates(500);
+
+    group.bench_function("updates_without_exploration", |b| {
+        b.iter(|| {
+            let mut router = provider_router(CustomerFilterMode::Erroneous);
+            let peer = internet_peer(&router);
+            let result = SharedCoreScheduler::baseline().run(&mut router, peer, &updates, || {});
+            std::hint::black_box(result.updates_processed)
+        })
+    });
+
+    group.bench_function("updates_with_exploration", |b| {
+        b.iter(|| {
+            let mut router = provider_router(CustomerFilterMode::Erroneous);
+            install_victim_prefix(&mut router);
+            let peer = internet_peer(&router);
+            let customer = customer_peer(&router);
+            let observed = observed_customer_update();
+            let dice = Dice::with_config(DiceConfig {
+                engine: EngineConfig { max_runs: 4, ..Default::default() },
+                ..Default::default()
+            });
+            let checkpoint = router.clone();
+            let result = SharedCoreScheduler { explore_every: 64 }.run(&mut router, peer, &updates, || {
+                std::hint::black_box(dice.run_single(&checkpoint, customer, &observed).runs);
+            });
+            std::hint::black_box(result.updates_processed)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

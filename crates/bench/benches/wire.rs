@@ -1,0 +1,34 @@
+//! Microbenchmark: RFC 4271 wire encode/decode throughput (substrate cost
+//! behind the updates/second measurements).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dice_bgp::attributes::RouteAttrs;
+use dice_bgp::message::{BgpMessage, UpdateMessage};
+use dice_bgp::{wire, AsPath};
+use std::net::Ipv4Addr;
+
+fn sample_update() -> BgpMessage {
+    let mut attrs = RouteAttrs::default();
+    attrs.as_path = AsPath::from_sequence([1299, 3356, 36561]);
+    attrs.next_hop = Ipv4Addr::new(10, 0, 2, 1);
+    attrs.med = Some(50);
+    BgpMessage::Update(UpdateMessage::announce(
+        vec!["208.65.152.0/22".parse().unwrap(), "208.65.153.0/24".parse().unwrap()],
+        &attrs,
+    ))
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire");
+    let msg = sample_update();
+    let bytes = wire::encode(&msg);
+
+    group.bench_function("encode_update", |b| b.iter(|| std::hint::black_box(wire::encode(&msg))));
+    group.bench_function("decode_update", |b| {
+        b.iter(|| std::hint::black_box(wire::decode(&bytes).expect("valid")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_wire);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Experiment F1 (Figure 1): a concolic execution engine negates branch
+//! predicates to systematically explore code paths.
+//!
+//! The program under test has the three-block structure of the paper's
+//! Figure 1; starting from one observed input, the engine discovers the
+//! paths obtained by negating predicate #1 and predicate #2.
+
+use dice_symexec::{ConcolicEngine, EngineConfig, ExecCtx, InputValues};
+
+fn handler(ctx: &mut ExecCtx, input: &InputValues) -> &'static str {
+    let x = ctx.symbolic_u32("x", input.get_or("x", 0) as u32);
+    let y = ctx.symbolic_u32("y", input.get_or("y", 0) as u32);
+    let p1 = x.gt_const(100, ctx);
+    if ctx.branch_labeled("predicate #1", p1) {
+        let p2 = y.eq_const(7, ctx);
+        if ctx.branch_labeled("predicate #2", p2) {
+            "path c (negated predicate #1 then #2 satisfied)"
+        } else {
+            "path b (negated predicate #2)"
+        }
+    } else {
+        "path a (real input)"
+    }
+}
+
+fn main() {
+    println!("== Experiment F1: concolic predicate negation (paper Figure 1) ==");
+    let seed = InputValues::new().with("x", 5).with("y", 0);
+    println!("observed input: {seed}");
+    let engine = ConcolicEngine::with_config(EngineConfig { max_runs: 16, ..Default::default() });
+    let mut program = handler;
+    let result = engine.explore(&mut program, &[seed]);
+
+    println!("runs executed: {}", result.stats.runs);
+    println!("distinct paths: {}", result.distinct_paths());
+    for (i, run) in result.runs.iter().enumerate() {
+        let kind = if run.parent.is_none() { "seed     " } else { "generated" };
+        println!("  run {i}: [{kind}] input={} -> {}", run.trace.input, run.output);
+    }
+    println!(
+        "branch sites covered both ways: {}/{}",
+        result.coverage.complete_sites(),
+        result.coverage.site_count()
+    );
+    println!(
+        "solver: sat={} unsat={} unknown={}",
+        result.stats.solver_sat, result.stats.solver_unsat, result.stats.solver_unknown
+    );
+    assert!(result.coverage.complete_sites() >= 2, "both predicates must be negated");
+    println!("PASS: all paths of the Figure 1 program were explored from one observed input");
+}

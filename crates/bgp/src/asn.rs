@@ -1,0 +1,242 @@
+//! Autonomous system numbers and AS paths.
+
+use std::fmt;
+
+/// An autonomous system number.
+///
+/// Four-byte ASNs (RFC 6793) are used throughout; the wire codec encodes
+/// them as four octets, which is noted as a deviation from the classic
+/// two-octet RFC 4271 encoding in `DESIGN.md`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Asn(pub u32);
+
+impl Asn {
+    /// Returns the raw ASN value.
+    pub fn value(self) -> u32 {
+        self.0
+    }
+
+    /// Returns true if the ASN is in one of the private-use ranges.
+    pub fn is_private(self) -> bool {
+        (64512..=65534).contains(&self.0) || (4_200_000_000..=4_294_967_294).contains(&self.0)
+    }
+}
+
+impl fmt::Display for Asn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+impl From<u32> for Asn {
+    fn from(v: u32) -> Self {
+        Asn(v)
+    }
+}
+
+/// A segment of an AS path.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum AsPathSegment {
+    /// An ordered sequence of ASNs (most recent first).
+    Sequence(Vec<Asn>),
+    /// An unordered set of ASNs (the result of aggregation).
+    Set(Vec<Asn>),
+}
+
+impl AsPathSegment {
+    /// The ASNs in the segment.
+    pub fn asns(&self) -> &[Asn] {
+        match self {
+            AsPathSegment::Sequence(v) | AsPathSegment::Set(v) => v,
+        }
+    }
+
+    /// The RFC 4271 segment type code (1 = AS_SET, 2 = AS_SEQUENCE).
+    pub fn type_code(&self) -> u8 {
+        match self {
+            AsPathSegment::Set(_) => 1,
+            AsPathSegment::Sequence(_) => 2,
+        }
+    }
+
+    /// Contribution of this segment to the AS path length used by the
+    /// decision process: a set counts as one hop regardless of size.
+    pub fn path_length(&self) -> usize {
+        match self {
+            AsPathSegment::Sequence(v) => v.len(),
+            AsPathSegment::Set(v) => usize::from(!v.is_empty()),
+        }
+    }
+}
+
+/// An AS path: the ordered list of segments carried in the AS_PATH
+/// attribute.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct AsPath {
+    segments: Vec<AsPathSegment>,
+}
+
+impl AsPath {
+    /// An empty path (as originated by the local AS before export).
+    pub fn empty() -> Self {
+        AsPath { segments: Vec::new() }
+    }
+
+    /// Builds a path consisting of a single sequence.
+    pub fn from_sequence(asns: impl IntoIterator<Item = u32>) -> Self {
+        AsPath {
+            segments: vec![AsPathSegment::Sequence(asns.into_iter().map(Asn).collect())],
+        }
+    }
+
+    /// Creates a path from raw segments.
+    pub fn from_segments(segments: Vec<AsPathSegment>) -> Self {
+        AsPath { segments }
+    }
+
+    /// The path segments.
+    pub fn segments(&self) -> &[AsPathSegment] {
+        &self.segments
+    }
+
+    /// True if the path has no segments or only empty segments.
+    pub fn is_empty(&self) -> bool {
+        self.segments.iter().all(|s| s.asns().is_empty())
+    }
+
+    /// The length used by the decision process (AS_SET counts as 1).
+    pub fn length(&self) -> usize {
+        self.segments.iter().map(AsPathSegment::path_length).sum()
+    }
+
+    /// The origin AS: the last ASN of the last sequence segment, which is
+    /// the AS that originated the route. Returns `None` for empty paths or
+    /// paths ending in an AS_SET.
+    pub fn origin_as(&self) -> Option<Asn> {
+        match self.segments.last() {
+            Some(AsPathSegment::Sequence(v)) => v.last().copied(),
+            _ => None,
+        }
+    }
+
+    /// The neighbor AS: the first ASN on the path (the AS the route was
+    /// learned from).
+    pub fn neighbor_as(&self) -> Option<Asn> {
+        self.segments.first().and_then(|s| s.asns().first().copied())
+    }
+
+    /// Returns true if the path visits `asn` anywhere (loop detection).
+    pub fn contains(&self, asn: Asn) -> bool {
+        self.segments.iter().any(|s| s.asns().contains(&asn))
+    }
+
+    /// Returns a new path with `asn` prepended `count` times, as performed
+    /// when exporting a route to an eBGP peer.
+    pub fn prepend(&self, asn: Asn, count: usize) -> AsPath {
+        let mut segments = self.segments.clone();
+        match segments.first_mut() {
+            Some(AsPathSegment::Sequence(v)) => {
+                for _ in 0..count {
+                    v.insert(0, asn);
+                }
+            }
+            _ => {
+                segments.insert(0, AsPathSegment::Sequence(vec![asn; count]));
+            }
+        }
+        AsPath { segments }
+    }
+
+    /// Flattens the path into a list of ASNs, ignoring segment structure.
+    pub fn flatten(&self) -> Vec<Asn> {
+        self.segments.iter().flat_map(|s| s.asns().iter().copied()).collect()
+    }
+}
+
+impl fmt::Display for AsPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for seg in &self.segments {
+            if !first {
+                write!(f, " ")?;
+            }
+            first = false;
+            match seg {
+                AsPathSegment::Sequence(v) => {
+                    let parts: Vec<String> = v.iter().map(|a| a.0.to_string()).collect();
+                    write!(f, "{}", parts.join(" "))?;
+                }
+                AsPathSegment::Set(v) => {
+                    let parts: Vec<String> = v.iter().map(|a| a.0.to_string()).collect();
+                    write!(f, "{{{}}}", parts.join(","))?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn asn_display_and_private_ranges() {
+        assert_eq!(Asn(3356).to_string(), "AS3356");
+        assert!(Asn(64512).is_private());
+        assert!(Asn(65534).is_private());
+        assert!(!Asn(65535).is_private());
+        assert!(!Asn(3356).is_private());
+        assert_eq!(Asn::from(17557).value(), 17557);
+    }
+
+    #[test]
+    fn path_length_counts_sets_as_one() {
+        let path = AsPath::from_segments(vec![
+            AsPathSegment::Sequence(vec![Asn(1), Asn(2), Asn(3)]),
+            AsPathSegment::Set(vec![Asn(10), Asn(11)]),
+        ]);
+        assert_eq!(path.length(), 4);
+        assert_eq!(AsPath::empty().length(), 0);
+        assert!(AsPath::empty().is_empty());
+    }
+
+    #[test]
+    fn origin_and_neighbor_as() {
+        // The YouTube incident: 3491 (PCCW) heard the prefix from 17557
+        // (Pakistan Telecom), which became the bogus origin.
+        let path = AsPath::from_sequence([3491, 17557]);
+        assert_eq!(path.origin_as(), Some(Asn(17557)));
+        assert_eq!(path.neighbor_as(), Some(Asn(3491)));
+        assert!(path.contains(Asn(3491)));
+        assert!(!path.contains(Asn(36561)));
+        assert!(AsPath::empty().origin_as().is_none());
+    }
+
+    #[test]
+    fn prepend_builds_new_first_segment_when_needed() {
+        let path = AsPath::empty().prepend(Asn(65001), 1);
+        assert_eq!(path.flatten(), vec![Asn(65001)]);
+        let longer = path.prepend(Asn(65001), 2);
+        assert_eq!(longer.length(), 3);
+        assert_eq!(longer.origin_as(), Some(Asn(65001)));
+    }
+
+    #[test]
+    fn display_formats_sets_with_braces() {
+        let path = AsPath::from_segments(vec![
+            AsPathSegment::Sequence(vec![Asn(1), Asn(2)]),
+            AsPathSegment::Set(vec![Asn(3), Asn(4)]),
+        ]);
+        assert_eq!(path.to_string(), "1 2 {3,4}");
+    }
+
+    #[test]
+    fn loop_detection_via_contains() {
+        let path = AsPath::from_sequence([100, 200, 300]);
+        assert!(path.contains(Asn(200)));
+        let prepended = path.prepend(Asn(400), 1);
+        assert_eq!(prepended.neighbor_as(), Some(Asn(400)));
+        assert_eq!(prepended.origin_as(), Some(Asn(300)));
+    }
+}

@@ -1,0 +1,469 @@
+//! RFC 4271 wire encoding and decoding of BGP messages.
+//!
+//! The codec is strict on decode: syntactically invalid messages produce a
+//! [`BgpError`] that maps to the NOTIFICATION the router would send. The
+//! DiCE symbolic-input layer deliberately generates only *syntactically
+//! valid* messages (paper §3.2), so this layer is exercised by the live
+//! message path and by tests, not by exploration.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::net::Ipv4Addr;
+
+use crate::asn::{Asn, AsPath, AsPathSegment};
+use crate::attributes::{flags, Aggregator, AttrCode, Community, Origin, PathAttribute};
+use crate::error::{BgpError, NotificationData};
+use crate::message::{
+    BgpMessage, KeepaliveMessage, MessageType, NotificationMessage, OpenMessage, UpdateMessage,
+};
+use crate::prefix::Ipv4Prefix;
+
+/// Fixed header length (marker + length + type).
+pub const HEADER_LEN: usize = 19;
+/// Maximum BGP message length.
+pub const MAX_MESSAGE_LEN: usize = 4096;
+
+/// Encodes a message into a fresh byte buffer.
+pub fn encode(msg: &BgpMessage) -> Bytes {
+    let mut body = BytesMut::new();
+    match msg {
+        BgpMessage::Open(o) => encode_open(o, &mut body),
+        BgpMessage::Update(u) => encode_update(u, &mut body),
+        BgpMessage::Notification(n) => encode_notification(n, &mut body),
+        BgpMessage::Keepalive(_) => {}
+    }
+    let mut out = BytesMut::with_capacity(HEADER_LEN + body.len());
+    out.put_bytes(0xff, 16);
+    out.put_u16((HEADER_LEN + body.len()) as u16);
+    out.put_u8(msg.message_type() as u8);
+    out.extend_from_slice(&body);
+    out.freeze()
+}
+
+/// Decodes one message from the front of `buf`.
+///
+/// Returns the message and the number of bytes consumed.
+pub fn decode(buf: &[u8]) -> Result<(BgpMessage, usize), BgpError> {
+    if buf.len() < HEADER_LEN {
+        return Err(BgpError::Truncated { expected: HEADER_LEN, available: buf.len() });
+    }
+    if buf[..16].iter().any(|&b| b != 0xff) {
+        return Err(BgpError::BadMarker);
+    }
+    let len = u16::from_be_bytes([buf[16], buf[17]]) as usize;
+    if !(HEADER_LEN..=MAX_MESSAGE_LEN).contains(&len) {
+        return Err(BgpError::BadLength(len as u16));
+    }
+    if buf.len() < len {
+        return Err(BgpError::Truncated { expected: len, available: buf.len() });
+    }
+    let msg_type = MessageType::from_code(buf[18]).ok_or(BgpError::UnknownMessageType(buf[18]))?;
+    let mut body = &buf[HEADER_LEN..len];
+    let msg = match msg_type {
+        MessageType::Open => BgpMessage::Open(decode_open(&mut body)?),
+        MessageType::Update => BgpMessage::Update(decode_update(&mut body)?),
+        MessageType::Notification => BgpMessage::Notification(decode_notification(&mut body)?),
+        MessageType::Keepalive => BgpMessage::Keepalive(KeepaliveMessage),
+    };
+    Ok((msg, len))
+}
+
+fn need(buf: &[u8], n: usize) -> Result<(), BgpError> {
+    if buf.len() < n {
+        Err(BgpError::Truncated { expected: n, available: buf.len() })
+    } else {
+        Ok(())
+    }
+}
+
+fn encode_open(o: &OpenMessage, out: &mut BytesMut) {
+    out.put_u8(o.version);
+    // Classic 2-octet AS field; 4-byte ASNs are truncated here and carried
+    // in full inside AS_PATH (see DESIGN.md deviation note).
+    out.put_u16(o.my_as.min(u16::MAX as u32) as u16);
+    out.put_u16(o.hold_time);
+    out.put_u32(o.bgp_identifier);
+    out.put_u8(0); // No optional parameters.
+}
+
+fn decode_open(buf: &mut &[u8]) -> Result<OpenMessage, BgpError> {
+    need(buf, 10)?;
+    let version = buf.get_u8();
+    let my_as = buf.get_u16() as u32;
+    let hold_time = buf.get_u16();
+    let bgp_identifier = buf.get_u32();
+    let opt_len = buf.get_u8() as usize;
+    need(buf, opt_len)?;
+    buf.advance(opt_len);
+    Ok(OpenMessage { version, my_as, hold_time, bgp_identifier })
+}
+
+fn encode_prefixes(prefixes: &[Ipv4Prefix], out: &mut BytesMut) {
+    for p in prefixes {
+        out.put_u8(p.len());
+        let bytes = p.addr().to_be_bytes();
+        out.extend_from_slice(&bytes[..p.wire_len()]);
+    }
+}
+
+fn decode_prefixes(mut buf: &[u8]) -> Result<Vec<Ipv4Prefix>, BgpError> {
+    let mut out = Vec::new();
+    while !buf.is_empty() {
+        let len = buf.get_u8();
+        if len > 32 {
+            return Err(BgpError::BadPrefixLength(len));
+        }
+        let nbytes = (len as usize + 7) / 8;
+        need(buf, nbytes)?;
+        let mut octets = [0u8; 4];
+        octets[..nbytes].copy_from_slice(&buf[..nbytes]);
+        buf.advance(nbytes);
+        let prefix = Ipv4Prefix::new(u32::from_be_bytes(octets), len)
+            .map_err(|_| BgpError::BadPrefixLength(len))?;
+        out.push(prefix);
+    }
+    Ok(out)
+}
+
+fn encode_attribute(attr: &PathAttribute, out: &mut BytesMut) {
+    let mut value = BytesMut::new();
+    match attr {
+        PathAttribute::Origin(o) => value.put_u8(o.code()),
+        PathAttribute::AsPath(path) => {
+            for seg in path.segments() {
+                value.put_u8(seg.type_code());
+                value.put_u8(seg.asns().len() as u8);
+                for asn in seg.asns() {
+                    value.put_u32(asn.value());
+                }
+            }
+        }
+        PathAttribute::NextHop(nh) => value.put_u32(u32::from(*nh)),
+        PathAttribute::Med(m) => value.put_u32(*m),
+        PathAttribute::LocalPref(l) => value.put_u32(*l),
+        PathAttribute::AtomicAggregate => {}
+        PathAttribute::Aggregator(a) => {
+            value.put_u32(a.asn.value());
+            value.put_u32(a.router_id);
+        }
+        PathAttribute::Communities(cs) => {
+            for c in cs {
+                value.put_u32(c.0);
+            }
+        }
+    }
+    let code = attr.code();
+    let mut attr_flags = code.default_flags();
+    let extended = value.len() > 255;
+    if extended {
+        attr_flags |= flags::EXTENDED_LENGTH;
+    }
+    out.put_u8(attr_flags);
+    out.put_u8(code as u8);
+    if extended {
+        out.put_u16(value.len() as u16);
+    } else {
+        out.put_u8(value.len() as u8);
+    }
+    out.extend_from_slice(&value);
+}
+
+fn decode_attribute(buf: &mut &[u8]) -> Result<Option<PathAttribute>, BgpError> {
+    need(buf, 3)?;
+    let attr_flags = buf.get_u8();
+    let code = buf.get_u8();
+    let len = if attr_flags & flags::EXTENDED_LENGTH != 0 {
+        need(buf, 2)?;
+        buf.get_u16() as usize
+    } else {
+        need(buf, 1)?;
+        buf.get_u8() as usize
+    };
+    need(buf, len)?;
+    let mut value = &buf[..len];
+    buf.advance(len);
+    let Some(code) = AttrCode::from_code(code) else {
+        // Unknown optional attributes are skipped (not stored).
+        return Ok(None);
+    };
+    let attr = match code {
+        AttrCode::Origin => {
+            if value.len() != 1 {
+                return Err(BgpError::BadAttribute { code: code as u8, reason: "origin length" });
+            }
+            let origin = Origin::from_code(value.get_u8())
+                .ok_or(BgpError::BadAttribute { code: code as u8, reason: "origin value" })?;
+            PathAttribute::Origin(origin)
+        }
+        AttrCode::AsPath => {
+            let mut segments = Vec::new();
+            while !value.is_empty() {
+                if value.len() < 2 {
+                    return Err(BgpError::BadAttribute { code: code as u8, reason: "segment header" });
+                }
+                let seg_type = value.get_u8();
+                let count = value.get_u8() as usize;
+                if value.len() < count * 4 {
+                    return Err(BgpError::BadAttribute { code: code as u8, reason: "segment body" });
+                }
+                let mut asns = Vec::with_capacity(count);
+                for _ in 0..count {
+                    asns.push(Asn(value.get_u32()));
+                }
+                let seg = match seg_type {
+                    1 => AsPathSegment::Set(asns),
+                    2 => AsPathSegment::Sequence(asns),
+                    _ => {
+                        return Err(BgpError::BadAttribute { code: code as u8, reason: "segment type" })
+                    }
+                };
+                segments.push(seg);
+            }
+            PathAttribute::AsPath(AsPath::from_segments(segments))
+        }
+        AttrCode::NextHop => {
+            if value.len() != 4 {
+                return Err(BgpError::BadAttribute { code: code as u8, reason: "next hop length" });
+            }
+            PathAttribute::NextHop(Ipv4Addr::from(value.get_u32()))
+        }
+        AttrCode::Med => {
+            if value.len() != 4 {
+                return Err(BgpError::BadAttribute { code: code as u8, reason: "med length" });
+            }
+            PathAttribute::Med(value.get_u32())
+        }
+        AttrCode::LocalPref => {
+            if value.len() != 4 {
+                return Err(BgpError::BadAttribute { code: code as u8, reason: "local pref length" });
+            }
+            PathAttribute::LocalPref(value.get_u32())
+        }
+        AttrCode::AtomicAggregate => {
+            if !value.is_empty() {
+                return Err(BgpError::BadAttribute { code: code as u8, reason: "atomic aggregate length" });
+            }
+            PathAttribute::AtomicAggregate
+        }
+        AttrCode::Aggregator => {
+            if value.len() != 8 {
+                return Err(BgpError::BadAttribute { code: code as u8, reason: "aggregator length" });
+            }
+            let asn = Asn(value.get_u32());
+            let router_id = value.get_u32();
+            PathAttribute::Aggregator(Aggregator { asn, router_id })
+        }
+        AttrCode::Communities => {
+            if value.len() % 4 != 0 {
+                return Err(BgpError::BadAttribute { code: code as u8, reason: "communities length" });
+            }
+            let mut cs = Vec::with_capacity(value.len() / 4);
+            while !value.is_empty() {
+                cs.push(Community(value.get_u32()));
+            }
+            PathAttribute::Communities(cs)
+        }
+    };
+    Ok(Some(attr))
+}
+
+fn encode_update(u: &UpdateMessage, out: &mut BytesMut) {
+    let mut withdrawn = BytesMut::new();
+    encode_prefixes(&u.withdrawn, &mut withdrawn);
+    out.put_u16(withdrawn.len() as u16);
+    out.extend_from_slice(&withdrawn);
+
+    let mut attrs = BytesMut::new();
+    for a in &u.attributes {
+        encode_attribute(a, &mut attrs);
+    }
+    out.put_u16(attrs.len() as u16);
+    out.extend_from_slice(&attrs);
+
+    encode_prefixes(&u.nlri, out);
+}
+
+fn decode_update(buf: &mut &[u8]) -> Result<UpdateMessage, BgpError> {
+    need(buf, 2)?;
+    let withdrawn_len = buf.get_u16() as usize;
+    need(buf, withdrawn_len)?;
+    let withdrawn = decode_prefixes(&buf[..withdrawn_len])?;
+    buf.advance(withdrawn_len);
+
+    need(buf, 2)?;
+    let attrs_len = buf.get_u16() as usize;
+    need(buf, attrs_len)?;
+    let mut attr_buf = &buf[..attrs_len];
+    buf.advance(attrs_len);
+    let mut attributes = Vec::new();
+    while !attr_buf.is_empty() {
+        if let Some(attr) = decode_attribute(&mut attr_buf)? {
+            attributes.push(attr);
+        }
+    }
+
+    let nlri = decode_prefixes(buf)?;
+    *buf = &[];
+    Ok(UpdateMessage { withdrawn, attributes, nlri })
+}
+
+fn encode_notification(n: &NotificationMessage, out: &mut BytesMut) {
+    out.put_u8(n.error.code as u8);
+    out.put_u8(n.error.subcode);
+    out.extend_from_slice(&n.error.data);
+}
+
+fn decode_notification(buf: &mut &[u8]) -> Result<NotificationMessage, BgpError> {
+    need(buf, 2)?;
+    let code_raw = buf.get_u8();
+    let subcode = buf.get_u8();
+    let code = crate::error::ErrorCode::from_code(code_raw)
+        .ok_or(BgpError::BadAttribute { code: code_raw, reason: "notification code" })?;
+    let data = buf.to_vec();
+    *buf = &[];
+    Ok(NotificationMessage { error: NotificationData { code, subcode, data } })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attributes::RouteAttrs;
+    use crate::error::ErrorCode;
+
+    fn sample_update() -> UpdateMessage {
+        let mut attrs = RouteAttrs::originated(17557, Ipv4Addr::new(192, 0, 2, 1));
+        attrs.med = Some(50);
+        attrs.local_pref = Some(200);
+        attrs.communities = vec![Community::new(3491, 100)];
+        UpdateMessage {
+            withdrawn: vec!["203.0.113.0/24".parse().expect("valid")],
+            attributes: attrs.to_attributes(),
+            nlri: vec![
+                "208.65.152.0/22".parse().expect("valid"),
+                "208.65.153.0/24".parse().expect("valid"),
+            ],
+        }
+    }
+
+    #[test]
+    fn keepalive_roundtrip() {
+        let msg = BgpMessage::Keepalive(KeepaliveMessage);
+        let bytes = encode(&msg);
+        assert_eq!(bytes.len(), HEADER_LEN);
+        let (decoded, used) = decode(&bytes).expect("decodes");
+        assert_eq!(decoded, msg);
+        assert_eq!(used, HEADER_LEN);
+    }
+
+    #[test]
+    fn open_roundtrip() {
+        let msg = BgpMessage::Open(OpenMessage::new(64500, 180, 0xc0a80001));
+        let bytes = encode(&msg);
+        let (decoded, _) = decode(&bytes).expect("decodes");
+        assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn update_roundtrip() {
+        let msg = BgpMessage::Update(sample_update());
+        let bytes = encode(&msg);
+        let (decoded, used) = decode(&bytes).expect("decodes");
+        assert_eq!(used, bytes.len());
+        assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn notification_roundtrip() {
+        let msg = BgpMessage::Notification(NotificationMessage {
+            error: NotificationData { code: ErrorCode::Cease, subcode: 2, data: vec![1, 2, 3] },
+        });
+        let bytes = encode(&msg);
+        let (decoded, _) = decode(&bytes).expect("decodes");
+        assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn bad_marker_is_rejected() {
+        let msg = BgpMessage::Keepalive(KeepaliveMessage);
+        let mut bytes = encode(&msg).to_vec();
+        bytes[3] = 0;
+        assert_eq!(decode(&bytes), Err(BgpError::BadMarker));
+    }
+
+    #[test]
+    fn truncated_messages_are_rejected() {
+        let msg = BgpMessage::Update(sample_update());
+        let bytes = encode(&msg);
+        assert!(matches!(decode(&bytes[..10]), Err(BgpError::Truncated { .. })));
+        assert!(matches!(decode(&bytes[..bytes.len() - 1]), Err(BgpError::Truncated { .. })));
+    }
+
+    #[test]
+    fn bad_length_and_type_are_rejected() {
+        let msg = BgpMessage::Keepalive(KeepaliveMessage);
+        let mut bytes = encode(&msg).to_vec();
+        bytes[16] = 0;
+        bytes[17] = 10; // Length below header size.
+        assert_eq!(decode(&bytes), Err(BgpError::BadLength(10)));
+        let mut bytes = encode(&msg).to_vec();
+        bytes[18] = 42;
+        assert_eq!(decode(&bytes), Err(BgpError::UnknownMessageType(42)));
+    }
+
+    #[test]
+    fn bad_prefix_length_is_rejected() {
+        // A hand-built UPDATE whose NLRI declares a /40.
+        let mut body = BytesMut::new();
+        body.put_u16(0); // No withdrawn routes.
+        body.put_u16(0); // No attributes.
+        body.put_u8(40); // Invalid prefix length.
+        let mut raw = BytesMut::new();
+        raw.put_bytes(0xff, 16);
+        raw.put_u16((HEADER_LEN + body.len()) as u16);
+        raw.put_u8(MessageType::Update as u8);
+        raw.extend_from_slice(&body);
+        assert_eq!(decode(&raw), Err(BgpError::BadPrefixLength(40)));
+    }
+
+    #[test]
+    fn unknown_attribute_is_skipped() {
+        // Attribute type 99 (optional transitive) should be ignored.
+        let mut body = BytesMut::new();
+        body.put_u16(0);
+        let mut attrs = BytesMut::new();
+        attrs.put_u8(flags::OPTIONAL | flags::TRANSITIVE);
+        attrs.put_u8(99);
+        attrs.put_u8(2);
+        attrs.put_u16(0xbeef);
+        body.put_u16(attrs.len() as u16);
+        body.extend_from_slice(&attrs);
+        body.put_u8(8);
+        body.put_u8(10); // 10.0.0.0/8
+        let mut raw = BytesMut::new();
+        raw.put_bytes(0xff, 16);
+        raw.put_u16((HEADER_LEN + body.len()) as u16);
+        raw.put_u8(MessageType::Update as u8);
+        raw.extend_from_slice(&body);
+        let (decoded, _) = decode(&raw).expect("decodes");
+        let update = decoded.as_update().expect("update");
+        assert!(update.attributes.is_empty());
+        assert_eq!(update.nlri, vec!["10.0.0.0/8".parse().expect("valid")]);
+    }
+
+    #[test]
+    fn prefix_encoding_is_minimal() {
+        let attrs = RouteAttrs::originated(65001, Ipv4Addr::new(10, 0, 0, 1));
+        let p8: Ipv4Prefix = "10.0.0.0/8".parse().expect("valid");
+        let p22: Ipv4Prefix = "208.65.152.0/22".parse().expect("valid");
+        let one = encode(&BgpMessage::Update(UpdateMessage::announce(vec![p8], &attrs)));
+        let two = encode(&BgpMessage::Update(UpdateMessage::announce(vec![p22], &attrs)));
+        // /8 NLRI takes 2 bytes, /22 takes 4 bytes.
+        assert_eq!(two.len() - one.len(), 2);
+    }
+
+    #[test]
+    fn empty_update_roundtrip() {
+        let msg = BgpMessage::Update(UpdateMessage::default());
+        let (decoded, _) = decode(&encode(&msg)).expect("decodes");
+        assert_eq!(decoded, msg);
+    }
+}

@@ -1,0 +1,208 @@
+//! Fork-style checkpointing of node state.
+//!
+//! The paper implements checkpointing "by simply using the `fork` system
+//! call", which "allows us to create a large number of checkpoints with a
+//! small memory footprint" (§3.2). [`TrackedProcess`] reproduces that
+//! model: the node state is any [`Checkpointable`] value whose serialized
+//! image lives in a copy-on-write [`AddressSpace`]; `fork` clones the value
+//! and shares every page, and `sync` re-serializes the state so only the
+//! pages that actually changed get copied.
+
+use crate::space::AddressSpace;
+use crate::stats::MemoryStats;
+
+/// State that can be serialized into a process image.
+///
+/// The serialization must be deterministic (same logical state, same
+/// bytes); `dice-core` implements this for the BGP router by serializing
+/// its RIB in prefix order.
+pub trait Checkpointable {
+    /// Appends a deterministic serialization of the state to `out`.
+    fn serialize_state(&self, out: &mut Vec<u8>);
+
+    /// Convenience wrapper returning the serialized bytes.
+    fn state_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.serialize_state(&mut out);
+        out
+    }
+}
+
+/// A process-like container pairing node state with its paged memory image.
+#[derive(Debug, Clone)]
+pub struct TrackedProcess<T> {
+    state: T,
+    memory: AddressSpace,
+}
+
+impl<T: Checkpointable> TrackedProcess<T> {
+    /// Wraps live state, building its initial memory image.
+    pub fn new(state: T) -> Self {
+        let memory = AddressSpace::from_bytes(&state.state_bytes());
+        TrackedProcess { state, memory }
+    }
+
+    /// Read access to the state.
+    pub fn state(&self) -> &T {
+        &self.state
+    }
+
+    /// Mutable access to the state. Call [`TrackedProcess::sync`] after a
+    /// batch of mutations to bring the memory image up to date.
+    pub fn state_mut(&mut self) -> &mut T {
+        &mut self.state
+    }
+
+    /// The paged memory image.
+    pub fn memory(&self) -> &AddressSpace {
+        &self.memory
+    }
+
+    /// Re-serializes the state into the memory image, copying only the
+    /// pages whose contents changed.
+    pub fn sync(&mut self) {
+        let bytes = self.state.state_bytes();
+        self.memory.load(&bytes);
+    }
+
+    /// Forks the process: clones the state and shares every memory page
+    /// with the parent (the checkpoint operation).
+    pub fn fork(&self) -> TrackedProcess<T>
+    where
+        T: Clone,
+    {
+        TrackedProcess { state: self.state.clone(), memory: self.memory.clone() }
+    }
+
+    /// Memory statistics of this process relative to the process it was
+    /// forked from.
+    pub fn memory_stats_vs(&self, parent: &TrackedProcess<T>) -> MemoryStats {
+        self.memory.stats_vs(&parent.memory)
+    }
+}
+
+/// A checkpoint manager that keeps the live process and hands out clones
+/// for exploration, tracking their memory overhead.
+#[derive(Debug)]
+pub struct CheckpointManager<T> {
+    live: TrackedProcess<T>,
+}
+
+impl<T: Checkpointable + Clone> CheckpointManager<T> {
+    /// Wraps the live node state.
+    pub fn new(state: T) -> Self {
+        CheckpointManager { live: TrackedProcess::new(state) }
+    }
+
+    /// The live process.
+    pub fn live(&self) -> &TrackedProcess<T> {
+        &self.live
+    }
+
+    /// Mutable access to the live process (message processing continues
+    /// while exploration runs on clones).
+    pub fn live_mut(&mut self) -> &mut TrackedProcess<T> {
+        &mut self.live
+    }
+
+    /// Takes a checkpoint of the live process (a fork).
+    pub fn take_checkpoint(&self) -> TrackedProcess<T> {
+        self.live.fork()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::Encoder;
+    use crate::page::PAGE_SIZE;
+
+    /// A toy routing table: a sorted list of (prefix, origin) pairs.
+    #[derive(Debug, Clone, Default)]
+    struct ToyRib {
+        routes: Vec<(u32, u32)>,
+    }
+
+    impl ToyRib {
+        fn with_routes(n: u32) -> Self {
+            ToyRib { routes: (0..n).map(|i| (i, 100 + i)).collect() }
+        }
+
+        fn add(&mut self, prefix: u32, origin: u32) {
+            self.routes.push((prefix, origin));
+            self.routes.sort_unstable();
+        }
+    }
+
+    impl Checkpointable for ToyRib {
+        fn serialize_state(&self, out: &mut Vec<u8>) {
+            let mut e = Encoder::new();
+            e.put_u32(self.routes.len() as u32);
+            for (p, o) in &self.routes {
+                e.put_u32(*p);
+                e.put_u32(*o);
+            }
+            out.extend_from_slice(&e.finish());
+        }
+    }
+
+    #[test]
+    fn checkpoint_shares_all_pages_initially() {
+        let manager = CheckpointManager::new(ToyRib::with_routes(10_000));
+        let checkpoint = manager.take_checkpoint();
+        let stats = checkpoint.memory_stats_vs(manager.live());
+        assert_eq!(stats.unique_pages, 0);
+        assert!(stats.total_pages > 10);
+        assert_eq!(stats.unique_fraction(), 0.0);
+    }
+
+    #[test]
+    fn live_writes_after_checkpoint_create_few_unique_pages() {
+        // Mirrors the paper's 3.45%: the live router keeps processing a few
+        // updates after the checkpoint, touching a small part of its image.
+        let mut manager = CheckpointManager::new(ToyRib::with_routes(20_000));
+        let checkpoint = manager.take_checkpoint();
+        for i in 0..50 {
+            manager.live_mut().state_mut().add(1_000_000 + i, 7);
+        }
+        manager.live_mut().sync();
+        let stats = checkpoint.memory_stats_vs(manager.live());
+        assert!(stats.unique_pages > 0);
+        assert!(stats.unique_fraction() < 0.25, "small update burst should touch few pages");
+    }
+
+    #[test]
+    fn exploration_clone_writes_more_pages_than_checkpoint() {
+        let manager = CheckpointManager::new(ToyRib::with_routes(20_000));
+        let checkpoint = manager.take_checkpoint();
+        // An exploration clone accepts many exploratory routes.
+        let mut clone = checkpoint.fork();
+        for i in 0..8_000 {
+            clone.state_mut().add(2_000_000 + i, 666);
+        }
+        clone.sync();
+        let clone_stats = clone.memory_stats_vs(&checkpoint);
+        let checkpoint_stats = checkpoint.memory_stats_vs(manager.live());
+        assert!(clone_stats.unique_fraction() > checkpoint_stats.unique_fraction());
+        assert!(clone_stats.unique_pages > 0);
+    }
+
+    #[test]
+    fn sync_without_changes_keeps_sharing() {
+        let mut process = TrackedProcess::new(ToyRib::with_routes(5_000));
+        let fork = process.fork();
+        process.sync();
+        assert_eq!(process.memory_stats_vs(&fork).unique_pages, 0);
+        assert_eq!(process.memory().page_count(), fork.memory().page_count());
+        assert!(process.memory().size_bytes() >= 5_000 * 8);
+        assert_eq!(process.memory().size_bytes() % PAGE_SIZE, 0);
+    }
+
+    #[test]
+    fn state_accessors() {
+        let mut process = TrackedProcess::new(ToyRib::default());
+        assert!(process.state().routes.is_empty());
+        process.state_mut().add(1, 2);
+        assert_eq!(process.state().routes.len(), 1);
+    }
+}

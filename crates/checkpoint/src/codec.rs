@@ -1,0 +1,204 @@
+//! A small binary encoder/decoder used to serialize node state into a
+//! paged address space.
+//!
+//! The layout is deterministic: serializing the same logical state twice
+//! produces identical bytes, so unchanged state maps to unchanged pages and
+//! copy-on-write sharing is preserved across [`crate::space::AddressSpace::load`]
+//! calls.
+
+/// Binary encoder with big-endian fixed-width integers and
+/// length-prefixed byte strings.
+#[derive(Debug, Default, Clone)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// Creates an empty encoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Finishes encoding, returning the buffer.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Current encoded length.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Returns true if nothing has been encoded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends a `u8`.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a big-endian `u16`.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a length-prefixed byte string.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_bytes(v.as_bytes());
+    }
+}
+
+/// Errors produced when decoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Offset at which the input ran out.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "truncated input at offset {}", self.offset)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Binary decoder matching [`Encoder`].
+#[derive(Debug, Clone)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Creates a decoder over the buffer.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Decoder { buf, pos: 0 }
+    }
+
+    /// Remaining bytes.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError { offset: self.pos });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads a `u8`.
+    pub fn get_u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a big-endian `u16`.
+    pub fn get_u16(&mut self) -> Result<u16, DecodeError> {
+        let b = self.take(2)?;
+        Ok(u16::from_be_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a big-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, DecodeError> {
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a big-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, DecodeError> {
+        let b = self.take(8)?;
+        let mut arr = [0u8; 8];
+        arr.copy_from_slice(b);
+        Ok(u64::from_be_bytes(arr))
+    }
+
+    /// Reads a length-prefixed byte string.
+    pub fn get_bytes(&mut self) -> Result<&'a [u8], DecodeError> {
+        let len = self.get_u32()? as usize;
+        self.take(len)
+    }
+
+    /// Reads a length-prefixed UTF-8 string (lossy on invalid UTF-8).
+    pub fn get_string(&mut self) -> Result<String, DecodeError> {
+        Ok(String::from_utf8_lossy(self.get_bytes()?).into_owned())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_types() {
+        let mut e = Encoder::new();
+        e.put_u8(7);
+        e.put_u16(0xbeef);
+        e.put_u32(0xdead_beef);
+        e.put_u64(0x0123_4567_89ab_cdef);
+        e.put_bytes(&[1, 2, 3]);
+        e.put_str("loc-rib");
+        let bytes = e.finish();
+
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(d.get_u8().expect("u8"), 7);
+        assert_eq!(d.get_u16().expect("u16"), 0xbeef);
+        assert_eq!(d.get_u32().expect("u32"), 0xdead_beef);
+        assert_eq!(d.get_u64().expect("u64"), 0x0123_4567_89ab_cdef);
+        assert_eq!(d.get_bytes().expect("bytes"), &[1, 2, 3]);
+        assert_eq!(d.get_string().expect("string"), "loc-rib");
+        assert_eq!(d.remaining(), 0);
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let mut e = Encoder::new();
+        e.put_u32(5);
+        let bytes = e.finish();
+        let mut d = Decoder::new(&bytes);
+        assert!(d.get_u64().is_err());
+        let mut d2 = Decoder::new(&bytes);
+        // Length prefix of 5 with no payload.
+        assert!(d2.get_bytes().is_err());
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let encode = || {
+            let mut e = Encoder::new();
+            e.put_str("prefix");
+            e.put_u32(42);
+            e.finish()
+        };
+        assert_eq!(encode(), encode());
+    }
+
+    #[test]
+    fn length_tracking() {
+        let mut e = Encoder::new();
+        assert!(e.is_empty());
+        e.put_u8(1);
+        assert_eq!(e.len(), 1);
+        assert!(!e.is_empty());
+    }
+}

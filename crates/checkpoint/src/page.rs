@@ -1,0 +1,119 @@
+//! Pages: fixed-size, reference-counted chunks of a process image.
+//!
+//! The paper checkpoints BIRD with `fork()`, relying on the kernel's
+//! copy-on-write page sharing to make checkpoints cheap and to keep the
+//! memory overhead of exploration clones small. This module models the same
+//! mechanism at user level: an address space is a vector of `Arc`-shared
+//! pages, cloning shares every page, and writing copies only the touched
+//! pages. "Unique pages" — the metric reported in §4.1 — are pages no
+//! longer shared with the process a snapshot was cloned from.
+
+use std::sync::Arc;
+
+/// The page size used by the model (the usual 4 KiB).
+pub const PAGE_SIZE: usize = 4096;
+
+/// A reference-counted page of memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Page {
+    data: Arc<[u8; PAGE_SIZE]>,
+}
+
+impl Default for Page {
+    fn default() -> Self {
+        Page { data: Arc::new([0u8; PAGE_SIZE]) }
+    }
+}
+
+impl Page {
+    /// A zero-filled page.
+    pub fn zeroed() -> Self {
+        Self::default()
+    }
+
+    /// Builds a page from up to [`PAGE_SIZE`] bytes (zero-padded).
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        let mut buf = [0u8; PAGE_SIZE];
+        let n = bytes.len().min(PAGE_SIZE);
+        buf[..n].copy_from_slice(&bytes[..n]);
+        Page { data: Arc::new(buf) }
+    }
+
+    /// Read access to the page contents.
+    pub fn bytes(&self) -> &[u8; PAGE_SIZE] {
+        &self.data
+    }
+
+    /// Returns true if both handles refer to the same physical page
+    /// (i.e. the page is still shared, as under kernel COW).
+    pub fn is_shared_with(&self, other: &Page) -> bool {
+        Arc::ptr_eq(&self.data, &other.data)
+    }
+
+    /// Returns true if the contents are byte-for-byte equal (regardless of
+    /// sharing).
+    pub fn same_contents(&self, other: &Page) -> bool {
+        self.data.as_ref() == other.data.as_ref()
+    }
+
+    /// Number of live references to the physical page.
+    pub fn ref_count(&self) -> usize {
+        Arc::strong_count(&self.data)
+    }
+
+    /// Overwrites the page with new contents, breaking sharing (COW).
+    ///
+    /// If the new contents equal the current contents the page is left
+    /// untouched and sharing is preserved — this mirrors the kernel
+    /// behaviour where a write fault is only taken when the data actually
+    /// changes through the serialization path used here.
+    pub fn write(&mut self, bytes: &[u8]) {
+        let mut buf = [0u8; PAGE_SIZE];
+        let n = bytes.len().min(PAGE_SIZE);
+        buf[..n].copy_from_slice(&bytes[..n]);
+        if *self.data == buf {
+            return;
+        }
+        self.data = Arc::new(buf);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pages_start_shared_after_clone() {
+        let a = Page::from_bytes(b"routing table state");
+        let b = a.clone();
+        assert!(a.is_shared_with(&b));
+        assert!(a.same_contents(&b));
+        assert!(a.ref_count() >= 2);
+    }
+
+    #[test]
+    fn write_breaks_sharing_only_on_change() {
+        let a = Page::from_bytes(b"original");
+        let mut b = a.clone();
+        // Writing identical contents keeps the page shared.
+        b.write(b"original");
+        assert!(a.is_shared_with(&b));
+        // Writing different contents copies the page.
+        b.write(b"modified");
+        assert!(!a.is_shared_with(&b));
+        assert!(!a.same_contents(&b));
+        assert_eq!(&a.bytes()[..8], b"original");
+        assert_eq!(&b.bytes()[..8], b"modified");
+    }
+
+    #[test]
+    fn from_bytes_truncates_and_pads() {
+        let short = Page::from_bytes(b"ab");
+        assert_eq!(short.bytes()[0], b'a');
+        assert_eq!(short.bytes()[2], 0);
+        let long = vec![7u8; PAGE_SIZE + 100];
+        let page = Page::from_bytes(&long);
+        assert_eq!(page.bytes()[PAGE_SIZE - 1], 7);
+        assert!(Page::zeroed().bytes().iter().all(|&b| b == 0));
+    }
+}

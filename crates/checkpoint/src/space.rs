@@ -1,0 +1,168 @@
+//! Copy-on-write address spaces built from shared pages.
+
+use crate::page::{Page, PAGE_SIZE};
+use crate::stats::MemoryStats;
+
+/// A paged image of a process's state.
+///
+/// Cloning an address space is the model's `fork()`: every page is shared
+/// until one side writes to it.
+#[derive(Debug, Clone, Default)]
+pub struct AddressSpace {
+    pages: Vec<Page>,
+}
+
+impl AddressSpace {
+    /// Creates an empty address space.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds an address space holding `data`, split into pages.
+    pub fn from_bytes(data: &[u8]) -> Self {
+        let mut space = AddressSpace::new();
+        space.load(data);
+        space
+    }
+
+    /// Number of pages mapped.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Returns true if no pages are mapped.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    /// Total mapped bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.pages.len() * PAGE_SIZE
+    }
+
+    /// Returns a page by index.
+    pub fn page(&self, index: usize) -> Option<&Page> {
+        self.pages.get(index)
+    }
+
+    /// Replaces the whole image with `data`, page by page.
+    ///
+    /// Pages whose contents are unchanged keep their sharing; pages whose
+    /// contents differ are copied (COW). Growing the image appends fresh
+    /// pages; shrinking drops trailing pages.
+    pub fn load(&mut self, data: &[u8]) {
+        let needed = data.len().div_ceil(PAGE_SIZE).max(if data.is_empty() { 0 } else { 1 });
+        self.pages.truncate(needed);
+        for i in 0..needed {
+            let start = i * PAGE_SIZE;
+            let end = (start + PAGE_SIZE).min(data.len());
+            let chunk = &data[start..end];
+            if i < self.pages.len() {
+                self.pages[i].write(chunk);
+            } else {
+                self.pages.push(Page::from_bytes(chunk));
+            }
+        }
+    }
+
+    /// Reads the full image back as a byte vector (zero-padded to pages).
+    pub fn read_all(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.size_bytes());
+        for p in &self.pages {
+            out.extend_from_slice(p.bytes());
+        }
+        out
+    }
+
+    /// Number of this space's pages that are *not* shared with `other`
+    /// (either modified since the clone, or not present in `other`).
+    pub fn unique_pages_vs(&self, other: &AddressSpace) -> usize {
+        self.pages
+            .iter()
+            .enumerate()
+            .filter(|(i, p)| match other.pages.get(*i) {
+                Some(q) => !p.is_shared_with(q),
+                None => true,
+            })
+            .count()
+    }
+
+    /// Number of this space's pages still shared with `other`.
+    pub fn shared_pages_vs(&self, other: &AddressSpace) -> usize {
+        self.page_count() - self.unique_pages_vs(other)
+    }
+
+    /// Full memory statistics of this space relative to `other`.
+    pub fn stats_vs(&self, other: &AddressSpace) -> MemoryStats {
+        let unique = self.unique_pages_vs(other);
+        MemoryStats { total_pages: self.page_count(), unique_pages: unique }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn image(len: usize, fill: u8) -> Vec<u8> {
+        vec![fill; len]
+    }
+
+    #[test]
+    fn load_and_read_roundtrip() {
+        let data: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
+        let space = AddressSpace::from_bytes(&data);
+        assert_eq!(space.page_count(), 3);
+        let read = space.read_all();
+        assert_eq!(&read[..data.len()], &data[..]);
+        assert!(read[data.len()..].iter().all(|&b| b == 0));
+        assert!(AddressSpace::new().is_empty());
+    }
+
+    #[test]
+    fn clone_shares_every_page() {
+        let space = AddressSpace::from_bytes(&image(PAGE_SIZE * 8, 3));
+        let forked = space.clone();
+        assert_eq!(forked.unique_pages_vs(&space), 0);
+        assert_eq!(forked.shared_pages_vs(&space), 8);
+        assert_eq!(forked.stats_vs(&space).unique_fraction(), 0.0);
+    }
+
+    #[test]
+    fn writes_break_sharing_per_page() {
+        let mut data = image(PAGE_SIZE * 10, 1);
+        let space = AddressSpace::from_bytes(&data);
+        let mut forked = space.clone();
+        // Modify bytes in pages 2 and 7 of the fork.
+        data[2 * PAGE_SIZE + 5] = 99;
+        data[7 * PAGE_SIZE + 123] = 42;
+        forked.load(&data);
+        assert_eq!(forked.unique_pages_vs(&space), 2);
+        assert_eq!(space.unique_pages_vs(&forked), 2);
+        assert_eq!(forked.shared_pages_vs(&space), 8);
+        let stats = forked.stats_vs(&space);
+        assert!((stats.unique_fraction() - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reloading_identical_data_preserves_sharing() {
+        let data = image(PAGE_SIZE * 4, 9);
+        let space = AddressSpace::from_bytes(&data);
+        let mut forked = space.clone();
+        forked.load(&data);
+        assert_eq!(forked.unique_pages_vs(&space), 0);
+    }
+
+    #[test]
+    fn growth_and_shrink() {
+        let space = AddressSpace::from_bytes(&image(PAGE_SIZE * 2, 1));
+        let mut grown = space.clone();
+        grown.load(&image(PAGE_SIZE * 4, 1));
+        assert_eq!(grown.page_count(), 4);
+        // The two original pages stay shared; the new ones are unique.
+        assert_eq!(grown.unique_pages_vs(&space), 2);
+        let mut shrunk = space.clone();
+        shrunk.load(&image(PAGE_SIZE, 1));
+        assert_eq!(shrunk.page_count(), 1);
+        assert_eq!(shrunk.unique_pages_vs(&space), 0);
+    }
+}

@@ -1,0 +1,208 @@
+//! Fault checkers: predicates over exploratory outcomes and the
+//! checkpointed node state.
+//!
+//! The showcase checker detects *origin misconfiguration / route leaks*
+//! (§4.2): "for each exploratory message, we check whether the announced
+//! route is accepted, and in this case we detect a potential hijack if that
+//! route overrides the origin AS of a route already in the routing table
+//! prior to starting exploration." Prefixes that are hijackable by nature
+//! (IP anycast) can be whitelisted to suppress false positives.
+
+use std::fmt;
+
+use dice_bgp::prefix::Ipv4Prefix;
+use dice_bgp::Asn;
+use dice_router::Rib;
+
+use crate::handler::HandlerOutcome;
+
+/// A fault detected during exploration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// An exploratory announcement would override the origin AS of an
+    /// installed route: a potential prefix hijack / route leak.
+    PotentialHijack {
+        /// The prefix the exploratory message announced.
+        announced: Ipv4Prefix,
+        /// The origin AS the exploratory message claimed.
+        claimed_origin: Asn,
+        /// The already-installed prefix that covers the announcement.
+        existing_prefix: Ipv4Prefix,
+        /// The trusted origin AS of the installed route.
+        existing_origin: Asn,
+    },
+}
+
+impl Fault {
+    /// The prefix range that can be leaked.
+    pub fn leaked_prefix(&self) -> Ipv4Prefix {
+        match self {
+            Fault::PotentialHijack { announced, .. } => *announced,
+        }
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::PotentialHijack { announced, claimed_origin, existing_prefix, existing_origin } => {
+                write!(
+                    f,
+                    "potential hijack: {announced} claimed by {claimed_origin} would override {existing_prefix} originated by {existing_origin}"
+                )
+            }
+        }
+    }
+}
+
+/// A checker applied to every exploratory outcome.
+pub trait FaultChecker {
+    /// Short name used in reports.
+    fn name(&self) -> &str;
+
+    /// Inspects one outcome against the checkpointed routing table taken
+    /// before exploration started.
+    fn check(&self, outcome: &HandlerOutcome, checkpoint_rib: &Rib) -> Option<Fault>;
+}
+
+/// The origin-misconfiguration (prefix hijack / route leak) checker.
+#[derive(Debug, Clone, Default)]
+pub struct OriginHijackChecker {
+    anycast_whitelist: Vec<Ipv4Prefix>,
+}
+
+impl OriginHijackChecker {
+    /// Creates a checker with an empty whitelist.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds prefixes that are legitimately multi-origin (IP anycast); any
+    /// exploratory announcement falling inside them is not reported.
+    pub fn with_anycast_whitelist(mut self, prefixes: Vec<Ipv4Prefix>) -> Self {
+        self.anycast_whitelist = prefixes;
+        self
+    }
+
+    fn whitelisted(&self, prefix: &Ipv4Prefix) -> bool {
+        self.anycast_whitelist.iter().any(|w| w.contains(prefix))
+    }
+}
+
+impl FaultChecker for OriginHijackChecker {
+    fn name(&self) -> &str {
+        "origin-hijack"
+    }
+
+    fn check(&self, outcome: &HandlerOutcome, checkpoint_rib: &Rib) -> Option<Fault> {
+        if !outcome.accepted {
+            return None;
+        }
+        if self.whitelisted(&outcome.prefix) {
+            return None;
+        }
+        // The route the announcement would compete with: the most specific
+        // installed route covering the announced prefix. (Existing routes
+        // are assumed trustworthy, as in the paper.)
+        let existing = checkpoint_rib.best_covering_route(&outcome.prefix)?;
+        let existing_origin = existing.origin_as()?;
+        if existing_origin.value() == outcome.origin_as {
+            return None;
+        }
+        Some(Fault::PotentialHijack {
+            announced: outcome.prefix,
+            claimed_origin: Asn(outcome.origin_as),
+            existing_prefix: existing.prefix,
+            existing_origin,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dice_bgp::attributes::RouteAttrs;
+    use dice_bgp::route::{PeerId, Route};
+    use dice_bgp::AsPath;
+    use dice_router::{FilterOutcome, FilterVerdict};
+    use std::net::Ipv4Addr;
+
+    fn rib_with_youtube() -> Rib {
+        let mut rib = Rib::new();
+        let mut attrs = RouteAttrs::default();
+        attrs.as_path = AsPath::from_sequence([1299, 3356, 36561]);
+        attrs.next_hop = Ipv4Addr::new(10, 0, 2, 1);
+        rib.announce(Route::new(
+            "208.65.152.0/22".parse().expect("valid"),
+            attrs,
+            PeerId(2),
+            2,
+        ));
+        rib
+    }
+
+    fn outcome(prefix: &str, origin_as: u32, accepted: bool) -> HandlerOutcome {
+        HandlerOutcome {
+            prefix: prefix.parse().expect("valid"),
+            origin_as,
+            accepted,
+            filter: FilterOutcome {
+                verdict: if accepted { FilterVerdict::Accept } else { FilterVerdict::Reject },
+                local_pref: None,
+                med: None,
+                prepend: 0,
+                added_communities: Vec::new(),
+            },
+            intercepted_messages: 0,
+        }
+    }
+
+    #[test]
+    fn detects_the_youtube_hijack() {
+        let rib = rib_with_youtube();
+        let checker = OriginHijackChecker::new();
+        // Pakistan Telecom (17557) announces the more-specific /24.
+        let fault = checker
+            .check(&outcome("208.65.153.0/24", 17557, true), &rib)
+            .expect("hijack detected");
+        match &fault {
+            Fault::PotentialHijack { claimed_origin, existing_origin, existing_prefix, .. } => {
+                assert_eq!(*claimed_origin, Asn(17557));
+                assert_eq!(*existing_origin, Asn(36561));
+                assert_eq!(existing_prefix.to_string(), "208.65.152.0/22");
+            }
+        }
+        assert_eq!(fault.leaked_prefix().to_string(), "208.65.153.0/24");
+        assert!(fault.to_string().contains("17557"));
+        assert_eq!(checker.name(), "origin-hijack");
+    }
+
+    #[test]
+    fn rejected_routes_are_not_faults() {
+        let rib = rib_with_youtube();
+        let checker = OriginHijackChecker::new();
+        assert!(checker.check(&outcome("208.65.153.0/24", 17557, false), &rib).is_none());
+    }
+
+    #[test]
+    fn same_origin_is_not_a_fault() {
+        let rib = rib_with_youtube();
+        let checker = OriginHijackChecker::new();
+        assert!(checker.check(&outcome("208.65.153.0/24", 36561, true), &rib).is_none());
+    }
+
+    #[test]
+    fn uncovered_prefixes_are_not_faults() {
+        let rib = rib_with_youtube();
+        let checker = OriginHijackChecker::new();
+        assert!(checker.check(&outcome("1.2.3.0/24", 17557, true), &rib).is_none());
+    }
+
+    #[test]
+    fn anycast_whitelist_suppresses_false_positives() {
+        let rib = rib_with_youtube();
+        let checker = OriginHijackChecker::new()
+            .with_anycast_whitelist(vec!["208.65.152.0/22".parse().expect("valid")]);
+        assert!(checker.check(&outcome("208.65.153.0/24", 17557, true), &rib).is_none());
+    }
+}

@@ -1,0 +1,148 @@
+//! Checkpointing the BGP router with page-level memory accounting.
+
+use dice_checkpoint::{Checkpointable, Encoder};
+use dice_router::BgpRouter;
+
+/// A newtype wrapping [`BgpRouter`] so its state can be tracked by the
+/// fork-style checkpoint layer.
+///
+/// The serialization covers the routing table (the state that dominates
+/// BIRD's memory with a full table loaded). To mirror the *in-place* memory
+/// layout that makes kernel copy-on-write effective — updating one route in
+/// BIRD dirties the page holding that route, not the whole heap — every
+/// candidate route is written into a fixed-size slot at a position derived
+/// from its prefix and peer. Identical logical state therefore maps to
+/// identical pages, and an incremental RIB change dirties only the page
+/// holding the affected slot.
+#[derive(Debug, Clone)]
+pub struct CheckpointedRouter(pub BgpRouter);
+
+/// Bytes reserved per route slot in the serialized image.
+const SLOT_BYTES: usize = 64;
+
+impl CheckpointedRouter {
+    /// Read access to the wrapped router.
+    pub fn router(&self) -> &BgpRouter {
+        &self.0
+    }
+
+    /// Mutable access to the wrapped router.
+    pub fn router_mut(&mut self) -> &mut BgpRouter {
+        &mut self.0
+    }
+}
+
+impl Checkpointable for CheckpointedRouter {
+    fn serialize_state(&self, out: &mut Vec<u8>) {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+
+        let rib = self.0.rib();
+        // Slot table sized with headroom so routine churn never resizes it
+        // (a resize would rewrite the whole image, which fork+COW does not
+        // do in reality).
+        let capacity = (rib.route_count().max(1) * 2).next_power_of_two().max(1024);
+        let mut image = vec![0u8; capacity * SLOT_BYTES];
+        for (prefix, _) in rib.loc_rib() {
+            for route in rib.candidates(&prefix) {
+                let mut e = Encoder::new();
+                e.put_u32(prefix.addr());
+                e.put_u8(prefix.len());
+                e.put_u32(route.learned_from.0);
+                e.put_u32(route.peer_router_id);
+                e.put_u8(route.attrs.origin.code());
+                e.put_u32(route.attrs.effective_med());
+                e.put_u32(route.attrs.effective_local_pref());
+                e.put_u32(u32::from(route.attrs.next_hop));
+                let path = route.attrs.as_path.flatten();
+                e.put_u16(path.len() as u16);
+                for asn in path.iter().take(8) {
+                    e.put_u32(asn.value());
+                }
+                let record = e.finish();
+
+                let mut hasher = DefaultHasher::new();
+                (prefix.addr(), prefix.len(), route.learned_from.0).hash(&mut hasher);
+                let slot = (hasher.finish() as usize) % capacity;
+                let base = slot * SLOT_BYTES;
+                // Colliding slots combine order-independently (XOR), so the
+                // image stays deterministic for a given logical state.
+                for (i, b) in record.iter().take(SLOT_BYTES).enumerate() {
+                    image[base + i] ^= b;
+                }
+            }
+        }
+        // A small header outside the slot table records identity.
+        let mut header = Encoder::new();
+        header.put_u32(self.0.local_as());
+        header.put_u32(rib.prefix_count() as u32);
+        out.extend_from_slice(&header.finish());
+        out.extend_from_slice(&image);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dice_bgp::attributes::RouteAttrs;
+    use dice_bgp::message::UpdateMessage;
+    use dice_bgp::AsPath;
+    use dice_checkpoint::CheckpointManager;
+    use dice_netsim::topology::{addr, figure2_topology, CustomerFilterMode};
+    use std::net::Ipv4Addr;
+
+    fn provider_with_routes(n: u32) -> BgpRouter {
+        let topo = figure2_topology(CustomerFilterMode::Correct);
+        let spec = &topo.nodes()[topo.node_by_name("Provider").expect("node").0];
+        let mut router = BgpRouter::new(spec.config.clone());
+        router.start();
+        let peer = router.peer_by_address(addr::INTERNET).expect("peer");
+        for i in 0..n {
+            let mut attrs = RouteAttrs::default();
+            attrs.as_path = AsPath::from_sequence([1299, 100_000 + i]);
+            attrs.next_hop = Ipv4Addr::new(10, 0, 2, 1);
+            let prefix = dice_bgp::Ipv4Prefix::new((20 << 24) | (i << 8), 24).expect("valid");
+            router.handle_update(peer, &UpdateMessage::announce(vec![prefix], &attrs));
+        }
+        router
+    }
+
+    #[test]
+    fn serialization_is_deterministic() {
+        let router = provider_with_routes(100);
+        let a = CheckpointedRouter(router.clone()).state_bytes();
+        let b = CheckpointedRouter(router).state_bytes();
+        assert_eq!(a, b);
+        assert!(a.len() > 100 * 20, "each route contributes to the image");
+    }
+
+    #[test]
+    fn checkpoint_shares_pages_until_live_router_changes() {
+        let router = provider_with_routes(2_000);
+        let mut manager = CheckpointManager::new(CheckpointedRouter(router));
+        let checkpoint = manager.take_checkpoint();
+        assert_eq!(checkpoint.memory_stats_vs(manager.live()).unique_pages, 0);
+
+        // The live router keeps processing a handful of updates.
+        let peer = manager.live().state().router().peer_by_address(addr::INTERNET).expect("peer");
+        for i in 0..20u32 {
+            let mut attrs = RouteAttrs::default();
+            attrs.as_path = AsPath::from_sequence([1299, 150_000 + i]);
+            attrs.next_hop = Ipv4Addr::new(10, 0, 2, 1);
+            let prefix = dice_bgp::Ipv4Prefix::new((30 << 24) | (i << 8), 24).expect("valid");
+            manager
+                .live_mut()
+                .state_mut()
+                .router_mut()
+                .handle_update(peer, &UpdateMessage::announce(vec![prefix], &attrs));
+        }
+        manager.live_mut().sync();
+        let stats = checkpoint.memory_stats_vs(manager.live());
+        assert!(stats.unique_pages > 0);
+        assert!(
+            stats.unique_fraction() < 0.5,
+            "a small update burst should leave most pages shared, got {}",
+            stats
+        );
+    }
+}

@@ -1,0 +1,246 @@
+//! The DiCE exploration orchestrator.
+//!
+//! One exploration round implements §2.3 end to end:
+//!
+//! 1. take a checkpoint of the live node (a fork — the live router object
+//!    is never touched again);
+//! 2. for each previously observed input (an UPDATE message), derive the
+//!    symbolic input template and run the concolic engine from the
+//!    checkpointed state, which records constraints, negates them one at a
+//!    time and re-executes generated inputs;
+//! 3. intercept every message the exploratory executions produce;
+//! 4. apply the fault checkers to every explored outcome against the
+//!    checkpointed routing table.
+
+use std::time::Instant;
+
+use dice_bgp::message::UpdateMessage;
+use dice_bgp::route::PeerId;
+use dice_router::BgpRouter;
+use dice_symexec::{ConcolicEngine, EngineConfig, InputValues};
+
+use crate::checker::{Fault, FaultChecker, OriginHijackChecker};
+use crate::handler::SymbolicUpdateHandler;
+use crate::isolation::LiveStateFingerprint;
+use crate::report::ExplorationReport;
+use crate::symbolic_input::UpdateTemplate;
+
+/// Configuration of a DiCE instance.
+#[derive(Debug, Clone)]
+pub struct DiceConfig {
+    /// Concolic engine configuration (path budget, strategy, solver).
+    pub engine: EngineConfig,
+    /// Maximum number of observed inputs explored per round.
+    pub max_observed_inputs: usize,
+    /// Anycast prefixes excluded from hijack reports.
+    pub anycast_whitelist: Vec<dice_bgp::Ipv4Prefix>,
+}
+
+impl Default for DiceConfig {
+    fn default() -> Self {
+        DiceConfig {
+            engine: EngineConfig { max_runs: 64, ..Default::default() },
+            max_observed_inputs: 16,
+            anycast_whitelist: Vec::new(),
+        }
+    }
+}
+
+/// The DiCE online-testing facility attached to one router.
+#[derive(Debug, Clone, Default)]
+pub struct Dice {
+    config: DiceConfig,
+}
+
+impl Dice {
+    /// Creates a DiCE instance with the default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a DiCE instance with the given configuration.
+    pub fn with_config(config: DiceConfig) -> Self {
+        Dice { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &DiceConfig {
+        &self.config
+    }
+
+    /// Runs one exploration round over the live router, seeding from the
+    /// given observed `(peer, update)` inputs.
+    ///
+    /// The live router is only read to take the checkpoint and to verify
+    /// isolation afterwards; all execution happens on clones.
+    pub fn run(&self, live: &BgpRouter, observed: &[(PeerId, UpdateMessage)]) -> ExplorationReport {
+        let started = Instant::now();
+        let fingerprint = LiveStateFingerprint::capture(live);
+        // Checkpoint: a fork of the live node's state.
+        let checkpoint = live.clone();
+        let checker = OriginHijackChecker::new().with_anycast_whitelist(self.config.anycast_whitelist.clone());
+
+        let mut report = ExplorationReport {
+            observed_inputs: observed.len().min(self.config.max_observed_inputs),
+            ..Default::default()
+        };
+        let mut coverage = dice_symexec::Coverage::new();
+
+        for (peer, update) in observed.iter().take(self.config.max_observed_inputs) {
+            let Some(template) = UpdateTemplate::from_update(update) else {
+                continue;
+            };
+            let seed: InputValues = template.seed();
+            let mut handler = SymbolicUpdateHandler::new(checkpoint.clone(), *peer, template);
+            let engine = ConcolicEngine::with_config(self.config.engine);
+            let exploration = engine.explore(&mut handler, &[seed]);
+
+            report.runs += exploration.stats.runs;
+            report.distinct_paths += exploration.distinct_paths();
+            report.generated_inputs += exploration.generated_inputs().len();
+            report.solver_stats.merge(&exploration.solver_stats);
+            coverage.merge(&exploration.coverage);
+            report.intercepted_messages += handler.interceptor().len();
+
+            for run in &exploration.runs {
+                if let Some(fault) = checker.check(&run.output, checkpoint.rib()) {
+                    if !report.faults.contains(&fault) {
+                        report.faults.push(fault);
+                    }
+                }
+            }
+        }
+
+        report.branch_sites = coverage.site_count();
+        report.complete_sites = coverage.complete_sites();
+        report.isolation_preserved = fingerprint.matches(live);
+        report.elapsed = started.elapsed();
+        report
+    }
+
+    /// Convenience wrapper: explore a single observed update.
+    pub fn run_single(&self, live: &BgpRouter, peer: PeerId, update: &UpdateMessage) -> ExplorationReport {
+        self.run(live, &[(peer, update.clone())])
+    }
+
+    /// Applies the configured checkers to one already-computed outcome
+    /// (exposed for tests and custom orchestration).
+    pub fn check_outcome(&self, outcome: &crate::handler::HandlerOutcome, rib: &dice_router::Rib) -> Option<Fault> {
+        OriginHijackChecker::new()
+            .with_anycast_whitelist(self.config.anycast_whitelist.clone())
+            .check(outcome, rib)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dice_bgp::attributes::RouteAttrs;
+    use dice_bgp::AsPath;
+    use dice_netsim::topology::{addr, asn, figure2_topology, CustomerFilterMode};
+    use std::net::Ipv4Addr;
+
+    /// Builds the Provider router with the victim /22 installed from the
+    /// Internet peer, then returns it plus the customer's observed update.
+    fn scenario(mode: CustomerFilterMode) -> (BgpRouter, PeerId, UpdateMessage) {
+        let topo = figure2_topology(mode);
+        let spec = &topo.nodes()[topo.node_by_name("Provider").expect("node").0];
+        let mut router = BgpRouter::new(spec.config.clone());
+        router.start();
+
+        // The rest of the Internet announces YouTube's /22 (origin 36561).
+        let internet = router.peer_by_address(addr::INTERNET).expect("peer");
+        let mut attrs = RouteAttrs::default();
+        attrs.as_path = AsPath::from_sequence([asn::INTERNET, 3356, asn::VICTIM]);
+        attrs.next_hop = Ipv4Addr::new(10, 0, 2, 1);
+        router.handle_update(
+            internet,
+            &UpdateMessage::announce(vec!["208.65.152.0/22".parse().expect("valid")], &attrs),
+        );
+
+        // The customer's routine announcement of its own block — the
+        // observed input DiCE derives exploratory messages from.
+        let customer = router.peer_by_address(addr::CUSTOMER).expect("peer");
+        let mut cattrs = RouteAttrs::default();
+        cattrs.as_path = AsPath::from_sequence([asn::CUSTOMER, asn::CUSTOMER]);
+        cattrs.next_hop = Ipv4Addr::new(10, 0, 1, 1);
+        let observed = UpdateMessage::announce(vec!["41.1.0.0/16".parse().expect("valid")], &cattrs);
+        (router, customer, observed)
+    }
+
+    #[test]
+    fn detects_route_leak_with_erroneous_filter() {
+        let (router, customer, observed) = scenario(CustomerFilterMode::Erroneous);
+        let dice = Dice::new();
+        let report = dice.run_single(&router, customer, &observed);
+        assert!(report.has_faults(), "erroneous filter must be flagged:\n{report}");
+        assert!(report.generated_inputs > 0, "faults come from generated exploratory inputs");
+        assert!(report.isolation_preserved);
+        // The leaked range covers the victim prefix space.
+        assert!(report
+            .leaked_prefixes()
+            .iter()
+            .any(|p| p.overlaps(&"208.65.152.0/22".parse().expect("valid"))));
+    }
+
+    #[test]
+    fn missing_filter_gives_no_configuration_branches() {
+        // With no import filter at all there is no policy code for this
+        // input to exercise: exploration runs the observed input once and
+        // finds nothing to negate. Detection of the "fails to filter" case
+        // therefore needs at least a partially correct filter, which is the
+        // configuration the paper's §4.2 experiment uses.
+        let (router, customer, observed) = scenario(CustomerFilterMode::Missing);
+        let dice = Dice::new();
+        let report = dice.run_single(&router, customer, &observed);
+        assert_eq!(report.runs, 1, "only the seed execution");
+        assert_eq!(report.branch_sites, 0);
+        assert!(!report.has_faults());
+        assert!(report.isolation_preserved);
+    }
+
+    #[test]
+    fn correct_filter_produces_no_hijack_faults() {
+        let (router, customer, observed) = scenario(CustomerFilterMode::Correct);
+        let dice = Dice::new();
+        let report = dice.run_single(&router, customer, &observed);
+        assert!(
+            !report.has_faults(),
+            "correct origin-pinning filter must not be flagged:\n{report}"
+        );
+        assert!(report.branch_sites > 0, "the filter's branches were explored");
+        assert!(report.isolation_preserved);
+    }
+
+    #[test]
+    fn exploration_does_not_touch_live_state() {
+        let (router, customer, observed) = scenario(CustomerFilterMode::Missing);
+        let before_prefixes = router.rib().prefix_count();
+        let before_updates = router.stats().updates_processed;
+        let report = Dice::new().run_single(&router, customer, &observed);
+        assert_eq!(router.rib().prefix_count(), before_prefixes);
+        assert_eq!(router.stats().updates_processed, before_updates);
+        assert!(report.isolation_preserved);
+        assert!(report.intercepted_messages > 0, "exploratory messages were intercepted");
+    }
+
+    #[test]
+    fn anycast_whitelist_suppresses_reports() {
+        let (router, customer, observed) = scenario(CustomerFilterMode::Missing);
+        let dice = Dice::with_config(DiceConfig {
+            anycast_whitelist: vec!["0.0.0.0/0".parse().expect("valid")],
+            ..Default::default()
+        });
+        let report = dice.run_single(&router, customer, &observed);
+        assert!(!report.has_faults(), "whitelisting everything suppresses all reports");
+    }
+
+    #[test]
+    fn pure_withdrawals_are_skipped() {
+        let (router, customer, _) = scenario(CustomerFilterMode::Missing);
+        let withdrawal = UpdateMessage::withdraw(vec!["41.1.0.0/16".parse().expect("valid")]);
+        let report = Dice::new().run_single(&router, customer, &withdrawal);
+        assert_eq!(report.runs, 0);
+        assert!(!report.has_faults());
+    }
+}

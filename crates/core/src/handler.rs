@@ -1,0 +1,199 @@
+//! The symbolic UPDATE handler: the program DiCE explores.
+//!
+//! Each execution processes one (generated) UPDATE over a clone of the node
+//! checkpoint: the import filter of the originating peer is interpreted
+//! over symbolic route fields (recording constraints), the acceptance
+//! decision is taken, and any messages the node would emit are intercepted
+//! rather than sent (§2.3: "DiCE intercepts the messages generated during
+//! exploration").
+
+use dice_bgp::prefix::Ipv4Prefix;
+use dice_bgp::route::PeerId;
+use dice_router::policy::eval_filter;
+use dice_router::{BgpRouter, FilterOutcome, FilterVerdict};
+use dice_symexec::{ExecCtx, InputValues, SymbolicProgram};
+
+use crate::isolation::MessageInterceptor;
+use crate::symbolic_input::UpdateTemplate;
+
+/// The application-level outcome of one exploratory execution.
+#[derive(Debug, Clone)]
+pub struct HandlerOutcome {
+    /// The prefix announced by the exploratory message.
+    pub prefix: Ipv4Prefix,
+    /// The origin AS carried by the exploratory message.
+    pub origin_as: u32,
+    /// Whether the import policy accepted the route.
+    pub accepted: bool,
+    /// The filter outcome (attribute modifications requested).
+    pub filter: FilterOutcome,
+    /// Number of messages the node would have emitted (all intercepted).
+    pub intercepted_messages: usize,
+}
+
+/// The symbolic UPDATE handler explored by the concolic engine.
+#[derive(Debug)]
+pub struct SymbolicUpdateHandler {
+    checkpoint: BgpRouter,
+    peer: PeerId,
+    template: UpdateTemplate,
+    interceptor: MessageInterceptor,
+}
+
+impl SymbolicUpdateHandler {
+    /// Creates a handler over a checkpoint clone of the router, exploring
+    /// inputs derived from an update observed from `peer`.
+    pub fn new(checkpoint: BgpRouter, peer: PeerId, template: UpdateTemplate) -> Self {
+        SymbolicUpdateHandler { checkpoint, peer, template, interceptor: MessageInterceptor::new() }
+    }
+
+    /// The checkpoint the handler executes over.
+    pub fn checkpoint(&self) -> &BgpRouter {
+        &self.checkpoint
+    }
+
+    /// The input template.
+    pub fn template(&self) -> &UpdateTemplate {
+        &self.template
+    }
+
+    /// The messages intercepted across all executions so far.
+    pub fn interceptor(&self) -> &MessageInterceptor {
+        &self.interceptor
+    }
+
+    /// Consumes the handler, returning its interceptor.
+    pub fn into_interceptor(self) -> MessageInterceptor {
+        self.interceptor
+    }
+}
+
+impl SymbolicProgram for SymbolicUpdateHandler {
+    type Output = HandlerOutcome;
+
+    fn run(&mut self, ctx: &mut ExecCtx, input: &InputValues) -> HandlerOutcome {
+        // Materialize the concrete message described by this input and the
+        // symbolic view the filter interpreter sees.
+        let (prefix, attrs) = self.template.materialize(input);
+        let view = self.template.symbolic_view(ctx, input);
+
+        // Run the peer's import policy over the symbolic view. A peer
+        // without an import filter accepts everything; a reference to a
+        // missing filter fails closed, mirroring the live router.
+        let filter_outcome = match self
+            .checkpoint
+            .peer(self.peer)
+            .and_then(|p| p.import_filter.clone())
+        {
+            None => FilterOutcome {
+                verdict: FilterVerdict::Accept,
+                local_pref: None,
+                med: None,
+                prepend: 0,
+                added_communities: Vec::new(),
+            },
+            Some(name) => match self.checkpoint.config().filter(&name) {
+                Some(filter) => eval_filter(filter, &view, ctx),
+                None => FilterOutcome {
+                    verdict: FilterVerdict::Reject,
+                    local_pref: None,
+                    med: None,
+                    prepend: 0,
+                    added_communities: Vec::new(),
+                },
+            },
+        };
+        let accepted = filter_outcome.is_accept();
+
+        // If accepted, the node would re-advertise to its other established
+        // peers; those exploratory messages are intercepted, never sent.
+        let mut intercepted = 0;
+        if accepted {
+            let exploratory = dice_bgp::message::UpdateMessage::announce(vec![prefix], &attrs);
+            for p in self.checkpoint.peers() {
+                if p.id != self.peer && p.is_established() {
+                    self.interceptor.capture(p.id, exploratory.clone());
+                    intercepted += 1;
+                }
+            }
+        }
+
+        HandlerOutcome {
+            prefix,
+            origin_as: attrs.origin_as().map(|a| a.value()).unwrap_or(0),
+            accepted,
+            filter: filter_outcome,
+            intercepted_messages: intercepted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dice_bgp::attributes::RouteAttrs;
+    use dice_bgp::message::UpdateMessage;
+    use dice_bgp::AsPath;
+    use dice_netsim::topology::{addr, figure2_topology, CustomerFilterMode};
+    use dice_symexec::{ConcolicEngine, EngineConfig};
+    use std::net::Ipv4Addr;
+
+    fn provider(mode: CustomerFilterMode) -> BgpRouter {
+        let topo = figure2_topology(mode);
+        let provider = topo.node_by_name("Provider").expect("node");
+        let mut r = BgpRouter::new(topo.nodes()[provider.0].config.clone());
+        r.start();
+        r
+    }
+
+    fn observed_update() -> UpdateMessage {
+        let mut attrs = RouteAttrs::default();
+        attrs.as_path = AsPath::from_sequence([17557, 17557]);
+        attrs.next_hop = Ipv4Addr::new(10, 0, 1, 1);
+        UpdateMessage::announce(vec!["41.1.0.0/16".parse().expect("valid")], &attrs)
+    }
+
+    #[test]
+    fn handler_runs_and_intercepts_messages() {
+        let router = provider(CustomerFilterMode::Missing);
+        let peer = router.peer_by_address(addr::CUSTOMER).expect("peer");
+        let template = UpdateTemplate::from_update(&observed_update()).expect("template");
+        let mut handler = SymbolicUpdateHandler::new(router, peer, template);
+        let mut ctx = ExecCtx::new();
+        let seed = handler.template().seed();
+        let outcome = handler.run(&mut ctx, &seed);
+        assert!(outcome.accepted, "missing filter accepts everything");
+        // The message toward the transit peer was intercepted, not sent.
+        assert_eq!(outcome.intercepted_messages, 1);
+        assert_eq!(handler.interceptor().len(), 1);
+    }
+
+    #[test]
+    fn correct_filter_records_branches_and_rejects_foreign_origin() {
+        let router = provider(CustomerFilterMode::Correct);
+        let peer = router.peer_by_address(addr::CUSTOMER).expect("peer");
+        let template = UpdateTemplate::from_update(&observed_update()).expect("template");
+        let mut handler = SymbolicUpdateHandler::new(router, peer, template);
+        let mut ctx = ExecCtx::new();
+        let seed = handler.template().seed();
+        let outcome = handler.run(&mut ctx, &seed);
+        // Observed announcement: 41.1.0.0/16 with origin 17557 → accepted.
+        assert!(outcome.accepted);
+        assert!(!ctx.branches().is_empty(), "filter branches were recorded");
+    }
+
+    #[test]
+    fn exploration_discovers_both_filter_outcomes() {
+        let router = provider(CustomerFilterMode::Correct);
+        let peer = router.peer_by_address(addr::CUSTOMER).expect("peer");
+        let template = UpdateTemplate::from_update(&observed_update()).expect("template");
+        let seed = template.seed();
+        let mut handler = SymbolicUpdateHandler::new(router, peer, template);
+        let engine = ConcolicEngine::with_config(EngineConfig { max_runs: 32, ..Default::default() });
+        let exploration = engine.explore(&mut handler, &[seed]);
+        let accepted = exploration.outputs().filter(|o| o.accepted).count();
+        let rejected = exploration.outputs().filter(|o| !o.accepted).count();
+        assert!(accepted > 0, "some explored inputs pass the filter");
+        assert!(rejected > 0, "some explored inputs are rejected");
+    }
+}

@@ -1,0 +1,81 @@
+//! # dice-core
+//!
+//! DiCE: online testing of federated and heterogeneous distributed systems
+//! (Canini et al., USENIX ATC 2011), reproduced in Rust.
+//!
+//! DiCE continuously and automatically explores system behaviour to check
+//! whether the system deviates from its desired behaviour. It does so by
+//!
+//! * taking a cheap, fork-style **checkpoint** of the live node
+//!   ([`CheckpointedRouter`], `dice-checkpoint`),
+//! * deriving **symbolic inputs** from previously observed UPDATE messages
+//!   ([`UpdateTemplate`]) — only selected fields are symbolic, so generated
+//!   messages are always syntactically valid,
+//! * running the node's message handler under a **concolic engine**
+//!   ([`SymbolicUpdateHandler`], `dice-symexec`) that records branch
+//!   constraints — from code and from interpreted configuration — negates
+//!   them one at a time and solves for inputs that take the other side,
+//! * keeping exploration **isolated** from the deployed system
+//!   ([`MessageInterceptor`], [`LiveStateFingerprint`]), and
+//! * applying **fault checkers** to every explored state; the showcase
+//!   checker flags origin misconfiguration / route leaks
+//!   ([`OriginHijackChecker`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use dice_core::{Dice, CustomerFilterMode};
+//! use dice_bgp::attributes::RouteAttrs;
+//! use dice_bgp::message::UpdateMessage;
+//! use dice_bgp::AsPath;
+//! use dice_netsim::topology::{addr, figure2_topology};
+//! use dice_router::BgpRouter;
+//!
+//! // The Provider router of Figure 2, with partially correct (erroneous)
+//! // customer route filtering.
+//! let topo = figure2_topology(CustomerFilterMode::Erroneous);
+//! let spec = &topo.nodes()[topo.node_by_name("Provider").unwrap().0];
+//! let mut router = BgpRouter::new(spec.config.clone());
+//! router.start();
+//!
+//! // An installed route for the victim prefix, learned from the Internet.
+//! let internet = router.peer_by_address(addr::INTERNET).unwrap();
+//! let mut attrs = RouteAttrs::default();
+//! attrs.as_path = AsPath::from_sequence([1299, 3356, 36561]);
+//! router.handle_update(internet, &UpdateMessage::announce(
+//!     vec!["208.65.152.0/22".parse().unwrap()], &attrs));
+//!
+//! // DiCE explores inputs derived from a routine customer announcement and
+//! // flags the potential hijack enabled by the missing filter.
+//! let customer = router.peer_by_address(addr::CUSTOMER).unwrap();
+//! let mut cattrs = RouteAttrs::default();
+//! cattrs.as_path = AsPath::from_sequence([17557, 17557]);
+//! let observed = UpdateMessage::announce(vec!["41.1.0.0/16".parse().unwrap()], &cattrs);
+//! let report = Dice::new().run_single(&router, customer, &observed);
+//! assert!(report.has_faults());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checker;
+pub mod checkpointable;
+pub mod explorer;
+pub mod handler;
+pub mod isolation;
+pub mod report;
+pub mod scheduler;
+pub mod symbolic_input;
+
+pub use checker::{Fault, FaultChecker, OriginHijackChecker};
+pub use checkpointable::CheckpointedRouter;
+pub use explorer::{Dice, DiceConfig};
+pub use handler::{HandlerOutcome, SymbolicUpdateHandler};
+pub use isolation::{LiveStateFingerprint, MessageInterceptor};
+pub use report::ExplorationReport;
+pub use scheduler::{ScheduleResult, SharedCoreScheduler};
+pub use symbolic_input::{fields, UpdateTemplate};
+
+// Re-exported so examples and benches can select the misconfiguration mode
+// without importing dice-netsim directly.
+pub use dice_netsim::CustomerFilterMode;

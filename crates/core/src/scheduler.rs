@@ -1,0 +1,155 @@
+//! Off-the-critical-path scheduling of exploration work.
+//!
+//! In the paper's setup "the BIRD processes are configured to run on
+//! separate CPU cores, with the explorer having to share the single CPU
+//! core with its checkpoints" (§4.1); the measured quantity is how many
+//! updates per second the live router still manages while exploration runs
+//! on that shared core. [`SharedCoreScheduler`] reproduces the arrangement
+//! on one thread: live update processing is interleaved with bounded slices
+//! of exploration work, and the achieved updates/second is reported for the
+//! with- and without-exploration configurations.
+
+use std::time::Instant;
+
+use dice_bgp::message::UpdateMessage;
+use dice_bgp::route::PeerId;
+use dice_netsim::ThroughputMeter;
+use dice_router::BgpRouter;
+
+/// Result of one interleaved processing run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ScheduleResult {
+    /// Live UPDATE messages processed.
+    pub updates_processed: u64,
+    /// Exploration work slices executed.
+    pub exploration_slices: u64,
+    /// Achieved live throughput in updates/second (wall clock, including
+    /// the time stolen by exploration — this is the paper's metric).
+    pub updates_per_second: f64,
+}
+
+/// Interleaves live update processing with exploration work on one core.
+#[derive(Debug, Clone, Copy)]
+pub struct SharedCoreScheduler {
+    /// Run one exploration slice after this many live updates
+    /// (0 disables exploration entirely — the baseline configuration).
+    pub explore_every: usize,
+}
+
+impl Default for SharedCoreScheduler {
+    fn default() -> Self {
+        SharedCoreScheduler { explore_every: 8 }
+    }
+}
+
+impl SharedCoreScheduler {
+    /// A scheduler that never runs exploration (baseline).
+    pub fn baseline() -> Self {
+        SharedCoreScheduler { explore_every: 0 }
+    }
+
+    /// Processes `updates` from `peer` on `router`, running one slice of
+    /// `exploration_work` after every `explore_every` updates.
+    pub fn run<F>(
+        &self,
+        router: &mut BgpRouter,
+        peer: PeerId,
+        updates: &[UpdateMessage],
+        mut exploration_work: F,
+    ) -> ScheduleResult
+    where
+        F: FnMut(),
+    {
+        let mut meter = ThroughputMeter::new();
+        let started = Instant::now();
+        let mut slices = 0u64;
+        for (i, update) in updates.iter().enumerate() {
+            router.handle_update(peer, update);
+            if self.explore_every != 0 && (i + 1) % self.explore_every == 0 {
+                exploration_work();
+                slices += 1;
+            }
+        }
+        meter.record(updates.len() as u64, started.elapsed());
+        ScheduleResult {
+            updates_processed: updates.len() as u64,
+            exploration_slices: slices,
+            updates_per_second: meter.updates_per_second(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dice_bgp::attributes::RouteAttrs;
+    use dice_bgp::AsPath;
+    use dice_netsim::topology::{addr, figure2_topology, CustomerFilterMode};
+    use std::net::Ipv4Addr;
+
+    fn provider() -> (BgpRouter, PeerId) {
+        let topo = figure2_topology(CustomerFilterMode::Correct);
+        let spec = &topo.nodes()[topo.node_by_name("Provider").expect("node").0];
+        let mut router = BgpRouter::new(spec.config.clone());
+        router.start();
+        let peer = router.peer_by_address(addr::INTERNET).expect("peer");
+        (router, peer)
+    }
+
+    fn updates(n: u32) -> Vec<UpdateMessage> {
+        (0..n)
+            .map(|i| {
+                let mut attrs = RouteAttrs::default();
+                attrs.as_path = AsPath::from_sequence([1299, 100_000 + i]);
+                attrs.next_hop = Ipv4Addr::new(10, 0, 2, 1);
+                let prefix = dice_bgp::Ipv4Prefix::new((50 << 24) | (i << 8), 24).expect("valid");
+                UpdateMessage::announce(vec![prefix], &attrs)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn baseline_runs_no_exploration_slices() {
+        let (mut router, peer) = provider();
+        let msgs = updates(100);
+        let result = SharedCoreScheduler::baseline().run(&mut router, peer, &msgs, || {});
+        assert_eq!(result.updates_processed, 100);
+        assert_eq!(result.exploration_slices, 0);
+        assert!(result.updates_per_second > 0.0);
+        assert_eq!(router.stats().updates_processed, 100);
+    }
+
+    #[test]
+    fn exploration_slices_are_interleaved() {
+        let (mut router, peer) = provider();
+        let msgs = updates(64);
+        let mut work = 0u64;
+        let result = SharedCoreScheduler { explore_every: 8 }.run(&mut router, peer, &msgs, || work += 1);
+        assert_eq!(result.exploration_slices, 8);
+        assert_eq!(work, 8);
+        assert_eq!(result.updates_processed, 64);
+    }
+
+    #[test]
+    fn exploration_work_reduces_live_throughput() {
+        let (mut baseline_router, peer) = provider();
+        let msgs = updates(400);
+        let baseline = SharedCoreScheduler::baseline().run(&mut baseline_router, peer, &msgs, || {});
+
+        let (mut loaded_router, peer2) = provider();
+        // Each exploration slice burns CPU, standing in for a concolic run.
+        let loaded = SharedCoreScheduler { explore_every: 4 }.run(&mut loaded_router, peer2, &msgs, || {
+            let mut acc = 0u64;
+            for i in 0..20_000u64 {
+                acc = acc.wrapping_mul(31).wrapping_add(i);
+            }
+            std::hint::black_box(acc);
+        });
+        assert!(
+            loaded.updates_per_second < baseline.updates_per_second,
+            "sharing the core with exploration must cost throughput ({} vs {})",
+            loaded.updates_per_second,
+            baseline.updates_per_second
+        );
+    }
+}

@@ -1,0 +1,232 @@
+//! Deriving symbolic inputs from observed UPDATE messages.
+//!
+//! The paper marks *selected, small-sized fields* of observed UPDATE
+//! messages as symbolic — the NLRI prefix and netmask length plus path
+//! attribute values — rather than whole messages, so that every generated
+//! exploratory message is syntactically valid and exploration goes deep
+//! into route processing instead of the parser (§3.2). [`UpdateTemplate`]
+//! implements exactly that: it captures the observed message, exposes the
+//! symbolic fields as an input assignment, and rebuilds a valid UPDATE from
+//! any assignment the solver produces.
+
+use dice_bgp::attributes::{Origin, RouteAttrs};
+use dice_bgp::message::UpdateMessage;
+use dice_bgp::prefix::Ipv4Prefix;
+use dice_bgp::{AsPath, Asn};
+use dice_router::policy::RouteView;
+use dice_symexec::{Concolic, ExecCtx, InputSpec, InputValues};
+
+/// Names of the symbolic input fields.
+pub mod fields {
+    /// Network address of the announced NLRI prefix (32 bits).
+    pub const NLRI_ADDR: &str = "nlri.addr";
+    /// Netmask length of the announced NLRI prefix (8 bits).
+    pub const NLRI_LEN: &str = "nlri.len";
+    /// ORIGIN attribute code (8 bits).
+    pub const ORIGIN: &str = "attr.origin";
+    /// MULTI_EXIT_DISC (32 bits).
+    pub const MED: &str = "attr.med";
+    /// LOCAL_PREF (32 bits).
+    pub const LOCAL_PREF: &str = "attr.local_pref";
+    /// Origin AS — the last AS on the path (32 bits).
+    pub const SOURCE_AS: &str = "attr.source_as";
+}
+
+/// A template derived from one observed UPDATE message.
+#[derive(Debug, Clone)]
+pub struct UpdateTemplate {
+    observed_prefix: Ipv4Prefix,
+    observed_attrs: RouteAttrs,
+}
+
+impl UpdateTemplate {
+    /// Builds a template from an observed announcement. Returns `None` for
+    /// messages that announce nothing (pure withdrawals), which the paper
+    /// leaves to future work.
+    pub fn from_update(update: &UpdateMessage) -> Option<Self> {
+        let prefix = *update.nlri.first()?;
+        Some(UpdateTemplate { observed_prefix: prefix, observed_attrs: update.route_attrs() })
+    }
+
+    /// The prefix of the observed announcement.
+    pub fn observed_prefix(&self) -> Ipv4Prefix {
+        self.observed_prefix
+    }
+
+    /// The attributes of the observed announcement.
+    pub fn observed_attrs(&self) -> &RouteAttrs {
+        &self.observed_attrs
+    }
+
+    /// The declared symbolic input fields with their observed values as
+    /// defaults.
+    pub fn input_spec(&self) -> InputSpec {
+        let a = &self.observed_attrs;
+        InputSpec::new()
+            .field(fields::NLRI_ADDR, 32, self.observed_prefix.addr() as u64)
+            .field(fields::NLRI_LEN, 8, self.observed_prefix.len() as u64)
+            .field(fields::ORIGIN, 8, a.origin.code() as u64)
+            .field(fields::MED, 32, a.effective_med() as u64)
+            .field(fields::LOCAL_PREF, 32, a.effective_local_pref() as u64)
+            .field(fields::SOURCE_AS, 32, a.origin_as().map(|x| x.value()).unwrap_or(0) as u64)
+    }
+
+    /// The seed input: the values observed on the wire.
+    pub fn seed(&self) -> InputValues {
+        self.input_spec().defaults()
+    }
+
+    /// Reconstructs a *syntactically valid* UPDATE message from an input
+    /// assignment: the prefix length is clamped to 32, host bits beyond the
+    /// length are masked off, and the origin code is folded into the three
+    /// defined values.
+    pub fn build_update(&self, values: &InputValues) -> UpdateMessage {
+        let (prefix, attrs) = self.materialize(values);
+        UpdateMessage::announce(vec![prefix], &attrs)
+    }
+
+    /// Returns the concrete prefix and attributes described by an input
+    /// assignment.
+    pub fn materialize(&self, values: &InputValues) -> (Ipv4Prefix, RouteAttrs) {
+        let len = values.get_or(fields::NLRI_LEN, self.observed_prefix.len() as u64).min(32) as u8;
+        let addr = values.get_or(fields::NLRI_ADDR, self.observed_prefix.addr() as u64) as u32;
+        let prefix = Ipv4Prefix::new(addr, len).expect("length clamped to 32");
+        let mut attrs = self.observed_attrs.clone();
+        attrs.origin = Origin::from_code((values.get_or(fields::ORIGIN, 0) % 3) as u8)
+            .expect("code folded into 0..=2");
+        attrs.med = Some(values.get_or(fields::MED, 0) as u32);
+        attrs.local_pref = Some(values.get_or(fields::LOCAL_PREF, 100) as u32);
+        let source_as = values.get_or(
+            fields::SOURCE_AS,
+            self.observed_attrs.origin_as().map(|x| x.value()).unwrap_or(0) as u64,
+        ) as u32;
+        attrs.as_path = replace_origin_as(&self.observed_attrs.as_path, Asn(source_as));
+        (prefix, attrs)
+    }
+
+    /// Builds the symbolic [`RouteView`] the filter interpreter evaluates:
+    /// the selected fields are registered as symbolic variables in `ctx`
+    /// with the assignment's concrete values; everything else stays
+    /// concrete from the observed message.
+    pub fn symbolic_view(&self, ctx: &mut ExecCtx, values: &InputValues) -> RouteView {
+        let spec = self.input_spec();
+        let get = |name: &str| values.get_or(name, spec.get(name).map(|f| f.default).unwrap_or(0));
+        let a = &self.observed_attrs;
+        RouteView {
+            prefix_addr: ctx.symbolic_u32(fields::NLRI_ADDR, get(fields::NLRI_ADDR) as u32),
+            prefix_len: ctx.symbolic_u8(fields::NLRI_LEN, get(fields::NLRI_LEN).min(32) as u8),
+            source_as: ctx.symbolic_u32(fields::SOURCE_AS, get(fields::SOURCE_AS) as u32),
+            neighbor_as: Concolic::concrete(a.as_path.neighbor_as().map(|x| x.value()).unwrap_or(0)),
+            path_len: Concolic::concrete(a.as_path.length() as u32),
+            med: ctx.symbolic_u32(fields::MED, get(fields::MED) as u32),
+            local_pref: ctx.symbolic_u32(fields::LOCAL_PREF, get(fields::LOCAL_PREF) as u32),
+            origin_code: ctx.symbolic_u8(fields::ORIGIN, (get(fields::ORIGIN) % 3) as u8),
+            communities: a.communities.iter().map(|c| (c.asn_part(), c.value_part())).collect(),
+        }
+    }
+}
+
+/// Returns a copy of `path` whose origin AS (last ASN of the last sequence
+/// segment) is replaced with `origin`. Empty paths become a one-hop path.
+fn replace_origin_as(path: &AsPath, origin: Asn) -> AsPath {
+    let mut asns: Vec<u32> = path.flatten().iter().map(|a| a.value()).collect();
+    match asns.last_mut() {
+        Some(last) => *last = origin.value(),
+        None => asns.push(origin.value()),
+    }
+    AsPath::from_sequence(asns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn observed() -> UpdateMessage {
+        let mut attrs = RouteAttrs::default();
+        attrs.as_path = AsPath::from_sequence([17557, 36561]);
+        attrs.next_hop = Ipv4Addr::new(10, 0, 1, 1);
+        attrs.med = Some(5);
+        UpdateMessage::announce(vec!["208.65.152.0/22".parse().expect("valid")], &attrs)
+    }
+
+    #[test]
+    fn template_captures_observed_values() {
+        let template = UpdateTemplate::from_update(&observed()).expect("has NLRI");
+        let seed = template.seed();
+        assert_eq!(seed.get(fields::NLRI_LEN), Some(22));
+        assert_eq!(seed.get(fields::SOURCE_AS), Some(36561));
+        assert_eq!(seed.get(fields::MED), Some(5));
+        assert_eq!(template.input_spec().len(), 6);
+        assert!(UpdateTemplate::from_update(&UpdateMessage::withdraw(vec![])).is_none());
+    }
+
+    #[test]
+    fn rebuilt_update_from_seed_matches_observed_prefix() {
+        let template = UpdateTemplate::from_update(&observed()).expect("has NLRI");
+        let rebuilt = template.build_update(&template.seed());
+        assert_eq!(rebuilt.nlri, vec!["208.65.152.0/22".parse().expect("valid")]);
+        let attrs = rebuilt.route_attrs();
+        assert_eq!(attrs.origin_as().map(|a| a.value()), Some(36561));
+        assert_eq!(attrs.med, Some(5));
+    }
+
+    #[test]
+    fn generated_updates_are_always_syntactically_valid() {
+        let template = UpdateTemplate::from_update(&observed()).expect("has NLRI");
+        // Hostile assignments: oversized length, unmasked host bits, origin
+        // code out of range.
+        let values = InputValues::new()
+            .with(fields::NLRI_ADDR, 0xd041_99ff)
+            .with(fields::NLRI_LEN, 250)
+            .with(fields::ORIGIN, 200)
+            .with(fields::SOURCE_AS, 17557);
+        let update = template.build_update(&values);
+        let prefix = update.nlri[0];
+        assert!(prefix.len() <= 32);
+        // Wire round-trip proves syntactic validity.
+        let bytes = dice_bgp::wire::encode(&dice_bgp::BgpMessage::Update(update.clone()));
+        let (decoded, _) = dice_bgp::wire::decode(&bytes).expect("valid on the wire");
+        assert_eq!(decoded.as_update(), Some(&update));
+        let attrs = update.route_attrs();
+        assert_eq!(attrs.origin_as().map(|a| a.value()), Some(17557));
+        assert!(attrs.origin.code() <= 2);
+    }
+
+    #[test]
+    fn symbolic_view_registers_symbolic_fields() {
+        let template = UpdateTemplate::from_update(&observed()).expect("has NLRI");
+        let mut ctx = ExecCtx::new();
+        let view = template.symbolic_view(&mut ctx, &template.seed());
+        assert!(view.prefix_addr.is_symbolic());
+        assert!(view.prefix_len.is_symbolic());
+        assert!(view.source_as.is_symbolic());
+        assert!(view.med.is_symbolic());
+        assert!(!view.neighbor_as.is_symbolic());
+        assert_eq!(view.prefix_len.value(), 22);
+        assert_eq!(ctx.var_map().len(), 6);
+    }
+
+    #[test]
+    fn materialize_uses_solver_assignment_over_observed() {
+        let template = UpdateTemplate::from_update(&observed()).expect("has NLRI");
+        let values = template
+            .seed()
+            .with(fields::NLRI_ADDR, u32::from_be_bytes([208, 65, 153, 0]) as u64)
+            .with(fields::NLRI_LEN, 24);
+        let (prefix, attrs) = template.materialize(&values);
+        assert_eq!(prefix.to_string(), "208.65.153.0/24");
+        // Unmentioned fields keep observed values.
+        assert_eq!(attrs.as_path.neighbor_as().map(|a| a.value()), Some(17557));
+    }
+
+    #[test]
+    fn replace_origin_handles_empty_paths() {
+        let empty = AsPath::empty();
+        let replaced = replace_origin_as(&empty, Asn(65001));
+        assert_eq!(replaced.origin_as(), Some(Asn(65001)));
+        let path = AsPath::from_sequence([1, 2, 3]);
+        let replaced = replace_origin_as(&path, Asn(9));
+        assert_eq!(replaced.flatten(), vec![Asn(1), Asn(2), Asn(9)]);
+    }
+}

@@ -1,0 +1,32 @@
+//! # dice-netsim
+//!
+//! A deterministic network simulator, synthetic RouteViews-like trace
+//! generator and replay harness for the DiCE evaluation.
+//!
+//! The paper's testbed runs three BIRD instances over virtual interfaces on
+//! a 48-core machine, loads a 319,355-prefix RouteViews dump and replays a
+//! 15-minute update trace (§4). This crate substitutes that setup with:
+//!
+//! * [`topology::figure2_topology`] — the Customer / Provider / Rest-of-
+//!   Internet topology of Figure 2, with selectable customer-filter
+//!   misconfiguration;
+//! * [`Simulator`] — step-driven message delivery between the routers;
+//! * [`trace::generate_trace`] — synthetic full-table and update traces
+//!   with realistic prefix-length and AS-path distributions;
+//! * [`Replayer`] and [`ThroughputMeter`] — the updates/second measurement
+//!   used by the CPU-overhead experiment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod replay;
+pub mod sim;
+pub mod topology;
+pub mod trace;
+
+pub use metrics::{slowdown_percent, MeasuredRegion, ThroughputMeter};
+pub use replay::{Replayer, ReplayStats};
+pub use sim::{SimStats, Simulator};
+pub use topology::{figure2_topology, CustomerFilterMode, NodeId, NodeSpec, Topology};
+pub use trace::{generate_trace, BgpTrace, TraceEvent, TraceGenConfig, PAPER_TABLE_SIZE, PAPER_TRACE_SECONDS};

@@ -1,0 +1,120 @@
+//! Throughput measurement: BGP updates handled per second.
+//!
+//! "We use the number of BGP update messages the DiCE-enabled router
+//! handles per second as a measure of how much the performance is affected
+//! while running exploration" (§4.1). The meter accumulates processed
+//! counts and elapsed time, either wall-clock or virtual.
+
+use std::time::{Duration, Instant};
+
+/// Accumulates a count of processed updates over measured time.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ThroughputMeter {
+    updates: u64,
+    elapsed: Duration,
+}
+
+impl ThroughputMeter {
+    /// Creates an empty meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `updates` processed over `elapsed`.
+    pub fn record(&mut self, updates: u64, elapsed: Duration) {
+        self.updates += updates;
+        self.elapsed += elapsed;
+    }
+
+    /// Total updates recorded.
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// Total time recorded.
+    pub fn elapsed(&self) -> Duration {
+        self.elapsed
+    }
+
+    /// Updates per second; 0 when no time has been recorded.
+    pub fn updates_per_second(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.updates as f64 / secs
+        }
+    }
+}
+
+/// A stopwatch that measures one region of work and feeds a meter.
+#[derive(Debug)]
+pub struct MeasuredRegion<'a> {
+    meter: &'a mut ThroughputMeter,
+    started: Instant,
+    updates: u64,
+}
+
+impl<'a> MeasuredRegion<'a> {
+    /// Starts measuring.
+    pub fn start(meter: &'a mut ThroughputMeter) -> Self {
+        MeasuredRegion { meter, started: Instant::now(), updates: 0 }
+    }
+
+    /// Counts processed updates inside the region.
+    pub fn add_updates(&mut self, n: u64) {
+        self.updates += n;
+    }
+
+    /// Stops measuring, committing to the meter.
+    pub fn finish(self) {
+        let elapsed = self.started.elapsed();
+        self.meter.record(self.updates, elapsed);
+    }
+}
+
+/// The relative slowdown between a baseline and a loaded measurement,
+/// reported as the percentage drop in updates/second (the paper reports an
+/// 8% impact under full load).
+pub fn slowdown_percent(baseline_ups: f64, loaded_ups: f64) -> f64 {
+    if baseline_ups <= 0.0 {
+        return 0.0;
+    }
+    ((baseline_ups - loaded_ups) / baseline_ups * 100.0).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn updates_per_second_arithmetic() {
+        let mut meter = ThroughputMeter::new();
+        assert_eq!(meter.updates_per_second(), 0.0);
+        meter.record(151, Duration::from_secs(10));
+        assert!((meter.updates_per_second() - 15.1).abs() < 1e-9);
+        meter.record(149, Duration::from_secs(10));
+        assert!((meter.updates_per_second() - 15.0).abs() < 1e-9);
+        assert_eq!(meter.updates(), 300);
+        assert_eq!(meter.elapsed(), Duration::from_secs(20));
+    }
+
+    #[test]
+    fn measured_region_commits_on_finish() {
+        let mut meter = ThroughputMeter::new();
+        let mut region = MeasuredRegion::start(&mut meter);
+        region.add_updates(42);
+        region.finish();
+        assert_eq!(meter.updates(), 42);
+        assert!(meter.elapsed() > Duration::ZERO);
+    }
+
+    #[test]
+    fn slowdown_matches_paper_example() {
+        // 15.1 updates/s without exploration, 13.9 with: ~8% impact.
+        let s = slowdown_percent(15.1, 13.9);
+        assert!((s - 7.947).abs() < 0.01);
+        assert_eq!(slowdown_percent(0.0, 10.0), 0.0);
+        assert_eq!(slowdown_percent(10.0, 12.0), 0.0);
+    }
+}

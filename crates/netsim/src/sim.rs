@@ -1,0 +1,304 @@
+//! A deterministic, step-driven simulator for a topology of BGP routers.
+//!
+//! The simulator plays the role of the paper's testbed (multiple BIRD
+//! instances wired over virtual interfaces): each node is a [`BgpRouter`],
+//! links are message queues with a configurable delay in ticks, and the
+//! run loop delivers messages in timestamp order until quiescence.
+
+use std::collections::VecDeque;
+
+use dice_bgp::message::BgpMessage;
+use dice_bgp::route::PeerId;
+use dice_router::BgpRouter;
+
+use crate::topology::{NodeId, Topology};
+
+/// A message in flight between two nodes.
+#[derive(Debug, Clone)]
+struct InFlight {
+    deliver_at: u64,
+    to_node: NodeId,
+    from_peer: PeerId,
+    message: BgpMessage,
+}
+
+/// Counters describing a simulation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Messages delivered to nodes.
+    pub delivered: u64,
+    /// Messages dropped because the receiving peer could not be resolved.
+    pub undeliverable: u64,
+    /// Current virtual time in ticks.
+    pub now: u64,
+}
+
+/// The simulator.
+pub struct Simulator {
+    routers: Vec<BgpRouter>,
+    names: Vec<String>,
+    link_delay: u64,
+    queue: VecDeque<InFlight>,
+    stats: SimStats,
+}
+
+impl Simulator {
+    /// Instantiates every node of the topology and establishes all
+    /// sessions. Link delay defaults to one tick.
+    pub fn new(topology: &Topology) -> Self {
+        let mut routers = Vec::new();
+        let mut names = Vec::new();
+        for node in topology.nodes() {
+            let mut r = BgpRouter::new(node.config.clone());
+            r.start();
+            routers.push(r);
+            names.push(node.name.clone());
+        }
+        Simulator { routers, names, link_delay: 1, queue: VecDeque::new(), stats: SimStats::default() }
+    }
+
+    /// Sets the link delay in ticks.
+    pub fn with_link_delay(mut self, ticks: u64) -> Self {
+        self.link_delay = ticks.max(1);
+        self
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.routers.len()
+    }
+
+    /// Returns true if the simulator has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.routers.is_empty()
+    }
+
+    /// Read access to a node's router.
+    pub fn router(&self, node: NodeId) -> &BgpRouter {
+        &self.routers[node.0]
+    }
+
+    /// Mutable access to a node's router.
+    pub fn router_mut(&mut self, node: NodeId) -> &mut BgpRouter {
+        &mut self.routers[node.0]
+    }
+
+    /// The node's name.
+    pub fn name(&self, node: NodeId) -> &str {
+        &self.names[node.0]
+    }
+
+    /// Simulation counters.
+    pub fn stats(&self) -> SimStats {
+        self.stats
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> u64 {
+        self.stats.now
+    }
+
+    /// Number of messages currently in flight.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Injects a message into `node` as if it arrived from the peer with
+    /// the given address, and queues any responses.
+    pub fn inject(&mut self, node: NodeId, from_address: std::net::Ipv4Addr, message: BgpMessage) {
+        let Some(peer) = self.routers[node.0].peer_by_address(from_address) else {
+            self.stats.undeliverable += 1;
+            return;
+        };
+        let out = self.routers[node.0].handle_message(peer, &message);
+        self.stats.delivered += 1;
+        self.enqueue_outgoing(node, out);
+    }
+
+    fn enqueue_outgoing(&mut self, from_node: NodeId, outgoing: Vec<(PeerId, BgpMessage)>) {
+        for (peer_id, message) in outgoing {
+            match self.resolve(from_node, peer_id) {
+                Some((to_node, from_peer)) => {
+                    self.queue.push_back(InFlight {
+                        deliver_at: self.stats.now + self.link_delay,
+                        to_node,
+                        from_peer,
+                        message,
+                    });
+                }
+                None => self.stats.undeliverable += 1,
+            }
+        }
+    }
+
+    /// Resolves "node A sends to its peer P" into "node B receives from its
+    /// peer Q": the peer's address identifies the destination router, and
+    /// the sender's router id identifies the receiving peer entry.
+    fn resolve(&self, from_node: NodeId, peer: PeerId) -> Option<(NodeId, PeerId)> {
+        let sender = &self.routers[from_node.0];
+        let peer_addr = sender.peer(peer)?.address;
+        let to_node = self
+            .routers
+            .iter()
+            .position(|r| r.router_id() == peer_addr)
+            .map(NodeId)?;
+        let from_peer = self.routers[to_node.0].peer_by_address(sender.router_id())?;
+        Some((to_node, from_peer))
+    }
+
+    /// Advances virtual time by one tick, delivering everything due.
+    /// Returns the number of messages delivered.
+    pub fn step(&mut self) -> usize {
+        self.stats.now += 1;
+        let now = self.stats.now;
+        let mut due = Vec::new();
+        let mut remaining = VecDeque::with_capacity(self.queue.len());
+        while let Some(m) = self.queue.pop_front() {
+            if m.deliver_at <= now {
+                due.push(m);
+            } else {
+                remaining.push_back(m);
+            }
+        }
+        self.queue = remaining;
+        let delivered = due.len();
+        for m in due {
+            let out = self.routers[m.to_node.0].handle_message(m.from_peer, &m.message);
+            self.stats.delivered += 1;
+            self.enqueue_outgoing(m.to_node, out);
+        }
+        delivered
+    }
+
+    /// Runs until no messages are in flight or `max_steps` is reached.
+    /// Returns the number of steps taken.
+    pub fn run_to_quiescence(&mut self, max_steps: u64) -> u64 {
+        let mut steps = 0;
+        while !self.queue.is_empty() && steps < max_steps {
+            self.step();
+            steps += 1;
+        }
+        steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{addr, asn, figure2_topology, CustomerFilterMode};
+    use dice_bgp::attributes::RouteAttrs;
+    use dice_bgp::message::UpdateMessage;
+    use dice_bgp::prefix::Ipv4Prefix;
+
+    fn announcement(prefix: &str, path: &[u32], next_hop: std::net::Ipv4Addr) -> BgpMessage {
+        let mut attrs = RouteAttrs::default();
+        attrs.as_path = dice_bgp::AsPath::from_sequence(path.iter().copied());
+        attrs.next_hop = next_hop;
+        BgpMessage::Update(UpdateMessage::announce(
+            vec![prefix.parse::<Ipv4Prefix>().expect("valid")],
+            &attrs,
+        ))
+    }
+
+    #[test]
+    fn announcement_propagates_across_figure2() {
+        let topo = figure2_topology(CustomerFilterMode::Correct);
+        let mut sim = Simulator::new(&topo);
+        let provider = topo.node_by_name("Provider").expect("node");
+        let customer = topo.node_by_name("Customer").expect("node");
+        let internet = topo.node_by_name("RestOfInternet").expect("node");
+
+        // The Internet announces a prefix to the Provider.
+        sim.inject(provider, addr::INTERNET, announcement("8.8.0.0/16", &[asn::INTERNET, 15169], addr::INTERNET));
+        sim.run_to_quiescence(100);
+
+        assert_eq!(sim.router(provider).rib().prefix_count(), 1);
+        // Propagated on to the customer (which also holds its own static).
+        let learned = sim
+            .router(customer)
+            .rib()
+            .best_route(&"8.8.0.0/16".parse().expect("valid"))
+            .expect("customer learned the route");
+        assert_eq!(learned.attrs.as_path.neighbor_as().map(|a| a.value()), Some(asn::PROVIDER));
+        assert!(sim.stats().delivered >= 2);
+        assert_eq!(sim.stats().undeliverable, 0);
+        assert_eq!(sim.name(internet), "RestOfInternet");
+        assert_eq!(sim.len(), 3);
+    }
+
+    #[test]
+    fn customer_leak_is_blocked_by_correct_filter() {
+        let topo = figure2_topology(CustomerFilterMode::Correct);
+        let mut sim = Simulator::new(&topo);
+        let provider = topo.node_by_name("Provider").expect("node");
+        let internet = topo.node_by_name("RestOfInternet").expect("node");
+
+        // The customer leaks YouTube's /24 (wrong origin, foreign block).
+        sim.inject(
+            provider,
+            addr::CUSTOMER,
+            announcement("208.65.153.0/24", &[asn::CUSTOMER], addr::CUSTOMER),
+        );
+        sim.run_to_quiescence(100);
+        assert_eq!(sim.router(provider).rib().prefix_count(), 0);
+        assert_eq!(sim.router(internet).rib().prefix_count(), 0);
+    }
+
+    #[test]
+    fn customer_leak_spreads_with_missing_filter() {
+        let topo = figure2_topology(CustomerFilterMode::Missing);
+        let mut sim = Simulator::new(&topo);
+        let provider = topo.node_by_name("Provider").expect("node");
+        let internet = topo.node_by_name("RestOfInternet").expect("node");
+
+        sim.inject(
+            provider,
+            addr::CUSTOMER,
+            announcement("208.65.153.0/24", &[asn::CUSTOMER], addr::CUSTOMER),
+        );
+        sim.run_to_quiescence(100);
+        // The hijack reaches the rest of the Internet — the incident.
+        assert_eq!(sim.router(provider).rib().prefix_count(), 1);
+        assert_eq!(sim.router(internet).rib().prefix_count(), 1);
+        let leaked = sim
+            .router(internet)
+            .rib()
+            .best_route(&"208.65.153.0/24".parse().expect("valid"))
+            .expect("leaked route");
+        assert_eq!(leaked.origin_as().map(|a| a.value()), Some(asn::CUSTOMER));
+    }
+
+    #[test]
+    fn link_delay_defers_delivery() {
+        let topo = figure2_topology(CustomerFilterMode::Correct);
+        let mut sim = Simulator::new(&topo).with_link_delay(5);
+        let provider = topo.node_by_name("Provider").expect("node");
+        let customer = topo.node_by_name("Customer").expect("node");
+        sim.inject(provider, addr::INTERNET, announcement("8.8.0.0/16", &[asn::INTERNET], addr::INTERNET));
+        assert_eq!(sim.pending(), 1);
+        for _ in 0..4 {
+            assert_eq!(sim.step(), 0);
+        }
+        assert_eq!(sim.step(), 1);
+        assert!(sim
+            .router(customer)
+            .rib()
+            .best_route(&"8.8.0.0/16".parse().expect("valid"))
+            .is_some());
+        assert_eq!(sim.now(), 5);
+    }
+
+    #[test]
+    fn unknown_source_address_is_counted() {
+        let topo = figure2_topology(CustomerFilterMode::Correct);
+        let mut sim = Simulator::new(&topo);
+        let provider = topo.node_by_name("Provider").expect("node");
+        sim.inject(
+            provider,
+            std::net::Ipv4Addr::new(192, 0, 2, 99),
+            announcement("8.8.0.0/16", &[asn::INTERNET], addr::INTERNET),
+        );
+        assert_eq!(sim.stats().undeliverable, 1);
+        assert_eq!(sim.stats().delivered, 0);
+    }
+}

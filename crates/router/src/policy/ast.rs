@@ -1,0 +1,252 @@
+//! Abstract syntax of the routing policy (filter) language.
+//!
+//! The language is a small BIRD-like filter language: named filters made of
+//! `if`/`accept`/`reject`/attribute-setting statements. Filters drive both
+//! import and export processing, and — critically for DiCE — their
+//! interpretation over symbolic route fields records constraints, so that
+//! the explored execution paths cover *configuration* behaviour as well as
+//! code behaviour (paper §3.2).
+
+use std::fmt;
+
+use dice_bgp::prefix::Ipv4Prefix;
+
+/// A named filter definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FilterDef {
+    /// Filter name, referenced from `neighbor { import filter <name>; }`.
+    pub name: String,
+    /// Statement list executed top to bottom.
+    pub body: Vec<Stmt>,
+}
+
+impl FilterDef {
+    /// A filter that accepts every route unchanged.
+    pub fn accept_all(name: impl Into<String>) -> Self {
+        FilterDef { name: name.into(), body: vec![Stmt::Accept] }
+    }
+
+    /// A filter that rejects every route.
+    pub fn reject_all(name: impl Into<String>) -> Self {
+        FilterDef { name: name.into(), body: vec![Stmt::Reject] }
+    }
+
+    /// Number of `if` statements (branch sites) in the filter.
+    pub fn branch_count(&self) -> usize {
+        fn count(stmts: &[Stmt]) -> usize {
+            stmts
+                .iter()
+                .map(|s| match s {
+                    Stmt::If { then_branch, else_branch, .. } => {
+                        1 + count(then_branch) + count(else_branch)
+                    }
+                    _ => 0,
+                })
+                .sum()
+        }
+        count(&self.body)
+    }
+}
+
+/// A filter statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// Conditional execution; `id` identifies the branch site.
+    If {
+        /// Branch-site identifier, unique within the filter.
+        id: u32,
+        /// The condition.
+        cond: Expr,
+        /// Statements executed when the condition holds.
+        then_branch: Vec<Stmt>,
+        /// Statements executed otherwise.
+        else_branch: Vec<Stmt>,
+    },
+    /// Accept the route (terminates the filter).
+    Accept,
+    /// Reject the route (terminates the filter).
+    Reject,
+    /// Set LOCAL_PREF.
+    SetLocalPref(u64),
+    /// Set MED.
+    SetMed(u64),
+    /// Prepend the local AS the given number of times on export.
+    Prepend(u64),
+    /// Attach a community.
+    AddCommunity(u16, u16),
+}
+
+/// Route fields that conditions may test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Field {
+    /// The origin AS of the route (last AS on the path).
+    SourceAs,
+    /// The neighboring AS (first AS on the path).
+    NeighborAs,
+    /// AS-path length.
+    PathLen,
+    /// MULTI_EXIT_DISC.
+    Med,
+    /// LOCAL_PREF.
+    LocalPref,
+    /// ORIGIN code (0 = IGP, 1 = EGP, 2 = incomplete).
+    OriginCode,
+    /// Prefix length of the announced network.
+    PrefixLen,
+}
+
+impl fmt::Display for Field {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Field::SourceAs => "source_as",
+            Field::NeighborAs => "neighbor_as",
+            Field::PathLen => "path_len",
+            Field::Med => "med",
+            Field::LocalPref => "local_pref",
+            Field::OriginCode => "origin",
+            Field::PrefixLen => "net.len",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Comparison operators in conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+}
+
+/// One entry of a prefix set: a prefix plus the range of lengths it admits.
+///
+/// `10.0.0.0/8` admits only the /8; `10.0.0.0/8+` admits the /8 and
+/// anything more specific; `10.0.0.0/8{9,24}` admits covered prefixes whose
+/// length is between 9 and 24.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefixPattern {
+    /// The covering prefix.
+    pub prefix: Ipv4Prefix,
+    /// Minimum admitted prefix length.
+    pub min_len: u8,
+    /// Maximum admitted prefix length.
+    pub max_len: u8,
+}
+
+impl PrefixPattern {
+    /// An exact-match pattern.
+    pub fn exact(prefix: Ipv4Prefix) -> Self {
+        PrefixPattern { prefix, min_len: prefix.len(), max_len: prefix.len() }
+    }
+
+    /// A pattern matching the prefix or anything more specific.
+    pub fn or_longer(prefix: Ipv4Prefix) -> Self {
+        PrefixPattern { prefix, min_len: prefix.len(), max_len: 32 }
+    }
+
+    /// A pattern with an explicit length range.
+    pub fn with_range(prefix: Ipv4Prefix, min_len: u8, max_len: u8) -> Self {
+        PrefixPattern { prefix, min_len, max_len }
+    }
+
+    /// Concrete membership test (used by tests and the concrete fast path).
+    pub fn matches(&self, candidate: &Ipv4Prefix) -> bool {
+        self.prefix.contains(candidate)
+            && candidate.len() >= self.min_len
+            && candidate.len() <= self.max_len
+    }
+}
+
+/// A filter condition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// `net ~ [ ... ]`: the announced prefix matches one of the patterns.
+    NetMatch(Vec<PrefixPattern>),
+    /// `field <op> value`.
+    FieldCmp {
+        /// The tested field.
+        field: Field,
+        /// The comparison operator.
+        op: CmpOp,
+        /// The constant to compare against.
+        value: u64,
+    },
+    /// `community ~ (asn, value)`.
+    CommunityMatch(u16, u16),
+    /// Logical negation.
+    Not(Box<Expr>),
+    /// Logical conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Logical disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Constant true.
+    True,
+    /// Constant false.
+    False,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Ipv4Prefix {
+        s.parse().expect("valid prefix")
+    }
+
+    #[test]
+    fn prefix_pattern_matching() {
+        let exact = PrefixPattern::exact(p("10.0.0.0/8"));
+        assert!(exact.matches(&p("10.0.0.0/8")));
+        assert!(!exact.matches(&p("10.1.0.0/16")));
+
+        let longer = PrefixPattern::or_longer(p("10.0.0.0/8"));
+        assert!(longer.matches(&p("10.0.0.0/8")));
+        assert!(longer.matches(&p("10.1.0.0/16")));
+        assert!(!longer.matches(&p("11.0.0.0/8")));
+
+        let ranged = PrefixPattern::with_range(p("208.65.152.0/22"), 22, 24);
+        assert!(ranged.matches(&p("208.65.152.0/22")));
+        assert!(ranged.matches(&p("208.65.153.0/24")));
+        assert!(!ranged.matches(&p("208.65.153.0/25")));
+        assert!(!ranged.matches(&p("208.65.0.0/16")));
+    }
+
+    #[test]
+    fn branch_count_counts_nested_ifs() {
+        let filter = FilterDef {
+            name: "f".into(),
+            body: vec![
+                Stmt::If {
+                    id: 0,
+                    cond: Expr::True,
+                    then_branch: vec![Stmt::If {
+                        id: 1,
+                        cond: Expr::False,
+                        then_branch: vec![Stmt::Accept],
+                        else_branch: vec![],
+                    }],
+                    else_branch: vec![Stmt::Reject],
+                },
+                Stmt::Accept,
+            ],
+        };
+        assert_eq!(filter.branch_count(), 2);
+        assert_eq!(FilterDef::accept_all("a").branch_count(), 0);
+        assert_eq!(FilterDef::reject_all("r").body, vec![Stmt::Reject]);
+    }
+
+    #[test]
+    fn field_display_names() {
+        assert_eq!(Field::SourceAs.to_string(), "source_as");
+        assert_eq!(Field::PrefixLen.to_string(), "net.len");
+    }
+}

@@ -1,0 +1,399 @@
+//! Filter interpretation over concolic route views.
+//!
+//! The interpreter is the DiCE-critical piece of the router: every `if`
+//! statement in a filter becomes a branch site, and when the route view's
+//! fields are symbolic (during exploration) the recorded constraints
+//! describe the *configured* policy, exactly as the paper obtains
+//! configuration constraints by instrumenting BIRD's configuration
+//! interpreter (§3.2). When the fields are concrete (the live fast path)
+//! nothing is recorded and the interpreter behaves like a plain filter
+//! engine.
+
+use dice_symexec::{CU32, CU8, Concolic, ConcolicBool, ExecCtx};
+
+use dice_bgp::route::Route;
+
+use super::ast::{CmpOp, Expr, Field, FilterDef, Stmt};
+
+/// The route fields a filter may inspect, as concolic values.
+#[derive(Debug, Clone)]
+pub struct RouteView {
+    /// Network address of the announced prefix.
+    pub prefix_addr: CU32,
+    /// Length of the announced prefix.
+    pub prefix_len: CU8,
+    /// Origin AS (last AS on the path); 0 when the path is empty.
+    pub source_as: CU32,
+    /// Neighbor AS (first AS on the path); 0 when the path is empty.
+    pub neighbor_as: CU32,
+    /// AS-path length.
+    pub path_len: CU32,
+    /// MULTI_EXIT_DISC (0 when absent).
+    pub med: CU32,
+    /// LOCAL_PREF (100 when absent).
+    pub local_pref: CU32,
+    /// ORIGIN code.
+    pub origin_code: CU8,
+    /// Attached communities (concrete; community lists are not explored
+    /// symbolically).
+    pub communities: Vec<(u16, u16)>,
+}
+
+impl RouteView {
+    /// Builds a fully concrete view of a route (the live router path).
+    pub fn concrete(route: &Route) -> Self {
+        RouteView {
+            prefix_addr: Concolic::concrete(route.prefix.addr()),
+            prefix_len: Concolic::concrete(route.prefix.len()),
+            source_as: Concolic::concrete(route.attrs.origin_as().map(|a| a.value()).unwrap_or(0)),
+            neighbor_as: Concolic::concrete(
+                route.attrs.as_path.neighbor_as().map(|a| a.value()).unwrap_or(0),
+            ),
+            path_len: Concolic::concrete(route.attrs.as_path.length() as u32),
+            med: Concolic::concrete(route.attrs.effective_med()),
+            local_pref: Concolic::concrete(route.attrs.effective_local_pref()),
+            origin_code: Concolic::concrete(route.attrs.origin.code()),
+            communities: route
+                .attrs
+                .communities
+                .iter()
+                .map(|c| (c.asn_part(), c.value_part()))
+                .collect(),
+        }
+    }
+}
+
+/// Accept/reject decision of a filter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FilterVerdict {
+    /// The route passes the filter.
+    Accept,
+    /// The route is rejected.
+    Reject,
+}
+
+/// The full outcome of running a filter: the verdict plus any attribute
+/// modifications requested by the executed statements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FilterOutcome {
+    /// Accept or reject.
+    pub verdict: FilterVerdict,
+    /// New LOCAL_PREF, if the filter set one.
+    pub local_pref: Option<u32>,
+    /// New MED, if the filter set one.
+    pub med: Option<u32>,
+    /// Extra AS-path prepends requested.
+    pub prepend: u32,
+    /// Communities added by the filter.
+    pub added_communities: Vec<(u16, u16)>,
+}
+
+impl FilterOutcome {
+    fn rejected() -> Self {
+        FilterOutcome {
+            verdict: FilterVerdict::Reject,
+            local_pref: None,
+            med: None,
+            prepend: 0,
+            added_communities: Vec::new(),
+        }
+    }
+
+    /// Returns true if the filter accepted the route.
+    pub fn is_accept(&self) -> bool {
+        self.verdict == FilterVerdict::Accept
+    }
+}
+
+enum Flow {
+    Continue,
+    Stop(FilterVerdict),
+}
+
+/// Evaluates `filter` over `view`, recording branch constraints in `ctx`
+/// when the view contains symbolic fields.
+///
+/// A filter that falls off the end without executing `accept` or `reject`
+/// rejects the route, matching BIRD's default.
+pub fn eval_filter(filter: &FilterDef, view: &RouteView, ctx: &mut ExecCtx) -> FilterOutcome {
+    let mut outcome = FilterOutcome::rejected();
+    match eval_stmts(&filter.name, &filter.body, view, ctx, &mut outcome) {
+        Flow::Stop(v) => outcome.verdict = v,
+        Flow::Continue => outcome.verdict = FilterVerdict::Reject,
+    }
+    outcome
+}
+
+fn eval_stmts(
+    filter_name: &str,
+    stmts: &[Stmt],
+    view: &RouteView,
+    ctx: &mut ExecCtx,
+    outcome: &mut FilterOutcome,
+) -> Flow {
+    for stmt in stmts {
+        match stmt {
+            Stmt::Accept => return Flow::Stop(FilterVerdict::Accept),
+            Stmt::Reject => return Flow::Stop(FilterVerdict::Reject),
+            Stmt::SetLocalPref(v) => outcome.local_pref = Some(*v as u32),
+            Stmt::SetMed(v) => outcome.med = Some(*v as u32),
+            Stmt::Prepend(n) => outcome.prepend += *n as u32,
+            Stmt::AddCommunity(a, b) => outcome.added_communities.push((*a, *b)),
+            Stmt::If { id, cond, then_branch, else_branch } => {
+                let condition = eval_expr(cond, view, ctx);
+                // The branch site is the configuration AST node, so recorded
+                // constraints attribute coverage to the *configuration*.
+                let label = format!("filter:{filter_name}:if{id}");
+                let taken = ctx.branch_labeled(&label, condition);
+                let branch = if taken { then_branch } else { else_branch };
+                match eval_stmts(filter_name, branch, view, ctx, outcome) {
+                    Flow::Continue => {}
+                    stop => return stop,
+                }
+            }
+        }
+    }
+    Flow::Continue
+}
+
+/// Evaluates a condition to a concolic boolean.
+pub fn eval_expr(expr: &Expr, view: &RouteView, ctx: &mut ExecCtx) -> ConcolicBool {
+    match expr {
+        Expr::True => ConcolicBool::concrete(true),
+        Expr::False => ConcolicBool::concrete(false),
+        Expr::Not(inner) => {
+            let v = eval_expr(inner, view, ctx);
+            v.not(ctx)
+        }
+        Expr::And(a, b) => {
+            let va = eval_expr(a, view, ctx);
+            let vb = eval_expr(b, view, ctx);
+            va.and(&vb, ctx)
+        }
+        Expr::Or(a, b) => {
+            let va = eval_expr(a, view, ctx);
+            let vb = eval_expr(b, view, ctx);
+            va.or(&vb, ctx)
+        }
+        Expr::CommunityMatch(a, b) => ConcolicBool::concrete(view.communities.contains(&(*a, *b))),
+        Expr::FieldCmp { field, op, value } => {
+            let (lhs32, lhs8): (Option<CU32>, Option<CU8>) = match field {
+                Field::SourceAs => (Some(view.source_as), None),
+                Field::NeighborAs => (Some(view.neighbor_as), None),
+                Field::PathLen => (Some(view.path_len), None),
+                Field::Med => (Some(view.med), None),
+                Field::LocalPref => (Some(view.local_pref), None),
+                Field::OriginCode => (None, Some(view.origin_code)),
+                Field::PrefixLen => (None, Some(view.prefix_len)),
+            };
+            if let Some(lhs) = lhs32 {
+                let rhs = Concolic::concrete(*value as u32);
+                apply_cmp32(*op, &lhs, &rhs, ctx)
+            } else {
+                let lhs = lhs8.expect("either 32-bit or 8-bit field");
+                let rhs = Concolic::concrete(*value as u8);
+                apply_cmp8(*op, &lhs, &rhs, ctx)
+            }
+        }
+        Expr::NetMatch(patterns) => {
+            let mut acc = ConcolicBool::concrete(false);
+            for p in patterns {
+                let m = match_pattern(p, view, ctx);
+                acc = acc.or(&m, ctx);
+            }
+            acc
+        }
+    }
+}
+
+fn apply_cmp32(op: CmpOp, lhs: &CU32, rhs: &CU32, ctx: &mut ExecCtx) -> ConcolicBool {
+    match op {
+        CmpOp::Eq => lhs.eq(rhs, ctx),
+        CmpOp::Ne => lhs.ne(rhs, ctx),
+        CmpOp::Lt => lhs.lt(rhs, ctx),
+        CmpOp::Le => lhs.le(rhs, ctx),
+        CmpOp::Gt => lhs.gt(rhs, ctx),
+        CmpOp::Ge => lhs.ge(rhs, ctx),
+    }
+}
+
+fn apply_cmp8(op: CmpOp, lhs: &CU8, rhs: &CU8, ctx: &mut ExecCtx) -> ConcolicBool {
+    match op {
+        CmpOp::Eq => lhs.eq(rhs, ctx),
+        CmpOp::Ne => lhs.ne(rhs, ctx),
+        CmpOp::Lt => lhs.lt(rhs, ctx),
+        CmpOp::Le => lhs.le(rhs, ctx),
+        CmpOp::Gt => lhs.gt(rhs, ctx),
+        CmpOp::Ge => lhs.ge(rhs, ctx),
+    }
+}
+
+/// Matches the announced prefix against one prefix pattern: the announced
+/// network must lie inside the pattern's covering prefix and its length
+/// must fall in the admitted range.
+///
+/// Containment is expressed as a range check (`network <= addr <=
+/// broadcast` plus `len >= pattern.len`) rather than a shift-and-compare:
+/// the two are equivalent, but range constraints are what the solver's
+/// interval propagation digests directly, so negated prefix-set predicates
+/// reliably yield concrete NLRI values inside/outside the set — the
+/// "manipulation of the NLRI" the route-leak experiment relies on.
+fn match_pattern(pattern: &super::ast::PrefixPattern, view: &RouteView, ctx: &mut ExecCtx) -> ConcolicBool {
+    let plen = pattern.prefix.len();
+    let covered = if plen == 0 {
+        ConcolicBool::concrete(true)
+    } else {
+        let lo = Concolic::concrete(pattern.prefix.addr());
+        let hi = Concolic::concrete(pattern.prefix.broadcast());
+        let ge_lo = view.prefix_addr.ge(&lo, ctx);
+        let le_hi = view.prefix_addr.le(&hi, ctx);
+        let len_ok = view.prefix_len.ge(&Concolic::concrete(plen), ctx);
+        let in_block = ge_lo.and(&le_hi, ctx);
+        in_block.and(&len_ok, ctx)
+    };
+    let min = Concolic::concrete(pattern.min_len);
+    let max = Concolic::concrete(pattern.max_len);
+    let ge_min = view.prefix_len.ge(&min, ctx);
+    let le_max = view.prefix_len.le(&max, ctx);
+    let in_range = ge_min.and(&le_max, ctx);
+    covered.and(&in_range, ctx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::parser::parse_filter;
+    use dice_bgp::attributes::RouteAttrs;
+    use dice_bgp::prefix::Ipv4Prefix;
+    use dice_bgp::route::{PeerId, Route};
+    use dice_bgp::AsPath;
+    use std::net::Ipv4Addr;
+
+    fn route(prefix: &str, path: &[u32]) -> Route {
+        let mut attrs = RouteAttrs::default();
+        attrs.as_path = AsPath::from_sequence(path.iter().copied());
+        attrs.next_hop = Ipv4Addr::new(10, 0, 1, 1);
+        Route::new(prefix.parse::<Ipv4Prefix>().expect("valid"), attrs, PeerId(1), 1)
+    }
+
+    const CUSTOMER_FILTER: &str = r#"
+        filter customer_in {
+            if net ~ [ 208.65.152.0/22{22,24} ] then {
+                if source_as = 36561 then {
+                    local_pref = 200;
+                    accept;
+                }
+            }
+            reject;
+        }
+    "#;
+
+    #[test]
+    fn concrete_evaluation_accepts_legitimate_route() {
+        let filter = parse_filter(CUSTOMER_FILTER).expect("parses");
+        let mut ctx = ExecCtx::new();
+        let r = route("208.65.152.0/22", &[36561]);
+        let out = eval_filter(&filter, &RouteView::concrete(&r), &mut ctx);
+        assert!(out.is_accept());
+        assert_eq!(out.local_pref, Some(200));
+        // Concrete evaluation records no constraints.
+        assert!(ctx.branches().is_empty());
+    }
+
+    #[test]
+    fn concrete_evaluation_rejects_foreign_route() {
+        let filter = parse_filter(CUSTOMER_FILTER).expect("parses");
+        let mut ctx = ExecCtx::new();
+        // Wrong origin AS (the hijacker).
+        let r = route("208.65.153.0/24", &[17557]);
+        let out = eval_filter(&filter, &RouteView::concrete(&r), &mut ctx);
+        assert!(!out.is_accept());
+        // Prefix outside the customer's block.
+        let r = route("8.8.8.0/24", &[36561]);
+        assert!(!eval_filter(&filter, &RouteView::concrete(&r), &mut ctx).is_accept());
+        // Too-specific prefix (/25 exceeds the {22,24} range).
+        let r = route("208.65.153.0/25", &[36561]);
+        assert!(!eval_filter(&filter, &RouteView::concrete(&r), &mut ctx).is_accept());
+    }
+
+    #[test]
+    fn symbolic_evaluation_records_configuration_branches() {
+        let filter = parse_filter(CUSTOMER_FILTER).expect("parses");
+        let mut ctx = ExecCtx::new();
+        let view = RouteView {
+            prefix_addr: ctx.symbolic_u32("nlri.addr", u32::from_be_bytes([208, 65, 152, 0])),
+            prefix_len: ctx.symbolic_u8("nlri.len", 22),
+            source_as: ctx.symbolic_u32("attr.source_as", 36561),
+            neighbor_as: Concolic::concrete(36561),
+            path_len: Concolic::concrete(1),
+            med: Concolic::concrete(0),
+            local_pref: Concolic::concrete(100),
+            origin_code: Concolic::concrete(0),
+            communities: Vec::new(),
+        };
+        let out = eval_filter(&filter, &view, &mut ctx);
+        assert!(out.is_accept());
+        // Both `if` statements were evaluated over symbolic data.
+        assert_eq!(ctx.branches().len(), 2);
+        // The path constraints hold for the concrete input used.
+        let constraints = ctx.path_constraints();
+        let model = ctx.concrete_model().clone();
+        assert!(model.satisfies_all(ctx.arena(), &constraints));
+    }
+
+    #[test]
+    fn default_is_reject_and_actions_accumulate() {
+        let filter = parse_filter(
+            "filter f { med = 30; prepend 2; add community (65000, 1); if false then accept; }",
+        )
+        .expect("parses");
+        let mut ctx = ExecCtx::new();
+        let out = eval_filter(&filter, &RouteView::concrete(&route("10.0.0.0/8", &[1])), &mut ctx);
+        assert!(!out.is_accept());
+        assert_eq!(out.med, Some(30));
+        assert_eq!(out.prepend, 2);
+        assert_eq!(out.added_communities, vec![(65000, 1)]);
+    }
+
+    #[test]
+    fn else_branches_and_boolean_operators() {
+        let src = r#"
+            filter f {
+                if path_len > 5 || med >= 1000 then {
+                    reject;
+                } else {
+                    if ! (origin = 2) && neighbor_as != 666 then accept;
+                }
+                reject;
+            }
+        "#;
+        let filter = parse_filter(src).expect("parses");
+        let mut ctx = ExecCtx::new();
+        let good = route("10.0.0.0/8", &[100, 200]);
+        assert!(eval_filter(&filter, &RouteView::concrete(&good), &mut ctx).is_accept());
+        let long = route("10.0.0.0/8", &[1, 2, 3, 4, 5, 6]);
+        assert!(!eval_filter(&filter, &RouteView::concrete(&long), &mut ctx).is_accept());
+        let from_666 = route("10.0.0.0/8", &[666, 200]);
+        assert!(!eval_filter(&filter, &RouteView::concrete(&from_666), &mut ctx).is_accept());
+    }
+
+    #[test]
+    fn community_match_is_concrete() {
+        let src = "filter f { if community ~ (65000, 666) then reject; accept; }";
+        let filter = parse_filter(src).expect("parses");
+        let mut ctx = ExecCtx::new();
+        let mut r = route("10.0.0.0/8", &[100]);
+        assert!(eval_filter(&filter, &RouteView::concrete(&r), &mut ctx).is_accept());
+        r.attrs.communities.push(dice_bgp::Community::new(65000, 666));
+        assert!(!eval_filter(&filter, &RouteView::concrete(&r), &mut ctx).is_accept());
+    }
+
+    #[test]
+    fn prefix_len_field_comparison() {
+        let src = "filter f { if net.len > 24 then reject; accept; }";
+        let filter = parse_filter(src).expect("parses");
+        let mut ctx = ExecCtx::new();
+        assert!(eval_filter(&filter, &RouteView::concrete(&route("10.0.0.0/24", &[1])), &mut ctx).is_accept());
+        assert!(!eval_filter(&filter, &RouteView::concrete(&route("10.0.0.0/25", &[1])), &mut ctx).is_accept());
+    }
+}

@@ -1,0 +1,294 @@
+//! Routing information bases: Adj-RIB-In, Loc-RIB and Adj-RIB-Out.
+//!
+//! The RIB is the node state that DiCE checkpoints and that the hijack
+//! checker inspects ("a route already in the routing table prior to
+//! starting exploration", paper §4.2).
+
+use std::collections::BTreeMap;
+
+use dice_bgp::prefix::Ipv4Prefix;
+use dice_bgp::route::{PeerId, Route};
+
+use crate::decision::select_best;
+use crate::trie::PrefixTrie;
+
+/// The effect of applying an announcement or withdrawal to the Loc-RIB.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RibChange {
+    /// The best route for the prefix changed to the contained route.
+    Updated(Route),
+    /// The prefix no longer has any route.
+    Removed(Ipv4Prefix),
+    /// The best route did not change.
+    Unchanged,
+}
+
+impl RibChange {
+    /// Returns true if the Loc-RIB was modified.
+    pub fn is_change(&self) -> bool {
+        !matches!(self, RibChange::Unchanged)
+    }
+}
+
+/// The per-prefix candidate set plus the selected best route.
+#[derive(Debug, Clone, Default)]
+struct PrefixEntry {
+    /// Candidate routes, keyed by the peer they were learned from.
+    candidates: BTreeMap<PeerId, Route>,
+    /// Index of the best route's peer, if any.
+    best: Option<PeerId>,
+}
+
+/// The router's routing table.
+///
+/// Internally one trie maps each prefix to its candidate set (the
+/// Adj-RIBs-In merged per prefix) and the selected best route (the
+/// Loc-RIB view).
+#[derive(Debug, Clone, Default)]
+pub struct Rib {
+    table: PrefixTrie<PrefixEntry>,
+    /// Number of prefixes with at least one candidate.
+    prefixes: usize,
+    /// Total number of candidate routes.
+    candidates: usize,
+}
+
+impl Rib {
+    /// Creates an empty RIB.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of prefixes with at least one route.
+    pub fn prefix_count(&self) -> usize {
+        self.prefixes
+    }
+
+    /// Total number of candidate routes across all peers.
+    pub fn route_count(&self) -> usize {
+        self.candidates
+    }
+
+    /// Inserts or replaces the route learned from `route.learned_from` for
+    /// `route.prefix`, re-runs the decision process and reports the change.
+    pub fn announce(&mut self, route: Route) -> RibChange {
+        let prefix = route.prefix;
+        let peer = route.learned_from;
+        let previous_best = self.best_route(&prefix).cloned();
+        if self.table.get(&prefix).is_none() {
+            self.table.insert(prefix, PrefixEntry::default());
+            self.prefixes += 1;
+        }
+        let entry = self.table.get_mut(&prefix).expect("entry just ensured");
+        if entry.candidates.insert(peer, route).is_none() {
+            self.candidates += 1;
+        }
+        Self::reselect(entry);
+        self.report_change(&prefix, previous_best)
+    }
+
+    /// Removes the route learned from `peer` for `prefix`, if any.
+    pub fn withdraw(&mut self, prefix: &Ipv4Prefix, peer: PeerId) -> RibChange {
+        let previous_best = self.best_route(prefix).cloned();
+        let Some(entry) = self.table.get_mut(prefix) else {
+            return RibChange::Unchanged;
+        };
+        if entry.candidates.remove(&peer).is_none() {
+            return RibChange::Unchanged;
+        }
+        self.candidates -= 1;
+        if entry.candidates.is_empty() {
+            self.table.remove(prefix);
+            self.prefixes -= 1;
+            return match previous_best {
+                Some(_) => RibChange::Removed(*prefix),
+                None => RibChange::Unchanged,
+            };
+        }
+        Self::reselect(entry);
+        self.report_change(prefix, previous_best)
+    }
+
+    fn reselect(entry: &mut PrefixEntry) {
+        let routes: Vec<Route> = entry.candidates.values().cloned().collect();
+        let peers: Vec<PeerId> = entry.candidates.keys().copied().collect();
+        entry.best = select_best(&routes).map(|i| peers[i]);
+    }
+
+    fn report_change(&self, prefix: &Ipv4Prefix, previous_best: Option<Route>) -> RibChange {
+        let new_best = self.best_route(prefix).cloned();
+        match (previous_best, new_best) {
+            (Some(old), Some(new)) if old == new => RibChange::Unchanged,
+            (_, Some(new)) => RibChange::Updated(new),
+            (Some(_), None) => RibChange::Removed(*prefix),
+            (None, None) => RibChange::Unchanged,
+        }
+    }
+
+    /// The best (Loc-RIB) route for a prefix, if any.
+    pub fn best_route(&self, prefix: &Ipv4Prefix) -> Option<&Route> {
+        let entry = self.table.get(prefix)?;
+        let best = entry.best?;
+        entry.candidates.get(&best)
+    }
+
+    /// All candidate routes for a prefix.
+    pub fn candidates(&self, prefix: &Ipv4Prefix) -> Vec<&Route> {
+        match self.table.get(prefix) {
+            Some(entry) => entry.candidates.values().collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// The best route whose prefix covers the given prefix (most specific).
+    /// This is the route an exploratory announcement for `prefix` would
+    /// compete with, used by the origin-hijack checker.
+    pub fn best_covering_route(&self, prefix: &Ipv4Prefix) -> Option<&Route> {
+        let (_, entry) = self.table.longest_covering(prefix)?;
+        let best = entry.best?;
+        entry.candidates.get(&best)
+    }
+
+    /// Longest-prefix-match forwarding lookup for an IP address.
+    pub fn lookup_ip(&self, ip: u32) -> Option<&Route> {
+        let (_, entry) = self.table.longest_match_ip(ip)?;
+        let best = entry.best?;
+        entry.candidates.get(&best)
+    }
+
+    /// Iterates over all `(prefix, best route)` pairs (the Loc-RIB view).
+    pub fn loc_rib(&self) -> Vec<(Ipv4Prefix, &Route)> {
+        self.table
+            .iter()
+            .into_iter()
+            .filter_map(|(p, entry)| {
+                let best = entry.best?;
+                entry.candidates.get(&best).map(|r| (p, r))
+            })
+            .collect()
+    }
+
+    /// Rough memory footprint estimate in bytes, used by the checkpoint
+    /// layer's page accounting.
+    pub fn approx_size_bytes(&self) -> usize {
+        // Each candidate route carries a prefix, attributes and an AS path;
+        // 160 bytes is a conservative per-route estimate, plus trie nodes.
+        self.candidates * 160 + self.prefixes * 64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dice_bgp::attributes::RouteAttrs;
+    use dice_bgp::AsPath;
+    use std::net::Ipv4Addr;
+
+    fn p(s: &str) -> Ipv4Prefix {
+        s.parse().expect("valid prefix")
+    }
+
+    fn route(prefix: &str, peer: u32, path: &[u32]) -> Route {
+        let mut attrs = RouteAttrs::default();
+        attrs.as_path = AsPath::from_sequence(path.iter().copied());
+        attrs.next_hop = Ipv4Addr::new(10, 0, 0, peer as u8);
+        Route::new(p(prefix), attrs, PeerId(peer), peer)
+    }
+
+    #[test]
+    fn announce_installs_best_route() {
+        let mut rib = Rib::new();
+        let change = rib.announce(route("203.0.113.0/24", 1, &[100, 200]));
+        assert!(matches!(change, RibChange::Updated(_)));
+        assert_eq!(rib.prefix_count(), 1);
+        assert_eq!(rib.route_count(), 1);
+        assert_eq!(
+            rib.best_route(&p("203.0.113.0/24")).map(|r| r.learned_from),
+            Some(PeerId(1))
+        );
+    }
+
+    #[test]
+    fn better_route_replaces_best() {
+        let mut rib = Rib::new();
+        rib.announce(route("203.0.113.0/24", 1, &[100, 200, 300]));
+        let change = rib.announce(route("203.0.113.0/24", 2, &[400]));
+        match change {
+            RibChange::Updated(r) => assert_eq!(r.learned_from, PeerId(2)),
+            other => panic!("expected update, got {other:?}"),
+        }
+        assert_eq!(rib.route_count(), 2);
+        // A worse route from peer 3 leaves the best unchanged.
+        let change = rib.announce(route("203.0.113.0/24", 3, &[1, 2, 3, 4]));
+        assert_eq!(change, RibChange::Unchanged);
+    }
+
+    #[test]
+    fn withdraw_falls_back_to_next_best() {
+        let mut rib = Rib::new();
+        rib.announce(route("203.0.113.0/24", 1, &[100, 200, 300]));
+        rib.announce(route("203.0.113.0/24", 2, &[400]));
+        let change = rib.withdraw(&p("203.0.113.0/24"), PeerId(2));
+        match change {
+            RibChange::Updated(r) => assert_eq!(r.learned_from, PeerId(1)),
+            other => panic!("expected fallback, got {other:?}"),
+        }
+        let change = rib.withdraw(&p("203.0.113.0/24"), PeerId(1));
+        assert_eq!(change, RibChange::Removed(p("203.0.113.0/24")));
+        assert_eq!(rib.prefix_count(), 0);
+        assert_eq!(rib.route_count(), 0);
+    }
+
+    #[test]
+    fn withdraw_of_unknown_route_is_noop() {
+        let mut rib = Rib::new();
+        assert_eq!(rib.withdraw(&p("10.0.0.0/8"), PeerId(1)), RibChange::Unchanged);
+        rib.announce(route("10.0.0.0/8", 1, &[100]));
+        assert_eq!(rib.withdraw(&p("10.0.0.0/8"), PeerId(9)), RibChange::Unchanged);
+    }
+
+    #[test]
+    fn same_route_twice_is_unchanged_but_replaces() {
+        let mut rib = Rib::new();
+        let r = route("10.0.0.0/8", 1, &[100]);
+        rib.announce(r.clone());
+        assert_eq!(rib.announce(r), RibChange::Unchanged);
+        assert_eq!(rib.route_count(), 1);
+    }
+
+    #[test]
+    fn covering_route_lookup_for_hijack_check() {
+        // The YouTube scenario: the /22 is installed; a bogus /24 is more
+        // specific, and the checker must find the /22 it would override.
+        let mut rib = Rib::new();
+        rib.announce(route("208.65.152.0/22", 1, &[3356, 36561]));
+        let covering = rib.best_covering_route(&p("208.65.153.0/24")).expect("covered");
+        assert_eq!(covering.prefix, p("208.65.152.0/22"));
+        assert_eq!(covering.origin_as().map(|a| a.value()), Some(36561));
+        assert!(rib.best_covering_route(&p("1.2.3.0/24")).is_none());
+    }
+
+    #[test]
+    fn forwarding_lookup_uses_longest_match() {
+        let mut rib = Rib::new();
+        rib.announce(route("0.0.0.0/0", 1, &[100]));
+        rib.announce(route("10.0.0.0/8", 2, &[200]));
+        let r = rib.lookup_ip(u32::from_be_bytes([10, 1, 1, 1])).expect("route");
+        assert_eq!(r.learned_from, PeerId(2));
+        let r = rib.lookup_ip(u32::from_be_bytes([8, 8, 8, 8])).expect("route");
+        assert_eq!(r.learned_from, PeerId(1));
+    }
+
+    #[test]
+    fn loc_rib_lists_only_best_routes() {
+        let mut rib = Rib::new();
+        rib.announce(route("10.0.0.0/8", 1, &[100, 200]));
+        rib.announce(route("10.0.0.0/8", 2, &[300]));
+        rib.announce(route("192.168.0.0/16", 1, &[100]));
+        let loc = rib.loc_rib();
+        assert_eq!(loc.len(), 2);
+        let ten = loc.iter().find(|(q, _)| *q == p("10.0.0.0/8")).expect("present");
+        assert_eq!(ten.1.learned_from, PeerId(2));
+        assert!(rib.approx_size_bytes() > 0);
+    }
+}

@@ -1,0 +1,321 @@
+//! A binary radix trie over IPv4 prefixes.
+//!
+//! The trie backs the routing tables: exact-match insertion/removal per
+//! prefix plus longest-prefix match for forwarding lookups and covering-
+//! prefix queries (used by the hijack checker to find the route an
+//! exploratory announcement would override).
+
+use dice_bgp::prefix::Ipv4Prefix;
+
+/// A node in the binary trie.
+#[derive(Debug, Clone)]
+struct Node<T> {
+    value: Option<T>,
+    children: [Option<Box<Node<T>>>; 2],
+}
+
+impl<T> Default for Node<T> {
+    fn default() -> Self {
+        Node { value: None, children: [None, None] }
+    }
+}
+
+/// A map from IPv4 prefixes to values with longest-prefix-match queries.
+///
+/// # Examples
+///
+/// ```
+/// use dice_router::trie::PrefixTrie;
+/// use dice_bgp::prefix::Ipv4Prefix;
+///
+/// let mut trie = PrefixTrie::new();
+/// trie.insert("10.0.0.0/8".parse().unwrap(), "coarse");
+/// trie.insert("10.1.0.0/16".parse().unwrap(), "fine");
+/// let (p, v) = trie.longest_match_ip(0x0a01_0203).unwrap();
+/// assert_eq!(p.to_string(), "10.1.0.0/16");
+/// assert_eq!(*v, "fine");
+/// ```
+#[derive(Debug, Clone)]
+pub struct PrefixTrie<T> {
+    root: Node<T>,
+    len: usize,
+}
+
+impl<T> Default for PrefixTrie<T> {
+    fn default() -> Self {
+        PrefixTrie { root: Node::default(), len: 0 }
+    }
+}
+
+impl<T> PrefixTrie<T> {
+    /// Creates an empty trie.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of prefixes stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns true if the trie stores no prefixes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts or replaces the value for a prefix, returning the previous
+    /// value if any.
+    pub fn insert(&mut self, prefix: Ipv4Prefix, value: T) -> Option<T> {
+        let mut node = &mut self.root;
+        for i in 0..prefix.len() {
+            let bit = prefix.bit(i) as usize;
+            node = node.children[bit].get_or_insert_with(Box::default);
+        }
+        let prev = node.value.replace(value);
+        if prev.is_none() {
+            self.len += 1;
+        }
+        prev
+    }
+
+    /// Returns the value stored for exactly this prefix.
+    pub fn get(&self, prefix: &Ipv4Prefix) -> Option<&T> {
+        let mut node = &self.root;
+        for i in 0..prefix.len() {
+            let bit = prefix.bit(i) as usize;
+            node = node.children[bit].as_deref()?;
+        }
+        node.value.as_ref()
+    }
+
+    /// Returns a mutable reference to the value stored for this prefix.
+    pub fn get_mut(&mut self, prefix: &Ipv4Prefix) -> Option<&mut T> {
+        let mut node = &mut self.root;
+        for i in 0..prefix.len() {
+            let bit = prefix.bit(i) as usize;
+            node = node.children[bit].as_deref_mut()?;
+        }
+        node.value.as_mut()
+    }
+
+    /// Removes a prefix, returning its value. Empty interior nodes are left
+    /// in place (they are reclaimed only when the trie is dropped), which
+    /// keeps removal simple and is fine for routing-table workloads where
+    /// withdrawn prefixes are typically re-announced.
+    pub fn remove(&mut self, prefix: &Ipv4Prefix) -> Option<T> {
+        let mut node = &mut self.root;
+        for i in 0..prefix.len() {
+            let bit = prefix.bit(i) as usize;
+            node = node.children[bit].as_deref_mut()?;
+        }
+        let prev = node.value.take();
+        if prev.is_some() {
+            self.len -= 1;
+        }
+        prev
+    }
+
+    /// Longest-prefix match for a single IP address.
+    pub fn longest_match_ip(&self, ip: u32) -> Option<(Ipv4Prefix, &T)> {
+        let mut best: Option<(Ipv4Prefix, &T)> = None;
+        let mut node = &self.root;
+        let mut depth: u8 = 0;
+        loop {
+            if let Some(v) = &node.value {
+                let p = Ipv4Prefix::new(ip, depth).expect("depth <= 32");
+                best = Some((p, v));
+            }
+            if depth >= 32 {
+                break;
+            }
+            let bit = ((ip >> (31 - depth)) & 1) as usize;
+            match node.children[bit].as_deref() {
+                Some(child) => {
+                    node = child;
+                    depth += 1;
+                }
+                None => break,
+            }
+        }
+        best
+    }
+
+    /// The most specific stored prefix that covers `prefix` (including an
+    /// exact match). This is the route an announcement for `prefix` would
+    /// compete with or override.
+    pub fn longest_covering(&self, prefix: &Ipv4Prefix) -> Option<(Ipv4Prefix, &T)> {
+        let mut best: Option<(Ipv4Prefix, &T)> = None;
+        let mut node = &self.root;
+        let mut depth: u8 = 0;
+        loop {
+            if let Some(v) = &node.value {
+                let p = Ipv4Prefix::new(prefix.addr(), depth).expect("depth <= 32");
+                best = Some((p, v));
+            }
+            if depth >= prefix.len() {
+                break;
+            }
+            let bit = prefix.bit(depth) as usize;
+            match node.children[bit].as_deref() {
+                Some(child) => {
+                    node = child;
+                    depth += 1;
+                }
+                None => break,
+            }
+        }
+        best
+    }
+
+    /// The most specific *strictly less specific* stored prefix covering
+    /// `prefix` (excludes an exact match).
+    pub fn closest_ancestor(&self, prefix: &Ipv4Prefix) -> Option<(Ipv4Prefix, &T)> {
+        match self.longest_covering(prefix) {
+            Some((p, v)) if p != *prefix => Some((p, v)),
+            Some(_) => {
+                // Walk again, stopping one bit short of the exact match.
+                let mut best: Option<(Ipv4Prefix, &T)> = None;
+                let mut node = &self.root;
+                for depth in 0..prefix.len() {
+                    if let Some(v) = &node.value {
+                        let p = Ipv4Prefix::new(prefix.addr(), depth).expect("depth < 32");
+                        best = Some((p, v));
+                    }
+                    let bit = prefix.bit(depth) as usize;
+                    match node.children[bit].as_deref() {
+                        Some(child) => node = child,
+                        None => return best,
+                    }
+                }
+                best
+            }
+            None => None,
+        }
+    }
+
+    /// Iterates over all `(prefix, value)` pairs in depth-first order.
+    pub fn iter(&self) -> Vec<(Ipv4Prefix, &T)> {
+        let mut out = Vec::with_capacity(self.len);
+        Self::walk(&self.root, 0, 0, &mut out);
+        out
+    }
+
+    fn walk<'a>(node: &'a Node<T>, addr: u32, depth: u8, out: &mut Vec<(Ipv4Prefix, &'a T)>) {
+        if let Some(v) = &node.value {
+            out.push((Ipv4Prefix::new(addr, depth).expect("depth <= 32"), v));
+        }
+        if depth >= 32 {
+            return;
+        }
+        if let Some(child) = node.children[0].as_deref() {
+            Self::walk(child, addr, depth + 1, out);
+        }
+        if let Some(child) = node.children[1].as_deref() {
+            Self::walk(child, addr | (1 << (31 - depth)), depth + 1, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Ipv4Prefix {
+        s.parse().expect("valid prefix")
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut t = PrefixTrie::new();
+        assert!(t.is_empty());
+        assert_eq!(t.insert(p("10.0.0.0/8"), 1), None);
+        assert_eq!(t.insert(p("10.0.0.0/8"), 2), Some(1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(&p("10.0.0.0/8")), Some(&2));
+        assert_eq!(t.get(&p("10.0.0.0/9")), None);
+        assert_eq!(t.remove(&p("10.0.0.0/8")), Some(2));
+        assert_eq!(t.remove(&p("10.0.0.0/8")), None);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn default_route_matches_everything() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("0.0.0.0/0"), "default");
+        let (matched, v) = t.longest_match_ip(0xc0a8_0101).expect("match");
+        assert_eq!(matched, p("0.0.0.0/0"));
+        assert_eq!(*v, "default");
+    }
+
+    #[test]
+    fn longest_match_prefers_specific() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("0.0.0.0/0"), 0);
+        t.insert(p("10.0.0.0/8"), 8);
+        t.insert(p("10.1.0.0/16"), 16);
+        t.insert(p("10.1.2.0/24"), 24);
+        let ip = u32::from_be_bytes([10, 1, 2, 3]);
+        assert_eq!(t.longest_match_ip(ip).map(|(_, v)| *v), Some(24));
+        let ip2 = u32::from_be_bytes([10, 1, 9, 9]);
+        assert_eq!(t.longest_match_ip(ip2).map(|(_, v)| *v), Some(16));
+        let ip3 = u32::from_be_bytes([10, 200, 0, 1]);
+        assert_eq!(t.longest_match_ip(ip3).map(|(_, v)| *v), Some(8));
+        let ip4 = u32::from_be_bytes([192, 168, 0, 1]);
+        assert_eq!(t.longest_match_ip(ip4).map(|(_, v)| *v), Some(0));
+    }
+
+    #[test]
+    fn covering_and_ancestor_queries() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("208.65.152.0/22"), "youtube-agg");
+        t.insert(p("208.65.153.0/24"), "youtube-24");
+        // Exact match is a covering prefix...
+        assert_eq!(
+            t.longest_covering(&p("208.65.153.0/24")).map(|(q, _)| q),
+            Some(p("208.65.153.0/24"))
+        );
+        // ...but not an ancestor.
+        assert_eq!(
+            t.closest_ancestor(&p("208.65.153.0/24")).map(|(q, _)| q),
+            Some(p("208.65.152.0/22"))
+        );
+        // A more specific /25 is covered by the /24.
+        assert_eq!(
+            t.longest_covering(&p("208.65.153.128/25")).map(|(q, _)| q),
+            Some(p("208.65.153.0/24"))
+        );
+        // Unrelated prefixes have no ancestor.
+        assert_eq!(t.closest_ancestor(&p("1.2.3.0/24")), None);
+    }
+
+    #[test]
+    fn iter_returns_all_prefixes() {
+        let mut t = PrefixTrie::new();
+        let prefixes = ["10.0.0.0/8", "10.1.0.0/16", "192.168.0.0/16", "0.0.0.0/0"];
+        for (i, s) in prefixes.iter().enumerate() {
+            t.insert(p(s), i);
+        }
+        let all = t.iter();
+        assert_eq!(all.len(), 4);
+        let mut names: Vec<String> = all.iter().map(|(q, _)| q.to_string()).collect();
+        names.sort();
+        assert!(names.contains(&"10.1.0.0/16".to_string()));
+    }
+
+    #[test]
+    fn host_routes_work() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("1.2.3.4/32"), "host");
+        assert_eq!(t.longest_match_ip(0x01020304).map(|(_, v)| *v), Some("host"));
+        assert_eq!(t.longest_match_ip(0x01020305), None);
+        assert_eq!(t.get(&p("1.2.3.4/32")), Some(&"host"));
+    }
+
+    #[test]
+    fn get_mut_allows_in_place_updates() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), vec![1]);
+        t.get_mut(&p("10.0.0.0/8")).expect("present").push(2);
+        assert_eq!(t.get(&p("10.0.0.0/8")), Some(&vec![1, 2]));
+    }
+}

@@ -1,0 +1,399 @@
+//! Unsigned interval domain used for constraint propagation.
+//!
+//! Every symbolic variable is given a conservative range `[lo, hi]` over its
+//! bit width. Constraints of the common shapes produced by the concolic
+//! engine (`var op const`, `const op var`, `var op var`) narrow these
+//! ranges; an empty range proves unsatisfiability, and small ranges enable
+//! cheap exhaustive enumeration.
+
+use std::collections::BTreeMap;
+
+use crate::term::{max_value, CmpOp, TermArena, TermId, TermKind, VarId};
+
+/// A closed unsigned interval `[lo, hi]`; empty when `lo > hi`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    /// Inclusive lower bound.
+    pub lo: u64,
+    /// Inclusive upper bound.
+    pub hi: u64,
+}
+
+impl Interval {
+    /// Creates the interval `[lo, hi]`.
+    pub fn new(lo: u64, hi: u64) -> Self {
+        Interval { lo, hi }
+    }
+
+    /// The full range of a `width`-bit unsigned integer.
+    pub fn full(width: u32) -> Self {
+        Interval { lo: 0, hi: max_value(width) }
+    }
+
+    /// A single-point interval.
+    pub fn point(v: u64) -> Self {
+        Interval { lo: v, hi: v }
+    }
+
+    /// An empty interval.
+    pub fn empty() -> Self {
+        Interval { lo: 1, hi: 0 }
+    }
+
+    /// Returns true if the interval contains no values.
+    pub fn is_empty(&self) -> bool {
+        self.lo > self.hi
+    }
+
+    /// Returns true if the interval contains exactly one value.
+    pub fn is_point(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// Number of values contained (saturating at `u64::MAX`).
+    pub fn size(&self) -> u64 {
+        if self.is_empty() {
+            0
+        } else {
+            (self.hi - self.lo).saturating_add(1)
+        }
+    }
+
+    /// Returns true if `v` lies in the interval.
+    pub fn contains(&self, v: u64) -> bool {
+        !self.is_empty() && v >= self.lo && v <= self.hi
+    }
+
+    /// Intersection of two intervals.
+    pub fn intersect(&self, other: &Interval) -> Interval {
+        Interval { lo: self.lo.max(other.lo), hi: self.hi.min(other.hi) }
+    }
+
+    /// Clamps `v` into the interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interval is empty.
+    pub fn clamp(&self, v: u64) -> u64 {
+        assert!(!self.is_empty(), "cannot clamp into an empty interval");
+        v.clamp(self.lo, self.hi)
+    }
+
+    /// Narrows the interval so that `x op bound` holds for every remaining x.
+    pub fn refine_cmp_const(&self, op: CmpOp, bound: u64) -> Interval {
+        match op {
+            CmpOp::Eq => self.intersect(&Interval::point(bound)),
+            CmpOp::Ne => {
+                // Only narrows when the excluded point is an endpoint.
+                if self.is_point() && self.lo == bound {
+                    Interval::empty()
+                } else if self.lo == bound {
+                    Interval::new(self.lo + 1, self.hi)
+                } else if self.hi == bound {
+                    Interval::new(self.lo, self.hi - 1)
+                } else {
+                    *self
+                }
+            }
+            CmpOp::Ult => {
+                if bound == 0 {
+                    Interval::empty()
+                } else {
+                    self.intersect(&Interval::new(0, bound - 1))
+                }
+            }
+            CmpOp::Ule => self.intersect(&Interval::new(0, bound)),
+            CmpOp::Ugt => {
+                if bound == u64::MAX {
+                    Interval::empty()
+                } else {
+                    self.intersect(&Interval::new(bound + 1, u64::MAX))
+                }
+            }
+            CmpOp::Uge => self.intersect(&Interval::new(bound, u64::MAX)),
+        }
+    }
+}
+
+/// Per-variable interval state for a constraint set.
+#[derive(Debug, Clone, Default)]
+pub struct Domains {
+    map: BTreeMap<VarId, Interval>,
+}
+
+impl Domains {
+    /// Creates an empty domain map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Initializes the domain of every variable appearing in `constraints`
+    /// to the full range of its declared width.
+    pub fn init(arena: &TermArena, constraints: &[TermId]) -> Self {
+        let mut vars = Vec::new();
+        for &c in constraints {
+            arena.collect_vars(c, &mut vars);
+        }
+        let mut map = BTreeMap::new();
+        for v in vars {
+            map.insert(v, Interval::full(arena.var_info(v).width));
+        }
+        Domains { map }
+    }
+
+    /// Returns the interval for `var`, defaulting to the full width range.
+    pub fn get(&self, arena: &TermArena, var: VarId) -> Interval {
+        self.map
+            .get(&var)
+            .copied()
+            .unwrap_or_else(|| Interval::full(arena.var_info(var).width))
+    }
+
+    /// Sets the interval for `var`.
+    pub fn set(&mut self, var: VarId, iv: Interval) {
+        self.map.insert(var, iv);
+    }
+
+    /// Returns true if any variable has an empty domain.
+    pub fn any_empty(&self) -> bool {
+        self.map.values().any(Interval::is_empty)
+    }
+
+    /// Iterates over `(variable, interval)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, Interval)> + '_ {
+        self.map.iter().map(|(&v, &iv)| (v, iv))
+    }
+
+    /// Number of tracked variables.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Returns true if no variables are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Product of domain sizes, saturating at `u64::MAX`.
+    pub fn search_space(&self) -> u64 {
+        let mut acc: u64 = 1;
+        for iv in self.map.values() {
+            acc = acc.saturating_mul(iv.size());
+            if acc == 0 {
+                return 0;
+            }
+        }
+        acc
+    }
+
+    /// Runs interval propagation over the constraints until a fixpoint is
+    /// reached (bounded by `max_rounds`). Returns `false` if a contradiction
+    /// (empty domain) was derived.
+    pub fn propagate(&mut self, arena: &TermArena, constraints: &[TermId], max_rounds: usize) -> bool {
+        for _ in 0..max_rounds {
+            let mut changed = false;
+            for &c in constraints {
+                if !self.propagate_one(arena, c, &mut changed) {
+                    return false;
+                }
+            }
+            if self.any_empty() {
+                return false;
+            }
+            if !changed {
+                break;
+            }
+        }
+        !self.any_empty()
+    }
+
+    /// Propagates a single constraint. Returns `false` on contradiction.
+    fn propagate_one(&mut self, arena: &TermArena, c: TermId, changed: &mut bool) -> bool {
+        match &arena.node(c).kind {
+            TermKind::ConstBool(true) => true,
+            TermKind::ConstBool(false) => false,
+            TermKind::Cmp { op, lhs, rhs } => self.propagate_cmp(arena, *op, *lhs, *rhs, changed),
+            TermKind::BoolBin { op: crate::term::BoolOp::And, lhs, rhs } => {
+                self.propagate_one(arena, *lhs, changed) && self.propagate_one(arena, *rhs, changed)
+            }
+            // Other boolean structure (or, not over non-comparisons, ...) is
+            // not propagated; the search phases handle it.
+            _ => true,
+        }
+    }
+
+    fn propagate_cmp(
+        &mut self,
+        arena: &TermArena,
+        op: CmpOp,
+        lhs: TermId,
+        rhs: TermId,
+        changed: &mut bool,
+    ) -> bool {
+        let lv = arena.as_var(lhs);
+        let rv = arena.as_var(rhs);
+        let lc = arena.as_const_int(lhs).map(|(v, _)| v);
+        let rc = arena.as_const_int(rhs).map(|(v, _)| v);
+        match (lv, rv, lc, rc) {
+            // var op const
+            (Some(v), None, None, Some(c)) => self.narrow(arena, v, op, c, changed),
+            // const op var  =>  var (swapped op) const
+            (None, Some(v), Some(c), None) => self.narrow(arena, v, op.swap(), c, changed),
+            // var op var: propagate bounds both ways.
+            (Some(a), Some(b), None, None) => {
+                let ia = self.get(arena, a);
+                let ib = self.get(arena, b);
+                if ia.is_empty() || ib.is_empty() {
+                    return false;
+                }
+                let (na, nb) = match op {
+                    CmpOp::Eq => {
+                        let m = ia.intersect(&ib);
+                        (m, m)
+                    }
+                    CmpOp::Ne => {
+                        if ia.is_point() && ib.is_point() && ia.lo == ib.lo {
+                            (Interval::empty(), Interval::empty())
+                        } else {
+                            (ia, ib)
+                        }
+                    }
+                    CmpOp::Ult => (
+                        ia.refine_cmp_const(CmpOp::Ult, ib.hi),
+                        ib.refine_cmp_const(CmpOp::Ugt, ia.lo),
+                    ),
+                    CmpOp::Ule => (
+                        ia.refine_cmp_const(CmpOp::Ule, ib.hi),
+                        ib.refine_cmp_const(CmpOp::Uge, ia.lo),
+                    ),
+                    CmpOp::Ugt => (
+                        ia.refine_cmp_const(CmpOp::Ugt, ib.lo),
+                        ib.refine_cmp_const(CmpOp::Ult, ia.hi),
+                    ),
+                    CmpOp::Uge => (
+                        ia.refine_cmp_const(CmpOp::Uge, ib.lo),
+                        ib.refine_cmp_const(CmpOp::Ule, ia.hi),
+                    ),
+                };
+                if na != ia {
+                    self.set(a, na);
+                    *changed = true;
+                }
+                if nb != ib {
+                    self.set(b, nb);
+                    *changed = true;
+                }
+                !na.is_empty() && !nb.is_empty()
+            }
+            // Structured terms (e.g. `(x & mask) == const`) are not
+            // interval-propagated; handled by the search phases.
+            _ => true,
+        }
+    }
+
+    fn narrow(&mut self, arena: &TermArena, var: VarId, op: CmpOp, bound: u64, changed: &mut bool) -> bool {
+        let cur = self.get(arena, var);
+        let next = cur.refine_cmp_const(op, bound);
+        if next != cur {
+            self.set(var, next);
+            *changed = true;
+        }
+        !next.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_basics() {
+        let iv = Interval::new(3, 10);
+        assert!(!iv.is_empty());
+        assert_eq!(iv.size(), 8);
+        assert!(iv.contains(3) && iv.contains(10) && !iv.contains(11));
+        assert!(Interval::empty().is_empty());
+        assert_eq!(Interval::full(8), Interval::new(0, 255));
+        assert_eq!(iv.clamp(100), 10);
+        assert_eq!(iv.clamp(0), 3);
+    }
+
+    #[test]
+    fn refine_against_constants() {
+        let iv = Interval::full(8);
+        assert_eq!(iv.refine_cmp_const(CmpOp::Ult, 10), Interval::new(0, 9));
+        assert_eq!(iv.refine_cmp_const(CmpOp::Uge, 200), Interval::new(200, 255));
+        assert_eq!(iv.refine_cmp_const(CmpOp::Eq, 42), Interval::point(42));
+        assert!(iv.refine_cmp_const(CmpOp::Ult, 0).is_empty());
+        let pt = Interval::point(5);
+        assert!(pt.refine_cmp_const(CmpOp::Ne, 5).is_empty());
+        assert_eq!(Interval::new(5, 9).refine_cmp_const(CmpOp::Ne, 5), Interval::new(6, 9));
+    }
+
+    #[test]
+    fn propagation_narrows_and_detects_unsat() {
+        let mut arena = TermArena::new();
+        let x = arena.declare_var("x", 8);
+        let xv = arena.var(x);
+        let c10 = arena.int_const(10, 8);
+        let c20 = arena.int_const(20, 8);
+        let lo = arena.ugt(xv, c10);
+        let hi = arena.ult(xv, c20);
+
+        let mut dom = Domains::init(&arena, &[lo, hi]);
+        assert!(dom.propagate(&arena, &[lo, hi], 8));
+        assert_eq!(dom.get(&arena, x), Interval::new(11, 19));
+        assert_eq!(dom.search_space(), 9);
+
+        let contradiction = arena.ult(xv, c10);
+        let mut dom2 = Domains::init(&arena, &[lo, contradiction]);
+        assert!(!dom2.propagate(&arena, &[lo, contradiction], 8));
+    }
+
+    #[test]
+    fn var_var_propagation() {
+        let mut arena = TermArena::new();
+        let x = arena.declare_var("x", 8);
+        let y = arena.declare_var("y", 8);
+        let xv = arena.var(x);
+        let yv = arena.var(y);
+        let c5 = arena.int_const(5, 8);
+        // y <= 5 and x < y  =>  x <= 4.
+        let c1 = arena.ule(yv, c5);
+        let c2 = arena.ult(xv, yv);
+        let cs = [c1, c2];
+        let mut dom = Domains::init(&arena, &cs);
+        assert!(dom.propagate(&arena, &cs, 8));
+        assert_eq!(dom.get(&arena, x).hi, 4);
+    }
+
+    #[test]
+    fn swapped_constant_comparison() {
+        let mut arena = TermArena::new();
+        let x = arena.declare_var("x", 16);
+        let xv = arena.var(x);
+        let c100 = arena.int_const(100, 16);
+        // 100 < x  =>  x > 100.
+        let c = arena.ult(c100, xv);
+        let cs = [c];
+        let mut dom = Domains::init(&arena, &cs);
+        assert!(dom.propagate(&arena, &cs, 4));
+        assert_eq!(dom.get(&arena, x).lo, 101);
+    }
+
+    #[test]
+    fn conjunction_is_decomposed() {
+        let mut arena = TermArena::new();
+        let x = arena.declare_var("x", 8);
+        let xv = arena.var(x);
+        let c3 = arena.int_const(3, 8);
+        let c7 = arena.int_const(7, 8);
+        let a = arena.uge(xv, c3);
+        let b = arena.ule(xv, c7);
+        let both = arena.and(a, b);
+        let cs = [both];
+        let mut dom = Domains::init(&arena, &cs);
+        assert!(dom.propagate(&arena, &cs, 4));
+        assert_eq!(dom.get(&arena, x), Interval::new(3, 7));
+    }
+}

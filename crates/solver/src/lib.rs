@@ -1,0 +1,48 @@
+//! # dice-solver
+//!
+//! An SMT-lite constraint solver over fixed-width unsigned integers and
+//! booleans, built as the solving substrate for the DiCE concolic execution
+//! engine (`dice-symexec`).
+//!
+//! The original DiCE prototype (USENIX ATC 2011) relies on the constraint
+//! solver bundled with the Oasis/Crest concolic engines. This crate plays
+//! the same role for the Rust reproduction: given the path constraints
+//! recorded while a BGP UPDATE handler processes a message, and the negation
+//! of one branch predicate, it produces a concrete input assignment that
+//! drives execution down the other side of that branch.
+//!
+//! ## Example
+//!
+//! ```
+//! use dice_solver::{Solver, TermArena};
+//!
+//! let mut arena = TermArena::new();
+//! let metric = arena.declare_var("med", 32);
+//! let m = arena.var(metric);
+//! let hundred = arena.int_const(100, 32);
+//! // The observed execution took the `med < 100` branch; ask the solver
+//! // for an input taking the other side.
+//! let negated = arena.uge(m, hundred);
+//!
+//! let mut solver = Solver::new();
+//! let verdict = solver.solve(&mut arena, &[negated], None);
+//! let model = verdict.model().expect("satisfiable");
+//! assert!(model.get(metric) >= 100);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod interval;
+pub mod model;
+pub mod simplify;
+pub mod solver;
+pub mod stats;
+pub mod term;
+
+pub use interval::{Domains, Interval};
+pub use model::{Model, Value};
+pub use simplify::{normalize, preprocess, Preprocessed};
+pub use solver::{Solver, SolverConfig, Verdict};
+pub use stats::SolverStats;
+pub use term::{BinOp, BoolOp, CmpOp, Sort, TermArena, TermId, TermKind, VarId};

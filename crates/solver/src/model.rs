@@ -1,0 +1,259 @@
+//! Variable assignments and concrete evaluation of terms.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::term::{mask, Sort, TermArena, TermId, TermKind, VarId};
+
+/// A concrete value produced by evaluating a term.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // Variant fields are self-describing.
+pub enum Value {
+    /// An unsigned integer of the given width.
+    Int { value: u64, width: u32 },
+    /// A boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// Returns the integer payload, panicking on booleans.
+    pub fn expect_int(self) -> u64 {
+        match self {
+            Value::Int { value, .. } => value,
+            Value::Bool(_) => panic!("expected integer value, found boolean"),
+        }
+    }
+
+    /// Returns the boolean payload, panicking on integers.
+    pub fn expect_bool(self) -> bool {
+        match self {
+            Value::Bool(b) => b,
+            Value::Int { .. } => panic!("expected boolean value, found integer"),
+        }
+    }
+}
+
+/// An assignment of concrete values to symbolic variables.
+///
+/// Variables not present in the model evaluate to 0.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Model {
+    values: BTreeMap<VarId, u64>,
+}
+
+impl Model {
+    /// Creates an empty model (all variables zero).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Assigns a value to a variable; the value is truncated to the
+    /// variable's width at evaluation time.
+    pub fn set(&mut self, var: VarId, value: u64) {
+        self.values.insert(var, value);
+    }
+
+    /// Returns the value assigned to `var`, or 0 if unassigned.
+    pub fn get(&self, var: VarId) -> u64 {
+        self.values.get(&var).copied().unwrap_or(0)
+    }
+
+    /// Returns the value assigned to `var` if present.
+    pub fn get_opt(&self, var: VarId) -> Option<u64> {
+        self.values.get(&var).copied()
+    }
+
+    /// Returns true if the variable has an explicit assignment.
+    pub fn contains(&self, var: VarId) -> bool {
+        self.values.contains_key(&var)
+    }
+
+    /// Number of explicitly assigned variables.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns true if no variable is explicitly assigned.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterates over explicit assignments in variable order.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, u64)> + '_ {
+        self.values.iter().map(|(&v, &x)| (v, x))
+    }
+
+    /// Evaluates a term under this model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the term id does not belong to `arena`.
+    pub fn eval(&self, arena: &TermArena, term: TermId) -> Value {
+        match &arena.node(term).kind {
+            TermKind::ConstInt { value, width } => Value::Int { value: *value, width: *width },
+            TermKind::ConstBool(b) => Value::Bool(*b),
+            TermKind::Var(v) => {
+                let width = arena.var_info(*v).width;
+                Value::Int { value: mask(self.get(*v), width), width }
+            }
+            TermKind::Bin { op, lhs, rhs } => {
+                let a = self.eval(arena, *lhs).expect_int();
+                let b = self.eval(arena, *rhs).expect_int();
+                let width = arena.sort(term).width();
+                Value::Int { value: TermArena::eval_bin(*op, a, b, width), width }
+            }
+            TermKind::Cmp { op, lhs, rhs } => {
+                let a = self.eval(arena, *lhs).expect_int();
+                let b = self.eval(arena, *rhs).expect_int();
+                Value::Bool(op.eval(a, b))
+            }
+            TermKind::BoolBin { op, lhs, rhs } => {
+                let a = self.eval(arena, *lhs).expect_bool();
+                let b = self.eval(arena, *rhs).expect_bool();
+                Value::Bool(op.eval(a, b))
+            }
+            TermKind::BoolNot(x) => Value::Bool(!self.eval(arena, *x).expect_bool()),
+            TermKind::BitNot(x) => {
+                let width = arena.sort(term).width();
+                Value::Int { value: mask(!self.eval(arena, *x).expect_int(), width), width }
+            }
+            TermKind::Ite { cond, then_t, else_t } => {
+                if self.eval(arena, *cond).expect_bool() {
+                    self.eval(arena, *then_t)
+                } else {
+                    self.eval(arena, *else_t)
+                }
+            }
+            TermKind::Resize { term: inner, width } => {
+                let v = self.eval(arena, *inner).expect_int();
+                Value::Int { value: mask(v, *width), width: *width }
+            }
+        }
+    }
+
+    /// Evaluates a boolean term, returning its truth value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the term is not boolean-sorted.
+    pub fn holds(&self, arena: &TermArena, term: TermId) -> bool {
+        debug_assert_eq!(arena.sort(term), Sort::Bool);
+        self.eval(arena, term).expect_bool()
+    }
+
+    /// Returns true if every constraint in the slice holds under this model.
+    pub fn satisfies_all(&self, arena: &TermArena, constraints: &[TermId]) -> bool {
+        constraints.iter().all(|&c| self.holds(arena, c))
+    }
+
+    /// Counts the constraints in the slice that do not hold under this model.
+    pub fn count_violations(&self, arena: &TermArena, constraints: &[TermId]) -> usize {
+        constraints.iter().filter(|&&c| !self.holds(arena, c)).count()
+    }
+}
+
+impl fmt::Display for Model {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (v, x)) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}={x}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<(VarId, u64)> for Model {
+    fn from_iter<T: IntoIterator<Item = (VarId, u64)>>(iter: T) -> Self {
+        Model { values: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unassigned_variables_default_to_zero() {
+        let mut arena = TermArena::new();
+        let x = arena.declare_var("x", 8);
+        let xv = arena.var(x);
+        let model = Model::new();
+        assert_eq!(model.eval(&arena, xv), Value::Int { value: 0, width: 8 });
+    }
+
+    #[test]
+    fn assignment_is_truncated_to_width() {
+        let mut arena = TermArena::new();
+        let x = arena.declare_var("x", 8);
+        let xv = arena.var(x);
+        let mut model = Model::new();
+        model.set(x, 0x1ff);
+        assert_eq!(model.eval(&arena, xv).expect_int(), 0xff);
+    }
+
+    #[test]
+    fn eval_matches_arena_constant_folding() {
+        let mut arena = TermArena::new();
+        let x = arena.declare_var("x", 16);
+        let y = arena.declare_var("y", 16);
+        let xv = arena.var(x);
+        let yv = arena.var(y);
+        let sum = arena.add(xv, yv);
+        let c = arena.int_const(100, 16);
+        let cond = arena.ult(sum, c);
+
+        let mut model = Model::new();
+        model.set(x, 40);
+        model.set(y, 50);
+        assert!(model.holds(&arena, cond));
+        model.set(y, 70);
+        assert!(!model.holds(&arena, cond));
+    }
+
+    #[test]
+    fn count_violations_counts_unsatisfied() {
+        let mut arena = TermArena::new();
+        let x = arena.declare_var("x", 8);
+        let xv = arena.var(x);
+        let c5 = arena.int_const(5, 8);
+        let c9 = arena.int_const(9, 8);
+        let c1 = arena.ugt(xv, c5);
+        let c2 = arena.ult(xv, c9);
+        let mut model = Model::new();
+        model.set(x, 3);
+        assert_eq!(model.count_violations(&arena, &[c1, c2]), 1);
+        model.set(x, 7);
+        assert_eq!(model.count_violations(&arena, &[c1, c2]), 0);
+        assert!(model.satisfies_all(&arena, &[c1, c2]));
+    }
+
+    #[test]
+    fn ite_evaluates_correct_branch() {
+        let mut arena = TermArena::new();
+        let x = arena.declare_var("x", 8);
+        let xv = arena.var(x);
+        let zero = arena.int_const(0, 8);
+        let one = arena.int_const(1, 8);
+        let two = arena.int_const(2, 8);
+        let cond = arena.eq(xv, zero);
+        let ite = arena.ite(cond, one, two);
+        let mut model = Model::new();
+        assert_eq!(model.eval(&arena, ite).expect_int(), 1);
+        model.set(x, 5);
+        assert_eq!(model.eval(&arena, ite).expect_int(), 2);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let mut arena = TermArena::new();
+        let x = arena.declare_var("x", 8);
+        let y = arena.declare_var("y", 8);
+        // Referencing the arena keeps variable ids meaningful.
+        let _ = (arena.var(x), arena.var(y));
+        let model: Model = [(x, 1), (y, 2)].into_iter().collect();
+        assert_eq!(model.to_string(), "{v0=1, v1=2}");
+    }
+}

@@ -1,0 +1,120 @@
+//! Solver statistics, reported by the DiCE exploration engine.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Counters collected across solver queries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Total number of `solve` calls.
+    pub queries: u64,
+    /// Queries answered `Sat`.
+    pub sat: u64,
+    /// Queries answered `Unsat`.
+    pub unsat: u64,
+    /// Queries answered `Unknown`.
+    pub unknown: u64,
+    /// Queries decided purely by preprocessing (constant contradiction or
+    /// empty constraint set).
+    pub decided_by_preprocess: u64,
+    /// Queries decided by interval propagation.
+    pub decided_by_propagation: u64,
+    /// Queries decided by exhaustive enumeration.
+    pub decided_by_enumeration: u64,
+    /// Queries decided by local search.
+    pub decided_by_search: u64,
+    /// Total number of candidate models evaluated.
+    pub candidates_evaluated: u64,
+    /// Accumulated wall-clock time in nanoseconds.
+    pub total_time_ns: u64,
+}
+
+impl SolverStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accumulates another statistics block into this one.
+    pub fn merge(&mut self, other: &SolverStats) {
+        self.queries += other.queries;
+        self.sat += other.sat;
+        self.unsat += other.unsat;
+        self.unknown += other.unknown;
+        self.decided_by_preprocess += other.decided_by_preprocess;
+        self.decided_by_propagation += other.decided_by_propagation;
+        self.decided_by_enumeration += other.decided_by_enumeration;
+        self.decided_by_search += other.decided_by_search;
+        self.candidates_evaluated += other.candidates_evaluated;
+        self.total_time_ns += other.total_time_ns;
+    }
+
+    /// Records elapsed time for one query.
+    pub fn record_time(&mut self, d: Duration) {
+        self.total_time_ns += d.as_nanos() as u64;
+    }
+
+    /// Average time per query.
+    pub fn mean_query_time(&self) -> Duration {
+        if self.queries == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_nanos(self.total_time_ns / self.queries)
+        }
+    }
+
+    /// Fraction of queries that produced a definite answer (sat or unsat).
+    pub fn decision_rate(&self) -> f64 {
+        if self.queries == 0 {
+            return 1.0;
+        }
+        (self.sat + self.unsat) as f64 / self.queries as f64
+    }
+}
+
+impl fmt::Display for SolverStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "queries={} sat={} unsat={} unknown={} mean={:?}",
+            self.queries,
+            self.sat,
+            self.unsat,
+            self.unknown,
+            self.mean_query_time()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = SolverStats { queries: 2, sat: 1, unsat: 1, ..Default::default() };
+        let b = SolverStats { queries: 3, sat: 2, unknown: 1, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.queries, 5);
+        assert_eq!(a.sat, 3);
+        assert_eq!(a.unsat, 1);
+        assert_eq!(a.unknown, 1);
+    }
+
+    #[test]
+    fn decision_rate_handles_zero_queries() {
+        let s = SolverStats::new();
+        assert_eq!(s.decision_rate(), 1.0);
+        let s2 = SolverStats { queries: 4, sat: 1, unsat: 1, unknown: 2, ..Default::default() };
+        assert!((s2.decision_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_query_time() {
+        let mut s = SolverStats::new();
+        s.queries = 2;
+        s.record_time(Duration::from_micros(10));
+        s.record_time(Duration::from_micros(30));
+        assert_eq!(s.mean_query_time(), Duration::from_micros(20));
+    }
+}

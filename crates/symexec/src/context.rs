@@ -1,0 +1,387 @@
+//! The concolic execution context.
+//!
+//! An [`ExecCtx`] is created for each execution of the program under test.
+//! It owns the term arena, the registry of symbolic input variables and the
+//! sequence of branch records observed along the current code path.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::panic::Location;
+
+use dice_solver::{Model, TermArena, TermId, VarId};
+
+use crate::value::{CU16, CU32, CU64, CU8, Concolic, ConcolicBool, ConcolicInt};
+
+/// A stable identifier of a branch site in the program under test.
+///
+/// Sites created from Rust code use the caller's source location (via
+/// `#[track_caller]`), mirroring how CIL instrumentation identifies branches
+/// by static program location. Sites created by the policy-filter
+/// interpreter use the filter name and AST node index instead, so that the
+/// *configuration* contributes its own branch sites, as in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SiteId(pub u64);
+
+impl SiteId {
+    /// Builds a site id from an arbitrary label.
+    pub fn from_label(label: &str) -> Self {
+        let mut h = DefaultHasher::new();
+        label.hash(&mut h);
+        SiteId(h.finish())
+    }
+
+    /// Builds a site id from a source location.
+    pub fn from_location(loc: &Location<'_>) -> Self {
+        let mut h = DefaultHasher::new();
+        loc.file().hash(&mut h);
+        loc.line().hash(&mut h);
+        loc.column().hash(&mut h);
+        SiteId(h.finish())
+    }
+}
+
+impl fmt::Display for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "site#{:016x}", self.0)
+    }
+}
+
+/// A branch observed during one execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BranchRecord {
+    /// The branch site.
+    pub site: SiteId,
+    /// The symbolic condition term (boolean sort).
+    pub condition: TermId,
+    /// The direction the concrete execution took.
+    pub taken: bool,
+}
+
+impl BranchRecord {
+    /// The constraint that holds on the executed path.
+    pub fn taken_constraint(&self, arena: &mut TermArena) -> TermId {
+        if self.taken {
+            self.condition
+        } else {
+            arena.not(self.condition)
+        }
+    }
+
+    /// The constraint describing the *other* side of the branch.
+    pub fn negated_constraint(&self, arena: &mut TermArena) -> TermId {
+        if self.taken {
+            arena.not(self.condition)
+        } else {
+            self.condition
+        }
+    }
+}
+
+/// Execution context for one concolic run.
+///
+/// # Examples
+///
+/// ```
+/// use dice_symexec::ExecCtx;
+///
+/// let mut ctx = ExecCtx::new();
+/// let med = ctx.symbolic_u32("med", 50);
+/// let threshold = dice_symexec::CU32::concrete(100);
+/// let cond = med.lt(&threshold, &mut ctx);
+/// let taken = ctx.branch(cond);
+/// assert!(taken);
+/// assert_eq!(ctx.branches().len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExecCtx {
+    arena: TermArena,
+    vars: HashMap<String, VarId>,
+    concrete: Model,
+    branches: Vec<BranchRecord>,
+    site_labels: HashMap<SiteId, String>,
+    recording: bool,
+    max_branches: usize,
+}
+
+impl Default for ExecCtx {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ExecCtx {
+    /// Creates a fresh context with no symbolic variables.
+    pub fn new() -> Self {
+        ExecCtx {
+            arena: TermArena::new(),
+            vars: HashMap::new(),
+            concrete: Model::new(),
+            branches: Vec::new(),
+            site_labels: HashMap::new(),
+            recording: true,
+            max_branches: 100_000,
+        }
+    }
+
+    /// Limits the number of branch records kept for a single run (guards
+    /// against pathological loops over symbolic data).
+    pub fn with_max_branches(mut self, max: usize) -> Self {
+        self.max_branches = max;
+        self
+    }
+
+    /// Read access to the term arena.
+    pub fn arena(&self) -> &TermArena {
+        &self.arena
+    }
+
+    /// Mutable access to the term arena (used by [`Concolic`] operations).
+    pub fn arena_mut(&mut self) -> &mut TermArena {
+        &mut self.arena
+    }
+
+    /// Consumes the context, returning its arena, branches and input model.
+    pub fn into_parts(self) -> (TermArena, Vec<BranchRecord>, Model, HashMap<String, VarId>) {
+        (self.arena, self.branches, self.concrete, self.vars)
+    }
+
+    /// The branches recorded so far, in execution order.
+    pub fn branches(&self) -> &[BranchRecord] {
+        &self.branches
+    }
+
+    /// The concrete assignment of all symbolic inputs declared so far.
+    pub fn concrete_model(&self) -> &Model {
+        &self.concrete
+    }
+
+    /// The mapping from symbolic input names to solver variables.
+    pub fn var_map(&self) -> &HashMap<String, VarId> {
+        &self.vars
+    }
+
+    /// Human-readable labels for branch sites, when known.
+    pub fn site_labels(&self) -> &HashMap<SiteId, String> {
+        &self.site_labels
+    }
+
+    /// Returns whether constraint recording is currently enabled.
+    pub fn is_recording(&self) -> bool {
+        self.recording
+    }
+
+    /// Enables or disables constraint recording.
+    ///
+    /// The paper disables recording around operations whose constraints the
+    /// solver cannot reverse (hash functions); handler code does the same by
+    /// bracketing such regions with `set_recording(false)` / `(true)`, or by
+    /// calling [`ExecCtx::without_recording`].
+    pub fn set_recording(&mut self, enabled: bool) {
+        self.recording = enabled;
+    }
+
+    /// Runs a closure with recording disabled, restoring the previous state.
+    pub fn without_recording<R>(&mut self, f: impl FnOnce(&mut Self) -> R) -> R {
+        let prev = self.recording;
+        self.recording = false;
+        let r = f(self);
+        self.recording = prev;
+        r
+    }
+
+    fn declare<T: ConcolicInt>(&mut self, name: &str, concrete: T) -> Concolic<T> {
+        let var = match self.vars.get(name) {
+            Some(&v) => v,
+            None => {
+                let v = self.arena.declare_var(name, T::WIDTH);
+                self.vars.insert(name.to_string(), v);
+                v
+            }
+        };
+        self.concrete.set(var, concrete.to_u64());
+        let term = self.arena.var(var);
+        Concolic::with_term(concrete, term)
+    }
+
+    /// Declares (or re-binds) an 8-bit symbolic input with a concrete value.
+    pub fn symbolic_u8(&mut self, name: &str, concrete: u8) -> CU8 {
+        self.declare(name, concrete)
+    }
+
+    /// Declares (or re-binds) a 16-bit symbolic input with a concrete value.
+    pub fn symbolic_u16(&mut self, name: &str, concrete: u16) -> CU16 {
+        self.declare(name, concrete)
+    }
+
+    /// Declares (or re-binds) a 32-bit symbolic input with a concrete value.
+    pub fn symbolic_u32(&mut self, name: &str, concrete: u32) -> CU32 {
+        self.declare(name, concrete)
+    }
+
+    /// Declares (or re-binds) a 64-bit symbolic input with a concrete value.
+    pub fn symbolic_u64(&mut self, name: &str, concrete: u64) -> CU64 {
+        self.declare(name, concrete)
+    }
+
+    /// Records a branch at the caller's source location and returns the
+    /// concrete outcome, which the caller should use to decide control flow.
+    #[track_caller]
+    pub fn branch(&mut self, cond: ConcolicBool) -> bool {
+        let loc = Location::caller();
+        let site = SiteId::from_location(loc);
+        if !self.site_labels.contains_key(&site) {
+            self.site_labels
+                .insert(site, format!("{}:{}:{}", loc.file(), loc.line(), loc.column()));
+        }
+        self.branch_at(site, cond)
+    }
+
+    /// Records a branch at an explicitly-identified site (used by the
+    /// policy-filter interpreter, where the site is a configuration AST
+    /// node rather than a Rust source location).
+    pub fn branch_at(&mut self, site: SiteId, cond: ConcolicBool) -> bool {
+        if self.recording && cond.is_symbolic() && self.branches.len() < self.max_branches {
+            // The symbolic term is present by the `is_symbolic` check.
+            let condition = cond.term().expect("symbolic condition has a term");
+            self.branches.push(BranchRecord { site, condition, taken: cond.value() });
+        }
+        cond.value()
+    }
+
+    /// Records a labelled branch, remembering the label for reports.
+    pub fn branch_labeled(&mut self, label: &str, cond: ConcolicBool) -> bool {
+        let site = SiteId::from_label(label);
+        self.site_labels.entry(site).or_insert_with(|| label.to_string());
+        self.branch_at(site, cond)
+    }
+
+    /// The conjunction of constraints describing the executed path.
+    pub fn path_constraints(&mut self) -> Vec<TermId> {
+        let branches = self.branches.clone();
+        branches.iter().map(|b| b.taken_constraint(&mut self.arena)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symbolic_inputs_are_registered() {
+        let mut ctx = ExecCtx::new();
+        let x = ctx.symbolic_u32("x", 7);
+        assert!(x.is_symbolic());
+        assert_eq!(x.value(), 7);
+        assert_eq!(ctx.var_map().len(), 1);
+        let var = ctx.var_map()["x"];
+        assert_eq!(ctx.concrete_model().get(var), 7);
+        // Re-declaring the same name reuses the variable.
+        let x2 = ctx.symbolic_u32("x", 9);
+        assert_eq!(ctx.var_map().len(), 1);
+        assert_eq!(x2.value(), 9);
+    }
+
+    #[test]
+    fn branches_are_recorded_with_direction() {
+        let mut ctx = ExecCtx::new();
+        let x = ctx.symbolic_u32("x", 5);
+        let c10 = CU32::concrete(10);
+        let cond = x.lt(&c10, &mut ctx);
+        let taken = ctx.branch(cond);
+        assert!(taken);
+        let c3 = CU32::concrete(3);
+        let cond2 = x.lt(&c3, &mut ctx);
+        let taken2 = ctx.branch(cond2);
+        assert!(!taken2);
+        assert_eq!(ctx.branches().len(), 2);
+        assert!(ctx.branches()[0].taken);
+        assert!(!ctx.branches()[1].taken);
+        // The two branch sites must be distinct (different source lines).
+        assert_ne!(ctx.branches()[0].site, ctx.branches()[1].site);
+    }
+
+    #[test]
+    fn concrete_conditions_are_not_recorded() {
+        let mut ctx = ExecCtx::new();
+        let a = CU32::concrete(1);
+        let b = CU32::concrete(2);
+        let cond = a.lt(&b, &mut ctx);
+        let taken = ctx.branch(cond);
+        assert!(taken);
+        assert!(ctx.branches().is_empty());
+    }
+
+    #[test]
+    fn recording_can_be_suppressed() {
+        let mut ctx = ExecCtx::new();
+        let x = ctx.symbolic_u32("x", 5);
+        let c = CU32::concrete(10);
+        let cond = x.lt(&c, &mut ctx);
+        ctx.without_recording(|ctx| {
+            let _ = ctx.branch(cond);
+        });
+        assert!(ctx.branches().is_empty());
+        assert!(ctx.is_recording());
+        let _ = ctx.branch(cond);
+        assert_eq!(ctx.branches().len(), 1);
+    }
+
+    #[test]
+    fn path_constraints_reflect_taken_directions() {
+        let mut ctx = ExecCtx::new();
+        let x = ctx.symbolic_u32("x", 5);
+        let c10 = CU32::concrete(10);
+        let c3 = CU32::concrete(3);
+        let c1 = x.lt(&c10, &mut ctx);
+        let c2 = x.lt(&c3, &mut ctx);
+        ctx.branch(c1); // taken
+        ctx.branch(c2); // not taken
+        let constraints = ctx.path_constraints();
+        assert_eq!(constraints.len(), 2);
+        // The concrete model must satisfy the path constraints it generated.
+        let model = ctx.concrete_model().clone();
+        assert!(model.satisfies_all(ctx.arena(), &constraints));
+    }
+
+    #[test]
+    fn labeled_branch_sites_are_stable() {
+        let mut ctx = ExecCtx::new();
+        let x = ctx.symbolic_u32("x", 1);
+        let zero = CU32::concrete(0);
+        let cond = x.gt(&zero, &mut ctx);
+        ctx.branch_labeled("filter:line1", cond);
+        ctx.branch_labeled("filter:line1", cond);
+        assert_eq!(ctx.branches()[0].site, ctx.branches()[1].site);
+        assert_eq!(ctx.site_labels()[&ctx.branches()[0].site], "filter:line1");
+        assert_eq!(SiteId::from_label("filter:line1"), ctx.branches()[0].site);
+    }
+
+    #[test]
+    fn max_branches_caps_recording() {
+        let mut ctx = ExecCtx::new().with_max_branches(3);
+        let x = ctx.symbolic_u32("x", 5);
+        let c = CU32::concrete(10);
+        for _ in 0..10 {
+            let cond = x.lt(&c, &mut ctx);
+            ctx.branch(cond);
+        }
+        assert_eq!(ctx.branches().len(), 3);
+    }
+
+    #[test]
+    fn negated_constraint_flips_direction() {
+        let mut ctx = ExecCtx::new();
+        let x = ctx.symbolic_u32("x", 5);
+        let c = CU32::concrete(10);
+        let cond = x.lt(&c, &mut ctx);
+        ctx.branch(cond);
+        let rec = ctx.branches()[0];
+        let (mut arena, _, model, _) = ctx.into_parts();
+        let taken = rec.taken_constraint(&mut arena);
+        let negated = rec.negated_constraint(&mut arena);
+        assert!(model.holds(&arena, taken));
+        assert!(!model.holds(&arena, negated));
+    }
+}

@@ -1,0 +1,185 @@
+//! Branch coverage accounting across exploration runs.
+//!
+//! The paper's exploration strategy "attempts to cover all execution paths
+//! reachable by the set of controlled symbolic inputs"; coverage statistics
+//! tell the engine (and the operator) how close it is, and drive the
+//! coverage-guided search strategy.
+
+use std::collections::HashMap;
+
+use crate::context::SiteId;
+
+/// Which directions of a branch site have been observed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SiteCoverage {
+    /// The true/taken direction has been observed.
+    pub taken: bool,
+    /// The false/not-taken direction has been observed.
+    pub not_taken: bool,
+    /// Number of times the site was executed.
+    pub hits: u64,
+}
+
+impl SiteCoverage {
+    /// Returns true if both directions have been observed.
+    pub fn is_complete(&self) -> bool {
+        self.taken && self.not_taken
+    }
+}
+
+/// Aggregate coverage over all branch sites seen so far.
+#[derive(Debug, Clone, Default)]
+pub struct Coverage {
+    sites: HashMap<SiteId, SiteCoverage>,
+    labels: HashMap<SiteId, String>,
+}
+
+impl Coverage {
+    /// Creates empty coverage.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation of a branch direction.
+    pub fn record(&mut self, site: SiteId, taken: bool) {
+        let entry = self.sites.entry(site).or_default();
+        entry.hits += 1;
+        if taken {
+            entry.taken = true;
+        } else {
+            entry.not_taken = true;
+        }
+    }
+
+    /// Records a human-readable label for a site.
+    pub fn record_label(&mut self, site: SiteId, label: &str) {
+        self.labels.entry(site).or_insert_with(|| label.to_string());
+    }
+
+    /// Returns the label of a site, if known.
+    pub fn label(&self, site: SiteId) -> Option<&str> {
+        self.labels.get(&site).map(String::as_str)
+    }
+
+    /// Returns the coverage entry for a site, if it was ever executed.
+    pub fn site(&self, site: SiteId) -> Option<SiteCoverage> {
+        self.sites.get(&site).copied()
+    }
+
+    /// Returns true if the given direction of the site has been observed.
+    pub fn direction_covered(&self, site: SiteId, taken: bool) -> bool {
+        match self.sites.get(&site) {
+            None => false,
+            Some(c) => {
+                if taken {
+                    c.taken
+                } else {
+                    c.not_taken
+                }
+            }
+        }
+    }
+
+    /// Number of distinct branch sites observed.
+    pub fn site_count(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Number of sites for which both directions were observed.
+    pub fn complete_sites(&self) -> usize {
+        self.sites.values().filter(|c| c.is_complete()).count()
+    }
+
+    /// Number of `(site, direction)` pairs observed.
+    pub fn directions_covered(&self) -> usize {
+        self.sites
+            .values()
+            .map(|c| usize::from(c.taken) + usize::from(c.not_taken))
+            .sum()
+    }
+
+    /// Branch coverage ratio: observed directions over `2 * sites`.
+    ///
+    /// Returns 1.0 when no sites have been observed.
+    pub fn branch_coverage(&self) -> f64 {
+        if self.sites.is_empty() {
+            return 1.0;
+        }
+        self.directions_covered() as f64 / (2 * self.sites.len()) as f64
+    }
+
+    /// Iterates over `(site, coverage)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (SiteId, SiteCoverage)> + '_ {
+        self.sites.iter().map(|(&s, &c)| (s, c))
+    }
+
+    /// Merges another coverage map into this one.
+    pub fn merge(&mut self, other: &Coverage) {
+        for (&site, cov) in &other.sites {
+            let entry = self.sites.entry(site).or_default();
+            entry.hits += cov.hits;
+            entry.taken |= cov.taken;
+            entry.not_taken |= cov.not_taken;
+        }
+        for (&site, label) in &other.labels {
+            self.labels.entry(site).or_insert_with(|| label.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn site(n: u64) -> SiteId {
+        SiteId(n)
+    }
+
+    #[test]
+    fn recording_accumulates_directions() {
+        let mut cov = Coverage::new();
+        cov.record(site(1), true);
+        cov.record(site(1), true);
+        cov.record(site(2), false);
+        assert_eq!(cov.site_count(), 2);
+        assert_eq!(cov.directions_covered(), 2);
+        assert_eq!(cov.complete_sites(), 0);
+        assert!((cov.branch_coverage() - 0.5).abs() < 1e-9);
+        cov.record(site(1), false);
+        assert_eq!(cov.complete_sites(), 1);
+        assert!(cov.site(site(1)).expect("seen").is_complete());
+        assert_eq!(cov.site(site(1)).expect("seen").hits, 3);
+    }
+
+    #[test]
+    fn direction_covered_queries() {
+        let mut cov = Coverage::new();
+        cov.record(site(7), true);
+        assert!(cov.direction_covered(site(7), true));
+        assert!(!cov.direction_covered(site(7), false));
+        assert!(!cov.direction_covered(site(8), true));
+    }
+
+    #[test]
+    fn empty_coverage_is_fully_covered() {
+        let cov = Coverage::new();
+        assert_eq!(cov.branch_coverage(), 1.0);
+        assert_eq!(cov.site_count(), 0);
+    }
+
+    #[test]
+    fn merge_combines_sites_and_labels() {
+        let mut a = Coverage::new();
+        a.record(site(1), true);
+        a.record_label(site(1), "first");
+        let mut b = Coverage::new();
+        b.record(site(1), false);
+        b.record(site(2), true);
+        b.record_label(site(2), "second");
+        a.merge(&b);
+        assert_eq!(a.site_count(), 2);
+        assert_eq!(a.complete_sites(), 1);
+        assert_eq!(a.label(site(1)), Some("first"));
+        assert_eq!(a.label(site(2)), Some("second"));
+    }
+}

@@ -1,0 +1,472 @@
+//! The concolic execution engine.
+//!
+//! The engine drives the loop at the heart of DiCE (Figure 1 of the paper):
+//!
+//! 1. execute the program under test with a concrete input, recording the
+//!    branch constraints along the executed path;
+//! 2. pick a recorded branch (according to the search strategy) and ask the
+//!    solver for an input that satisfies the path prefix plus the *negated*
+//!    branch predicate;
+//! 3. execute the program with the generated input, record its path, update
+//!    the aggregate constraint/coverage set, and repeat until the path
+//!    budget is exhausted or no unexplored branches remain.
+//!
+//! The program under test implements [`SymbolicProgram`]; in DiCE it is the
+//! BGP UPDATE handler executing over a clone of the node checkpoint.
+
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+use dice_solver::{Solver, SolverConfig, SolverStats, Verdict};
+
+use crate::context::ExecCtx;
+use crate::coverage::Coverage;
+use crate::input::InputValues;
+use crate::path::{ExecTrace, PathId};
+use crate::strategy::{Candidate, SearchStrategy, Worklist};
+
+/// A program that can be executed concolically.
+///
+/// Implementations create their symbolic inputs through the provided
+/// [`ExecCtx`] (typically by calling `ctx.symbolic_u32(name, value)` with
+/// values taken from `input`), branch through [`ExecCtx::branch`] /
+/// [`ExecCtx::branch_labeled`], and return an application-level outcome
+/// that fault checkers can inspect.
+pub trait SymbolicProgram {
+    /// Application-level outcome of one execution.
+    type Output;
+
+    /// Executes the program once with the given concrete input.
+    fn run(&mut self, ctx: &mut ExecCtx, input: &InputValues) -> Self::Output;
+}
+
+impl<F, O> SymbolicProgram for F
+where
+    F: FnMut(&mut ExecCtx, &InputValues) -> O,
+{
+    type Output = O;
+
+    fn run(&mut self, ctx: &mut ExecCtx, input: &InputValues) -> O {
+        self(ctx, input)
+    }
+}
+
+/// Configuration of the exploration loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Maximum number of program executions (including seed runs).
+    pub max_runs: usize,
+    /// Maximum number of branches recorded per run.
+    pub max_branches_per_run: usize,
+    /// Maximum number of negation candidates taken from a single run
+    /// (0 means unlimited).
+    pub max_candidates_per_run: usize,
+    /// Search strategy for candidate selection.
+    pub strategy: SearchStrategy,
+    /// Solver configuration.
+    pub solver: SolverConfig,
+    /// If true, skip negation candidates whose target `(site, direction)`
+    /// is already covered. This trades exhaustive path coverage for speed.
+    pub prune_covered_directions: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            max_runs: 256,
+            max_branches_per_run: 10_000,
+            max_candidates_per_run: 0,
+            strategy: SearchStrategy::Generational,
+            solver: SolverConfig::default(),
+            prune_covered_directions: false,
+        }
+    }
+}
+
+/// One completed execution: its trace, its output, and provenance.
+#[derive(Debug, Clone)]
+pub struct RunRecord<O> {
+    /// The execution trace (arena, branches, inputs).
+    pub trace: ExecTrace,
+    /// The application-level output of the run.
+    pub output: O,
+    /// `None` for seed runs; otherwise `(run, branch)` that was negated to
+    /// generate this run's input.
+    pub parent: Option<(usize, usize)>,
+    /// Exploration generation (seeds are 0).
+    pub generation: u32,
+}
+
+/// Counters describing one exploration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExplorationStats {
+    /// Number of program executions performed.
+    pub runs: usize,
+    /// Number of negation candidates generated.
+    pub candidates: usize,
+    /// Candidates skipped because their target path had already been tried.
+    pub skipped_duplicates: usize,
+    /// Candidates skipped by coverage pruning.
+    pub skipped_covered: usize,
+    /// Solver queries that produced a new input.
+    pub solver_sat: usize,
+    /// Solver queries proving the other side infeasible.
+    pub solver_unsat: usize,
+    /// Solver queries that timed out / were undecided.
+    pub solver_unknown: usize,
+    /// Total wall-clock time of the exploration, in nanoseconds.
+    pub elapsed_ns: u64,
+}
+
+impl ExplorationStats {
+    /// Total exploration wall-clock time.
+    pub fn elapsed(&self) -> Duration {
+        Duration::from_nanos(self.elapsed_ns)
+    }
+}
+
+/// The result of an exploration.
+#[derive(Debug)]
+pub struct Exploration<O> {
+    /// All runs, in execution order (seed runs first).
+    pub runs: Vec<RunRecord<O>>,
+    /// Aggregate branch coverage.
+    pub coverage: Coverage,
+    /// Exploration counters.
+    pub stats: ExplorationStats,
+    /// Cumulative solver statistics.
+    pub solver_stats: SolverStats,
+}
+
+impl<O> Exploration<O> {
+    /// Iterates over the outputs of all runs.
+    pub fn outputs(&self) -> impl Iterator<Item = &O> {
+        self.runs.iter().map(|r| &r.output)
+    }
+
+    /// Number of distinct paths executed.
+    pub fn distinct_paths(&self) -> usize {
+        let ids: HashSet<PathId> = self.runs.iter().map(|r| r.trace.path_id()).collect();
+        ids.len()
+    }
+
+    /// The inputs of all non-seed runs, i.e. the inputs the engine derived
+    /// by negating branch predicates. In DiCE these become the exploratory
+    /// messages sent to the cloned checkpoint.
+    pub fn generated_inputs(&self) -> Vec<&InputValues> {
+        self.runs
+            .iter()
+            .filter(|r| r.parent.is_some())
+            .map(|r| &r.trace.input)
+            .collect()
+    }
+}
+
+/// The concolic execution engine.
+#[derive(Debug, Default)]
+pub struct ConcolicEngine {
+    config: EngineConfig,
+}
+
+impl ConcolicEngine {
+    /// Creates an engine with the default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an engine with the given configuration.
+    pub fn with_config(config: EngineConfig) -> Self {
+        ConcolicEngine { config }
+    }
+
+    /// Returns the engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Explores the program starting from the given seed inputs.
+    ///
+    /// Each seed is executed once; every symbolic branch observed becomes a
+    /// negation candidate. The engine then repeatedly selects a candidate,
+    /// solves for an input on the unexplored side, and executes it, until
+    /// `max_runs` executions have been performed or the worklist is empty.
+    pub fn explore<P: SymbolicProgram>(&self, program: &mut P, seeds: &[InputValues]) -> Exploration<P::Output> {
+        let start = Instant::now();
+        let mut solver = Solver::with_config(self.config.solver);
+        let mut runs: Vec<RunRecord<P::Output>> = Vec::new();
+        let mut coverage = Coverage::new();
+        let mut stats = ExplorationStats::default();
+        let mut worklist = Worklist::new(self.config.strategy);
+        // Path identities we have executed or already queued a query for.
+        let mut attempted: HashSet<PathId> = HashSet::new();
+
+        // Seed executions (the paper's "previously observed inputs").
+        for seed in seeds {
+            if runs.len() >= self.config.max_runs {
+                break;
+            }
+            let record = self.execute(program, seed.clone(), None, 0);
+            self.integrate(record, &mut runs, &mut coverage, &mut worklist, &mut attempted, &mut stats);
+        }
+
+        // Main negate-solve-execute loop.
+        while runs.len() < self.config.max_runs {
+            let Some(candidate) = worklist.pop(&coverage) else {
+                break;
+            };
+            if self.config.prune_covered_directions
+                && coverage.direction_covered(candidate.site, !candidate.taken)
+            {
+                stats.skipped_covered += 1;
+                continue;
+            }
+            let target = runs[candidate.run_index].trace.negated_path_id(candidate.branch_index);
+            if !attempted.insert(target) {
+                stats.skipped_duplicates += 1;
+                continue;
+            }
+            // Build and solve the negation query against the originating
+            // run's arena.
+            let (query, seed_model, fallback_input) = {
+                let run = &mut runs[candidate.run_index];
+                let query = run.trace.negation_query(candidate.branch_index);
+                (query, run.trace.concrete.clone(), run.trace.input.clone())
+            };
+            let verdict = {
+                let run = &mut runs[candidate.run_index];
+                solver.solve(&mut run.trace.arena, &query, Some(&seed_model))
+            };
+            match verdict {
+                Verdict::Sat(model) => {
+                    stats.solver_sat += 1;
+                    let input = {
+                        let run = &runs[candidate.run_index];
+                        InputValues::from_model(&model, &run.trace.var_map, &fallback_input)
+                    };
+                    let generation = runs[candidate.run_index].generation + 1;
+                    let record = self.execute(
+                        program,
+                        input,
+                        Some((candidate.run_index, candidate.branch_index)),
+                        generation,
+                    );
+                    self.integrate(record, &mut runs, &mut coverage, &mut worklist, &mut attempted, &mut stats);
+                }
+                Verdict::Unsat => stats.solver_unsat += 1,
+                Verdict::Unknown => stats.solver_unknown += 1,
+            }
+        }
+
+        stats.runs = runs.len();
+        stats.elapsed_ns = start.elapsed().as_nanos() as u64;
+        Exploration { runs, coverage, stats, solver_stats: *solver.stats() }
+    }
+
+    /// Executes the program once and wraps the result in a [`RunRecord`].
+    fn execute<P: SymbolicProgram>(
+        &self,
+        program: &mut P,
+        input: InputValues,
+        parent: Option<(usize, usize)>,
+        generation: u32,
+    ) -> RunRecord<P::Output> {
+        let mut ctx = ExecCtx::new().with_max_branches(self.config.max_branches_per_run);
+        let output = program.run(&mut ctx, &input);
+        let trace = ExecTrace::from_ctx(ctx, input);
+        RunRecord { trace, output, parent, generation }
+    }
+
+    /// Adds a completed run to the exploration state: updates coverage,
+    /// marks its path as attempted and enqueues its negation candidates.
+    fn integrate<O>(
+        &self,
+        record: RunRecord<O>,
+        runs: &mut Vec<RunRecord<O>>,
+        coverage: &mut Coverage,
+        worklist: &mut Worklist,
+        attempted: &mut HashSet<PathId>,
+        stats: &mut ExplorationStats,
+    ) {
+        let run_index = runs.len();
+        for b in &record.trace.branches {
+            coverage.record(b.site, b.taken);
+            if let Some(label) = record.trace.site_labels.get(&b.site) {
+                coverage.record_label(b.site, label);
+            }
+        }
+        attempted.insert(record.trace.path_id());
+        let candidate_count = record.trace.branches.len();
+        let limit = if self.config.max_candidates_per_run == 0 {
+            candidate_count
+        } else {
+            self.config.max_candidates_per_run.min(candidate_count)
+        };
+        for (branch_index, b) in record.trace.branches.iter().enumerate().take(limit) {
+            worklist.push(Candidate {
+                run_index,
+                branch_index,
+                generation: record.generation,
+                site: b.site,
+                taken: b.taken,
+            });
+            stats.candidates += 1;
+        }
+        runs.push(record);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The three-branch sample program from Figure 1 of the paper: the
+    /// engine should discover all reachable paths by negating predicates.
+    fn figure1_program(ctx: &mut ExecCtx, input: &InputValues) -> &'static str {
+        let x = ctx.symbolic_u32("x", input.get_or("x", 0) as u32);
+        let y = ctx.symbolic_u32("y", input.get_or("y", 0) as u32);
+        let c1 = x.gt_const(100, ctx);
+        if ctx.branch_labeled("p1", c1) {
+            let c2 = y.eq_const(7, ctx);
+            if ctx.branch_labeled("p2", c2) {
+                "deep"
+            } else {
+                "mid"
+            }
+        } else {
+            "shallow"
+        }
+    }
+
+    #[test]
+    fn explores_all_paths_of_figure1() {
+        let engine = ConcolicEngine::new();
+        let seeds = [InputValues::new().with("x", 5).with("y", 0)];
+        let mut program = figure1_program;
+        let result = engine.explore(&mut program, &seeds);
+        let outputs: HashSet<&str> = result.outputs().copied().collect();
+        assert!(outputs.contains("shallow"));
+        assert!(outputs.contains("mid"));
+        assert!(outputs.contains("deep"));
+        assert!(result.distinct_paths() >= 3);
+        assert_eq!(result.coverage.complete_sites(), 2);
+        assert!(result.stats.solver_sat >= 2);
+    }
+
+    #[test]
+    fn respects_run_budget() {
+        let config = EngineConfig { max_runs: 2, ..Default::default() };
+        let engine = ConcolicEngine::with_config(config);
+        let seeds = [InputValues::new().with("x", 5).with("y", 0)];
+        let mut program = figure1_program;
+        let result = engine.explore(&mut program, &seeds);
+        assert_eq!(result.runs.len(), 2);
+        assert_eq!(result.stats.runs, 2);
+    }
+
+    #[test]
+    fn unsat_branches_are_counted_not_explored() {
+        // The second branch is infeasible to negate: x > 100 && x <= 100.
+        fn program(ctx: &mut ExecCtx, input: &InputValues) -> u32 {
+            let x = ctx.symbolic_u32("x", input.get_or("x", 0) as u32);
+            let c1 = x.gt_const(100, ctx);
+            if ctx.branch_labeled("outer", c1) {
+                let c2 = x.gt_const(100, ctx);
+                if ctx.branch_labeled("inner-dup", c2) {
+                    2
+                } else {
+                    1
+                }
+            } else {
+                0
+            }
+        }
+        let engine = ConcolicEngine::new();
+        let seeds = [InputValues::new().with("x", 200)];
+        let mut p = program;
+        let result = engine.explore(&mut p, &seeds);
+        // The inner branch negation (x <= 100 while x > 100) must be unsat.
+        assert!(result.stats.solver_unsat >= 1);
+        let outputs: HashSet<u32> = result.outputs().copied().collect();
+        assert!(outputs.contains(&2));
+        assert!(outputs.contains(&0));
+        assert!(!outputs.contains(&1));
+    }
+
+    #[test]
+    fn generated_inputs_differ_from_seed() {
+        let engine = ConcolicEngine::new();
+        let seed = InputValues::new().with("x", 5).with("y", 0);
+        let mut program = figure1_program;
+        let result = engine.explore(&mut program, &[seed.clone()]);
+        let generated = result.generated_inputs();
+        assert!(!generated.is_empty());
+        assert!(generated.iter().any(|g| **g != seed));
+    }
+
+    #[test]
+    fn closure_with_state_can_be_explored() {
+        let mut observed = Vec::new();
+        {
+            let mut program = |ctx: &mut ExecCtx, input: &InputValues| {
+                let v = ctx.symbolic_u32("v", input.get_or("v", 0) as u32);
+                let c = v.eq_const(0xdead, ctx);
+                let hit = ctx.branch_labeled("magic", c);
+                observed.push(hit);
+                hit
+            };
+            let engine = ConcolicEngine::new();
+            let result = engine.explore(&mut program, &[InputValues::new().with("v", 0)]);
+            assert!(result.outputs().any(|&o| o));
+        }
+        assert!(observed.iter().any(|&b| b));
+    }
+
+    #[test]
+    fn pruning_reduces_work() {
+        let full = ConcolicEngine::with_config(EngineConfig {
+            prune_covered_directions: false,
+            ..Default::default()
+        });
+        let pruned = ConcolicEngine::with_config(EngineConfig {
+            prune_covered_directions: true,
+            ..Default::default()
+        });
+        // Several runs hit the same branch sites.
+        fn program(ctx: &mut ExecCtx, input: &InputValues) -> bool {
+            let a = ctx.symbolic_u32("a", input.get_or("a", 0) as u32);
+            let b = ctx.symbolic_u32("b", input.get_or("b", 0) as u32);
+            let c1 = a.gt_const(10, ctx);
+            let c2 = b.gt_const(10, ctx);
+            let r1 = ctx.branch_labeled("a>10", c1);
+            let r2 = ctx.branch_labeled("b>10", c2);
+            r1 && r2
+        }
+        let seeds = [
+            InputValues::new().with("a", 0).with("b", 0),
+            InputValues::new().with("a", 20).with("b", 0),
+        ];
+        let mut p1 = program;
+        let mut p2 = program;
+        let r_full = full.explore(&mut p1, &seeds);
+        let r_pruned = pruned.explore(&mut p2, &seeds);
+        assert!(r_pruned.stats.runs <= r_full.stats.runs);
+        // Both cover every direction of both sites.
+        assert_eq!(r_pruned.coverage.complete_sites(), 2);
+        assert_eq!(r_full.coverage.complete_sites(), 2);
+    }
+
+    #[test]
+    fn aggregate_constraints_grow_across_runs() {
+        // The paper: "Updating the aggregate set is important for achieving
+        // full coverage, since the previous runs might not have reached all
+        // branches". The nested branch only exists on the x>100 path; it
+        // must still be discovered starting from x=5.
+        let engine = ConcolicEngine::new();
+        let seeds = [InputValues::new().with("x", 5).with("y", 0)];
+        let mut program = figure1_program;
+        let result = engine.explore(&mut program, &seeds);
+        // Site "p2" is only reachable after negating "p1"; coverage proves
+        // the aggregate set was extended with constraints from later runs.
+        assert_eq!(result.coverage.site_count(), 2);
+    }
+}

@@ -1,0 +1,220 @@
+//! Symbolic input descriptions and concrete input assignments.
+//!
+//! An [`InputSpec`] names the fields of the input that the exploration may
+//! vary, together with their widths. An [`InputValues`] gives a concrete
+//! value for each named field; it is what the engine passes to the program
+//! under test, and what it derives from solver models when negating a
+//! branch predicate.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use dice_solver::{Model, VarId};
+
+/// Description of one symbolic input field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InputField {
+    /// Field name (e.g. `"nlri.prefix"`).
+    pub name: String,
+    /// Bit width (1..=64).
+    pub width: u32,
+    /// Default concrete value, used when a generated assignment leaves the
+    /// field unconstrained.
+    pub default: u64,
+}
+
+/// The set of symbolic input fields for a program under test.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InputSpec {
+    fields: Vec<InputField>,
+}
+
+impl InputSpec {
+    /// Creates an empty specification.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a field; builder style.
+    pub fn field(mut self, name: impl Into<String>, width: u32, default: u64) -> Self {
+        self.push(name, width, default);
+        self
+    }
+
+    /// Adds a field in place.
+    pub fn push(&mut self, name: impl Into<String>, width: u32, default: u64) {
+        self.fields.push(InputField { name: name.into(), width, default });
+    }
+
+    /// The declared fields, in declaration order.
+    pub fn fields(&self) -> &[InputField] {
+        &self.fields
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Returns true if no fields are declared.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Looks up a field by name.
+    pub fn get(&self, name: &str) -> Option<&InputField> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+
+    /// Produces the default assignment (every field at its default value).
+    pub fn defaults(&self) -> InputValues {
+        let mut v = InputValues::new();
+        for f in &self.fields {
+            v.set(&f.name, f.default);
+        }
+        v
+    }
+}
+
+/// A concrete assignment of values to named input fields.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InputValues {
+    values: BTreeMap<String, u64>,
+}
+
+impl InputValues {
+    /// Creates an empty assignment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets a field value.
+    pub fn set(&mut self, name: &str, value: u64) {
+        self.values.insert(name.to_string(), value);
+    }
+
+    /// Builder-style field setter.
+    pub fn with(mut self, name: &str, value: u64) -> Self {
+        self.set(name, value);
+        self
+    }
+
+    /// Returns the value of a field, or `None` if absent.
+    pub fn get(&self, name: &str) -> Option<u64> {
+        self.values.get(name).copied()
+    }
+
+    /// Returns the value of a field, or `default` if absent.
+    pub fn get_or(&self, name: &str, default: u64) -> u64 {
+        self.get(name).unwrap_or(default)
+    }
+
+    /// Number of assigned fields.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns true if no fields are assigned.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterates over `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> + '_ {
+        self.values.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Builds new input values from a solver model.
+    ///
+    /// Fields constrained by the model take the model's value; fields the
+    /// model leaves unconstrained keep the value from `fallback` (usually
+    /// the input of the run whose branch was negated), so that generated
+    /// messages stay close to observed ones.
+    pub fn from_model(
+        model: &Model,
+        var_map: &std::collections::HashMap<String, VarId>,
+        fallback: &InputValues,
+    ) -> InputValues {
+        let mut out = fallback.clone();
+        for (name, &var) in var_map {
+            if let Some(v) = model.get_opt(var) {
+                out.set(name, v);
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for InputValues {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (k, v)) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{k}={v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<(String, u64)> for InputValues {
+    fn from_iter<T: IntoIterator<Item = (String, u64)>>(iter: T) -> Self {
+        InputValues { values: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn spec_defaults() {
+        let spec = InputSpec::new()
+            .field("nlri.prefix", 32, 0x0a00_0000)
+            .field("nlri.len", 8, 24);
+        assert_eq!(spec.len(), 2);
+        let d = spec.defaults();
+        assert_eq!(d.get("nlri.prefix"), Some(0x0a00_0000));
+        assert_eq!(d.get("nlri.len"), Some(24));
+        assert_eq!(spec.get("nlri.len").map(|f| f.width), Some(8));
+        assert!(spec.get("missing").is_none());
+    }
+
+    #[test]
+    fn values_roundtrip() {
+        let v = InputValues::new().with("a", 1).with("b", 2);
+        assert_eq!(v.get("a"), Some(1));
+        assert_eq!(v.get_or("c", 9), 9);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.to_string(), "{a=1, b=2}");
+    }
+
+    #[test]
+    fn from_model_merges_with_fallback() {
+        let mut arena = dice_solver::TermArena::new();
+        let va = arena.declare_var("a", 32);
+        let _vb = arena.declare_var("b", 32);
+        let mut var_map = HashMap::new();
+        var_map.insert("a".to_string(), va);
+        // `b` intentionally not in the var map: it was never made symbolic.
+        let mut model = Model::new();
+        model.set(va, 777);
+        let fallback = InputValues::new().with("a", 1).with("b", 2);
+        let merged = InputValues::from_model(&model, &var_map, &fallback);
+        assert_eq!(merged.get("a"), Some(777));
+        assert_eq!(merged.get("b"), Some(2));
+    }
+
+    #[test]
+    fn values_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let v1 = InputValues::new().with("x", 1).with("y", 2);
+        let v2 = InputValues::new().with("y", 2).with("x", 1);
+        assert_eq!(v1, v2);
+        let mut set = HashSet::new();
+        set.insert(v1);
+        assert!(set.contains(&v2));
+    }
+}

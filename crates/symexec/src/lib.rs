@@ -1,0 +1,54 @@
+//! # dice-symexec
+//!
+//! A concolic execution engine for Rust code, playing the role of the Oasis
+//! engine in the DiCE prototype (USENIX ATC 2011).
+//!
+//! The original system instruments C programs with CIL so that every branch
+//! on symbolic data records a constraint at run time. In Rust there is no
+//! equivalent source-instrumentation pipeline, so this crate uses a
+//! *library embedding*: code under test manipulates [`Concolic`] values and
+//! announces its branches through [`ExecCtx::branch`]. The observable
+//! artifact is the same — a path condition per execution — and the
+//! exploration loop (negate a predicate, solve, re-execute) is identical to
+//! the one described in the paper's Figure 1.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use dice_symexec::{ConcolicEngine, ExecCtx, InputValues};
+//!
+//! // A handler with two paths: the engine discovers both from one seed.
+//! let mut handler = |ctx: &mut ExecCtx, input: &InputValues| {
+//!     let ttl = ctx.symbolic_u32("ttl", input.get_or("ttl", 0) as u32);
+//!     let cond = ttl.gt_const(64, ctx);
+//!     if ctx.branch_labeled("ttl-check", cond) {
+//!         "drop"
+//!     } else {
+//!         "forward"
+//!     }
+//! };
+//!
+//! let engine = ConcolicEngine::new();
+//! let result = engine.explore(&mut handler, &[InputValues::new().with("ttl", 10)]);
+//! let outputs: std::collections::HashSet<_> = result.outputs().copied().collect();
+//! assert!(outputs.contains("drop") && outputs.contains("forward"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod context;
+pub mod coverage;
+pub mod engine;
+pub mod input;
+pub mod path;
+pub mod strategy;
+pub mod value;
+
+pub use context::{BranchRecord, ExecCtx, SiteId};
+pub use coverage::{Coverage, SiteCoverage};
+pub use engine::{ConcolicEngine, EngineConfig, Exploration, ExplorationStats, RunRecord, SymbolicProgram};
+pub use input::{InputField, InputSpec, InputValues};
+pub use path::{path_id, ExecTrace, PathId};
+pub use strategy::{Candidate, SearchStrategy, Worklist};
+pub use value::{CU16, CU32, CU64, CU8, Concolic, ConcolicBool, ConcolicInt};

@@ -1,0 +1,215 @@
+//! Search strategies for selecting the next branch to negate.
+//!
+//! Oasis (the engine the paper builds on) "has multiple search strategies";
+//! the default "attempts to cover all execution paths reachable by the set
+//! of controlled symbolic inputs". This module provides the equivalent
+//! choices for the Rust engine.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::context::SiteId;
+use crate::coverage::Coverage;
+
+/// A pending exploration candidate: negate branch `branch_index` of run
+/// `run_index`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Candidate {
+    /// Index of the run (in the engine's run list) the branch belongs to.
+    pub run_index: usize,
+    /// Index of the branch within that run's trace.
+    pub branch_index: usize,
+    /// Exploration generation of the run (seeds are generation 0).
+    pub generation: u32,
+    /// Branch site, used for coverage-guided selection.
+    pub site: SiteId,
+    /// Direction the original run took at this branch.
+    pub taken: bool,
+}
+
+/// Strategy used to pick the next candidate from the worklist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchStrategy {
+    /// Negate the most recently discovered, deepest branch first (LIFO).
+    DepthFirst,
+    /// Explore runs generation by generation (FIFO), the default of the
+    /// paper's engine and of SAGE-style whitebox fuzzing.
+    Generational,
+    /// Prefer candidates whose unexplored direction has never been covered
+    /// at that site; fall back to generational order.
+    CoverageGuided,
+    /// Pick uniformly at random (deterministic given the seed).
+    Random {
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+impl Default for SearchStrategy {
+    fn default() -> Self {
+        SearchStrategy::Generational
+    }
+}
+
+/// Worklist of pending candidates with strategy-driven selection.
+#[derive(Debug)]
+pub struct Worklist {
+    strategy: SearchStrategy,
+    items: Vec<Candidate>,
+    rng: StdRng,
+}
+
+impl Worklist {
+    /// Creates an empty worklist using the given strategy.
+    pub fn new(strategy: SearchStrategy) -> Self {
+        let seed = match strategy {
+            SearchStrategy::Random { seed } => seed,
+            _ => 0,
+        };
+        Worklist { strategy, items: Vec::new(), rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Adds a candidate.
+    pub fn push(&mut self, c: Candidate) {
+        self.items.push(c);
+    }
+
+    /// Number of pending candidates.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Returns true if no candidates are pending.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Selects and removes the next candidate according to the strategy.
+    pub fn pop(&mut self, coverage: &Coverage) -> Option<Candidate> {
+        if self.items.is_empty() {
+            return None;
+        }
+        let idx = match self.strategy {
+            SearchStrategy::DepthFirst => {
+                // Last inserted, deepest branch.
+                let mut best = self.items.len() - 1;
+                for (i, c) in self.items.iter().enumerate() {
+                    let b = &self.items[best];
+                    if (c.generation, c.branch_index) > (b.generation, b.branch_index) {
+                        best = i;
+                    }
+                }
+                best
+            }
+            SearchStrategy::Generational => {
+                // Lowest generation, then shallowest branch: breadth-first
+                // over the execution tree.
+                let mut best = 0;
+                for (i, c) in self.items.iter().enumerate() {
+                    let b = &self.items[best];
+                    if (c.generation, c.branch_index) < (b.generation, b.branch_index) {
+                        best = i;
+                    }
+                }
+                best
+            }
+            SearchStrategy::CoverageGuided => {
+                // Prefer candidates targeting a direction never covered.
+                let mut best: Option<usize> = None;
+                for (i, c) in self.items.iter().enumerate() {
+                    let uncovered = !coverage.direction_covered(c.site, !c.taken);
+                    let best_uncovered = best
+                        .map(|b| !coverage.direction_covered(self.items[b].site, !self.items[b].taken))
+                        .unwrap_or(false);
+                    let better = match best {
+                        None => true,
+                        Some(b) => {
+                            let bc = &self.items[b];
+                            (uncovered, std::cmp::Reverse((c.generation, c.branch_index)))
+                                > (best_uncovered, std::cmp::Reverse((bc.generation, bc.branch_index)))
+                        }
+                    };
+                    if better {
+                        best = Some(i);
+                    }
+                }
+                best.unwrap_or(0)
+            }
+            SearchStrategy::Random { .. } => self.rng.gen_range(0..self.items.len()),
+        };
+        Some(self.items.swap_remove(idx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(run: usize, branch: usize, generation: u32, site: u64, taken: bool) -> Candidate {
+        Candidate { run_index: run, branch_index: branch, generation, site: SiteId(site), taken }
+    }
+
+    #[test]
+    fn generational_pops_lowest_generation_first() {
+        let mut wl = Worklist::new(SearchStrategy::Generational);
+        wl.push(cand(1, 3, 2, 10, true));
+        wl.push(cand(0, 1, 0, 11, true));
+        wl.push(cand(2, 0, 1, 12, false));
+        let cov = Coverage::new();
+        let first = wl.pop(&cov).expect("non-empty");
+        assert_eq!(first.generation, 0);
+        let second = wl.pop(&cov).expect("non-empty");
+        assert_eq!(second.generation, 1);
+    }
+
+    #[test]
+    fn depth_first_pops_deepest_latest() {
+        let mut wl = Worklist::new(SearchStrategy::DepthFirst);
+        wl.push(cand(0, 1, 0, 10, true));
+        wl.push(cand(1, 5, 1, 11, true));
+        wl.push(cand(1, 2, 1, 12, false));
+        let cov = Coverage::new();
+        let first = wl.pop(&cov).expect("non-empty");
+        assert_eq!((first.generation, first.branch_index), (1, 5));
+    }
+
+    #[test]
+    fn coverage_guided_prefers_uncovered_directions() {
+        let mut wl = Worklist::new(SearchStrategy::CoverageGuided);
+        wl.push(cand(0, 0, 0, 10, true)); // negation targets (10, false)
+        wl.push(cand(0, 1, 0, 11, true)); // negation targets (11, false)
+        let mut cov = Coverage::new();
+        // Site 10's false direction is already covered; site 11's is not.
+        cov.record(SiteId(10), false);
+        cov.record(SiteId(10), true);
+        cov.record(SiteId(11), true);
+        let first = wl.pop(&cov).expect("non-empty");
+        assert_eq!(first.site, SiteId(11));
+    }
+
+    #[test]
+    fn random_is_deterministic_for_seed() {
+        let order = |seed| {
+            let mut wl = Worklist::new(SearchStrategy::Random { seed });
+            for i in 0..8 {
+                wl.push(cand(i, 0, 0, i as u64, true));
+            }
+            let cov = Coverage::new();
+            let mut out = Vec::new();
+            while let Some(c) = wl.pop(&cov) {
+                out.push(c.run_index);
+            }
+            out
+        };
+        assert_eq!(order(42), order(42));
+        assert_eq!(order(42).len(), 8);
+    }
+
+    #[test]
+    fn pop_on_empty_returns_none() {
+        let mut wl = Worklist::new(SearchStrategy::default());
+        assert!(wl.pop(&Coverage::new()).is_none());
+        assert!(wl.is_empty());
+        assert_eq!(wl.len(), 0);
+    }
+}

@@ -1,0 +1,107 @@
+//! The full §4.2 scenario on the Figure 2 topology: compare how the three
+//! customer-filter configurations behave in the live network (simulator)
+//! and what DiCE predicts about them (exploration), for the YouTube /
+//! Pakistan Telecom class of incident.
+//!
+//! Run with `cargo run --example route_leak_detection`.
+
+use dice::prelude::*;
+
+/// Replays the actual incident in the live simulator: the customer leaks
+/// the victim's more-specific /24. Returns true if the hijack reaches the
+/// rest of the Internet.
+fn incident_spreads(mode: CustomerFilterMode) -> bool {
+    let topo = figure2_topology(mode);
+    let mut sim = Simulator::new(&topo);
+    let provider = topo.node_by_name("Provider").expect("node");
+    let internet = topo.node_by_name("RestOfInternet").expect("node");
+
+    // The victim's legitimate /22 is already known via the Internet.
+    let mut attrs = RouteAttrs::default();
+    attrs.as_path = AsPath::from_sequence([asn::INTERNET, 3356, asn::VICTIM]);
+    sim.inject(
+        provider,
+        addr::INTERNET,
+        BgpMessage::Update(UpdateMessage::announce(
+            vec!["208.65.152.0/22".parse().expect("valid")],
+            &attrs,
+        )),
+    );
+    sim.run_to_quiescence(100);
+
+    // The customer (mis)announces the victim's more-specific /24.
+    let mut cattrs = RouteAttrs::default();
+    cattrs.as_path = AsPath::from_sequence([asn::CUSTOMER]);
+    sim.inject(
+        provider,
+        addr::CUSTOMER,
+        BgpMessage::Update(UpdateMessage::announce(
+            vec!["208.65.153.0/24".parse().expect("valid")],
+            &cattrs,
+        )),
+    );
+    sim.run_to_quiescence(100);
+
+    sim.router(internet)
+        .rib()
+        .best_route(&"208.65.153.0/24".parse().expect("valid"))
+        .map(|r| r.origin_as().map(|a| a.value()) == Some(asn::CUSTOMER))
+        .unwrap_or(false)
+}
+
+/// Runs DiCE proactively on the Provider before any incident: explore
+/// inputs derived from a routine customer announcement and report the
+/// prefix ranges that could be leaked.
+fn dice_prediction(mode: CustomerFilterMode) -> ExplorationReport {
+    let topo = figure2_topology(mode);
+    let provider = topo.node_by_name("Provider").expect("node");
+    let mut router = BgpRouter::new(topo.nodes()[provider.0].config.clone());
+    router.start();
+
+    let internet = router.peer_by_address(addr::INTERNET).expect("peer");
+    let mut attrs = RouteAttrs::default();
+    attrs.as_path = AsPath::from_sequence([asn::INTERNET, 3356, asn::VICTIM]);
+    router.handle_update(
+        internet,
+        &UpdateMessage::announce(vec!["208.65.152.0/22".parse().expect("valid")], &attrs),
+    );
+
+    let customer = router.peer_by_address(addr::CUSTOMER).expect("peer");
+    let mut cattrs = RouteAttrs::default();
+    cattrs.as_path = AsPath::from_sequence([asn::CUSTOMER, asn::CUSTOMER]);
+    let observed = UpdateMessage::announce(vec!["41.1.0.0/16".parse().expect("valid")], &cattrs);
+    Dice::new().run_single(&router, customer, &observed)
+}
+
+fn main() {
+    println!("{:<42} {:>18} {:>22}", "customer filter configuration", "incident spreads?", "DiCE predicts leak?");
+    for (mode, label) in [
+        (CustomerFilterMode::Correct, "correct (prefix set + origin pinned)"),
+        (CustomerFilterMode::Erroneous, "erroneous (stale prefix-set entry)"),
+        (CustomerFilterMode::Missing, "missing (no customer filter at all)"),
+    ] {
+        let spreads = incident_spreads(mode);
+        let report = dice_prediction(mode);
+        println!(
+            "{:<42} {:>18} {:>22}",
+            label,
+            if spreads { "YES (outage)" } else { "no" },
+            if report.has_faults() {
+                format!("YES ({})", report
+                    .leaked_prefixes()
+                    .iter()
+                    .map(|p| p.to_string())
+                    .collect::<Vec<_>>()
+                    .join(" "))
+            } else {
+                "no".to_string()
+            }
+        );
+    }
+    println!();
+    println!("A correct filter stops the incident and DiCE stays quiet; the erroneous filter");
+    println!("lets the incident through and DiCE flags the leakable range in advance. The");
+    println!("fully missing filter also lets the incident through, but offers no configured");
+    println!("policy branches for this observed input, so detection requires the partially");
+    println!("correct configuration the paper evaluates (or a denser installed table).");
+}

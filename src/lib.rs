@@ -1,0 +1,49 @@
+//! # dice
+//!
+//! Umbrella crate for the DiCE reproduction ("Toward Online Testing of
+//! Federated and Heterogeneous Distributed Systems", Canini et al., USENIX
+//! ATC 2011): re-exports of every workspace crate plus a prelude used by
+//! the examples and integration tests.
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory and
+//! `EXPERIMENTS.md` for the paper-vs-measured results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use dice_bgp as bgp;
+pub use dice_checkpoint as checkpoint;
+pub use dice_core as core;
+pub use dice_netsim as netsim;
+pub use dice_router as router;
+pub use dice_solver as solver;
+pub use dice_symexec as symexec;
+
+/// Commonly used items across the DiCE stack.
+pub mod prelude {
+    pub use dice_bgp::attributes::RouteAttrs;
+    pub use dice_bgp::message::{BgpMessage, UpdateMessage};
+    pub use dice_bgp::prefix::Ipv4Prefix;
+    pub use dice_bgp::route::{PeerId, Route};
+    pub use dice_bgp::AsPath;
+    pub use dice_checkpoint::{CheckpointManager, Checkpointable};
+    pub use dice_core::{
+        CheckpointedRouter, CustomerFilterMode, Dice, DiceConfig, ExplorationReport, Fault,
+        OriginHijackChecker, SharedCoreScheduler, UpdateTemplate,
+    };
+    pub use dice_netsim::topology::{addr, asn, figure2_topology};
+    pub use dice_netsim::{generate_trace, Replayer, Simulator, TraceGenConfig};
+    pub use dice_router::{BgpRouter, NeighborConfig, RouterConfig};
+    pub use dice_symexec::{ConcolicEngine, EngineConfig, ExecCtx, InputValues};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_reexports_compile() {
+        use crate::prelude::*;
+        let _ = CustomerFilterMode::Correct;
+        let _ = Dice::new();
+        let _ = TraceGenConfig::tiny();
+    }
+}

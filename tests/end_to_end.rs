@@ -1,0 +1,157 @@
+//! End-to-end integration tests spanning every crate: the Figure 2
+//! topology, live simulation, DiCE exploration, fault detection and
+//! isolation.
+
+use dice::prelude::*;
+
+/// Builds the Provider router with the victim /22 installed and returns it
+/// together with the customer peer id and the observed customer update.
+fn provider_scenario(mode: CustomerFilterMode) -> (BgpRouter, PeerId, UpdateMessage) {
+    let topo = figure2_topology(mode);
+    let provider = topo.node_by_name("Provider").expect("node");
+    let mut router = BgpRouter::new(topo.nodes()[provider.0].config.clone());
+    router.start();
+
+    let internet = router.peer_by_address(addr::INTERNET).expect("peer");
+    let mut attrs = RouteAttrs::default();
+    attrs.as_path = AsPath::from_sequence([asn::INTERNET, 3356, asn::VICTIM]);
+    router.handle_update(
+        internet,
+        &UpdateMessage::announce(vec!["208.65.152.0/22".parse().expect("valid")], &attrs),
+    );
+
+    let customer = router.peer_by_address(addr::CUSTOMER).expect("peer");
+    let mut cattrs = RouteAttrs::default();
+    cattrs.as_path = AsPath::from_sequence([asn::CUSTOMER, asn::CUSTOMER]);
+    let observed = UpdateMessage::announce(vec!["41.1.0.0/16".parse().expect("valid")], &cattrs);
+    (router, customer, observed)
+}
+
+#[test]
+fn dice_detects_leak_that_the_live_network_would_suffer() {
+    // Live network check: with the erroneous filter the hijack spreads.
+    let topo = figure2_topology(CustomerFilterMode::Erroneous);
+    let mut sim = Simulator::new(&topo);
+    let provider = topo.node_by_name("Provider").expect("node");
+    let internet_node = topo.node_by_name("RestOfInternet").expect("node");
+    let mut cattrs = RouteAttrs::default();
+    cattrs.as_path = AsPath::from_sequence([asn::CUSTOMER]);
+    sim.inject(
+        provider,
+        addr::CUSTOMER,
+        BgpMessage::Update(UpdateMessage::announce(
+            vec!["208.65.153.0/24".parse().expect("valid")],
+            &cattrs,
+        )),
+    );
+    sim.run_to_quiescence(100);
+    assert!(
+        sim.router(internet_node)
+            .rib()
+            .best_route(&"208.65.153.0/24".parse().expect("valid"))
+            .is_some(),
+        "the erroneous filter lets the hijack reach the rest of the Internet"
+    );
+
+    // DiCE check: exploration of a *benign* observed update predicts the
+    // same class of leak before it happens.
+    let (router, customer, observed) = provider_scenario(CustomerFilterMode::Erroneous);
+    let report = Dice::new().run_single(&router, customer, &observed);
+    assert!(report.has_faults());
+    assert!(report
+        .leaked_prefixes()
+        .iter()
+        .any(|p| p.overlaps(&"208.65.152.0/22".parse().expect("valid"))));
+}
+
+#[test]
+fn correct_configuration_passes_online_testing() {
+    let (router, customer, observed) = provider_scenario(CustomerFilterMode::Correct);
+    let report = Dice::new().run_single(&router, customer, &observed);
+    assert!(!report.has_faults());
+    assert!(report.branch_sites > 0, "the correct filter's branches were still explored");
+    assert!(report.runs > 1, "exploratory inputs beyond the seed were executed");
+}
+
+#[test]
+fn exploration_is_isolated_from_the_live_router() {
+    let (router, customer, observed) = provider_scenario(CustomerFilterMode::Erroneous);
+    let rib_before = router.rib().prefix_count();
+    let routes_before = router.rib().route_count();
+    let stats_before = *router.stats();
+
+    let report = Dice::new().run_single(&router, customer, &observed);
+
+    assert!(report.isolation_preserved);
+    assert_eq!(router.rib().prefix_count(), rib_before);
+    assert_eq!(router.rib().route_count(), routes_before);
+    assert_eq!(*router.stats(), stats_before);
+    assert!(report.intercepted_messages > 0, "exploratory messages were captured, not sent");
+}
+
+#[test]
+fn checkpoint_of_loaded_router_shares_memory_with_live_process() {
+    use dice::prelude::{CheckpointManager, CheckpointedRouter};
+
+    let (router, _, _) = provider_scenario(CustomerFilterMode::Erroneous);
+    // Load a few thousand synthetic routes to give the image some weight.
+    let trace = generate_trace(
+        &TraceGenConfig { prefix_count: 3_000, update_count: 200, ..Default::default() },
+        asn::INTERNET,
+        addr::INTERNET,
+    );
+    let mut router = router;
+    Replayer::new(&trace, addr::INTERNET).load_table(&mut router);
+
+    let mut manager = CheckpointManager::new(CheckpointedRouter(router));
+    let checkpoint = manager.take_checkpoint();
+    assert_eq!(checkpoint.memory_stats_vs(manager.live()).unique_pages, 0);
+
+    // Live processing of the incremental trace dirties only part of the image.
+    let peer = manager
+        .live()
+        .state()
+        .router()
+        .peer_by_address(addr::INTERNET)
+        .expect("peer");
+    let updates: Vec<UpdateMessage> = trace.updates.iter().map(|e| e.update.clone()).collect();
+    for u in &updates {
+        manager.live_mut().state_mut().router_mut().handle_update(peer, u);
+    }
+    manager.live_mut().sync();
+    let stats = checkpoint.memory_stats_vs(manager.live());
+    assert!(stats.unique_fraction() < 1.0);
+    assert!(stats.total_pages > 10);
+}
+
+#[test]
+fn full_table_load_and_replay_keep_router_consistent() {
+    let (mut router, _, _) = provider_scenario(CustomerFilterMode::Correct);
+    let trace = generate_trace(
+        &TraceGenConfig { prefix_count: 2_000, update_count: 500, withdrawal_percent: 20, ..Default::default() },
+        asn::INTERNET,
+        addr::INTERNET,
+    );
+    let replayer = Replayer::new(&trace, addr::INTERNET);
+    let load = replayer.load_table(&mut router);
+    assert_eq!(load.rib_prefixes, router.rib().prefix_count());
+    let replay = replayer.replay_updates(&mut router, |_| {});
+    assert_eq!(replay.updates_fed, 500);
+    // Every Loc-RIB entry still has a best route and a consistent origin.
+    for (prefix, route) in router.rib().loc_rib() {
+        assert_eq!(route.prefix, prefix);
+        assert!(route.origin_as().is_some());
+    }
+}
+
+#[test]
+fn dice_report_is_reproducible_for_the_same_inputs() {
+    let (router, customer, observed) = provider_scenario(CustomerFilterMode::Erroneous);
+    let dice = Dice::new();
+    let a = dice.run_single(&router, customer, &observed);
+    let b = dice.run_single(&router, customer, &observed);
+    assert_eq!(a.runs, b.runs);
+    assert_eq!(a.distinct_paths, b.distinct_paths);
+    assert_eq!(a.faults, b.faults);
+    assert_eq!(a.leaked_prefixes(), b.leaked_prefixes());
+}

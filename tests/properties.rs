@@ -1,0 +1,209 @@
+//! Property-based tests over the core data structures and invariants,
+//! spanning the protocol codec, the routing substrate, the concolic engine
+//! and the checkpoint layer.
+
+use proptest::prelude::*;
+
+use dice::prelude::*;
+use dice_bgp::attributes::{Community, Origin};
+use dice_bgp::wire;
+use dice_router::policy::{eval_filter, parse_filter, RouteView};
+use dice_router::PrefixTrie;
+use dice_solver::{Solver, TermArena};
+use dice_symexec::{CU32, ExecCtx};
+
+fn arb_prefix() -> impl Strategy<Value = Ipv4Prefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(addr, len)| Ipv4Prefix::new(addr, len).expect("len <= 32"))
+}
+
+fn arb_attrs() -> impl Strategy<Value = RouteAttrs> {
+    (
+        prop::collection::vec(1u32..1_000_000, 1..6),
+        0u8..=2,
+        prop::option::of(any::<u32>()),
+        prop::option::of(any::<u32>()),
+        prop::collection::vec((any::<u16>(), any::<u16>()), 0..4),
+    )
+        .prop_map(|(path, origin, med, local_pref, communities)| {
+            let mut attrs = RouteAttrs::default();
+            attrs.as_path = AsPath::from_sequence(path);
+            attrs.origin = Origin::from_code(origin).expect("0..=2");
+            attrs.med = med;
+            attrs.local_pref = local_pref;
+            attrs.next_hop = std::net::Ipv4Addr::new(192, 0, 2, 1);
+            attrs.communities = communities.into_iter().map(|(a, b)| Community::new(a, b)).collect();
+            attrs
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Prefix parsing and display round-trip.
+    #[test]
+    fn prefix_display_parse_roundtrip(prefix in arb_prefix()) {
+        let text = prefix.to_string();
+        let parsed: Ipv4Prefix = text.parse().expect("display output parses");
+        prop_assert_eq!(parsed, prefix);
+    }
+
+    /// UPDATE messages survive a wire encode/decode round-trip.
+    #[test]
+    fn update_wire_roundtrip(
+        nlri in prop::collection::vec(arb_prefix(), 0..8),
+        withdrawn in prop::collection::vec(arb_prefix(), 0..8),
+        attrs in arb_attrs(),
+    ) {
+        let update = UpdateMessage {
+            withdrawn,
+            attributes: if nlri.is_empty() { Vec::new() } else { attrs.to_attributes() },
+            nlri,
+        };
+        let bytes = wire::encode(&BgpMessage::Update(update.clone()));
+        let (decoded, used) = wire::decode(&bytes).expect("own encoding decodes");
+        prop_assert_eq!(used, bytes.len());
+        prop_assert_eq!(decoded, BgpMessage::Update(update));
+    }
+
+    /// The trie's longest-prefix match agrees with a naive linear scan.
+    #[test]
+    fn trie_matches_naive_longest_prefix_match(
+        prefixes in prop::collection::vec(arb_prefix(), 1..40),
+        ip in any::<u32>(),
+    ) {
+        let mut trie = PrefixTrie::new();
+        for (i, p) in prefixes.iter().enumerate() {
+            trie.insert(*p, i);
+        }
+        let expected = prefixes
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.contains_ip(ip))
+            .max_by_key(|(i, p)| (p.len(), std::cmp::Reverse(*i)))
+            .map(|(_, p)| p.len());
+        // On duplicate prefixes the later insert wins, so compare lengths.
+        let got = trie.longest_match_ip(ip).map(|(p, _)| p.len());
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Concolic arithmetic mirrors concrete machine arithmetic.
+    #[test]
+    fn concolic_arithmetic_matches_concrete(a in any::<u32>(), b in any::<u32>()) {
+        let mut ctx = ExecCtx::new();
+        let sa = ctx.symbolic_u32("a", a);
+        let cb = CU32::concrete(b);
+        prop_assert_eq!(sa.add(&cb, &mut ctx).value(), a.wrapping_add(b));
+        prop_assert_eq!(sa.sub(&cb, &mut ctx).value(), a.wrapping_sub(b));
+        prop_assert_eq!(sa.mul(&cb, &mut ctx).value(), a.wrapping_mul(b));
+        prop_assert_eq!(sa.bitand(&cb, &mut ctx).value(), a & b);
+        prop_assert_eq!(sa.bitor(&cb, &mut ctx).value(), a | b);
+        prop_assert_eq!(sa.lt(&cb, &mut ctx).value(), a < b);
+        prop_assert_eq!(sa.eq(&cb, &mut ctx).value(), a == b);
+    }
+
+    /// Any model the solver returns actually satisfies the constraints it
+    /// was asked to satisfy.
+    #[test]
+    fn solver_models_satisfy_their_constraints(lo in 0u32..5000, span in 1u32..5000, exclude in any::<u32>()) {
+        let hi = lo.saturating_add(span);
+        let mut arena = TermArena::new();
+        let x = arena.declare_var("x", 32);
+        let xv = arena.var(x);
+        let lo_t = arena.int_const(lo as u64, 32);
+        let hi_t = arena.int_const(hi as u64, 32);
+        let ex_t = arena.int_const(exclude as u64, 32);
+        let c1 = arena.uge(xv, lo_t);
+        let c2 = arena.ule(xv, hi_t);
+        let c3 = arena.ne(xv, ex_t);
+        let constraints = [c1, c2, c3];
+        let mut solver = Solver::new();
+        let verdict = solver.solve(&mut arena, &constraints, None);
+        // The range always contains at least two values, so excluding one
+        // still leaves a model.
+        let model = verdict.model().expect("satisfiable by construction");
+        prop_assert!(model.satisfies_all(&arena, &constraints));
+    }
+
+    /// The filter interpreter gives the same verdict on concrete views and
+    /// on symbolic views carrying the same concrete values.
+    #[test]
+    fn filter_concrete_and_symbolic_evaluation_agree(
+        prefix in arb_prefix(),
+        source_as in 1u32..100_000,
+        med in 0u32..500,
+    ) {
+        let filter = parse_filter(
+            r#"filter f {
+                if net ~ [ 41.0.0.0/12{12,24}, 208.65.152.0/22{22,24} ] && source_as = 17557 then accept;
+                if med > 100 then reject;
+                if net.len > 24 then reject;
+                accept;
+            }"#,
+        ).expect("parses");
+
+        let mut attrs = RouteAttrs::default();
+        attrs.as_path = AsPath::from_sequence([3491, source_as]);
+        attrs.med = Some(med);
+        let route = Route::new(prefix, attrs, PeerId(1), 1);
+
+        let mut concrete_ctx = ExecCtx::new();
+        let concrete = eval_filter(&filter, &RouteView::concrete(&route), &mut concrete_ctx);
+
+        let mut sym_ctx = ExecCtx::new();
+        let view = RouteView {
+            prefix_addr: sym_ctx.symbolic_u32("nlri.addr", prefix.addr()),
+            prefix_len: sym_ctx.symbolic_u8("nlri.len", prefix.len()),
+            source_as: sym_ctx.symbolic_u32("attr.source_as", source_as),
+            med: sym_ctx.symbolic_u32("attr.med", med),
+            ..RouteView::concrete(&route)
+        };
+        let symbolic = eval_filter(&filter, &view, &mut sym_ctx);
+
+        prop_assert_eq!(concrete.verdict, symbolic.verdict);
+        prop_assert_eq!(concrete.local_pref, symbolic.local_pref);
+        // Concrete evaluation records nothing; symbolic evaluation records
+        // constraints satisfied by its own concrete values.
+        prop_assert!(concrete_ctx.branches().is_empty());
+        let constraints = sym_ctx.path_constraints();
+        let model = sym_ctx.concrete_model().clone();
+        prop_assert!(model.satisfies_all(sym_ctx.arena(), &constraints));
+    }
+
+    /// Copy-on-write snapshots: unmodified forks share every page, and a
+    /// fork never affects its parent's contents.
+    #[test]
+    fn checkpoint_forks_are_isolated(data in prop::collection::vec(any::<u8>(), 1..40_000), edit in any::<u8>()) {
+        use dice_checkpoint::AddressSpace;
+        let parent = AddressSpace::from_bytes(&data);
+        let fork = parent.clone();
+        prop_assert_eq!(fork.unique_pages_vs(&parent), 0);
+
+        let mut modified = data.clone();
+        let idx = modified.len() / 2;
+        modified[idx] = modified[idx].wrapping_add(edit | 1);
+        let mut fork = fork;
+        fork.load(&modified);
+        // The parent still reads back the original data.
+        prop_assert_eq!(&parent.read_all()[..data.len()], &data[..]);
+        prop_assert!(fork.unique_pages_vs(&parent) <= 1);
+    }
+
+    /// Generated exploratory UPDATE messages are always syntactically valid
+    /// regardless of the assignment (paper §3.2).
+    #[test]
+    fn generated_updates_are_wire_valid(addr in any::<u64>(), len in any::<u64>(), origin in any::<u64>(), asn in any::<u64>()) {
+        let mut attrs = RouteAttrs::default();
+        attrs.as_path = AsPath::from_sequence([17557, 17557]);
+        let observed = UpdateMessage::announce(vec!["41.1.0.0/16".parse().expect("valid")], &attrs);
+        let template = UpdateTemplate::from_update(&observed).expect("announcement");
+        let values = dice_symexec::InputValues::new()
+            .with("nlri.addr", addr)
+            .with("nlri.len", len)
+            .with("attr.origin", origin)
+            .with("attr.source_as", asn);
+        let update = template.build_update(&values);
+        let bytes = wire::encode(&BgpMessage::Update(update.clone()));
+        let (decoded, _) = wire::decode(&bytes).expect("generated message is valid");
+        prop_assert_eq!(decoded, BgpMessage::Update(update));
+    }
+}
