@@ -13,7 +13,11 @@ fn bench_checkpoint(c: &mut Criterion) {
 
     let mut router = provider_router(CustomerFilterMode::Erroneous);
     install_victim_prefix(&mut router);
-    let trace = internet_trace(&TraceGenConfig { prefix_count: 5_000, update_count: 0, ..Default::default() });
+    let trace = internet_trace(&TraceGenConfig {
+        prefix_count: 5_000,
+        update_count: 0,
+        ..Default::default()
+    });
     load_full_table(&mut router, &trace);
     let manager = CheckpointManager::new(CheckpointedRouter(router));
 

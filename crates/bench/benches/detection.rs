@@ -16,7 +16,10 @@ fn bench_detection(c: &mut Criterion) {
         let customer = customer_peer(&router);
         let observed = observed_customer_update();
         let dice = Dice::with_config(DiceConfig {
-            engine: EngineConfig { max_runs: 32, ..Default::default() },
+            engine: EngineConfig {
+                max_runs: 32,
+                ..Default::default()
+            },
             ..Default::default()
         });
         b.iter(|| {

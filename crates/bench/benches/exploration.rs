@@ -1,7 +1,15 @@
 //! Experiment F1 (Figure 1): concolic exploration of a nested-branch
-//! handler — the engine negates predicates to reach every path.
+//! handler — the engine negates predicates to reach every path — plus the
+//! sequential-vs-parallel comparison of a multi-input `Dice::run` round.
+
+use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use dice_bench::{customer_peer, install_victim_prefix, observed_customer_update, provider_router};
+use dice_bgp::message::UpdateMessage;
+use dice_bgp::route::PeerId;
+use dice_core::{CustomerFilterMode, Dice, DiceConfig};
+use dice_router::BgpRouter;
 use dice_symexec::{ConcolicEngine, EngineConfig, ExecCtx, InputValues};
 
 fn figure1_program(ctx: &mut ExecCtx, input: &InputValues) -> u32 {
@@ -20,21 +28,89 @@ fn figure1_program(ctx: &mut ExecCtx, input: &InputValues) -> u32 {
     }
 }
 
+/// The Figure 2 Provider under test plus eight observed customer inputs —
+/// the multi-input round `Dice::run` fans out across workers.
+fn multi_input_scenario() -> (BgpRouter, Vec<(PeerId, UpdateMessage)>) {
+    let mut router = provider_router(CustomerFilterMode::Erroneous);
+    install_victim_prefix(&mut router);
+    let customer = customer_peer(&router);
+    let observed: Vec<(PeerId, UpdateMessage)> = (0..8)
+        .map(|i| {
+            let mut update = observed_customer_update();
+            if i % 2 == 1 {
+                // Alternate the announced block so inputs are not all identical.
+                update.nlri = vec!["41.128.0.0/12".parse().expect("valid")];
+            }
+            (customer, update)
+        })
+        .collect();
+    (router, observed)
+}
+
+fn dice_with_workers(workers: usize) -> Dice {
+    Dice::with_config(DiceConfig {
+        workers,
+        ..Default::default()
+    })
+}
+
 fn bench_exploration(c: &mut Criterion) {
     let mut group = c.benchmark_group("exploration");
     group.sample_size(20);
 
     group.bench_function("figure1_full_coverage", |b| {
         b.iter(|| {
-            let engine = ConcolicEngine::with_config(EngineConfig { max_runs: 16, ..Default::default() });
+            let engine = ConcolicEngine::with_config(EngineConfig {
+                max_runs: 16,
+                ..Default::default()
+            });
             let mut program = figure1_program;
-            let result = engine.explore(&mut program, &[InputValues::new().with("x", 5).with("y", 0)]);
+            let result = engine.explore(
+                &mut program,
+                &[InputValues::new().with("x", 5).with("y", 0)],
+            );
             assert!(result.coverage.complete_sites() >= 2);
             std::hint::black_box(result.stats.runs)
         })
     });
 
+    let (router, observed) = multi_input_scenario();
+
+    group.bench_function("multi_input_round_sequential", |b| {
+        let dice = dice_with_workers(1);
+        b.iter(|| std::hint::black_box(dice.run(&router, &observed).runs))
+    });
+
+    group.bench_function("multi_input_round_parallel", |b| {
+        let dice = dice_with_workers(0);
+        b.iter(|| std::hint::black_box(dice.run(&router, &observed).runs))
+    });
+
     group.finish();
+
+    // Direct speedup readout: same round, workers=1 vs all cores. The fault
+    // sets must be identical; only the wall clock may differ.
+    let started = Instant::now();
+    let sequential = dice_with_workers(1).run(&router, &observed);
+    let sequential_elapsed = started.elapsed();
+    let started = Instant::now();
+    let parallel = dice_with_workers(0).run(&router, &observed);
+    let parallel_elapsed = started.elapsed();
+    assert_eq!(
+        sequential.faults, parallel.faults,
+        "parallel round must find the same faults"
+    );
+    assert!(parallel.isolation_preserved && sequential.isolation_preserved);
+    println!(
+        "\nmulti-input round ({} inputs, {} cores): sequential {:?}, parallel {:?}, speedup {:.2}x",
+        observed.len(),
+        std::thread::available_parallelism()
+            .map(usize::from)
+            .unwrap_or(1),
+        sequential_elapsed,
+        parallel_elapsed,
+        sequential_elapsed.as_secs_f64() / parallel_elapsed.as_secs_f64().max(f64::EPSILON),
+    );
 }
 
 criterion_group!(benches, bench_exploration);

@@ -25,7 +25,12 @@ fn sample_route() -> Route {
     let mut attrs = RouteAttrs::default();
     attrs.as_path = AsPath::from_sequence([17557, 17557]);
     attrs.next_hop = Ipv4Addr::new(10, 0, 1, 1);
-    Route::new("41.1.0.0/16".parse::<Ipv4Prefix>().unwrap(), attrs, PeerId(1), 1)
+    Route::new(
+        "41.1.0.0/16".parse::<Ipv4Prefix>().unwrap(),
+        attrs,
+        PeerId(1),
+        1,
+    )
 }
 
 fn bench_policy(c: &mut Criterion) {
@@ -33,7 +38,9 @@ fn bench_policy(c: &mut Criterion) {
     let filter = parse_filter(FILTER).expect("parses");
     let route = sample_route();
 
-    group.bench_function("parse_filter", |b| b.iter(|| std::hint::black_box(parse_filter(FILTER).unwrap())));
+    group.bench_function("parse_filter", |b| {
+        b.iter(|| std::hint::black_box(parse_filter(FILTER).unwrap()))
+    });
 
     group.bench_function("eval_concrete", |b| {
         b.iter(|| {

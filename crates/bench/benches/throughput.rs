@@ -32,13 +32,17 @@ fn bench_throughput(c: &mut Criterion) {
             let customer = customer_peer(&router);
             let observed = observed_customer_update();
             let dice = Dice::with_config(DiceConfig {
-                engine: EngineConfig { max_runs: 4, ..Default::default() },
+                engine: EngineConfig {
+                    max_runs: 4,
+                    ..Default::default()
+                },
                 ..Default::default()
             });
             let checkpoint = router.clone();
-            let result = SharedCoreScheduler { explore_every: 64 }.run(&mut router, peer, &updates, || {
-                std::hint::black_box(dice.run_single(&checkpoint, customer, &observed).runs);
-            });
+            let result =
+                SharedCoreScheduler { explore_every: 64 }.run(&mut router, peer, &updates, || {
+                    std::hint::black_box(dice.run_single(&checkpoint, customer, &observed).runs);
+                });
             std::hint::black_box(result.updates_processed)
         })
     });

@@ -13,7 +13,10 @@ fn sample_update() -> BgpMessage {
     attrs.next_hop = Ipv4Addr::new(10, 0, 2, 1);
     attrs.med = Some(50);
     BgpMessage::Update(UpdateMessage::announce(
-        vec!["208.65.152.0/22".parse().unwrap(), "208.65.153.0/24".parse().unwrap()],
+        vec![
+            "208.65.152.0/22".parse().unwrap(),
+            "208.65.153.0/24".parse().unwrap(),
+        ],
         &attrs,
     ))
 }
@@ -23,7 +26,9 @@ fn bench_wire(c: &mut Criterion) {
     let msg = sample_update();
     let bytes = wire::encode(&msg);
 
-    group.bench_function("encode_update", |b| b.iter(|| std::hint::black_box(wire::encode(&msg))));
+    group.bench_function("encode_update", |b| {
+        b.iter(|| std::hint::black_box(wire::encode(&msg)))
+    });
     group.bench_function("decode_update", |b| {
         b.iter(|| std::hint::black_box(wire::decode(&bytes).expect("valid")))
     });

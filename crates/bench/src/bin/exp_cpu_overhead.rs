@@ -12,8 +12,8 @@ use dice_bench::{
     provider_router, Scale,
 };
 use dice_core::{CustomerFilterMode, Dice, DiceConfig, SharedCoreScheduler};
-use dice_netsim::{slowdown_percent, Replayer};
 use dice_netsim::topology::addr;
+use dice_netsim::{slowdown_percent, Replayer};
 use dice_symexec::EngineConfig;
 
 fn scenario_arg() -> String {
@@ -28,7 +28,10 @@ fn main() {
     let scale = Scale::from_env();
     let scenario = scenario_arg();
     let mut config = scale.trace_config();
-    println!("== Experiment E3/E4: CPU overhead of exploration ({:?} scale, {scenario}) ==", scale);
+    println!(
+        "== Experiment E3/E4: CPU overhead of exploration ({:?} scale, {scenario}) ==",
+        scale
+    );
 
     // In the realistic scenario the table is loaded first and only the
     // 15-minute incremental trace is measured; under full load the table
@@ -57,7 +60,10 @@ fn main() {
             trace.table.clone()
         };
         let dice = Dice::with_config(DiceConfig {
-            engine: EngineConfig { max_runs: 8, ..Default::default() },
+            engine: EngineConfig {
+                max_runs: 8,
+                ..Default::default()
+            },
             ..Default::default()
         });
         let checkpoint = router.clone();

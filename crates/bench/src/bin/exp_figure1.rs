@@ -27,15 +27,25 @@ fn main() {
     println!("== Experiment F1: concolic predicate negation (paper Figure 1) ==");
     let seed = InputValues::new().with("x", 5).with("y", 0);
     println!("observed input: {seed}");
-    let engine = ConcolicEngine::with_config(EngineConfig { max_runs: 16, ..Default::default() });
+    let engine = ConcolicEngine::with_config(EngineConfig {
+        max_runs: 16,
+        ..Default::default()
+    });
     let mut program = handler;
     let result = engine.explore(&mut program, &[seed]);
 
     println!("runs executed: {}", result.stats.runs);
     println!("distinct paths: {}", result.distinct_paths());
     for (i, run) in result.runs.iter().enumerate() {
-        let kind = if run.parent.is_none() { "seed     " } else { "generated" };
-        println!("  run {i}: [{kind}] input={} -> {}", run.trace.input, run.output);
+        let kind = if run.parent.is_none() {
+            "seed     "
+        } else {
+            "generated"
+        };
+        println!(
+            "  run {i}: [{kind}] input={} -> {}",
+            run.trace.input, run.output
+        );
     }
     println!(
         "branch sites covered both ways: {}/{}",
@@ -46,6 +56,9 @@ fn main() {
         "solver: sat={} unsat={} unknown={}",
         result.stats.solver_sat, result.stats.solver_unsat, result.stats.solver_unknown
     );
-    assert!(result.coverage.complete_sites() >= 2, "both predicates must be negated");
+    assert!(
+        result.coverage.complete_sites() >= 2,
+        "both predicates must be negated"
+    );
     println!("PASS: all paths of the Figure 1 program were explored from one observed input");
 }

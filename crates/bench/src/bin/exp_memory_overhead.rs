@@ -11,8 +11,8 @@ use dice_bench::{
 };
 use dice_checkpoint::{CheckpointManager, CloneOverhead};
 use dice_core::{CheckpointedRouter, CustomerFilterMode, SymbolicUpdateHandler, UpdateTemplate};
-use dice_netsim::Replayer;
 use dice_netsim::topology::addr;
+use dice_netsim::Replayer;
 use dice_symexec::{ConcolicEngine, EngineConfig};
 
 fn main() {
@@ -22,7 +22,10 @@ fn main() {
     // into the 15-minute replay, so only the updates processed since the
     // checkpoint contribute unique pages to it.
     config.update_count = config.update_count.min(40);
-    println!("== Experiment E2: checkpoint and exploration memory overhead ({:?} scale) ==", scale);
+    println!(
+        "== Experiment E2: checkpoint and exploration memory overhead ({:?} scale) ==",
+        scale
+    );
 
     // Load the full table, then take the checkpoint.
     let mut router = provider_router(CustomerFilterMode::Erroneous);
@@ -34,13 +37,20 @@ fn main() {
 
     let mut manager = CheckpointManager::new(CheckpointedRouter(router));
     let checkpoint = manager.take_checkpoint();
-    println!("checkpoint taken: {} pages shared with the live process", checkpoint.memory().page_count());
+    println!(
+        "checkpoint taken: {} pages shared with the live process",
+        checkpoint.memory().page_count()
+    );
 
     // The live router keeps processing the 15-minute update trace.
     let peer = internet_peer(manager.live().state().router());
     let updates: Vec<_> = trace.updates.iter().map(|e| e.update.clone()).collect();
     for update in &updates {
-        manager.live_mut().state_mut().router_mut().handle_update(peer, update);
+        manager
+            .live_mut()
+            .state_mut()
+            .router_mut()
+            .handle_update(peer, update);
     }
     manager.live_mut().sync();
     let checkpoint_stats = checkpoint.memory_stats_vs(manager.live());
@@ -65,17 +75,28 @@ fn main() {
         let mut clone = checkpoint.fork();
         let mut exploration_bytes = 0usize;
         for observed in &observed_inputs {
-            let Some(template) = UpdateTemplate::from_update(observed) else { continue };
-            let engine = ConcolicEngine::with_config(EngineConfig { max_runs: 16, ..Default::default() });
-            let mut handler =
-                SymbolicUpdateHandler::new(clone.state().router().clone(), customer, template.clone());
+            let Some(template) = UpdateTemplate::from_update(observed) else {
+                continue;
+            };
+            let engine = ConcolicEngine::with_config(EngineConfig {
+                max_runs: 16,
+                ..Default::default()
+            });
+            let mut handler = SymbolicUpdateHandler::new(
+                clone.state().router().clone(),
+                customer,
+                template.clone(),
+            );
             let exploration = engine.explore(&mut handler, &[template.seed()]);
             // Accepted exploratory routes are installed in the clone's RIB
             // (never the live one), dirtying a share of its pages.
             for run in &exploration.runs {
                 if run.output.accepted {
                     let update = template.build_update(&run.trace.input);
-                    clone.state_mut().router_mut().handle_update(customer, &update);
+                    clone
+                        .state_mut()
+                        .router_mut()
+                        .handle_update(customer, &update);
                 }
             }
             // Exploration keeps per-run working state resident (term arenas,
@@ -98,7 +119,10 @@ fn main() {
     }
 
     println!();
-    println!("checkpoint unique pages vs live : {:.2}% (paper: 3.45%)", checkpoint_stats.unique_percent());
+    println!(
+        "checkpoint unique pages vs live : {:.2}% (paper: 3.45%)",
+        checkpoint_stats.unique_percent()
+    );
     println!(
         "exploration clones, mean unique : {:.2}% more pages (paper: 36.93%)",
         overhead.mean_unique_percent()

@@ -4,8 +4,8 @@
 //! installed route — before any hijack happens in the live network.
 
 use dice_bench::{
-    customer_peer, install_victim_prefix, internet_trace, load_full_table, observed_customer_update,
-    provider_router, Scale,
+    customer_peer, install_victim_prefix, internet_trace, load_full_table,
+    observed_customer_update, provider_router, Scale,
 };
 use dice_core::{CustomerFilterMode, Dice, DiceConfig};
 use dice_symexec::EngineConfig;
@@ -23,7 +23,10 @@ fn run_mode(mode: CustomerFilterMode, table_prefixes: usize) -> dice_core::Explo
     let customer = customer_peer(&router);
     let observed = observed_customer_update();
     let dice = Dice::with_config(DiceConfig {
-        engine: EngineConfig { max_runs: 64, ..Default::default() },
+        engine: EngineConfig {
+            max_runs: 64,
+            ..Default::default()
+        },
         ..Default::default()
     });
     dice.run_single(&router, customer, &observed)
@@ -37,9 +40,21 @@ fn main() {
     };
 
     for (mode, label, expect_fault) in [
-        (CustomerFilterMode::Correct, "correct customer filter", false),
-        (CustomerFilterMode::Erroneous, "erroneous (partially correct) filter", true),
-        (CustomerFilterMode::Missing, "missing filter (no policy branches to explore)", false),
+        (
+            CustomerFilterMode::Correct,
+            "correct customer filter",
+            false,
+        ),
+        (
+            CustomerFilterMode::Erroneous,
+            "erroneous (partially correct) filter",
+            true,
+        ),
+        (
+            CustomerFilterMode::Missing,
+            "missing filter (no policy branches to explore)",
+            false,
+        ),
     ] {
         let report = run_mode(mode, table_prefixes);
         println!("--- {label} ---");
@@ -53,13 +68,24 @@ fn main() {
         );
         if report.has_faults() {
             println!("faults detected: {}", report.faults.len());
-            let leaked: Vec<String> = report.leaked_prefixes().iter().map(|p| p.to_string()).collect();
+            let leaked: Vec<String> = report
+                .leaked_prefixes()
+                .iter()
+                .map(|p| p.to_string())
+                .collect();
             println!("leakable prefix ranges: {}", leaked.join(", "));
         } else {
             println!("no faults detected");
         }
-        assert_eq!(report.has_faults(), expect_fault, "unexpected outcome for {label}");
-        assert!(report.isolation_preserved, "exploration must not touch the live router");
+        assert_eq!(
+            report.has_faults(),
+            expect_fault,
+            "unexpected outcome for {label}"
+        );
+        assert!(
+            report.isolation_preserved,
+            "exploration must not touch the live router"
+        );
         println!();
     }
     println!("paper reference: DiCE detects the hijackable prefix ranges enabled by the");

@@ -5,13 +5,16 @@
 
 use dice_bench::{internet_trace, provider_router, Scale};
 use dice_core::CustomerFilterMode;
-use dice_netsim::{Replayer, topology::addr};
+use dice_netsim::{topology::addr, Replayer};
 
 fn main() {
     let scale = Scale::from_env();
     let config = scale.trace_config();
     println!("== Experiment E1: full-table load ({:?} scale) ==", scale);
-    println!("generating synthetic RouteViews-like trace: {} prefixes...", config.prefix_count);
+    println!(
+        "generating synthetic RouteViews-like trace: {} prefixes...",
+        config.prefix_count
+    );
     let trace = internet_trace(&config);
 
     let mut router = provider_router(CustomerFilterMode::Erroneous);
@@ -20,7 +23,10 @@ fn main() {
 
     println!("prefixes loaded into Loc-RIB : {}", stats.rib_prefixes);
     println!("table-dump updates processed: {}", stats.updates_fed);
-    println!("table-load throughput       : {:.1} updates/s", stats.updates_per_second);
+    println!(
+        "table-load throughput       : {:.1} updates/s",
+        stats.updates_per_second
+    );
     println!("paper reference             : 319,355 prefixes loaded from the RouteViews dump");
     assert_eq!(stats.rib_prefixes, config.prefix_count);
     println!("PASS: the full table was installed");

@@ -44,7 +44,11 @@ impl Scale {
     /// The trace-generator configuration for this scale.
     pub fn trace_config(self) -> TraceGenConfig {
         match self {
-            Scale::Quick => TraceGenConfig { prefix_count: 20_000, update_count: 4_000, ..Default::default() },
+            Scale::Quick => TraceGenConfig {
+                prefix_count: 20_000,
+                update_count: 4_000,
+                ..Default::default()
+            },
             Scale::Paper => TraceGenConfig::paper_scale(),
         }
     }
@@ -53,7 +57,9 @@ impl Scale {
 /// The DiCE-enabled Provider router of Figure 2, with sessions established.
 pub fn provider_router(mode: CustomerFilterMode) -> BgpRouter {
     let topo = figure2_topology(mode);
-    let provider = topo.node_by_name("Provider").expect("Provider exists in Figure 2");
+    let provider = topo
+        .node_by_name("Provider")
+        .expect("Provider exists in Figure 2");
     let mut router = BgpRouter::new(topo.nodes()[provider.0].config.clone());
     router.start();
     router
@@ -74,13 +80,18 @@ pub fn load_full_table(router: &mut BgpRouter, trace: &BgpTrace) -> usize {
 /// Installs the victim prefix (YouTube's 208.65.152.0/22, origin AS 36561)
 /// as learned from the Internet peer.
 pub fn install_victim_prefix(router: &mut BgpRouter) {
-    let peer = router.peer_by_address(addr::INTERNET).expect("Internet peer configured");
+    let peer = router
+        .peer_by_address(addr::INTERNET)
+        .expect("Internet peer configured");
     let mut attrs = RouteAttrs::default();
     attrs.as_path = AsPath::from_sequence([asn::INTERNET, 3356, asn::VICTIM]);
     attrs.next_hop = Ipv4Addr::new(10, 0, 2, 1);
     router.handle_update(
         peer,
-        &UpdateMessage::announce(vec!["208.65.152.0/22".parse().expect("valid prefix")], &attrs),
+        &UpdateMessage::announce(
+            vec!["208.65.152.0/22".parse().expect("valid prefix")],
+            &attrs,
+        ),
     );
 }
 
@@ -95,12 +106,16 @@ pub fn observed_customer_update() -> UpdateMessage {
 
 /// The Provider's customer peer id.
 pub fn customer_peer(router: &BgpRouter) -> PeerId {
-    router.peer_by_address(addr::CUSTOMER).expect("Customer peer configured")
+    router
+        .peer_by_address(addr::CUSTOMER)
+        .expect("Customer peer configured")
 }
 
 /// The Provider's Internet peer id.
 pub fn internet_peer(router: &BgpRouter) -> PeerId {
-    router.peer_by_address(addr::INTERNET).expect("Internet peer configured")
+    router
+        .peer_by_address(addr::INTERNET)
+        .expect("Internet peer configured")
 }
 
 /// A batch of distinct announcements used to drive throughput measurements.
@@ -110,7 +125,8 @@ pub fn throughput_updates(count: u32) -> Vec<UpdateMessage> {
             let mut attrs = RouteAttrs::default();
             attrs.as_path = AsPath::from_sequence([asn::INTERNET, 200_000 + i]);
             attrs.next_hop = Ipv4Addr::new(10, 0, 2, 1);
-            let prefix = dice_bgp::Ipv4Prefix::new((60u32 << 24) | (i << 8), 24).expect("valid prefix");
+            let prefix =
+                dice_bgp::Ipv4Prefix::new((60u32 << 24) | (i << 8), 24).expect("valid prefix");
             UpdateMessage::announce(vec![prefix], &attrs)
         })
         .collect()

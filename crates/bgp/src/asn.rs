@@ -79,7 +79,9 @@ pub struct AsPath {
 impl AsPath {
     /// An empty path (as originated by the local AS before export).
     pub fn empty() -> Self {
-        AsPath { segments: Vec::new() }
+        AsPath {
+            segments: Vec::new(),
+        }
     }
 
     /// Builds a path consisting of a single sequence.
@@ -122,7 +124,9 @@ impl AsPath {
     /// The neighbor AS: the first ASN on the path (the AS the route was
     /// learned from).
     pub fn neighbor_as(&self) -> Option<Asn> {
-        self.segments.first().and_then(|s| s.asns().first().copied())
+        self.segments
+            .first()
+            .and_then(|s| s.asns().first().copied())
     }
 
     /// Returns true if the path visits `asn` anywhere (loop detection).
@@ -149,7 +153,10 @@ impl AsPath {
 
     /// Flattens the path into a list of ASNs, ignoring segment structure.
     pub fn flatten(&self) -> Vec<Asn> {
-        self.segments.iter().flat_map(|s| s.asns().iter().copied()).collect()
+        self.segments
+            .iter()
+            .flat_map(|s| s.asns().iter().copied())
+            .collect()
     }
 }
 

@@ -3,7 +3,7 @@
 use std::fmt;
 use std::net::Ipv4Addr;
 
-use crate::asn::{Asn, AsPath};
+use crate::asn::{AsPath, Asn};
 
 /// The ORIGIN attribute: how the route entered BGP.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -354,7 +354,10 @@ mod tests {
             med: Some(50),
             local_pref: Some(200),
             atomic_aggregate: true,
-            aggregator: Some(Aggregator { asn: Asn(17557), router_id: 0x0a000001 }),
+            aggregator: Some(Aggregator {
+                asn: Asn(17557),
+                router_id: 0x0a000001,
+            }),
             communities: vec![Community::new(3491, 100), Community::NO_EXPORT],
         };
         let list = attrs.to_attributes();

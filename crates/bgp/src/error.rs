@@ -75,7 +75,11 @@ pub struct NotificationData {
 impl NotificationData {
     /// Creates a NOTIFICATION payload with no diagnostic data.
     pub fn new(code: ErrorCode, subcode: u8) -> Self {
-        NotificationData { code, subcode, data: Vec::new() }
+        NotificationData {
+            code,
+            subcode,
+            data: Vec::new(),
+        }
     }
 }
 
@@ -117,8 +121,14 @@ pub enum BgpError {
 impl fmt::Display for BgpError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            BgpError::Truncated { expected, available } => {
-                write!(f, "truncated message: need {expected} bytes, have {available}")
+            BgpError::Truncated {
+                expected,
+                available,
+            } => {
+                write!(
+                    f,
+                    "truncated message: need {expected} bytes, have {available}"
+                )
             }
             BgpError::BadMarker => write!(f, "bad marker"),
             BgpError::BadLength(l) => write!(f, "bad message length {l}"),
@@ -188,9 +198,15 @@ mod tests {
 
     #[test]
     fn errors_display() {
-        let e = BgpError::Truncated { expected: 23, available: 10 };
+        let e = BgpError::Truncated {
+            expected: 23,
+            available: 10,
+        };
         assert!(e.to_string().contains("23"));
         assert!(BgpError::UnknownMessageType(9).to_string().contains('9'));
-        assert_eq!(NotificationData::new(ErrorCode::Cease, 0).to_string(), "Cease/0");
+        assert_eq!(
+            NotificationData::new(ErrorCode::Cease, 0).to_string(),
+            "Cease/0"
+        );
     }
 }

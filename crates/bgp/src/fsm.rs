@@ -82,7 +82,9 @@ pub struct SessionFsm {
 
 impl Default for SessionFsm {
     fn default() -> Self {
-        SessionFsm { state: SessionState::Idle }
+        SessionFsm {
+            state: SessionState::Idle,
+        }
     }
 }
 
@@ -129,16 +131,18 @@ impl SessionFsm {
             (S::OpenSent, _) => (S::OpenSent, A::None),
 
             (S::OpenConfirm, E::KeepaliveReceived) => (S::Established, A::None),
-            (S::OpenConfirm, E::ManualStop | E::NotificationReceived | E::HoldTimerExpired | E::TransportFailed) => {
-                (S::Idle, A::TearDown)
-            }
+            (
+                S::OpenConfirm,
+                E::ManualStop | E::NotificationReceived | E::HoldTimerExpired | E::TransportFailed,
+            ) => (S::Idle, A::TearDown),
             (S::OpenConfirm, _) => (S::OpenConfirm, A::None),
 
             (S::Established, E::UpdateReceived) => (S::Established, A::ProcessUpdate),
             (S::Established, E::KeepaliveReceived) => (S::Established, A::None),
-            (S::Established, E::ManualStop | E::NotificationReceived | E::HoldTimerExpired | E::TransportFailed) => {
-                (S::Idle, A::TearDown)
-            }
+            (
+                S::Established,
+                E::ManualStop | E::NotificationReceived | E::HoldTimerExpired | E::TransportFailed,
+            ) => (S::Idle, A::TearDown),
             (S::Established, _) => (S::Established, A::None),
         };
         self.state = next;
@@ -162,10 +166,22 @@ mod tests {
     fn happy_path_reaches_established() {
         let mut fsm = SessionFsm::new();
         assert_eq!(fsm.state(), SessionState::Idle);
-        assert_eq!(fsm.handle(SessionEvent::ManualStart), SessionAction::StartTransport);
-        assert_eq!(fsm.handle(SessionEvent::TransportConnected), SessionAction::SendOpen);
-        assert_eq!(fsm.handle(SessionEvent::OpenReceived), SessionAction::SendKeepalive);
-        assert_eq!(fsm.handle(SessionEvent::KeepaliveReceived), SessionAction::None);
+        assert_eq!(
+            fsm.handle(SessionEvent::ManualStart),
+            SessionAction::StartTransport
+        );
+        assert_eq!(
+            fsm.handle(SessionEvent::TransportConnected),
+            SessionAction::SendOpen
+        );
+        assert_eq!(
+            fsm.handle(SessionEvent::OpenReceived),
+            SessionAction::SendKeepalive
+        );
+        assert_eq!(
+            fsm.handle(SessionEvent::KeepaliveReceived),
+            SessionAction::None
+        );
         assert!(fsm.is_established());
     }
 
@@ -179,21 +195,33 @@ mod tests {
     #[test]
     fn updates_only_processed_when_established() {
         let mut fsm = SessionFsm::new();
-        assert_eq!(fsm.handle(SessionEvent::UpdateReceived), SessionAction::None);
+        assert_eq!(
+            fsm.handle(SessionEvent::UpdateReceived),
+            SessionAction::None
+        );
         fsm.establish();
-        assert_eq!(fsm.handle(SessionEvent::UpdateReceived), SessionAction::ProcessUpdate);
+        assert_eq!(
+            fsm.handle(SessionEvent::UpdateReceived),
+            SessionAction::ProcessUpdate
+        );
     }
 
     #[test]
     fn errors_tear_the_session_down() {
         let mut fsm = SessionFsm::new();
         fsm.establish();
-        assert_eq!(fsm.handle(SessionEvent::NotificationReceived), SessionAction::TearDown);
+        assert_eq!(
+            fsm.handle(SessionEvent::NotificationReceived),
+            SessionAction::TearDown
+        );
         assert_eq!(fsm.state(), SessionState::Idle);
 
         let mut fsm2 = SessionFsm::new();
         fsm2.establish();
-        assert_eq!(fsm2.handle(SessionEvent::HoldTimerExpired), SessionAction::TearDown);
+        assert_eq!(
+            fsm2.handle(SessionEvent::HoldTimerExpired),
+            SessionAction::TearDown
+        );
         assert_eq!(fsm2.state(), SessionState::Idle);
     }
 
@@ -201,10 +229,16 @@ mod tests {
     fn connect_failure_falls_back_to_active() {
         let mut fsm = SessionFsm::new();
         fsm.handle(SessionEvent::ManualStart);
-        assert_eq!(fsm.handle(SessionEvent::TransportFailed), SessionAction::None);
+        assert_eq!(
+            fsm.handle(SessionEvent::TransportFailed),
+            SessionAction::None
+        );
         assert_eq!(fsm.state(), SessionState::Active);
         // A later successful connection still reaches Established.
-        assert_eq!(fsm.handle(SessionEvent::TransportConnected), SessionAction::SendOpen);
+        assert_eq!(
+            fsm.handle(SessionEvent::TransportConnected),
+            SessionAction::SendOpen
+        );
         fsm.handle(SessionEvent::OpenReceived);
         fsm.handle(SessionEvent::KeepaliveReceived);
         assert!(fsm.is_established());

@@ -42,7 +42,9 @@ pub use asn::{AsPath, AsPathSegment, Asn};
 pub use attributes::{Aggregator, AttrCode, Community, Origin, PathAttribute, RouteAttrs};
 pub use error::{BgpError, ErrorCode, NotificationData, UpdateErrorSubcode};
 pub use fsm::{SessionAction, SessionEvent, SessionFsm, SessionState};
-pub use message::{BgpMessage, KeepaliveMessage, MessageType, NotificationMessage, OpenMessage, UpdateMessage};
+pub use message::{
+    BgpMessage, KeepaliveMessage, MessageType, NotificationMessage, OpenMessage, UpdateMessage,
+};
 pub use prefix::{Ipv4Prefix, PrefixError};
 pub use route::{PeerId, Route};
 

@@ -50,7 +50,12 @@ pub struct OpenMessage {
 impl OpenMessage {
     /// Creates a version-4 OPEN message.
     pub fn new(my_as: u32, hold_time: u16, bgp_identifier: u32) -> Self {
-        OpenMessage { version: 4, my_as, hold_time, bgp_identifier }
+        OpenMessage {
+            version: 4,
+            my_as,
+            hold_time,
+            bgp_identifier,
+        }
     }
 }
 
@@ -71,12 +76,20 @@ pub struct UpdateMessage {
 impl UpdateMessage {
     /// Creates an announcement of `nlri` with the given typed attributes.
     pub fn announce(nlri: Vec<Ipv4Prefix>, attrs: &RouteAttrs) -> Self {
-        UpdateMessage { withdrawn: Vec::new(), attributes: attrs.to_attributes(), nlri }
+        UpdateMessage {
+            withdrawn: Vec::new(),
+            attributes: attrs.to_attributes(),
+            nlri,
+        }
     }
 
     /// Creates a withdrawal of the given prefixes.
     pub fn withdraw(withdrawn: Vec<Ipv4Prefix>) -> Self {
-        UpdateMessage { withdrawn, attributes: Vec::new(), nlri: Vec::new() }
+        UpdateMessage {
+            withdrawn,
+            attributes: Vec::new(),
+            nlri: Vec::new(),
+        }
     }
 
     /// Returns true if the message neither announces nor withdraws routes.
@@ -137,7 +150,12 @@ impl BgpMessage {
 impl fmt::Display for BgpMessage {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            BgpMessage::Open(o) => write!(f, "OPEN(as={}, id={})", o.my_as, Ipv4Addr::from(o.bgp_identifier)),
+            BgpMessage::Open(o) => write!(
+                f,
+                "OPEN(as={}, id={})",
+                o.my_as,
+                Ipv4Addr::from(o.bgp_identifier)
+            ),
             BgpMessage::Update(u) => write!(
                 f,
                 "UPDATE(+{} -{} prefixes)",
@@ -172,7 +190,10 @@ mod tests {
         let ann = UpdateMessage::announce(vec![p], &attrs);
         assert_eq!(ann.nlri, vec![p]);
         assert!(!ann.is_empty());
-        assert_eq!(ann.route_attrs().origin_as().map(|a| a.value()), Some(65001));
+        assert_eq!(
+            ann.route_attrs().origin_as().map(|a| a.value()),
+            Some(65001)
+        );
 
         let wd = UpdateMessage::withdraw(vec![p]);
         assert_eq!(wd.withdrawn, vec![p]);

@@ -59,7 +59,10 @@ impl Ipv4Prefix {
         if len > 32 {
             return Err(PrefixError::InvalidLength(len));
         }
-        Ok(Ipv4Prefix { addr: addr & mask(len), len })
+        Ok(Ipv4Prefix {
+            addr: addr & mask(len),
+            len,
+        })
     }
 
     /// Creates a prefix, panicking on an invalid length.
@@ -87,6 +90,9 @@ impl Ipv4Prefix {
     }
 
     /// The prefix length in bits.
+    ///
+    /// (Not a container length — there is deliberately no `is_empty`.)
+    #[allow(clippy::len_without_is_empty)]
     pub fn len(&self) -> u8 {
         self.len
     }
@@ -137,8 +143,14 @@ impl Ipv4Prefix {
         if self.len >= 32 {
             return None;
         }
-        let left = Ipv4Prefix { addr: self.addr, len: self.len + 1 };
-        let right = Ipv4Prefix { addr: self.addr | (1 << (31 - self.len)), len: self.len + 1 };
+        let left = Ipv4Prefix {
+            addr: self.addr,
+            len: self.len + 1,
+        };
+        let right = Ipv4Prefix {
+            addr: self.addr | (1 << (31 - self.len)),
+            len: self.len + 1,
+        };
         Some((left, right))
     }
 
@@ -147,13 +159,16 @@ impl Ipv4Prefix {
         if self.len == 0 {
             None
         } else {
-            Some(Ipv4Prefix { addr: self.addr & mask(self.len - 1), len: self.len - 1 })
+            Some(Ipv4Prefix {
+                addr: self.addr & mask(self.len - 1),
+                len: self.len - 1,
+            })
         }
     }
 
     /// Number of bytes needed to encode the prefix on the wire.
     pub fn wire_len(&self) -> usize {
-        (self.len as usize + 7) / 8
+        (self.len as usize).div_ceil(8)
     }
 }
 
@@ -209,7 +224,10 @@ mod tests {
     fn host_bits_are_masked() {
         let p = Ipv4Prefix::from_octets(10, 1, 2, 3, 16).expect("valid");
         assert_eq!(p.to_string(), "10.1.0.0/16");
-        assert_eq!(Ipv4Prefix::must(0xffff_ffff, 8).network(), Ipv4Addr::new(255, 0, 0, 0));
+        assert_eq!(
+            Ipv4Prefix::must(0xffff_ffff, 8).network(),
+            Ipv4Addr::new(255, 0, 0, 0)
+        );
     }
 
     #[test]
@@ -250,17 +268,47 @@ mod tests {
 
     #[test]
     fn wire_len_rounds_up() {
-        assert_eq!("0.0.0.0/0".parse::<Ipv4Prefix>().expect("valid").wire_len(), 0);
-        assert_eq!("10.0.0.0/8".parse::<Ipv4Prefix>().expect("valid").wire_len(), 1);
-        assert_eq!("10.0.0.0/9".parse::<Ipv4Prefix>().expect("valid").wire_len(), 2);
-        assert_eq!("10.0.0.0/24".parse::<Ipv4Prefix>().expect("valid").wire_len(), 3);
-        assert_eq!("10.0.0.1/32".parse::<Ipv4Prefix>().expect("valid").wire_len(), 4);
+        assert_eq!(
+            "0.0.0.0/0".parse::<Ipv4Prefix>().expect("valid").wire_len(),
+            0
+        );
+        assert_eq!(
+            "10.0.0.0/8"
+                .parse::<Ipv4Prefix>()
+                .expect("valid")
+                .wire_len(),
+            1
+        );
+        assert_eq!(
+            "10.0.0.0/9"
+                .parse::<Ipv4Prefix>()
+                .expect("valid")
+                .wire_len(),
+            2
+        );
+        assert_eq!(
+            "10.0.0.0/24"
+                .parse::<Ipv4Prefix>()
+                .expect("valid")
+                .wire_len(),
+            3
+        );
+        assert_eq!(
+            "10.0.0.1/32"
+                .parse::<Ipv4Prefix>()
+                .expect("valid")
+                .wire_len(),
+            4
+        );
     }
 
     #[test]
     fn broadcast_and_netmask() {
         let p: Ipv4Prefix = "192.168.4.0/22".parse().expect("valid");
         assert_eq!(p.netmask(), 0xffff_fc00);
-        assert_eq!(Ipv4Addr::from(p.broadcast()), Ipv4Addr::new(192, 168, 7, 255));
+        assert_eq!(
+            Ipv4Addr::from(p.broadcast()),
+            Ipv4Addr::new(192, 168, 7, 255)
+        );
     }
 }

@@ -47,13 +47,28 @@ pub struct Route {
 
 impl Route {
     /// Creates a route.
-    pub fn new(prefix: Ipv4Prefix, attrs: RouteAttrs, learned_from: PeerId, peer_router_id: u32) -> Self {
-        Route { prefix, attrs, learned_from, peer_router_id }
+    pub fn new(
+        prefix: Ipv4Prefix,
+        attrs: RouteAttrs,
+        learned_from: PeerId,
+        peer_router_id: u32,
+    ) -> Self {
+        Route {
+            prefix,
+            attrs,
+            learned_from,
+            peer_router_id,
+        }
     }
 
     /// Creates a locally-originated route.
     pub fn local(prefix: Ipv4Prefix, attrs: RouteAttrs) -> Self {
-        Route { prefix, attrs, learned_from: PeerId::LOCAL, peer_router_id: 0 }
+        Route {
+            prefix,
+            attrs,
+            learned_from: PeerId::LOCAL,
+            peer_router_id: 0,
+        }
     }
 
     /// The origin AS of the route (the AS that injected it into BGP).

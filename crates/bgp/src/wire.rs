@@ -9,7 +9,7 @@
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::net::Ipv4Addr;
 
-use crate::asn::{Asn, AsPath, AsPathSegment};
+use crate::asn::{AsPath, AsPathSegment, Asn};
 use crate::attributes::{flags, Aggregator, AttrCode, Community, Origin, PathAttribute};
 use crate::error::{BgpError, NotificationData};
 use crate::message::{
@@ -44,7 +44,10 @@ pub fn encode(msg: &BgpMessage) -> Bytes {
 /// Returns the message and the number of bytes consumed.
 pub fn decode(buf: &[u8]) -> Result<(BgpMessage, usize), BgpError> {
     if buf.len() < HEADER_LEN {
-        return Err(BgpError::Truncated { expected: HEADER_LEN, available: buf.len() });
+        return Err(BgpError::Truncated {
+            expected: HEADER_LEN,
+            available: buf.len(),
+        });
     }
     if buf[..16].iter().any(|&b| b != 0xff) {
         return Err(BgpError::BadMarker);
@@ -54,7 +57,10 @@ pub fn decode(buf: &[u8]) -> Result<(BgpMessage, usize), BgpError> {
         return Err(BgpError::BadLength(len as u16));
     }
     if buf.len() < len {
-        return Err(BgpError::Truncated { expected: len, available: buf.len() });
+        return Err(BgpError::Truncated {
+            expected: len,
+            available: buf.len(),
+        });
     }
     let msg_type = MessageType::from_code(buf[18]).ok_or(BgpError::UnknownMessageType(buf[18]))?;
     let mut body = &buf[HEADER_LEN..len];
@@ -69,7 +75,10 @@ pub fn decode(buf: &[u8]) -> Result<(BgpMessage, usize), BgpError> {
 
 fn need(buf: &[u8], n: usize) -> Result<(), BgpError> {
     if buf.len() < n {
-        Err(BgpError::Truncated { expected: n, available: buf.len() })
+        Err(BgpError::Truncated {
+            expected: n,
+            available: buf.len(),
+        })
     } else {
         Ok(())
     }
@@ -94,7 +103,12 @@ fn decode_open(buf: &mut &[u8]) -> Result<OpenMessage, BgpError> {
     let opt_len = buf.get_u8() as usize;
     need(buf, opt_len)?;
     buf.advance(opt_len);
-    Ok(OpenMessage { version, my_as, hold_time, bgp_identifier })
+    Ok(OpenMessage {
+        version,
+        my_as,
+        hold_time,
+        bgp_identifier,
+    })
 }
 
 fn encode_prefixes(prefixes: &[Ipv4Prefix], out: &mut BytesMut) {
@@ -112,7 +126,7 @@ fn decode_prefixes(mut buf: &[u8]) -> Result<Vec<Ipv4Prefix>, BgpError> {
         if len > 32 {
             return Err(BgpError::BadPrefixLength(len));
         }
-        let nbytes = (len as usize + 7) / 8;
+        let nbytes = (len as usize).div_ceil(8);
         need(buf, nbytes)?;
         let mut octets = [0u8; 4];
         octets[..nbytes].copy_from_slice(&buf[..nbytes]);
@@ -188,22 +202,33 @@ fn decode_attribute(buf: &mut &[u8]) -> Result<Option<PathAttribute>, BgpError> 
     let attr = match code {
         AttrCode::Origin => {
             if value.len() != 1 {
-                return Err(BgpError::BadAttribute { code: code as u8, reason: "origin length" });
+                return Err(BgpError::BadAttribute {
+                    code: code as u8,
+                    reason: "origin length",
+                });
             }
-            let origin = Origin::from_code(value.get_u8())
-                .ok_or(BgpError::BadAttribute { code: code as u8, reason: "origin value" })?;
+            let origin = Origin::from_code(value.get_u8()).ok_or(BgpError::BadAttribute {
+                code: code as u8,
+                reason: "origin value",
+            })?;
             PathAttribute::Origin(origin)
         }
         AttrCode::AsPath => {
             let mut segments = Vec::new();
             while !value.is_empty() {
                 if value.len() < 2 {
-                    return Err(BgpError::BadAttribute { code: code as u8, reason: "segment header" });
+                    return Err(BgpError::BadAttribute {
+                        code: code as u8,
+                        reason: "segment header",
+                    });
                 }
                 let seg_type = value.get_u8();
                 let count = value.get_u8() as usize;
                 if value.len() < count * 4 {
-                    return Err(BgpError::BadAttribute { code: code as u8, reason: "segment body" });
+                    return Err(BgpError::BadAttribute {
+                        code: code as u8,
+                        reason: "segment body",
+                    });
                 }
                 let mut asns = Vec::with_capacity(count);
                 for _ in 0..count {
@@ -213,7 +238,10 @@ fn decode_attribute(buf: &mut &[u8]) -> Result<Option<PathAttribute>, BgpError> 
                     1 => AsPathSegment::Set(asns),
                     2 => AsPathSegment::Sequence(asns),
                     _ => {
-                        return Err(BgpError::BadAttribute { code: code as u8, reason: "segment type" })
+                        return Err(BgpError::BadAttribute {
+                            code: code as u8,
+                            reason: "segment type",
+                        })
                     }
                 };
                 segments.push(seg);
@@ -222,39 +250,57 @@ fn decode_attribute(buf: &mut &[u8]) -> Result<Option<PathAttribute>, BgpError> 
         }
         AttrCode::NextHop => {
             if value.len() != 4 {
-                return Err(BgpError::BadAttribute { code: code as u8, reason: "next hop length" });
+                return Err(BgpError::BadAttribute {
+                    code: code as u8,
+                    reason: "next hop length",
+                });
             }
             PathAttribute::NextHop(Ipv4Addr::from(value.get_u32()))
         }
         AttrCode::Med => {
             if value.len() != 4 {
-                return Err(BgpError::BadAttribute { code: code as u8, reason: "med length" });
+                return Err(BgpError::BadAttribute {
+                    code: code as u8,
+                    reason: "med length",
+                });
             }
             PathAttribute::Med(value.get_u32())
         }
         AttrCode::LocalPref => {
             if value.len() != 4 {
-                return Err(BgpError::BadAttribute { code: code as u8, reason: "local pref length" });
+                return Err(BgpError::BadAttribute {
+                    code: code as u8,
+                    reason: "local pref length",
+                });
             }
             PathAttribute::LocalPref(value.get_u32())
         }
         AttrCode::AtomicAggregate => {
             if !value.is_empty() {
-                return Err(BgpError::BadAttribute { code: code as u8, reason: "atomic aggregate length" });
+                return Err(BgpError::BadAttribute {
+                    code: code as u8,
+                    reason: "atomic aggregate length",
+                });
             }
             PathAttribute::AtomicAggregate
         }
         AttrCode::Aggregator => {
             if value.len() != 8 {
-                return Err(BgpError::BadAttribute { code: code as u8, reason: "aggregator length" });
+                return Err(BgpError::BadAttribute {
+                    code: code as u8,
+                    reason: "aggregator length",
+                });
             }
             let asn = Asn(value.get_u32());
             let router_id = value.get_u32();
             PathAttribute::Aggregator(Aggregator { asn, router_id })
         }
         AttrCode::Communities => {
-            if value.len() % 4 != 0 {
-                return Err(BgpError::BadAttribute { code: code as u8, reason: "communities length" });
+            if !value.len().is_multiple_of(4) {
+                return Err(BgpError::BadAttribute {
+                    code: code as u8,
+                    reason: "communities length",
+                });
             }
             let mut cs = Vec::with_capacity(value.len() / 4);
             while !value.is_empty() {
@@ -303,7 +349,11 @@ fn decode_update(buf: &mut &[u8]) -> Result<UpdateMessage, BgpError> {
 
     let nlri = decode_prefixes(buf)?;
     *buf = &[];
-    Ok(UpdateMessage { withdrawn, attributes, nlri })
+    Ok(UpdateMessage {
+        withdrawn,
+        attributes,
+        nlri,
+    })
 }
 
 fn encode_notification(n: &NotificationMessage, out: &mut BytesMut) {
@@ -316,11 +366,19 @@ fn decode_notification(buf: &mut &[u8]) -> Result<NotificationMessage, BgpError>
     need(buf, 2)?;
     let code_raw = buf.get_u8();
     let subcode = buf.get_u8();
-    let code = crate::error::ErrorCode::from_code(code_raw)
-        .ok_or(BgpError::BadAttribute { code: code_raw, reason: "notification code" })?;
+    let code = crate::error::ErrorCode::from_code(code_raw).ok_or(BgpError::BadAttribute {
+        code: code_raw,
+        reason: "notification code",
+    })?;
     let data = buf.to_vec();
     *buf = &[];
-    Ok(NotificationMessage { error: NotificationData { code, subcode, data } })
+    Ok(NotificationMessage {
+        error: NotificationData {
+            code,
+            subcode,
+            data,
+        },
+    })
 }
 
 #[cfg(test)]
@@ -374,7 +432,11 @@ mod tests {
     #[test]
     fn notification_roundtrip() {
         let msg = BgpMessage::Notification(NotificationMessage {
-            error: NotificationData { code: ErrorCode::Cease, subcode: 2, data: vec![1, 2, 3] },
+            error: NotificationData {
+                code: ErrorCode::Cease,
+                subcode: 2,
+                data: vec![1, 2, 3],
+            },
         });
         let bytes = encode(&msg);
         let (decoded, _) = decode(&bytes).expect("decodes");
@@ -393,8 +455,14 @@ mod tests {
     fn truncated_messages_are_rejected() {
         let msg = BgpMessage::Update(sample_update());
         let bytes = encode(&msg);
-        assert!(matches!(decode(&bytes[..10]), Err(BgpError::Truncated { .. })));
-        assert!(matches!(decode(&bytes[..bytes.len() - 1]), Err(BgpError::Truncated { .. })));
+        assert!(matches!(
+            decode(&bytes[..10]),
+            Err(BgpError::Truncated { .. })
+        ));
+        assert!(matches!(
+            decode(&bytes[..bytes.len() - 1]),
+            Err(BgpError::Truncated { .. })
+        ));
     }
 
     #[test]
@@ -454,8 +522,14 @@ mod tests {
         let attrs = RouteAttrs::originated(65001, Ipv4Addr::new(10, 0, 0, 1));
         let p8: Ipv4Prefix = "10.0.0.0/8".parse().expect("valid");
         let p22: Ipv4Prefix = "208.65.152.0/22".parse().expect("valid");
-        let one = encode(&BgpMessage::Update(UpdateMessage::announce(vec![p8], &attrs)));
-        let two = encode(&BgpMessage::Update(UpdateMessage::announce(vec![p22], &attrs)));
+        let one = encode(&BgpMessage::Update(UpdateMessage::announce(
+            vec![p8],
+            &attrs,
+        )));
+        let two = encode(&BgpMessage::Update(UpdateMessage::announce(
+            vec![p22],
+            &attrs,
+        )));
         // /8 NLRI takes 2 bytes, /22 takes 4 bytes.
         assert_eq!(two.len() - one.len(), 2);
     }

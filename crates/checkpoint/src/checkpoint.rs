@@ -71,7 +71,10 @@ impl<T: Checkpointable> TrackedProcess<T> {
     where
         T: Clone,
     {
-        TrackedProcess { state: self.state.clone(), memory: self.memory.clone() }
+        TrackedProcess {
+            state: self.state.clone(),
+            memory: self.memory.clone(),
+        }
     }
 
     /// Memory statistics of this process relative to the process it was
@@ -91,7 +94,9 @@ pub struct CheckpointManager<T> {
 impl<T: Checkpointable + Clone> CheckpointManager<T> {
     /// Wraps the live node state.
     pub fn new(state: T) -> Self {
-        CheckpointManager { live: TrackedProcess::new(state) }
+        CheckpointManager {
+            live: TrackedProcess::new(state),
+        }
     }
 
     /// The live process.
@@ -125,7 +130,9 @@ mod tests {
 
     impl ToyRib {
         fn with_routes(n: u32) -> Self {
-            ToyRib { routes: (0..n).map(|i| (i, 100 + i)).collect() }
+            ToyRib {
+                routes: (0..n).map(|i| (i, 100 + i)).collect(),
+            }
         }
 
         fn add(&mut self, prefix: u32, origin: u32) {
@@ -168,7 +175,10 @@ mod tests {
         manager.live_mut().sync();
         let stats = checkpoint.memory_stats_vs(manager.live());
         assert!(stats.unique_pages > 0);
-        assert!(stats.unique_fraction() < 0.25, "small update burst should touch few pages");
+        assert!(
+            stats.unique_fraction() < 0.25,
+            "small update burst should touch few pages"
+        );
     }
 
     #[test]

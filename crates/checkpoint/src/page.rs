@@ -21,7 +21,9 @@ pub struct Page {
 
 impl Default for Page {
     fn default() -> Self {
-        Page { data: Arc::new([0u8; PAGE_SIZE]) }
+        Page {
+            data: Arc::new([0u8; PAGE_SIZE]),
+        }
     }
 }
 
@@ -36,7 +38,9 @@ impl Page {
         let mut buf = [0u8; PAGE_SIZE];
         let n = bytes.len().min(PAGE_SIZE);
         buf[..n].copy_from_slice(&bytes[..n]);
-        Page { data: Arc::new(buf) }
+        Page {
+            data: Arc::new(buf),
+        }
     }
 
     /// Read access to the page contents.

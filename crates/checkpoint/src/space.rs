@@ -51,7 +51,10 @@ impl AddressSpace {
     /// contents differ are copied (COW). Growing the image appends fresh
     /// pages; shrinking drops trailing pages.
     pub fn load(&mut self, data: &[u8]) {
-        let needed = data.len().div_ceil(PAGE_SIZE).max(if data.is_empty() { 0 } else { 1 });
+        let needed = data
+            .len()
+            .div_ceil(PAGE_SIZE)
+            .max(if data.is_empty() { 0 } else { 1 });
         self.pages.truncate(needed);
         for i in 0..needed {
             let start = i * PAGE_SIZE;
@@ -95,7 +98,10 @@ impl AddressSpace {
     /// Full memory statistics of this space relative to `other`.
     pub fn stats_vs(&self, other: &AddressSpace) -> MemoryStats {
         let unique = self.unique_pages_vs(other);
-        MemoryStats { total_pages: self.page_count(), unique_pages: unique }
+        MemoryStats {
+            total_pages: self.page_count(),
+            unique_pages: unique,
+        }
     }
 }
 

@@ -86,7 +86,11 @@ impl CloneOverhead {
         if self.samples.is_empty() {
             return 0.0;
         }
-        self.samples.iter().map(MemoryStats::unique_percent).sum::<f64>() / self.samples.len() as f64
+        self.samples
+            .iter()
+            .map(MemoryStats::unique_percent)
+            .sum::<f64>()
+            / self.samples.len() as f64
     }
 
     /// Maximum unique-page percentage across clones.
@@ -104,7 +108,10 @@ mod tests {
 
     #[test]
     fn fractions_and_percentages() {
-        let s = MemoryStats { total_pages: 200, unique_pages: 7 };
+        let s = MemoryStats {
+            total_pages: 200,
+            unique_pages: 7,
+        };
         assert!((s.unique_fraction() - 0.035).abs() < 1e-9);
         assert!((s.unique_percent() - 3.5).abs() < 1e-9);
         assert_eq!(s.shared_pages(), 193);
@@ -117,9 +124,18 @@ mod tests {
     fn clone_overhead_aggregates() {
         let mut agg = CloneOverhead::new();
         assert!(agg.is_empty());
-        agg.record(MemoryStats { total_pages: 100, unique_pages: 30 });
-        agg.record(MemoryStats { total_pages: 100, unique_pages: 40 });
-        agg.record(MemoryStats { total_pages: 100, unique_pages: 38 });
+        agg.record(MemoryStats {
+            total_pages: 100,
+            unique_pages: 30,
+        });
+        agg.record(MemoryStats {
+            total_pages: 100,
+            unique_pages: 40,
+        });
+        agg.record(MemoryStats {
+            total_pages: 100,
+            unique_pages: 38,
+        });
         assert_eq!(agg.len(), 3);
         assert!((agg.mean_unique_percent() - 36.0).abs() < 1e-9);
         assert!((agg.max_unique_percent() - 40.0).abs() < 1e-9);

@@ -45,7 +45,12 @@ impl Fault {
 impl fmt::Display for Fault {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Fault::PotentialHijack { announced, claimed_origin, existing_prefix, existing_origin } => {
+            Fault::PotentialHijack {
+                announced,
+                claimed_origin,
+                existing_prefix,
+                existing_origin,
+            } => {
                 write!(
                     f,
                     "potential hijack: {announced} claimed by {claimed_origin} would override {existing_prefix} originated by {existing_origin}"
@@ -147,7 +152,11 @@ mod tests {
             origin_as,
             accepted,
             filter: FilterOutcome {
-                verdict: if accepted { FilterVerdict::Accept } else { FilterVerdict::Reject },
+                verdict: if accepted {
+                    FilterVerdict::Accept
+                } else {
+                    FilterVerdict::Reject
+                },
                 local_pref: None,
                 med: None,
                 prepend: 0,
@@ -166,7 +175,12 @@ mod tests {
             .check(&outcome("208.65.153.0/24", 17557, true), &rib)
             .expect("hijack detected");
         match &fault {
-            Fault::PotentialHijack { claimed_origin, existing_origin, existing_prefix, .. } => {
+            Fault::PotentialHijack {
+                claimed_origin,
+                existing_origin,
+                existing_prefix,
+                ..
+            } => {
                 assert_eq!(*claimed_origin, Asn(17557));
                 assert_eq!(*existing_origin, Asn(36561));
                 assert_eq!(existing_prefix.to_string(), "208.65.152.0/22");
@@ -181,21 +195,27 @@ mod tests {
     fn rejected_routes_are_not_faults() {
         let rib = rib_with_youtube();
         let checker = OriginHijackChecker::new();
-        assert!(checker.check(&outcome("208.65.153.0/24", 17557, false), &rib).is_none());
+        assert!(checker
+            .check(&outcome("208.65.153.0/24", 17557, false), &rib)
+            .is_none());
     }
 
     #[test]
     fn same_origin_is_not_a_fault() {
         let rib = rib_with_youtube();
         let checker = OriginHijackChecker::new();
-        assert!(checker.check(&outcome("208.65.153.0/24", 36561, true), &rib).is_none());
+        assert!(checker
+            .check(&outcome("208.65.153.0/24", 36561, true), &rib)
+            .is_none());
     }
 
     #[test]
     fn uncovered_prefixes_are_not_faults() {
         let rib = rib_with_youtube();
         let checker = OriginHijackChecker::new();
-        assert!(checker.check(&outcome("1.2.3.0/24", 17557, true), &rib).is_none());
+        assert!(checker
+            .check(&outcome("1.2.3.0/24", 17557, true), &rib)
+            .is_none());
     }
 
     #[test]
@@ -203,6 +223,8 @@ mod tests {
         let rib = rib_with_youtube();
         let checker = OriginHijackChecker::new()
             .with_anycast_whitelist(vec!["208.65.152.0/22".parse().expect("valid")]);
-        assert!(checker.check(&outcome("208.65.153.0/24", 17557, true), &rib).is_none());
+        assert!(checker
+            .check(&outcome("208.65.153.0/24", 17557, true), &rib)
+            .is_none());
     }
 }

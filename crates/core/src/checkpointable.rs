@@ -124,7 +124,12 @@ mod tests {
         assert_eq!(checkpoint.memory_stats_vs(manager.live()).unique_pages, 0);
 
         // The live router keeps processing a handful of updates.
-        let peer = manager.live().state().router().peer_by_address(addr::INTERNET).expect("peer");
+        let peer = manager
+            .live()
+            .state()
+            .router()
+            .peer_by_address(addr::INTERNET)
+            .expect("peer");
         for i in 0..20u32 {
             let mut attrs = RouteAttrs::default();
             attrs.as_path = AsPath::from_sequence([1299, 150_000 + i]);

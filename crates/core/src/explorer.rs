@@ -17,7 +17,8 @@ use std::time::Instant;
 use dice_bgp::message::UpdateMessage;
 use dice_bgp::route::PeerId;
 use dice_router::BgpRouter;
-use dice_symexec::{ConcolicEngine, EngineConfig, InputValues};
+use dice_solver::SolverStats;
+use dice_symexec::{ConcolicEngine, Coverage, EngineConfig, InputValues};
 
 use crate::checker::{Fault, FaultChecker, OriginHijackChecker};
 use crate::handler::SymbolicUpdateHandler;
@@ -34,16 +35,43 @@ pub struct DiceConfig {
     pub max_observed_inputs: usize,
     /// Anycast prefixes excluded from hijack reports.
     pub anycast_whitelist: Vec<dice_bgp::Ipv4Prefix>,
+    /// Worker threads exploring observed inputs concurrently.
+    ///
+    /// `0` (the default) uses the machine's available parallelism; `1`
+    /// forces fully sequential exploration. Each observed input explores an
+    /// independent clone of the checkpoint, so the report is identical for
+    /// every worker count — only the wall clock changes.
+    pub workers: usize,
 }
 
 impl Default for DiceConfig {
     fn default() -> Self {
         DiceConfig {
-            engine: EngineConfig { max_runs: 64, ..Default::default() },
+            engine: EngineConfig {
+                max_runs: 64,
+                ..Default::default()
+            },
             max_observed_inputs: 16,
             anycast_whitelist: Vec::new(),
+            workers: 0,
         }
     }
+}
+
+/// Everything one observed input contributes to the round's report.
+///
+/// Produced per `(peer, update)` pair — possibly on a worker thread — and
+/// merged into the [`ExplorationReport`] in input order, so the merged
+/// report is byte-for-byte the one sequential exploration produces.
+#[derive(Debug)]
+struct InputOutcome {
+    runs: usize,
+    distinct_paths: usize,
+    generated_inputs: usize,
+    solver_stats: SolverStats,
+    coverage: Coverage,
+    intercepted_messages: usize,
+    faults: Vec<Fault>,
 }
 
 /// The DiCE online-testing facility attached to one router.
@@ -72,41 +100,80 @@ impl Dice {
     /// given observed `(peer, update)` inputs.
     ///
     /// The live router is only read to take the checkpoint and to verify
-    /// isolation afterwards; all execution happens on clones.
+    /// isolation afterwards; all execution happens on clones. Observed
+    /// inputs are independent of each other (each explores its own clone of
+    /// the checkpoint), so they are fanned out across
+    /// [`DiceConfig::workers`] threads and their outcomes merged in input
+    /// order — the report is identical to a sequential round.
     pub fn run(&self, live: &BgpRouter, observed: &[(PeerId, UpdateMessage)]) -> ExplorationReport {
         let started = Instant::now();
         let fingerprint = LiveStateFingerprint::capture(live);
         // Checkpoint: a fork of the live node's state.
         let checkpoint = live.clone();
-        let checker = OriginHijackChecker::new().with_anycast_whitelist(self.config.anycast_whitelist.clone());
+        let checker = OriginHijackChecker::new()
+            .with_anycast_whitelist(self.config.anycast_whitelist.clone());
 
+        let inputs = &observed[..observed.len().min(self.config.max_observed_inputs)];
         let mut report = ExplorationReport {
-            observed_inputs: observed.len().min(self.config.max_observed_inputs),
+            observed_inputs: inputs.len(),
             ..Default::default()
         };
-        let mut coverage = dice_symexec::Coverage::new();
 
-        for (peer, update) in observed.iter().take(self.config.max_observed_inputs) {
-            let Some(template) = UpdateTemplate::from_update(update) else {
-                continue;
-            };
-            let seed: InputValues = template.seed();
-            let mut handler = SymbolicUpdateHandler::new(checkpoint.clone(), *peer, template);
-            let engine = ConcolicEngine::with_config(self.config.engine);
-            let exploration = engine.explore(&mut handler, &[seed]);
-
-            report.runs += exploration.stats.runs;
-            report.distinct_paths += exploration.distinct_paths();
-            report.generated_inputs += exploration.generated_inputs().len();
-            report.solver_stats.merge(&exploration.solver_stats);
-            coverage.merge(&exploration.coverage);
-            report.intercepted_messages += handler.interceptor().len();
-
-            for run in &exploration.runs {
-                if let Some(fault) = checker.check(&run.output, checkpoint.rib()) {
-                    if !report.faults.contains(&fault) {
-                        report.faults.push(fault);
+        let workers = self.effective_workers(inputs.len());
+        let outcomes: Vec<Option<InputOutcome>> = if workers <= 1 {
+            inputs
+                .iter()
+                .map(|(peer, update)| self.explore_input(&checkpoint, &checker, *peer, update))
+                .collect()
+        } else {
+            // Work-stealing over input indices: workers claim the next
+            // unexplored input from a shared counter, so uneven per-input
+            // costs balance across all cores. Outcome i still lands in slot
+            // i, which keeps the merge order — and thus the report —
+            // identical to the sequential path.
+            let mut slots: Vec<Option<InputOutcome>> = (0..inputs.len()).map(|_| None).collect();
+            let next_input = std::sync::atomic::AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        let (checkpoint, checker, next_input) =
+                            (&checkpoint, &checker, &next_input);
+                        scope.spawn(move || {
+                            let mut explored = Vec::new();
+                            loop {
+                                let i =
+                                    next_input.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                let Some((peer, update)) = inputs.get(i) else {
+                                    return explored;
+                                };
+                                explored.push((
+                                    i,
+                                    self.explore_input(checkpoint, checker, *peer, update),
+                                ));
+                            }
+                        })
+                    })
+                    .collect();
+                for handle in handles {
+                    for (i, outcome) in handle.join().expect("exploration worker panicked") {
+                        slots[i] = outcome;
                     }
+                }
+            });
+            slots
+        };
+
+        let mut coverage = Coverage::new();
+        for outcome in outcomes.into_iter().flatten() {
+            report.runs += outcome.runs;
+            report.distinct_paths += outcome.distinct_paths;
+            report.generated_inputs += outcome.generated_inputs;
+            report.solver_stats.merge(&outcome.solver_stats);
+            coverage.merge(&outcome.coverage);
+            report.intercepted_messages += outcome.intercepted_messages;
+            for fault in outcome.faults {
+                if !report.faults.contains(&fault) {
+                    report.faults.push(fault);
                 }
             }
         }
@@ -118,14 +185,74 @@ impl Dice {
         report
     }
 
+    /// Explores one observed input from the checkpointed state.
+    ///
+    /// Returns `None` for inputs that yield no symbolic template (pure
+    /// withdrawals). Takes only shared references so input exploration can
+    /// run on worker threads.
+    fn explore_input(
+        &self,
+        checkpoint: &BgpRouter,
+        checker: &OriginHijackChecker,
+        peer: PeerId,
+        update: &UpdateMessage,
+    ) -> Option<InputOutcome> {
+        let template = UpdateTemplate::from_update(update)?;
+        let seed: InputValues = template.seed();
+        let mut handler = SymbolicUpdateHandler::new(checkpoint.clone(), peer, template);
+        let engine = ConcolicEngine::with_config(self.config.engine);
+        let exploration = engine.explore(&mut handler, &[seed]);
+
+        let mut faults = Vec::new();
+        for run in &exploration.runs {
+            if let Some(fault) = checker.check(&run.output, checkpoint.rib()) {
+                if !faults.contains(&fault) {
+                    faults.push(fault);
+                }
+            }
+        }
+
+        Some(InputOutcome {
+            runs: exploration.stats.runs,
+            distinct_paths: exploration.distinct_paths(),
+            generated_inputs: exploration.generated_inputs().len(),
+            solver_stats: exploration.solver_stats,
+            coverage: exploration.coverage,
+            intercepted_messages: handler.interceptor().len(),
+            faults,
+        })
+    }
+
+    /// The worker count for a round over `input_count` inputs: the
+    /// configured count, or available parallelism when the configuration
+    /// says `0`, never more threads than inputs.
+    fn effective_workers(&self, input_count: usize) -> usize {
+        let configured = match self.config.workers {
+            0 => std::thread::available_parallelism()
+                .map(usize::from)
+                .unwrap_or(1),
+            n => n,
+        };
+        configured.min(input_count).max(1)
+    }
+
     /// Convenience wrapper: explore a single observed update.
-    pub fn run_single(&self, live: &BgpRouter, peer: PeerId, update: &UpdateMessage) -> ExplorationReport {
+    pub fn run_single(
+        &self,
+        live: &BgpRouter,
+        peer: PeerId,
+        update: &UpdateMessage,
+    ) -> ExplorationReport {
         self.run(live, &[(peer, update.clone())])
     }
 
     /// Applies the configured checkers to one already-computed outcome
     /// (exposed for tests and custom orchestration).
-    pub fn check_outcome(&self, outcome: &crate::handler::HandlerOutcome, rib: &dice_router::Rib) -> Option<Fault> {
+    pub fn check_outcome(
+        &self,
+        outcome: &crate::handler::HandlerOutcome,
+        rib: &dice_router::Rib,
+    ) -> Option<Fault> {
         OriginHijackChecker::new()
             .with_anycast_whitelist(self.config.anycast_whitelist.clone())
             .check(outcome, rib)
@@ -164,7 +291,8 @@ mod tests {
         let mut cattrs = RouteAttrs::default();
         cattrs.as_path = AsPath::from_sequence([asn::CUSTOMER, asn::CUSTOMER]);
         cattrs.next_hop = Ipv4Addr::new(10, 0, 1, 1);
-        let observed = UpdateMessage::announce(vec!["41.1.0.0/16".parse().expect("valid")], &cattrs);
+        let observed =
+            UpdateMessage::announce(vec!["41.1.0.0/16".parse().expect("valid")], &cattrs);
         (router, customer, observed)
     }
 
@@ -173,8 +301,14 @@ mod tests {
         let (router, customer, observed) = scenario(CustomerFilterMode::Erroneous);
         let dice = Dice::new();
         let report = dice.run_single(&router, customer, &observed);
-        assert!(report.has_faults(), "erroneous filter must be flagged:\n{report}");
-        assert!(report.generated_inputs > 0, "faults come from generated exploratory inputs");
+        assert!(
+            report.has_faults(),
+            "erroneous filter must be flagged:\n{report}"
+        );
+        assert!(
+            report.generated_inputs > 0,
+            "faults come from generated exploratory inputs"
+        );
         assert!(report.isolation_preserved);
         // The leaked range covers the victim prefix space.
         assert!(report
@@ -208,7 +342,10 @@ mod tests {
             !report.has_faults(),
             "correct origin-pinning filter must not be flagged:\n{report}"
         );
-        assert!(report.branch_sites > 0, "the filter's branches were explored");
+        assert!(
+            report.branch_sites > 0,
+            "the filter's branches were explored"
+        );
         assert!(report.isolation_preserved);
     }
 
@@ -221,7 +358,10 @@ mod tests {
         assert_eq!(router.rib().prefix_count(), before_prefixes);
         assert_eq!(router.stats().updates_processed, before_updates);
         assert!(report.isolation_preserved);
-        assert!(report.intercepted_messages > 0, "exploratory messages were intercepted");
+        assert!(
+            report.intercepted_messages > 0,
+            "exploratory messages were intercepted"
+        );
     }
 
     #[test]
@@ -232,7 +372,152 @@ mod tests {
             ..Default::default()
         });
         let report = dice.run_single(&router, customer, &observed);
-        assert!(!report.has_faults(), "whitelisting everything suppresses all reports");
+        assert!(
+            !report.has_faults(),
+            "whitelisting everything suppresses all reports"
+        );
+    }
+
+    /// A round with several observed inputs of different shapes: the
+    /// routine customer announcement, a second customer announcement for an
+    /// unrelated block, an announcement from the Internet peer, and a pure
+    /// withdrawal (which yields no template).
+    fn multi_input_observed(
+        router: &BgpRouter,
+        customer: PeerId,
+        observed: &UpdateMessage,
+    ) -> Vec<(PeerId, UpdateMessage)> {
+        let internet = router.peer_by_address(addr::INTERNET).expect("peer");
+        let mut other_attrs = RouteAttrs::default();
+        other_attrs.as_path = AsPath::from_sequence([asn::CUSTOMER]);
+        other_attrs.next_hop = Ipv4Addr::new(10, 0, 1, 1);
+        let other =
+            UpdateMessage::announce(vec!["41.128.0.0/12".parse().expect("valid")], &other_attrs);
+        let mut internet_attrs = RouteAttrs::default();
+        internet_attrs.as_path = AsPath::from_sequence([asn::INTERNET, 6453, 4788]);
+        internet_attrs.next_hop = Ipv4Addr::new(10, 0, 2, 1);
+        let transit = UpdateMessage::announce(
+            vec!["202.128.0.0/12".parse().expect("valid")],
+            &internet_attrs,
+        );
+        let withdrawal = UpdateMessage::withdraw(vec!["41.1.0.0/16".parse().expect("valid")]);
+        vec![
+            (customer, observed.clone()),
+            (customer, other),
+            (internet, transit),
+            (customer, withdrawal),
+            (customer, observed.clone()),
+        ]
+    }
+
+    fn assert_reports_equal(a: &ExplorationReport, b: &ExplorationReport, what: &str) {
+        assert_eq!(a.runs, b.runs, "{what}: runs");
+        assert_eq!(a.distinct_paths, b.distinct_paths, "{what}: distinct paths");
+        assert_eq!(
+            a.generated_inputs, b.generated_inputs,
+            "{what}: generated inputs"
+        );
+        assert_eq!(a.branch_sites, b.branch_sites, "{what}: branch sites");
+        assert_eq!(a.complete_sites, b.complete_sites, "{what}: complete sites");
+        assert_eq!(
+            a.intercepted_messages, b.intercepted_messages,
+            "{what}: intercepted"
+        );
+        assert_eq!(a.faults, b.faults, "{what}: faults (content and order)");
+        assert_eq!(
+            a.solver_stats.queries, b.solver_stats.queries,
+            "{what}: solver queries"
+        );
+    }
+
+    #[test]
+    fn parallel_round_equals_sequential_round() {
+        let (router, customer, observed) = scenario(CustomerFilterMode::Erroneous);
+        let inputs = multi_input_observed(&router, customer, &observed);
+        assert!(inputs.len() >= 4);
+
+        let sequential = Dice::with_config(DiceConfig {
+            workers: 1,
+            ..Default::default()
+        })
+        .run(&router, &inputs);
+        let parallel = Dice::with_config(DiceConfig {
+            workers: 4,
+            ..Default::default()
+        })
+        .run(&router, &inputs);
+
+        assert_reports_equal(&sequential, &parallel, "workers=1 vs workers=4");
+        assert!(
+            sequential.has_faults(),
+            "the erroneous filter is still flagged"
+        );
+        assert!(
+            parallel.isolation_preserved,
+            "concurrent exploration must not touch live state"
+        );
+        assert!(sequential.isolation_preserved);
+    }
+
+    #[test]
+    fn multi_input_round_equals_merge_of_single_input_rounds() {
+        let (router, customer, observed) = scenario(CustomerFilterMode::Erroneous);
+        let inputs = multi_input_observed(&router, customer, &observed);
+        let dice = Dice::new();
+        let combined = dice.run(&router, &inputs);
+
+        let singles: Vec<ExplorationReport> = inputs
+            .iter()
+            .map(|(peer, update)| dice.run_single(&router, *peer, update))
+            .collect();
+
+        assert_eq!(combined.runs, singles.iter().map(|r| r.runs).sum::<usize>());
+        assert_eq!(
+            combined.distinct_paths,
+            singles.iter().map(|r| r.distinct_paths).sum::<usize>()
+        );
+        assert_eq!(
+            combined.generated_inputs,
+            singles.iter().map(|r| r.generated_inputs).sum::<usize>()
+        );
+        assert_eq!(
+            combined.intercepted_messages,
+            singles
+                .iter()
+                .map(|r| r.intercepted_messages)
+                .sum::<usize>()
+        );
+
+        // The combined fault list is the input-order union of the per-input
+        // fault lists (deduplicated, first sighting wins).
+        let mut merged_faults: Vec<Fault> = Vec::new();
+        for single in &singles {
+            for fault in &single.faults {
+                if !merged_faults.contains(fault) {
+                    merged_faults.push(fault.clone());
+                }
+            }
+        }
+        assert_eq!(combined.faults, merged_faults);
+        assert!(combined.isolation_preserved);
+        assert!(singles.iter().all(|r| r.isolation_preserved));
+    }
+
+    #[test]
+    fn worker_count_is_bounded_by_inputs_and_never_zero() {
+        let dice = Dice::with_config(DiceConfig {
+            workers: 8,
+            ..Default::default()
+        });
+        assert_eq!(dice.effective_workers(3), 3);
+        assert_eq!(dice.effective_workers(0), 1);
+        let auto = Dice::new();
+        assert!(auto.effective_workers(1_000) >= 1);
+        let sequential = Dice::with_config(DiceConfig {
+            workers: 1,
+            ..Default::default()
+        });
+        assert_eq!(sequential.effective_workers(64), 1);
     }
 
     #[test]

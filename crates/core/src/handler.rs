@@ -44,7 +44,12 @@ impl SymbolicUpdateHandler {
     /// Creates a handler over a checkpoint clone of the router, exploring
     /// inputs derived from an update observed from `peer`.
     pub fn new(checkpoint: BgpRouter, peer: PeerId, template: UpdateTemplate) -> Self {
-        SymbolicUpdateHandler { checkpoint, peer, template, interceptor: MessageInterceptor::new() }
+        SymbolicUpdateHandler {
+            checkpoint,
+            peer,
+            template,
+            interceptor: MessageInterceptor::new(),
+        }
     }
 
     /// The checkpoint the handler executes over.
@@ -189,7 +194,10 @@ mod tests {
         let template = UpdateTemplate::from_update(&observed_update()).expect("template");
         let seed = template.seed();
         let mut handler = SymbolicUpdateHandler::new(router, peer, template);
-        let engine = ConcolicEngine::with_config(EngineConfig { max_runs: 32, ..Default::default() });
+        let engine = ConcolicEngine::with_config(EngineConfig {
+            max_runs: 32,
+            ..Default::default()
+        });
         let exploration = engine.explore(&mut handler, &[seed]);
         let accepted = exploration.outputs().filter(|o| o.accepted).count();
         let rejected = exploration.outputs().filter(|o| !o.accepted).count();

@@ -104,20 +104,24 @@ mod tests {
 
     #[test]
     fn fingerprint_detects_live_state_changes() {
-        let config = RouterConfig::new(Ipv4Addr::new(10, 0, 0, 1), 65001).with_neighbor(NeighborConfig {
-            address: Ipv4Addr::new(10, 0, 0, 2),
-            remote_as: 65002,
-            import_filter: None,
-            export_filter: None,
-        });
+        let config =
+            RouterConfig::new(Ipv4Addr::new(10, 0, 0, 1), 65001).with_neighbor(NeighborConfig {
+                address: Ipv4Addr::new(10, 0, 0, 2),
+                remote_as: 65002,
+                import_filter: None,
+                export_filter: None,
+            });
         let mut router = dice_router::BgpRouter::new(config);
         router.start();
         let fp = LiveStateFingerprint::capture(&router);
         assert!(fp.matches(&router));
         // Processing an update changes the fingerprint.
         let attrs = RouteAttrs::originated(65002, Ipv4Addr::new(10, 0, 0, 2));
-        let update = UpdateMessage::announce(vec!["203.0.113.0/24".parse().expect("valid")], &attrs);
-        let peer = router.peer_by_address(Ipv4Addr::new(10, 0, 0, 2)).expect("peer");
+        let update =
+            UpdateMessage::announce(vec!["203.0.113.0/24".parse().expect("valid")], &attrs);
+        let peer = router
+            .peer_by_address(Ipv4Addr::new(10, 0, 0, 2))
+            .expect("peer");
         router.handle_update(peer, &update);
         assert!(!fp.matches(&router));
     }

@@ -124,7 +124,8 @@ mod tests {
         let (mut router, peer) = provider();
         let msgs = updates(64);
         let mut work = 0u64;
-        let result = SharedCoreScheduler { explore_every: 8 }.run(&mut router, peer, &msgs, || work += 1);
+        let result =
+            SharedCoreScheduler { explore_every: 8 }.run(&mut router, peer, &msgs, || work += 1);
         assert_eq!(result.exploration_slices, 8);
         assert_eq!(work, 8);
         assert_eq!(result.updates_processed, 64);
@@ -134,17 +135,19 @@ mod tests {
     fn exploration_work_reduces_live_throughput() {
         let (mut baseline_router, peer) = provider();
         let msgs = updates(400);
-        let baseline = SharedCoreScheduler::baseline().run(&mut baseline_router, peer, &msgs, || {});
+        let baseline =
+            SharedCoreScheduler::baseline().run(&mut baseline_router, peer, &msgs, || {});
 
         let (mut loaded_router, peer2) = provider();
         // Each exploration slice burns CPU, standing in for a concolic run.
-        let loaded = SharedCoreScheduler { explore_every: 4 }.run(&mut loaded_router, peer2, &msgs, || {
-            let mut acc = 0u64;
-            for i in 0..20_000u64 {
-                acc = acc.wrapping_mul(31).wrapping_add(i);
-            }
-            std::hint::black_box(acc);
-        });
+        let loaded =
+            SharedCoreScheduler { explore_every: 4 }.run(&mut loaded_router, peer2, &msgs, || {
+                let mut acc = 0u64;
+                for i in 0..20_000u64 {
+                    acc = acc.wrapping_mul(31).wrapping_add(i);
+                }
+                std::hint::black_box(acc);
+            });
         assert!(
             loaded.updates_per_second < baseline.updates_per_second,
             "sharing the core with exploration must cost throughput ({} vs {})",

@@ -45,7 +45,10 @@ impl UpdateTemplate {
     /// leaves to future work.
     pub fn from_update(update: &UpdateMessage) -> Option<Self> {
         let prefix = *update.nlri.first()?;
-        Some(UpdateTemplate { observed_prefix: prefix, observed_attrs: update.route_attrs() })
+        Some(UpdateTemplate {
+            observed_prefix: prefix,
+            observed_attrs: update.route_attrs(),
+        })
     }
 
     /// The prefix of the observed announcement.
@@ -68,7 +71,11 @@ impl UpdateTemplate {
             .field(fields::ORIGIN, 8, a.origin.code() as u64)
             .field(fields::MED, 32, a.effective_med() as u64)
             .field(fields::LOCAL_PREF, 32, a.effective_local_pref() as u64)
-            .field(fields::SOURCE_AS, 32, a.origin_as().map(|x| x.value()).unwrap_or(0) as u64)
+            .field(
+                fields::SOURCE_AS,
+                32,
+                a.origin_as().map(|x| x.value()).unwrap_or(0) as u64,
+            )
     }
 
     /// The seed input: the values observed on the wire.
@@ -88,7 +95,9 @@ impl UpdateTemplate {
     /// Returns the concrete prefix and attributes described by an input
     /// assignment.
     pub fn materialize(&self, values: &InputValues) -> (Ipv4Prefix, RouteAttrs) {
-        let len = values.get_or(fields::NLRI_LEN, self.observed_prefix.len() as u64).min(32) as u8;
+        let len = values
+            .get_or(fields::NLRI_LEN, self.observed_prefix.len() as u64)
+            .min(32) as u8;
         let addr = values.get_or(fields::NLRI_ADDR, self.observed_prefix.addr() as u64) as u32;
         let prefix = Ipv4Prefix::new(addr, len).expect("length clamped to 32");
         let mut attrs = self.observed_attrs.clone();
@@ -98,7 +107,10 @@ impl UpdateTemplate {
         attrs.local_pref = Some(values.get_or(fields::LOCAL_PREF, 100) as u32);
         let source_as = values.get_or(
             fields::SOURCE_AS,
-            self.observed_attrs.origin_as().map(|x| x.value()).unwrap_or(0) as u64,
+            self.observed_attrs
+                .origin_as()
+                .map(|x| x.value())
+                .unwrap_or(0) as u64,
         ) as u32;
         attrs.as_path = replace_origin_as(&self.observed_attrs.as_path, Asn(source_as));
         (prefix, attrs)
@@ -116,12 +128,18 @@ impl UpdateTemplate {
             prefix_addr: ctx.symbolic_u32(fields::NLRI_ADDR, get(fields::NLRI_ADDR) as u32),
             prefix_len: ctx.symbolic_u8(fields::NLRI_LEN, get(fields::NLRI_LEN).min(32) as u8),
             source_as: ctx.symbolic_u32(fields::SOURCE_AS, get(fields::SOURCE_AS) as u32),
-            neighbor_as: Concolic::concrete(a.as_path.neighbor_as().map(|x| x.value()).unwrap_or(0)),
+            neighbor_as: Concolic::concrete(
+                a.as_path.neighbor_as().map(|x| x.value()).unwrap_or(0),
+            ),
             path_len: Concolic::concrete(a.as_path.length() as u32),
             med: ctx.symbolic_u32(fields::MED, get(fields::MED) as u32),
             local_pref: ctx.symbolic_u32(fields::LOCAL_PREF, get(fields::LOCAL_PREF) as u32),
             origin_code: ctx.symbolic_u8(fields::ORIGIN, (get(fields::ORIGIN) % 3) as u8),
-            communities: a.communities.iter().map(|c| (c.asn_part(), c.value_part())).collect(),
+            communities: a
+                .communities
+                .iter()
+                .map(|c| (c.asn_part(), c.value_part()))
+                .collect(),
         }
     }
 }
@@ -165,7 +183,10 @@ mod tests {
     fn rebuilt_update_from_seed_matches_observed_prefix() {
         let template = UpdateTemplate::from_update(&observed()).expect("has NLRI");
         let rebuilt = template.build_update(&template.seed());
-        assert_eq!(rebuilt.nlri, vec!["208.65.152.0/22".parse().expect("valid")]);
+        assert_eq!(
+            rebuilt.nlri,
+            vec!["208.65.152.0/22".parse().expect("valid")]
+        );
         let attrs = rebuilt.route_attrs();
         assert_eq!(attrs.origin_as().map(|a| a.value()), Some(36561));
         assert_eq!(attrs.med, Some(5));
@@ -212,7 +233,10 @@ mod tests {
         let template = UpdateTemplate::from_update(&observed()).expect("has NLRI");
         let values = template
             .seed()
-            .with(fields::NLRI_ADDR, u32::from_be_bytes([208, 65, 153, 0]) as u64)
+            .with(
+                fields::NLRI_ADDR,
+                u32::from_be_bytes([208, 65, 153, 0]) as u64,
+            )
             .with(fields::NLRI_LEN, 24);
         let (prefix, attrs) = template.materialize(&values);
         assert_eq!(prefix.to_string(), "208.65.153.0/24");

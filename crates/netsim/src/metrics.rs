@@ -58,7 +58,11 @@ pub struct MeasuredRegion<'a> {
 impl<'a> MeasuredRegion<'a> {
     /// Starts measuring.
     pub fn start(meter: &'a mut ThroughputMeter) -> Self {
-        MeasuredRegion { meter, started: Instant::now(), updates: 0 }
+        MeasuredRegion {
+            meter,
+            started: Instant::now(),
+            updates: 0,
+        }
     }
 
     /// Counts processed updates inside the region.

@@ -31,7 +31,10 @@ pub struct Replayer<'a> {
 impl<'a> Replayer<'a> {
     /// Creates a replayer for the trace, impersonating the given peer.
     pub fn new(trace: &'a BgpTrace, peer_address: Ipv4Addr) -> Self {
-        Replayer { trace, peer_address }
+        Replayer {
+            trace,
+            peer_address,
+        }
     }
 
     fn peer(&self, router: &BgpRouter) -> Option<PeerId> {
@@ -115,7 +118,11 @@ mod tests {
 
     #[test]
     fn table_load_fills_the_rib() {
-        let cfg = TraceGenConfig { prefix_count: 1_000, update_count: 0, ..Default::default() };
+        let cfg = TraceGenConfig {
+            prefix_count: 1_000,
+            update_count: 0,
+            ..Default::default()
+        };
         let trace = generate_trace(&cfg, 1299, addr::INTERNET);
         let mut router = provider_router();
         let stats = Replayer::new(&trace, addr::INTERNET).load_table(&mut router);
@@ -126,7 +133,12 @@ mod tests {
 
     #[test]
     fn incremental_replay_applies_withdrawals() {
-        let cfg = TraceGenConfig { prefix_count: 300, update_count: 300, withdrawal_percent: 50, ..Default::default() };
+        let cfg = TraceGenConfig {
+            prefix_count: 300,
+            update_count: 300,
+            withdrawal_percent: 50,
+            ..Default::default()
+        };
         let trace = generate_trace(&cfg, 1299, addr::INTERNET);
         let mut router = provider_router();
         let replayer = Replayer::new(&trace, addr::INTERNET);
@@ -152,7 +164,11 @@ mod tests {
 
     #[test]
     fn all_updates_flattens_table_and_updates() {
-        let cfg = TraceGenConfig { prefix_count: 10, update_count: 5, ..Default::default() };
+        let cfg = TraceGenConfig {
+            prefix_count: 10,
+            update_count: 5,
+            ..Default::default()
+        };
         let trace = generate_trace(&cfg, 1299, addr::INTERNET);
         let replayer = Replayer::new(&trace, addr::INTERNET);
         assert_eq!(replayer.all_updates().len(), 15);

@@ -54,7 +54,13 @@ impl Simulator {
             routers.push(r);
             names.push(node.name.clone());
         }
-        Simulator { routers, names, link_delay: 1, queue: VecDeque::new(), stats: SimStats::default() }
+        Simulator {
+            routers,
+            names,
+            link_delay: 1,
+            queue: VecDeque::new(),
+            stats: SimStats::default(),
+        }
     }
 
     /// Sets the link delay in ticks.
@@ -209,7 +215,11 @@ mod tests {
         let internet = topo.node_by_name("RestOfInternet").expect("node");
 
         // The Internet announces a prefix to the Provider.
-        sim.inject(provider, addr::INTERNET, announcement("8.8.0.0/16", &[asn::INTERNET, 15169], addr::INTERNET));
+        sim.inject(
+            provider,
+            addr::INTERNET,
+            announcement("8.8.0.0/16", &[asn::INTERNET, 15169], addr::INTERNET),
+        );
         sim.run_to_quiescence(100);
 
         assert_eq!(sim.router(provider).rib().prefix_count(), 1);
@@ -219,7 +229,10 @@ mod tests {
             .rib()
             .best_route(&"8.8.0.0/16".parse().expect("valid"))
             .expect("customer learned the route");
-        assert_eq!(learned.attrs.as_path.neighbor_as().map(|a| a.value()), Some(asn::PROVIDER));
+        assert_eq!(
+            learned.attrs.as_path.neighbor_as().map(|a| a.value()),
+            Some(asn::PROVIDER)
+        );
         assert!(sim.stats().delivered >= 2);
         assert_eq!(sim.stats().undeliverable, 0);
         assert_eq!(sim.name(internet), "RestOfInternet");
@@ -274,7 +287,11 @@ mod tests {
         let mut sim = Simulator::new(&topo).with_link_delay(5);
         let provider = topo.node_by_name("Provider").expect("node");
         let customer = topo.node_by_name("Customer").expect("node");
-        sim.inject(provider, addr::INTERNET, announcement("8.8.0.0/16", &[asn::INTERNET], addr::INTERNET));
+        sim.inject(
+            provider,
+            addr::INTERNET,
+            announcement("8.8.0.0/16", &[asn::INTERNET], addr::INTERNET),
+        );
         assert_eq!(sim.pending(), 1);
         for _ in 0..4 {
             assert_eq!(sim.step(), 0);

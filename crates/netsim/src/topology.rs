@@ -33,7 +33,10 @@ impl Topology {
 
     /// Adds a node and returns its id.
     pub fn add_node(&mut self, name: impl Into<String>, config: RouterConfig) -> NodeId {
-        self.nodes.push(NodeSpec { name: name.into(), config });
+        self.nodes.push(NodeSpec {
+            name: name.into(),
+            config,
+        });
         NodeId(self.nodes.len() - 1)
     }
 
@@ -59,7 +62,10 @@ impl Topology {
 
     /// Looks up a node by its router id.
     pub fn node_by_router_id(&self, router_id: Ipv4Addr) -> Option<NodeId> {
-        self.nodes.iter().position(|n| n.config.router_id == router_id).map(NodeId)
+        self.nodes
+            .iter()
+            .position(|n| n.config.router_id == router_id)
+            .map(NodeId)
     }
 }
 
@@ -214,9 +220,17 @@ mod tests {
 
     #[test]
     fn configs_validate() {
-        for mode in [CustomerFilterMode::Correct, CustomerFilterMode::Erroneous, CustomerFilterMode::Missing] {
+        for mode in [
+            CustomerFilterMode::Correct,
+            CustomerFilterMode::Erroneous,
+            CustomerFilterMode::Missing,
+        ] {
             for node in figure2_topology(mode).nodes() {
-                assert!(node.config.validate().is_ok(), "config of {} validates", node.name);
+                assert!(
+                    node.config.validate().is_ok(),
+                    "config of {} validates",
+                    node.name
+                );
             }
         }
     }

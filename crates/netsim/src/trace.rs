@@ -99,7 +99,11 @@ impl TraceGenConfig {
 
     /// A tiny configuration for unit tests.
     pub fn tiny() -> Self {
-        TraceGenConfig { prefix_count: 200, update_count: 50, ..Default::default() }
+        TraceGenConfig {
+            prefix_count: 200,
+            update_count: 50,
+            ..Default::default()
+        }
     }
 }
 
@@ -199,7 +203,11 @@ mod tests {
 
     #[test]
     fn generates_requested_sizes() {
-        let cfg = TraceGenConfig { prefix_count: 500, update_count: 100, ..Default::default() };
+        let cfg = TraceGenConfig {
+            prefix_count: 500,
+            update_count: 100,
+            ..Default::default()
+        };
         let trace = generate_trace(&cfg, 1299, Ipv4Addr::new(10, 0, 2, 1));
         assert_eq!(trace.table_size(), 500);
         assert_eq!(trace.update_count(), 100);
@@ -213,13 +221,21 @@ mod tests {
         let b = generate_trace(&cfg, 1299, Ipv4Addr::new(10, 0, 2, 1));
         assert_eq!(a.table, b.table);
         assert_eq!(a.updates, b.updates);
-        let other = generate_trace(&TraceGenConfig { seed: 99, ..cfg }, 1299, Ipv4Addr::new(10, 0, 2, 1));
+        let other = generate_trace(
+            &TraceGenConfig { seed: 99, ..cfg },
+            1299,
+            Ipv4Addr::new(10, 0, 2, 1),
+        );
         assert_ne!(a.table, other.table);
     }
 
     #[test]
     fn table_prefixes_are_unique_and_valid() {
-        let cfg = TraceGenConfig { prefix_count: 1_000, update_count: 0, ..Default::default() };
+        let cfg = TraceGenConfig {
+            prefix_count: 1_000,
+            update_count: 0,
+            ..Default::default()
+        };
         let trace = generate_trace(&cfg, 1299, Ipv4Addr::new(10, 0, 2, 1));
         let mut seen = std::collections::HashSet::new();
         for update in &trace.table {
@@ -237,7 +253,12 @@ mod tests {
 
     #[test]
     fn updates_are_chronological_and_mixed() {
-        let cfg = TraceGenConfig { prefix_count: 300, update_count: 400, withdrawal_percent: 20, ..Default::default() };
+        let cfg = TraceGenConfig {
+            prefix_count: 300,
+            update_count: 400,
+            withdrawal_percent: 20,
+            ..Default::default()
+        };
         let trace = generate_trace(&cfg, 1299, Ipv4Addr::new(10, 0, 2, 1));
         let mut last = 0;
         let mut withdrawals = 0;
@@ -248,7 +269,10 @@ mod tests {
                 withdrawals += 1;
             }
         }
-        assert!(withdrawals > 20, "expected a meaningful share of withdrawals, got {withdrawals}");
+        assert!(
+            withdrawals > 20,
+            "expected a meaningful share of withdrawals, got {withdrawals}"
+        );
         assert!(withdrawals < 200);
     }
 

@@ -140,10 +140,17 @@ impl RouterConfig {
                         export_filter = Some(parser.expect_ident()?);
                         parser.expect(&Token::Semi)?;
                     } else {
-                        return Err(parser.error("expected `import`, `export` or `}` in neighbor block"));
+                        return Err(
+                            parser.error("expected `import`, `export` or `}` in neighbor block")
+                        );
                     }
                 }
-                config.neighbors.push(NeighborConfig { address, remote_as, import_filter, export_filter });
+                config.neighbors.push(NeighborConfig {
+                    address,
+                    remote_as,
+                    import_filter,
+                    export_filter,
+                });
             } else if parser.eat_keyword("static") {
                 let prefix = parser.expect_prefix()?;
                 parser.expect_keyword("via")?;
@@ -224,7 +231,10 @@ mod tests {
         assert_eq!(cfg.local_as, 3491);
         assert_eq!(cfg.neighbors.len(), 2);
         assert_eq!(cfg.neighbors[0].remote_as, 17557);
-        assert_eq!(cfg.neighbors[0].import_filter.as_deref(), Some("customer_in"));
+        assert_eq!(
+            cfg.neighbors[0].import_filter.as_deref(),
+            Some("customer_in")
+        );
         assert_eq!(cfg.filters.len(), 2);
         assert_eq!(cfg.static_routes.len(), 1);
         assert!(cfg.filter("customer_in").is_some());
@@ -262,7 +272,10 @@ mod tests {
                 import_filter: Some("announce_all".into()),
                 export_filter: Some("announce_all".into()),
             })
-            .with_static_route("203.0.113.0/24".parse().expect("valid"), Ipv4Addr::new(10, 0, 0, 2));
+            .with_static_route(
+                "203.0.113.0/24".parse().expect("valid"),
+                Ipv4Addr::new(10, 0, 0, 2),
+            );
         assert!(built.validate().is_ok());
         assert_eq!(built.neighbors.len(), 1);
         assert_eq!(built.static_routes.len(), 1);

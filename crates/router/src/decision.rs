@@ -32,7 +32,10 @@ pub enum DecisionReason {
 /// Compares two candidate routes; `Ordering::Greater` means `a` is better.
 pub fn compare(a: &Route, b: &Route) -> (Ordering, DecisionReason) {
     // 1. Highest LOCAL_PREF.
-    let lp = a.attrs.effective_local_pref().cmp(&b.attrs.effective_local_pref());
+    let lp = a
+        .attrs
+        .effective_local_pref()
+        .cmp(&b.attrs.effective_local_pref());
     if lp != Ordering::Equal {
         return (lp, DecisionReason::LocalPref);
     }

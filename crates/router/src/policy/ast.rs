@@ -23,12 +23,18 @@ pub struct FilterDef {
 impl FilterDef {
     /// A filter that accepts every route unchanged.
     pub fn accept_all(name: impl Into<String>) -> Self {
-        FilterDef { name: name.into(), body: vec![Stmt::Accept] }
+        FilterDef {
+            name: name.into(),
+            body: vec![Stmt::Accept],
+        }
     }
 
     /// A filter that rejects every route.
     pub fn reject_all(name: impl Into<String>) -> Self {
-        FilterDef { name: name.into(), body: vec![Stmt::Reject] }
+        FilterDef {
+            name: name.into(),
+            body: vec![Stmt::Reject],
+        }
     }
 
     /// Number of `if` statements (branch sites) in the filter.
@@ -37,9 +43,11 @@ impl FilterDef {
             stmts
                 .iter()
                 .map(|s| match s {
-                    Stmt::If { then_branch, else_branch, .. } => {
-                        1 + count(then_branch) + count(else_branch)
-                    }
+                    Stmt::If {
+                        then_branch,
+                        else_branch,
+                        ..
+                    } => 1 + count(then_branch) + count(else_branch),
                     _ => 0,
                 })
                 .sum()
@@ -145,17 +153,29 @@ pub struct PrefixPattern {
 impl PrefixPattern {
     /// An exact-match pattern.
     pub fn exact(prefix: Ipv4Prefix) -> Self {
-        PrefixPattern { prefix, min_len: prefix.len(), max_len: prefix.len() }
+        PrefixPattern {
+            prefix,
+            min_len: prefix.len(),
+            max_len: prefix.len(),
+        }
     }
 
     /// A pattern matching the prefix or anything more specific.
     pub fn or_longer(prefix: Ipv4Prefix) -> Self {
-        PrefixPattern { prefix, min_len: prefix.len(), max_len: 32 }
+        PrefixPattern {
+            prefix,
+            min_len: prefix.len(),
+            max_len: 32,
+        }
     }
 
     /// A pattern with an explicit length range.
     pub fn with_range(prefix: Ipv4Prefix, min_len: u8, max_len: u8) -> Self {
-        PrefixPattern { prefix, min_len, max_len }
+        PrefixPattern {
+            prefix,
+            min_len,
+            max_len,
+        }
     }
 
     /// Concrete membership test (used by tests and the concrete fast path).

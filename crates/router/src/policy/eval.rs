@@ -9,7 +9,7 @@
 //! nothing is recorded and the interpreter behaves like a plain filter
 //! engine.
 
-use dice_symexec::{CU32, CU8, Concolic, ConcolicBool, ExecCtx};
+use dice_symexec::{Concolic, ConcolicBool, ExecCtx, CU32, CU8};
 
 use dice_bgp::route::Route;
 
@@ -47,7 +47,12 @@ impl RouteView {
             prefix_len: Concolic::concrete(route.prefix.len()),
             source_as: Concolic::concrete(route.attrs.origin_as().map(|a| a.value()).unwrap_or(0)),
             neighbor_as: Concolic::concrete(
-                route.attrs.as_path.neighbor_as().map(|a| a.value()).unwrap_or(0),
+                route
+                    .attrs
+                    .as_path
+                    .neighbor_as()
+                    .map(|a| a.value())
+                    .unwrap_or(0),
             ),
             path_len: Concolic::concrete(route.attrs.as_path.length() as u32),
             med: Concolic::concrete(route.attrs.effective_med()),
@@ -139,7 +144,12 @@ fn eval_stmts(
             Stmt::SetMed(v) => outcome.med = Some(*v as u32),
             Stmt::Prepend(n) => outcome.prepend += *n as u32,
             Stmt::AddCommunity(a, b) => outcome.added_communities.push((*a, *b)),
-            Stmt::If { id, cond, then_branch, else_branch } => {
+            Stmt::If {
+                id,
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 let condition = eval_expr(cond, view, ctx);
                 // The branch site is the configuration AST node, so recorded
                 // constraints attribute coverage to the *configuration*.
@@ -238,7 +248,11 @@ fn apply_cmp8(op: CmpOp, lhs: &CU8, rhs: &CU8, ctx: &mut ExecCtx) -> ConcolicBoo
 /// interval propagation digests directly, so negated prefix-set predicates
 /// reliably yield concrete NLRI values inside/outside the set — the
 /// "manipulation of the NLRI" the route-leak experiment relies on.
-fn match_pattern(pattern: &super::ast::PrefixPattern, view: &RouteView, ctx: &mut ExecCtx) -> ConcolicBool {
+fn match_pattern(
+    pattern: &super::ast::PrefixPattern,
+    view: &RouteView,
+    ctx: &mut ExecCtx,
+) -> ConcolicBool {
     let plen = pattern.prefix.len();
     let covered = if plen == 0 {
         ConcolicBool::concrete(true)
@@ -273,7 +287,12 @@ mod tests {
         let mut attrs = RouteAttrs::default();
         attrs.as_path = AsPath::from_sequence(path.iter().copied());
         attrs.next_hop = Ipv4Addr::new(10, 0, 1, 1);
-        Route::new(prefix.parse::<Ipv4Prefix>().expect("valid"), attrs, PeerId(1), 1)
+        Route::new(
+            prefix.parse::<Ipv4Prefix>().expect("valid"),
+            attrs,
+            PeerId(1),
+            1,
+        )
     }
 
     const CUSTOMER_FILTER: &str = r#"
@@ -348,7 +367,11 @@ mod tests {
         )
         .expect("parses");
         let mut ctx = ExecCtx::new();
-        let out = eval_filter(&filter, &RouteView::concrete(&route("10.0.0.0/8", &[1])), &mut ctx);
+        let out = eval_filter(
+            &filter,
+            &RouteView::concrete(&route("10.0.0.0/8", &[1])),
+            &mut ctx,
+        );
         assert!(!out.is_accept());
         assert_eq!(out.med, Some(30));
         assert_eq!(out.prepend, 2);
@@ -384,7 +407,9 @@ mod tests {
         let mut ctx = ExecCtx::new();
         let mut r = route("10.0.0.0/8", &[100]);
         assert!(eval_filter(&filter, &RouteView::concrete(&r), &mut ctx).is_accept());
-        r.attrs.communities.push(dice_bgp::Community::new(65000, 666));
+        r.attrs
+            .communities
+            .push(dice_bgp::Community::new(65000, 666));
         assert!(!eval_filter(&filter, &RouteView::concrete(&r), &mut ctx).is_accept());
     }
 
@@ -393,7 +418,17 @@ mod tests {
         let src = "filter f { if net.len > 24 then reject; accept; }";
         let filter = parse_filter(src).expect("parses");
         let mut ctx = ExecCtx::new();
-        assert!(eval_filter(&filter, &RouteView::concrete(&route("10.0.0.0/24", &[1])), &mut ctx).is_accept());
-        assert!(!eval_filter(&filter, &RouteView::concrete(&route("10.0.0.0/25", &[1])), &mut ctx).is_accept());
+        assert!(eval_filter(
+            &filter,
+            &RouteView::concrete(&route("10.0.0.0/24", &[1])),
+            &mut ctx
+        )
+        .is_accept());
+        assert!(!eval_filter(
+            &filter,
+            &RouteView::concrete(&route("10.0.0.0/25", &[1])),
+            &mut ctx
+        )
+        .is_accept());
     }
 }

@@ -135,94 +135,160 @@ pub fn tokenize(input: &str) -> Result<Vec<SpannedToken>, LexError> {
                 }
             }
             '{' => {
-                out.push(SpannedToken { token: Token::LBrace, line });
+                out.push(SpannedToken {
+                    token: Token::LBrace,
+                    line,
+                });
                 i += 1;
             }
             '}' => {
-                out.push(SpannedToken { token: Token::RBrace, line });
+                out.push(SpannedToken {
+                    token: Token::RBrace,
+                    line,
+                });
                 i += 1;
             }
             '[' => {
-                out.push(SpannedToken { token: Token::LBracket, line });
+                out.push(SpannedToken {
+                    token: Token::LBracket,
+                    line,
+                });
                 i += 1;
             }
             ']' => {
-                out.push(SpannedToken { token: Token::RBracket, line });
+                out.push(SpannedToken {
+                    token: Token::RBracket,
+                    line,
+                });
                 i += 1;
             }
             '(' => {
-                out.push(SpannedToken { token: Token::LParen, line });
+                out.push(SpannedToken {
+                    token: Token::LParen,
+                    line,
+                });
                 i += 1;
             }
             ')' => {
-                out.push(SpannedToken { token: Token::RParen, line });
+                out.push(SpannedToken {
+                    token: Token::RParen,
+                    line,
+                });
                 i += 1;
             }
             ',' => {
-                out.push(SpannedToken { token: Token::Comma, line });
+                out.push(SpannedToken {
+                    token: Token::Comma,
+                    line,
+                });
                 i += 1;
             }
             ';' => {
-                out.push(SpannedToken { token: Token::Semi, line });
+                out.push(SpannedToken {
+                    token: Token::Semi,
+                    line,
+                });
                 i += 1;
             }
             '/' => {
-                out.push(SpannedToken { token: Token::Slash, line });
+                out.push(SpannedToken {
+                    token: Token::Slash,
+                    line,
+                });
                 i += 1;
             }
             '~' => {
-                out.push(SpannedToken { token: Token::Tilde, line });
+                out.push(SpannedToken {
+                    token: Token::Tilde,
+                    line,
+                });
                 i += 1;
             }
             '+' => {
-                out.push(SpannedToken { token: Token::Plus, line });
+                out.push(SpannedToken {
+                    token: Token::Plus,
+                    line,
+                });
                 i += 1;
             }
             '=' => {
-                out.push(SpannedToken { token: Token::Eq, line });
+                out.push(SpannedToken {
+                    token: Token::Eq,
+                    line,
+                });
                 i += 1;
             }
             '!' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
-                    out.push(SpannedToken { token: Token::Ne, line });
+                    out.push(SpannedToken {
+                        token: Token::Ne,
+                        line,
+                    });
                     i += 2;
                 } else {
-                    out.push(SpannedToken { token: Token::Bang, line });
+                    out.push(SpannedToken {
+                        token: Token::Bang,
+                        line,
+                    });
                     i += 1;
                 }
             }
             '<' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
-                    out.push(SpannedToken { token: Token::Le, line });
+                    out.push(SpannedToken {
+                        token: Token::Le,
+                        line,
+                    });
                     i += 2;
                 } else {
-                    out.push(SpannedToken { token: Token::Lt, line });
+                    out.push(SpannedToken {
+                        token: Token::Lt,
+                        line,
+                    });
                     i += 1;
                 }
             }
             '>' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
-                    out.push(SpannedToken { token: Token::Ge, line });
+                    out.push(SpannedToken {
+                        token: Token::Ge,
+                        line,
+                    });
                     i += 2;
                 } else {
-                    out.push(SpannedToken { token: Token::Gt, line });
+                    out.push(SpannedToken {
+                        token: Token::Gt,
+                        line,
+                    });
                     i += 1;
                 }
             }
             '&' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'&' {
-                    out.push(SpannedToken { token: Token::AndAnd, line });
+                    out.push(SpannedToken {
+                        token: Token::AndAnd,
+                        line,
+                    });
                     i += 2;
                 } else {
-                    return Err(LexError { line, message: "expected `&&`".into() });
+                    return Err(LexError {
+                        line,
+                        message: "expected `&&`".into(),
+                    });
                 }
             }
             '|' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'|' {
-                    out.push(SpannedToken { token: Token::OrOr, line });
+                    out.push(SpannedToken {
+                        token: Token::OrOr,
+                        line,
+                    });
                     i += 2;
                 } else {
-                    return Err(LexError { line, message: "expected `||`".into() });
+                    return Err(LexError {
+                        line,
+                        message: "expected `||`".into(),
+                    });
                 }
             }
             c if c.is_ascii_digit() => {
@@ -235,7 +301,9 @@ pub fn tokenize(input: &str) -> Result<Vec<SpannedToken>, LexError> {
                 if i < bytes.len() && bytes[i] == b'.' {
                     let mut j = i;
                     let mut dots = 0;
-                    while j < bytes.len() && ((bytes[j] as char).is_ascii_digit() || bytes[j] == b'.') {
+                    while j < bytes.len()
+                        && ((bytes[j] as char).is_ascii_digit() || bytes[j] == b'.')
+                    {
                         if bytes[j] == b'.' {
                             dots += 1;
                         }
@@ -247,7 +315,10 @@ pub fn tokenize(input: &str) -> Result<Vec<SpannedToken>, LexError> {
                             line,
                             message: format!("invalid IPv4 address `{text}`"),
                         })?;
-                        out.push(SpannedToken { token: Token::IpAddr(u32::from(addr)), line });
+                        out.push(SpannedToken {
+                            token: Token::IpAddr(u32::from(addr)),
+                            line,
+                        });
                         i = j;
                         continue;
                     }
@@ -257,7 +328,10 @@ pub fn tokenize(input: &str) -> Result<Vec<SpannedToken>, LexError> {
                     line,
                     message: format!("invalid number `{text}`"),
                 })?;
-                out.push(SpannedToken { token: Token::Number(value), line });
+                out.push(SpannedToken {
+                    token: Token::Number(value),
+                    line,
+                });
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
@@ -269,10 +343,16 @@ pub fn tokenize(input: &str) -> Result<Vec<SpannedToken>, LexError> {
                         break;
                     }
                 }
-                out.push(SpannedToken { token: Token::Ident(input[start..i].to_string()), line });
+                out.push(SpannedToken {
+                    token: Token::Ident(input[start..i].to_string()),
+                    line,
+                });
             }
             other => {
-                return Err(LexError { line, message: format!("unexpected character `{other}`") });
+                return Err(LexError {
+                    line,
+                    message: format!("unexpected character `{other}`"),
+                });
             }
         }
     }
@@ -284,7 +364,11 @@ mod tests {
     use super::*;
 
     fn toks(input: &str) -> Vec<Token> {
-        tokenize(input).expect("lexes").into_iter().map(|t| t.token).collect()
+        tokenize(input)
+            .expect("lexes")
+            .into_iter()
+            .map(|t| t.token)
+            .collect()
     }
 
     #[test]

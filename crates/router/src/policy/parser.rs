@@ -51,7 +51,10 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
-        ParseError { line: e.line, message: e.message }
+        ParseError {
+            line: e.line,
+            message: e.message,
+        }
     }
 }
 
@@ -67,7 +70,11 @@ pub struct Parser {
 impl Parser {
     /// Creates a parser over the given source text.
     pub fn new(input: &str) -> Result<Self, ParseError> {
-        Ok(Parser { tokens: tokenize(input)?, pos: 0, next_branch_id: 0 })
+        Ok(Parser {
+            tokens: tokenize(input)?,
+            pos: 0,
+            next_branch_id: 0,
+        })
     }
 
     /// Returns true if all tokens have been consumed.
@@ -86,7 +93,7 @@ impl Parser {
     }
 
     /// Consumes and returns the current token.
-    pub fn next(&mut self) -> Option<Token> {
+    pub fn advance(&mut self) -> Option<Token> {
         let t = self.tokens.get(self.pos).map(|t| t.token.clone());
         if t.is_some() {
             self.pos += 1;
@@ -96,7 +103,10 @@ impl Parser {
 
     /// Creates an error at the current position.
     pub fn error(&self, message: impl Into<String>) -> ParseError {
-        ParseError { line: self.line(), message: message.into() }
+        ParseError {
+            line: self.line(),
+            message: message.into(),
+        }
     }
 
     /// Consumes the expected token or fails.
@@ -145,7 +155,7 @@ impl Parser {
 
     /// Consumes an identifier.
     pub fn expect_ident(&mut self) -> Result<String, ParseError> {
-        match self.next() {
+        match self.advance() {
             Some(Token::Ident(s)) => Ok(s),
             Some(t) => Err(self.error(format!("expected identifier, found `{t}`"))),
             None => Err(self.error("expected identifier, found end of input")),
@@ -154,7 +164,7 @@ impl Parser {
 
     /// Consumes a number.
     pub fn expect_number(&mut self) -> Result<u64, ParseError> {
-        match self.next() {
+        match self.advance() {
             Some(Token::Number(n)) => Ok(n),
             Some(t) => Err(self.error(format!("expected number, found `{t}`"))),
             None => Err(self.error("expected number, found end of input")),
@@ -163,7 +173,7 @@ impl Parser {
 
     /// Consumes an IPv4 address literal.
     pub fn expect_ip(&mut self) -> Result<u32, ParseError> {
-        match self.next() {
+        match self.advance() {
             Some(Token::IpAddr(a)) => Ok(a),
             Some(t) => Err(self.error(format!("expected IPv4 address, found `{t}`"))),
             None => Err(self.error("expected IPv4 address, found end of input")),
@@ -216,8 +226,17 @@ impl Parser {
             let cond = self.parse_expr()?;
             self.expect_keyword("then")?;
             let then_branch = self.parse_block()?;
-            let else_branch = if self.eat_keyword("else") { self.parse_block()? } else { Vec::new() };
-            return Ok(Stmt::If { id, cond, then_branch, else_branch });
+            let else_branch = if self.eat_keyword("else") {
+                self.parse_block()?
+            } else {
+                Vec::new()
+            };
+            return Ok(Stmt::If {
+                id,
+                cond,
+                then_branch,
+                else_branch,
+            });
         }
         if self.eat_keyword("accept") {
             self.expect(&Token::Semi)?;
@@ -325,7 +344,7 @@ impl Parser {
             "net.len" => Field::PrefixLen,
             other => return Err(self.error(format!("unknown field `{other}`"))),
         };
-        let op = match self.next() {
+        let op = match self.advance() {
             Some(Token::Eq) => CmpOp::Eq,
             Some(Token::Ne) => CmpOp::Ne,
             Some(Token::Lt) => CmpOp::Lt,
@@ -398,7 +417,12 @@ mod tests {
         assert_eq!(f.body.len(), 2);
         assert_eq!(f.branch_count(), 1);
         match &f.body[0] {
-            Stmt::If { cond: Expr::NetMatch(pats), then_branch, else_branch, .. } => {
+            Stmt::If {
+                cond: Expr::NetMatch(pats),
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 assert_eq!(pats.len(), 2);
                 assert_eq!(pats[0].min_len, 22);
                 assert_eq!(pats[0].max_len, 24);
@@ -455,9 +479,13 @@ mod tests {
 
     #[test]
     fn or_longer_patterns() {
-        let f = parse_filter("filter f { if net ~ [ 10.0.0.0/8+ ] then accept; reject; }").expect("parses");
+        let f = parse_filter("filter f { if net ~ [ 10.0.0.0/8+ ] then accept; reject; }")
+            .expect("parses");
         match &f.body[0] {
-            Stmt::If { cond: Expr::NetMatch(pats), .. } => {
+            Stmt::If {
+                cond: Expr::NetMatch(pats),
+                ..
+            } => {
                 assert_eq!(pats[0].min_len, 8);
                 assert_eq!(pats[0].max_len, 32);
             }
@@ -467,12 +495,19 @@ mod tests {
 
     #[test]
     fn branch_ids_are_sequential() {
-        let src = "filter f { if true then { if false then accept; } if true then reject; accept; }";
+        let src =
+            "filter f { if true then { if false then accept; } if true then reject; accept; }";
         let f = parse_filter(src).expect("parses");
         let mut ids = Vec::new();
         fn collect(stmts: &[Stmt], ids: &mut Vec<u32>) {
             for s in stmts {
-                if let Stmt::If { id, then_branch, else_branch, .. } = s {
+                if let Stmt::If {
+                    id,
+                    then_branch,
+                    else_branch,
+                    ..
+                } = s
+                {
                     ids.push(*id);
                     collect(then_branch, ids);
                     collect(else_branch, ids);

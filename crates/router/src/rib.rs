@@ -242,9 +242,15 @@ mod tests {
     #[test]
     fn withdraw_of_unknown_route_is_noop() {
         let mut rib = Rib::new();
-        assert_eq!(rib.withdraw(&p("10.0.0.0/8"), PeerId(1)), RibChange::Unchanged);
+        assert_eq!(
+            rib.withdraw(&p("10.0.0.0/8"), PeerId(1)),
+            RibChange::Unchanged
+        );
         rib.announce(route("10.0.0.0/8", 1, &[100]));
-        assert_eq!(rib.withdraw(&p("10.0.0.0/8"), PeerId(9)), RibChange::Unchanged);
+        assert_eq!(
+            rib.withdraw(&p("10.0.0.0/8"), PeerId(9)),
+            RibChange::Unchanged
+        );
     }
 
     #[test]
@@ -262,7 +268,9 @@ mod tests {
         // specific, and the checker must find the /22 it would override.
         let mut rib = Rib::new();
         rib.announce(route("208.65.152.0/22", 1, &[3356, 36561]));
-        let covering = rib.best_covering_route(&p("208.65.153.0/24")).expect("covered");
+        let covering = rib
+            .best_covering_route(&p("208.65.153.0/24"))
+            .expect("covered");
         assert_eq!(covering.prefix, p("208.65.152.0/22"));
         assert_eq!(covering.origin_as().map(|a| a.value()), Some(36561));
         assert!(rib.best_covering_route(&p("1.2.3.0/24")).is_none());
@@ -273,9 +281,13 @@ mod tests {
         let mut rib = Rib::new();
         rib.announce(route("0.0.0.0/0", 1, &[100]));
         rib.announce(route("10.0.0.0/8", 2, &[200]));
-        let r = rib.lookup_ip(u32::from_be_bytes([10, 1, 1, 1])).expect("route");
+        let r = rib
+            .lookup_ip(u32::from_be_bytes([10, 1, 1, 1]))
+            .expect("route");
         assert_eq!(r.learned_from, PeerId(2));
-        let r = rib.lookup_ip(u32::from_be_bytes([8, 8, 8, 8])).expect("route");
+        let r = rib
+            .lookup_ip(u32::from_be_bytes([8, 8, 8, 8]))
+            .expect("route");
         assert_eq!(r.learned_from, PeerId(1));
     }
 
@@ -287,7 +299,10 @@ mod tests {
         rib.announce(route("192.168.0.0/16", 1, &[100]));
         let loc = rib.loc_rib();
         assert_eq!(loc.len(), 2);
-        let ten = loc.iter().find(|(q, _)| *q == p("10.0.0.0/8")).expect("present");
+        let ten = loc
+            .iter()
+            .find(|(q, _)| *q == p("10.0.0.0/8"))
+            .expect("present");
         assert_eq!(ten.1.learned_from, PeerId(2));
         assert!(rib.approx_size_bytes() > 0);
     }

@@ -81,9 +81,18 @@ impl BgpRouter {
             peers.insert(id, Peer::from_config(id, n));
             by_address.insert(n.address, id);
         }
-        let mut router = BgpRouter { config, peers, by_address, rib: Rib::new(), stats: RouterStats::default() };
+        let mut router = BgpRouter {
+            config,
+            peers,
+            by_address,
+            rib: Rib::new(),
+            stats: RouterStats::default(),
+        };
         for sr in router.config.static_routes.clone() {
-            let attrs = RouteAttrs { next_hop: sr.next_hop, ..Default::default() };
+            let attrs = RouteAttrs {
+                next_hop: sr.next_hop,
+                ..Default::default()
+            };
             router.rib.announce(Route::local(sr.prefix, attrs));
         }
         router
@@ -161,7 +170,14 @@ impl BgpRouter {
                 peer.session.handle(SessionEvent::TransportConnected);
                 peer.session.handle(SessionEvent::OpenReceived);
                 let reply = vec![
-                    (from, BgpMessage::Open(OpenMessage::new(self.config.local_as, 90, u32::from(self.config.router_id)))),
+                    (
+                        from,
+                        BgpMessage::Open(OpenMessage::new(
+                            self.config.local_as,
+                            90,
+                            u32::from(self.config.router_id),
+                        )),
+                    ),
                     (from, BgpMessage::Keepalive(KeepaliveMessage)),
                 ];
                 self.stats.messages_sent += reply.len() as u64;
@@ -273,7 +289,10 @@ impl BgpRouter {
 
     /// Originates a prefix locally and returns the announcements to send.
     pub fn originate(&mut self, prefix: Ipv4Prefix, next_hop: Ipv4Addr) -> Vec<Outgoing> {
-        let attrs = RouteAttrs { next_hop, ..Default::default() };
+        let attrs = RouteAttrs {
+            next_hop,
+            ..Default::default()
+        };
         let change = self.rib.announce(Route::local(prefix, attrs));
         let out = self.propagate(change, None);
         self.stats.messages_sent += out.len() as u64;
@@ -307,7 +326,9 @@ impl BgpRouter {
         let mut attrs = route.attrs.clone();
         // eBGP export: prepend the local AS (plus any extra prepends), reset
         // the next hop to ourselves and strip LOCAL_PREF.
-        attrs.as_path = attrs.as_path.prepend(Asn(self.config.local_as), 1 + outcome.prepend as usize);
+        attrs.as_path = attrs
+            .as_path
+            .prepend(Asn(self.config.local_as), 1 + outcome.prepend as usize);
         attrs.next_hop = self.config.router_id;
         attrs.local_pref = None;
         if let Some(med) = outcome.med {
@@ -341,7 +362,10 @@ impl BgpRouter {
             RibChange::Removed(prefix) => {
                 for (id, peer) in &self.peers {
                     if Some(*id) != learned_from && peer.is_established() {
-                        out.push((*id, BgpMessage::Update(UpdateMessage::withdraw(vec![prefix]))));
+                        out.push((
+                            *id,
+                            BgpMessage::Update(UpdateMessage::withdraw(vec![prefix])),
+                        ));
                     }
                 }
             }
@@ -413,7 +437,10 @@ mod tests {
         // Propagated to the transit peer only (not back to the customer).
         assert_eq!(out.len(), 1);
         let (to, msg) = &out[0];
-        assert_eq!(*to, r.peer_by_address(Ipv4Addr::new(10, 0, 2, 1)).expect("peer"));
+        assert_eq!(
+            *to,
+            r.peer_by_address(Ipv4Addr::new(10, 0, 2, 1)).expect("peer")
+        );
         let exported = msg.as_update().expect("update");
         let attrs = exported.route_attrs();
         // The local AS was prepended and LOCAL_PREF stripped.
@@ -450,11 +477,17 @@ mod tests {
         let mut r = provider();
         let customer = r.peer_by_address(Ipv4Addr::new(10, 0, 1, 1)).expect("peer");
         r.handle_update(customer, &update("208.65.152.0/22", &[17557, 36561]));
-        let out = r.handle_update(customer, &UpdateMessage::withdraw(vec![p("208.65.152.0/22")]));
+        let out = r.handle_update(
+            customer,
+            &UpdateMessage::withdraw(vec![p("208.65.152.0/22")]),
+        );
         assert_eq!(r.rib().prefix_count(), 0);
         assert_eq!(out.len(), 1);
         let (_, msg) = &out[0];
-        assert_eq!(msg.as_update().expect("update").withdrawn, vec![p("208.65.152.0/22")]);
+        assert_eq!(
+            msg.as_update().expect("update").withdrawn,
+            vec![p("208.65.152.0/22")]
+        );
         assert_eq!(r.stats().prefixes_withdrawn, 1);
     }
 
@@ -470,15 +503,19 @@ mod tests {
 
     #[test]
     fn open_handshake_establishes_session() {
-        let config = RouterConfig::new(Ipv4Addr::new(10, 0, 0, 1), 65001).with_neighbor(NeighborConfig {
-            address: Ipv4Addr::new(10, 0, 0, 9),
-            remote_as: 65009,
-            import_filter: None,
-            export_filter: None,
-        });
+        let config =
+            RouterConfig::new(Ipv4Addr::new(10, 0, 0, 1), 65001).with_neighbor(NeighborConfig {
+                address: Ipv4Addr::new(10, 0, 0, 9),
+                remote_as: 65009,
+                import_filter: None,
+                export_filter: None,
+            });
         let mut r = BgpRouter::new(config);
         let peer = r.peer_by_address(Ipv4Addr::new(10, 0, 0, 9)).expect("peer");
-        let replies = r.handle_message(peer, &BgpMessage::Open(OpenMessage::new(65009, 90, 0x0a000009)));
+        let replies = r.handle_message(
+            peer,
+            &BgpMessage::Open(OpenMessage::new(65009, 90, 0x0a000009)),
+        );
         assert_eq!(replies.len(), 2);
         let _ = r.handle_message(peer, &BgpMessage::Keepalive(KeepaliveMessage));
         assert!(r.peer(peer).expect("peer").is_established());
@@ -511,7 +548,11 @@ mod tests {
         let mut r = provider();
         // Tear the transit session down; announcements should go nowhere.
         let transit = r.peer_by_address(Ipv4Addr::new(10, 0, 2, 1)).expect("peer");
-        r.peers.get_mut(&transit).expect("peer").session.handle(SessionEvent::NotificationReceived);
+        r.peers
+            .get_mut(&transit)
+            .expect("peer")
+            .session
+            .handle(SessionEvent::NotificationReceived);
         let customer = r.peer_by_address(Ipv4Addr::new(10, 0, 1, 1)).expect("peer");
         let out = r.handle_update(customer, &update("208.65.152.0/22", &[17557, 36561]));
         assert!(out.is_empty());
@@ -520,12 +561,13 @@ mod tests {
 
     #[test]
     fn missing_filter_reference_fails_closed() {
-        let config = RouterConfig::new(Ipv4Addr::new(10, 0, 0, 1), 65001).with_neighbor(NeighborConfig {
-            address: Ipv4Addr::new(10, 0, 0, 9),
-            remote_as: 65009,
-            import_filter: Some("nonexistent".into()),
-            export_filter: None,
-        });
+        let config =
+            RouterConfig::new(Ipv4Addr::new(10, 0, 0, 1), 65001).with_neighbor(NeighborConfig {
+                address: Ipv4Addr::new(10, 0, 0, 9),
+                remote_as: 65009,
+                import_filter: Some("nonexistent".into()),
+                export_filter: None,
+            });
         let mut r = BgpRouter::new(config);
         r.start();
         let peer = r.peer_by_address(Ipv4Addr::new(10, 0, 0, 9)).expect("peer");

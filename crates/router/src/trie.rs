@@ -16,7 +16,10 @@ struct Node<T> {
 
 impl<T> Default for Node<T> {
     fn default() -> Self {
-        Node { value: None, children: [None, None] }
+        Node {
+            value: None,
+            children: [None, None],
+        }
     }
 }
 
@@ -43,7 +46,10 @@ pub struct PrefixTrie<T> {
 
 impl<T> Default for PrefixTrie<T> {
     fn default() -> Self {
-        PrefixTrie { root: Node::default(), len: 0 }
+        PrefixTrie {
+            root: Node::default(),
+            len: 0,
+        }
     }
 }
 
@@ -306,7 +312,10 @@ mod tests {
     fn host_routes_work() {
         let mut t = PrefixTrie::new();
         t.insert(p("1.2.3.4/32"), "host");
-        assert_eq!(t.longest_match_ip(0x01020304).map(|(_, v)| *v), Some("host"));
+        assert_eq!(
+            t.longest_match_ip(0x01020304).map(|(_, v)| *v),
+            Some("host")
+        );
         assert_eq!(t.longest_match_ip(0x01020305), None);
         assert_eq!(t.get(&p("1.2.3.4/32")), Some(&"host"));
     }

@@ -27,7 +27,10 @@ impl Interval {
 
     /// The full range of a `width`-bit unsigned integer.
     pub fn full(width: u32) -> Self {
-        Interval { lo: 0, hi: max_value(width) }
+        Interval {
+            lo: 0,
+            hi: max_value(width),
+        }
     }
 
     /// A single-point interval.
@@ -66,7 +69,10 @@ impl Interval {
 
     /// Intersection of two intervals.
     pub fn intersect(&self, other: &Interval) -> Interval {
-        Interval { lo: self.lo.max(other.lo), hi: self.hi.min(other.hi) }
+        Interval {
+            lo: self.lo.max(other.lo),
+            hi: self.hi.min(other.hi),
+        }
     }
 
     /// Clamps `v` into the interval.
@@ -189,7 +195,12 @@ impl Domains {
     /// Runs interval propagation over the constraints until a fixpoint is
     /// reached (bounded by `max_rounds`). Returns `false` if a contradiction
     /// (empty domain) was derived.
-    pub fn propagate(&mut self, arena: &TermArena, constraints: &[TermId], max_rounds: usize) -> bool {
+    pub fn propagate(
+        &mut self,
+        arena: &TermArena,
+        constraints: &[TermId],
+        max_rounds: usize,
+    ) -> bool {
         for _ in 0..max_rounds {
             let mut changed = false;
             for &c in constraints {
@@ -213,7 +224,11 @@ impl Domains {
             TermKind::ConstBool(true) => true,
             TermKind::ConstBool(false) => false,
             TermKind::Cmp { op, lhs, rhs } => self.propagate_cmp(arena, *op, *lhs, *rhs, changed),
-            TermKind::BoolBin { op: crate::term::BoolOp::And, lhs, rhs } => {
+            TermKind::BoolBin {
+                op: crate::term::BoolOp::And,
+                lhs,
+                rhs,
+            } => {
                 self.propagate_one(arena, *lhs, changed) && self.propagate_one(arena, *rhs, changed)
             }
             // Other boolean structure (or, not over non-comparisons, ...) is
@@ -291,7 +306,14 @@ impl Domains {
         }
     }
 
-    fn narrow(&mut self, arena: &TermArena, var: VarId, op: CmpOp, bound: u64, changed: &mut bool) -> bool {
+    fn narrow(
+        &mut self,
+        arena: &TermArena,
+        var: VarId,
+        op: CmpOp,
+        bound: u64,
+        changed: &mut bool,
+    ) -> bool {
         let cur = self.get(arena, var);
         let next = cur.refine_cmp_const(op, bound);
         if next != cur {
@@ -322,12 +344,18 @@ mod tests {
     fn refine_against_constants() {
         let iv = Interval::full(8);
         assert_eq!(iv.refine_cmp_const(CmpOp::Ult, 10), Interval::new(0, 9));
-        assert_eq!(iv.refine_cmp_const(CmpOp::Uge, 200), Interval::new(200, 255));
+        assert_eq!(
+            iv.refine_cmp_const(CmpOp::Uge, 200),
+            Interval::new(200, 255)
+        );
         assert_eq!(iv.refine_cmp_const(CmpOp::Eq, 42), Interval::point(42));
         assert!(iv.refine_cmp_const(CmpOp::Ult, 0).is_empty());
         let pt = Interval::point(5);
         assert!(pt.refine_cmp_const(CmpOp::Ne, 5).is_empty());
-        assert_eq!(Interval::new(5, 9).refine_cmp_const(CmpOp::Ne, 5), Interval::new(6, 9));
+        assert_eq!(
+            Interval::new(5, 9).refine_cmp_const(CmpOp::Ne, 5),
+            Interval::new(6, 9)
+        );
     }
 
     #[test]

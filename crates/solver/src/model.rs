@@ -90,17 +90,26 @@ impl Model {
     /// Panics if the term id does not belong to `arena`.
     pub fn eval(&self, arena: &TermArena, term: TermId) -> Value {
         match &arena.node(term).kind {
-            TermKind::ConstInt { value, width } => Value::Int { value: *value, width: *width },
+            TermKind::ConstInt { value, width } => Value::Int {
+                value: *value,
+                width: *width,
+            },
             TermKind::ConstBool(b) => Value::Bool(*b),
             TermKind::Var(v) => {
                 let width = arena.var_info(*v).width;
-                Value::Int { value: mask(self.get(*v), width), width }
+                Value::Int {
+                    value: mask(self.get(*v), width),
+                    width,
+                }
             }
             TermKind::Bin { op, lhs, rhs } => {
                 let a = self.eval(arena, *lhs).expect_int();
                 let b = self.eval(arena, *rhs).expect_int();
                 let width = arena.sort(term).width();
-                Value::Int { value: TermArena::eval_bin(*op, a, b, width), width }
+                Value::Int {
+                    value: TermArena::eval_bin(*op, a, b, width),
+                    width,
+                }
             }
             TermKind::Cmp { op, lhs, rhs } => {
                 let a = self.eval(arena, *lhs).expect_int();
@@ -115,9 +124,16 @@ impl Model {
             TermKind::BoolNot(x) => Value::Bool(!self.eval(arena, *x).expect_bool()),
             TermKind::BitNot(x) => {
                 let width = arena.sort(term).width();
-                Value::Int { value: mask(!self.eval(arena, *x).expect_int(), width), width }
+                Value::Int {
+                    value: mask(!self.eval(arena, *x).expect_int(), width),
+                    width,
+                }
             }
-            TermKind::Ite { cond, then_t, else_t } => {
+            TermKind::Ite {
+                cond,
+                then_t,
+                else_t,
+            } => {
                 if self.eval(arena, *cond).expect_bool() {
                     self.eval(arena, *then_t)
                 } else {
@@ -126,7 +142,10 @@ impl Model {
             }
             TermKind::Resize { term: inner, width } => {
                 let v = self.eval(arena, *inner).expect_int();
-                Value::Int { value: mask(v, *width), width: *width }
+                Value::Int {
+                    value: mask(v, *width),
+                    width: *width,
+                }
             }
         }
     }
@@ -148,7 +167,10 @@ impl Model {
 
     /// Counts the constraints in the slice that do not hold under this model.
     pub fn count_violations(&self, arena: &TermArena, constraints: &[TermId]) -> usize {
-        constraints.iter().filter(|&&c| !self.holds(arena, c)).count()
+        constraints
+            .iter()
+            .filter(|&&c| !self.holds(arena, c))
+            .count()
     }
 }
 
@@ -167,7 +189,9 @@ impl fmt::Display for Model {
 
 impl FromIterator<(VarId, u64)> for Model {
     fn from_iter<T: IntoIterator<Item = (VarId, u64)>>(iter: T) -> Self {
-        Model { values: iter.into_iter().collect() }
+        Model {
+            values: iter.into_iter().collect(),
+        }
     }
 }
 

@@ -41,7 +41,11 @@ pub fn preprocess(arena: &mut TermArena, constraints: &[TermId]) -> Preprocessed
         match &arena.node(c).kind {
             TermKind::ConstBool(true) => continue,
             TermKind::ConstBool(false) => return Preprocessed::Contradiction,
-            TermKind::BoolBin { op: BoolOp::And, lhs, rhs } => {
+            TermKind::BoolBin {
+                op: BoolOp::And,
+                lhs,
+                rhs,
+            } => {
                 work.push(*lhs);
                 work.push(*rhs);
             }
@@ -139,7 +143,10 @@ mod tests {
         let c5 = arena.int_const(5, 8);
         let p = arena.eq(xv, c5);
         let np = arena.not(p);
-        assert_eq!(preprocess(&mut arena, &[p, np]), Preprocessed::Contradiction);
+        assert_eq!(
+            preprocess(&mut arena, &[p, np]),
+            Preprocessed::Contradiction
+        );
     }
 
     #[test]

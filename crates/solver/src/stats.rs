@@ -56,10 +56,9 @@ impl SolverStats {
 
     /// Average time per query.
     pub fn mean_query_time(&self) -> Duration {
-        if self.queries == 0 {
-            Duration::ZERO
-        } else {
-            Duration::from_nanos(self.total_time_ns / self.queries)
+        match self.total_time_ns.checked_div(self.queries) {
+            Some(mean) => Duration::from_nanos(mean),
+            None => Duration::ZERO,
         }
     }
 
@@ -92,8 +91,18 @@ mod tests {
 
     #[test]
     fn merge_accumulates() {
-        let mut a = SolverStats { queries: 2, sat: 1, unsat: 1, ..Default::default() };
-        let b = SolverStats { queries: 3, sat: 2, unknown: 1, ..Default::default() };
+        let mut a = SolverStats {
+            queries: 2,
+            sat: 1,
+            unsat: 1,
+            ..Default::default()
+        };
+        let b = SolverStats {
+            queries: 3,
+            sat: 2,
+            unknown: 1,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.queries, 5);
         assert_eq!(a.sat, 3);
@@ -105,7 +114,13 @@ mod tests {
     fn decision_rate_handles_zero_queries() {
         let s = SolverStats::new();
         assert_eq!(s.decision_rate(), 1.0);
-        let s2 = SolverStats { queries: 4, sat: 1, unsat: 1, unknown: 2, ..Default::default() };
+        let s2 = SolverStats {
+            queries: 4,
+            sat: 1,
+            unsat: 1,
+            unknown: 2,
+            ..Default::default()
+        };
         assert!((s2.decision_rate() - 0.5).abs() < 1e-9);
     }
 

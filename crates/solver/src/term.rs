@@ -200,13 +200,21 @@ pub enum TermKind {
     /// Comparison of two integer terms.
     Cmp { op: CmpOp, lhs: TermId, rhs: TermId },
     /// Binary boolean connective.
-    BoolBin { op: BoolOp, lhs: TermId, rhs: TermId },
+    BoolBin {
+        op: BoolOp,
+        lhs: TermId,
+        rhs: TermId,
+    },
     /// Boolean negation.
     BoolNot(TermId),
     /// Bitwise complement of an integer term.
     BitNot(TermId),
     /// If-then-else over integer terms, with a boolean condition.
-    Ite { cond: TermId, then_t: TermId, else_t: TermId },
+    Ite {
+        cond: TermId,
+        then_t: TermId,
+        else_t: TermId,
+    },
     /// Zero-extension (or truncation) of an integer term to a new width.
     Resize { term: TermId, width: u32 },
 }
@@ -315,9 +323,15 @@ impl TermArena {
     ///
     /// Panics if `width` is 0 or greater than 64.
     pub fn declare_var(&mut self, name: impl Into<String>, width: u32) -> VarId {
-        assert!(width >= 1 && width <= 64, "variable width must be in 1..=64");
+        assert!(
+            (1..=64).contains(&width),
+            "variable width must be in 1..=64"
+        );
         let id = VarId(self.vars.len() as u32);
-        self.vars.push(VarInfo { name: name.into(), width });
+        self.vars.push(VarInfo {
+            name: name.into(),
+            width,
+        });
         id
     }
 
@@ -326,7 +340,10 @@ impl TermArena {
             return id;
         }
         let id = TermId(self.nodes.len() as u32);
-        self.nodes.push(TermNode { kind: kind.clone(), sort });
+        self.nodes.push(TermNode {
+            kind: kind.clone(),
+            sort,
+        });
         self.dedup.insert(kind, id);
         id
     }
@@ -385,13 +402,10 @@ impl TermArena {
             BinOp::Add => a.wrapping_add(b),
             BinOp::Sub => a.wrapping_sub(b),
             BinOp::Mul => a.wrapping_mul(b),
-            BinOp::UDiv => {
-                if b == 0 {
-                    max_value(width)
-                } else {
-                    a / b
-                }
-            }
+            BinOp::UDiv => match a.checked_div(b) {
+                Some(q) => q,
+                None => max_value(width),
+            },
             BinOp::URem => {
                 if b == 0 {
                     a
@@ -435,9 +449,10 @@ impl TermArena {
         // Identity simplifications.
         if let Some((b, _)) = self.as_const_int(rhs) {
             match (op, b) {
-                (BinOp::Add | BinOp::Sub | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::Lshr, 0) => {
-                    return lhs
-                }
+                (
+                    BinOp::Add | BinOp::Sub | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::Lshr,
+                    0,
+                ) => return lhs,
                 (BinOp::Mul, 1) | (BinOp::UDiv, 1) => return lhs,
                 (BinOp::Mul | BinOp::And, 0) => return self.int_const(0, wl),
                 (BinOp::And, b) if b == max_value(wl) => return lhs,
@@ -645,12 +660,19 @@ impl TermArena {
         if then_t == else_t {
             return then_t;
         }
-        self.intern(TermKind::Ite { cond, then_t, else_t }, Sort::Int(wt))
+        self.intern(
+            TermKind::Ite {
+                cond,
+                then_t,
+                else_t,
+            },
+            Sort::Int(wt),
+        )
     }
 
     /// Zero-extends or truncates an integer term to `width` bits.
     pub fn resize(&mut self, term: TermId, width: u32) -> TermId {
-        assert!(width >= 1 && width <= 64, "resize width must be in 1..=64");
+        assert!((1..=64).contains(&width), "resize width must be in 1..=64");
         let w = self.int_width(term);
         if w == width {
             return term;
@@ -684,7 +706,11 @@ impl TermArena {
                     stack.push(*rhs);
                 }
                 TermKind::BoolNot(x) | TermKind::BitNot(x) => stack.push(*x),
-                TermKind::Ite { cond, then_t, else_t } => {
+                TermKind::Ite {
+                    cond,
+                    then_t,
+                    else_t,
+                } => {
                     stack.push(*cond);
                     stack.push(*then_t);
                     stack.push(*else_t);
@@ -711,7 +737,11 @@ impl TermArena {
             }
             TermKind::BoolNot(x) => format!("(not {})", self.display(*x)),
             TermKind::BitNot(x) => format!("(bvnot {})", self.display(*x)),
-            TermKind::Ite { cond, then_t, else_t } => format!(
+            TermKind::Ite {
+                cond,
+                then_t,
+                else_t,
+            } => format!(
                 "(ite {} {} {})",
                 self.display(*cond),
                 self.display(*then_t),

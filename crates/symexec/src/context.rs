@@ -12,7 +12,7 @@ use std::panic::Location;
 
 use dice_solver::{Model, TermArena, TermId, VarId};
 
-use crate::value::{CU16, CU32, CU64, CU8, Concolic, ConcolicBool, ConcolicInt};
+use crate::value::{Concolic, ConcolicBool, ConcolicInt, CU16, CU32, CU64, CU8};
 
 /// A stable identifier of a branch site in the program under test.
 ///
@@ -231,10 +231,9 @@ impl ExecCtx {
     pub fn branch(&mut self, cond: ConcolicBool) -> bool {
         let loc = Location::caller();
         let site = SiteId::from_location(loc);
-        if !self.site_labels.contains_key(&site) {
-            self.site_labels
-                .insert(site, format!("{}:{}:{}", loc.file(), loc.line(), loc.column()));
-        }
+        self.site_labels
+            .entry(site)
+            .or_insert_with(|| format!("{}:{}:{}", loc.file(), loc.line(), loc.column()));
         self.branch_at(site, cond)
     }
 
@@ -245,7 +244,11 @@ impl ExecCtx {
         if self.recording && cond.is_symbolic() && self.branches.len() < self.max_branches {
             // The symbolic term is present by the `is_symbolic` check.
             let condition = cond.term().expect("symbolic condition has a term");
-            self.branches.push(BranchRecord { site, condition, taken: cond.value() });
+            self.branches.push(BranchRecord {
+                site,
+                condition,
+                taken: cond.value(),
+            });
         }
         cond.value()
     }
@@ -253,14 +256,19 @@ impl ExecCtx {
     /// Records a labelled branch, remembering the label for reports.
     pub fn branch_labeled(&mut self, label: &str, cond: ConcolicBool) -> bool {
         let site = SiteId::from_label(label);
-        self.site_labels.entry(site).or_insert_with(|| label.to_string());
+        self.site_labels
+            .entry(site)
+            .or_insert_with(|| label.to_string());
         self.branch_at(site, cond)
     }
 
     /// The conjunction of constraints describing the executed path.
     pub fn path_constraints(&mut self) -> Vec<TermId> {
         let branches = self.branches.clone();
-        branches.iter().map(|b| b.taken_constraint(&mut self.arena)).collect()
+        branches
+            .iter()
+            .map(|b| b.taken_constraint(&mut self.arena))
+            .collect()
     }
 }
 

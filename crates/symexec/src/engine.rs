@@ -190,7 +190,11 @@ impl ConcolicEngine {
     /// negation candidate. The engine then repeatedly selects a candidate,
     /// solves for an input on the unexplored side, and executes it, until
     /// `max_runs` executions have been performed or the worklist is empty.
-    pub fn explore<P: SymbolicProgram>(&self, program: &mut P, seeds: &[InputValues]) -> Exploration<P::Output> {
+    pub fn explore<P: SymbolicProgram>(
+        &self,
+        program: &mut P,
+        seeds: &[InputValues],
+    ) -> Exploration<P::Output> {
         let start = Instant::now();
         let mut solver = Solver::with_config(self.config.solver);
         let mut runs: Vec<RunRecord<P::Output>> = Vec::new();
@@ -206,7 +210,14 @@ impl ConcolicEngine {
                 break;
             }
             let record = self.execute(program, seed.clone(), None, 0);
-            self.integrate(record, &mut runs, &mut coverage, &mut worklist, &mut attempted, &mut stats);
+            self.integrate(
+                record,
+                &mut runs,
+                &mut coverage,
+                &mut worklist,
+                &mut attempted,
+                &mut stats,
+            );
         }
 
         // Main negate-solve-execute loop.
@@ -220,7 +231,9 @@ impl ConcolicEngine {
                 stats.skipped_covered += 1;
                 continue;
             }
-            let target = runs[candidate.run_index].trace.negated_path_id(candidate.branch_index);
+            let target = runs[candidate.run_index]
+                .trace
+                .negated_path_id(candidate.branch_index);
             if !attempted.insert(target) {
                 stats.skipped_duplicates += 1;
                 continue;
@@ -250,7 +263,14 @@ impl ConcolicEngine {
                         Some((candidate.run_index, candidate.branch_index)),
                         generation,
                     );
-                    self.integrate(record, &mut runs, &mut coverage, &mut worklist, &mut attempted, &mut stats);
+                    self.integrate(
+                        record,
+                        &mut runs,
+                        &mut coverage,
+                        &mut worklist,
+                        &mut attempted,
+                        &mut stats,
+                    );
                 }
                 Verdict::Unsat => stats.solver_unsat += 1,
                 Verdict::Unknown => stats.solver_unknown += 1,
@@ -259,7 +279,12 @@ impl ConcolicEngine {
 
         stats.runs = runs.len();
         stats.elapsed_ns = start.elapsed().as_nanos() as u64;
-        Exploration { runs, coverage, stats, solver_stats: *solver.stats() }
+        Exploration {
+            runs,
+            coverage,
+            stats,
+            solver_stats: *solver.stats(),
+        }
     }
 
     /// Executes the program once and wraps the result in a [`RunRecord`].
@@ -273,7 +298,12 @@ impl ConcolicEngine {
         let mut ctx = ExecCtx::new().with_max_branches(self.config.max_branches_per_run);
         let output = program.run(&mut ctx, &input);
         let trace = ExecTrace::from_ctx(ctx, input);
-        RunRecord { trace, output, parent, generation }
+        RunRecord {
+            trace,
+            output,
+            parent,
+            generation,
+        }
     }
 
     /// Adds a completed run to the exploration state: updates coverage,
@@ -354,7 +384,10 @@ mod tests {
 
     #[test]
     fn respects_run_budget() {
-        let config = EngineConfig { max_runs: 2, ..Default::default() };
+        let config = EngineConfig {
+            max_runs: 2,
+            ..Default::default()
+        };
         let engine = ConcolicEngine::with_config(config);
         let seeds = [InputValues::new().with("x", 5).with("y", 0)];
         let mut program = figure1_program;
@@ -397,7 +430,7 @@ mod tests {
         let engine = ConcolicEngine::new();
         let seed = InputValues::new().with("x", 5).with("y", 0);
         let mut program = figure1_program;
-        let result = engine.explore(&mut program, &[seed.clone()]);
+        let result = engine.explore(&mut program, std::slice::from_ref(&seed));
         let generated = result.generated_inputs();
         assert!(!generated.is_empty());
         assert!(generated.iter().any(|g| **g != seed));

@@ -43,7 +43,11 @@ impl InputSpec {
 
     /// Adds a field in place.
     pub fn push(&mut self, name: impl Into<String>, width: u32, default: u64) {
-        self.fields.push(InputField { name: name.into(), width, default });
+        self.fields.push(InputField {
+            name: name.into(),
+            width,
+            default,
+        });
     }
 
     /// The declared fields, in declaration order.
@@ -160,7 +164,9 @@ impl fmt::Display for InputValues {
 
 impl FromIterator<(String, u64)> for InputValues {
     fn from_iter<T: IntoIterator<Item = (String, u64)>>(iter: T) -> Self {
-        InputValues { values: iter.into_iter().collect() }
+        InputValues {
+            values: iter.into_iter().collect(),
+        }
     }
 }
 

@@ -47,8 +47,10 @@ pub mod value;
 
 pub use context::{BranchRecord, ExecCtx, SiteId};
 pub use coverage::{Coverage, SiteCoverage};
-pub use engine::{ConcolicEngine, EngineConfig, Exploration, ExplorationStats, RunRecord, SymbolicProgram};
+pub use engine::{
+    ConcolicEngine, EngineConfig, Exploration, ExplorationStats, RunRecord, SymbolicProgram,
+};
 pub use input::{InputField, InputSpec, InputValues};
 pub use path::{path_id, ExecTrace, PathId};
 pub use strategy::{Candidate, SearchStrategy, Worklist};
-pub use value::{CU16, CU32, CU64, CU8, Concolic, ConcolicBool, ConcolicInt};
+pub use value::{Concolic, ConcolicBool, ConcolicInt, CU16, CU32, CU64, CU8};

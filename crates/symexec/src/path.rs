@@ -51,7 +51,14 @@ impl ExecTrace {
     pub fn from_ctx(ctx: ExecCtx, input: InputValues) -> Self {
         let site_labels = ctx.site_labels().clone();
         let (arena, branches, concrete, var_map) = ctx.into_parts();
-        ExecTrace { arena, branches, site_labels, concrete, var_map, input }
+        ExecTrace {
+            arena,
+            branches,
+            site_labels,
+            concrete,
+            var_map,
+            input,
+        }
     }
 
     /// Number of branches on the path.
@@ -108,7 +115,10 @@ impl ExecTrace {
     /// All constraints along the executed path.
     pub fn path_constraints(&mut self) -> Vec<TermId> {
         let branches = self.branches.clone();
-        branches.iter().map(|b| b.taken_constraint(&mut self.arena)).collect()
+        branches
+            .iter()
+            .map(|b| b.taken_constraint(&mut self.arena))
+            .collect()
     }
 }
 

@@ -28,12 +28,13 @@ pub struct Candidate {
 }
 
 /// Strategy used to pick the next candidate from the worklist.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SearchStrategy {
     /// Negate the most recently discovered, deepest branch first (LIFO).
     DepthFirst,
     /// Explore runs generation by generation (FIFO), the default of the
     /// paper's engine and of SAGE-style whitebox fuzzing.
+    #[default]
     Generational,
     /// Prefer candidates whose unexplored direction has never been covered
     /// at that site; fall back to generational order.
@@ -43,12 +44,6 @@ pub enum SearchStrategy {
         /// RNG seed.
         seed: u64,
     },
-}
-
-impl Default for SearchStrategy {
-    fn default() -> Self {
-        SearchStrategy::Generational
-    }
 }
 
 /// Worklist of pending candidates with strategy-driven selection.
@@ -66,7 +61,11 @@ impl Worklist {
             SearchStrategy::Random { seed } => seed,
             _ => 0,
         };
-        Worklist { strategy, items: Vec::new(), rng: StdRng::seed_from_u64(seed) }
+        Worklist {
+            strategy,
+            items: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Adds a candidate.
@@ -119,14 +118,19 @@ impl Worklist {
                 for (i, c) in self.items.iter().enumerate() {
                     let uncovered = !coverage.direction_covered(c.site, !c.taken);
                     let best_uncovered = best
-                        .map(|b| !coverage.direction_covered(self.items[b].site, !self.items[b].taken))
+                        .map(|b| {
+                            !coverage.direction_covered(self.items[b].site, !self.items[b].taken)
+                        })
                         .unwrap_or(false);
                     let better = match best {
                         None => true,
                         Some(b) => {
                             let bc = &self.items[b];
                             (uncovered, std::cmp::Reverse((c.generation, c.branch_index)))
-                                > (best_uncovered, std::cmp::Reverse((bc.generation, bc.branch_index)))
+                                > (
+                                    best_uncovered,
+                                    std::cmp::Reverse((bc.generation, bc.branch_index)),
+                                )
                         }
                     };
                     if better {
@@ -146,7 +150,13 @@ mod tests {
     use super::*;
 
     fn cand(run: usize, branch: usize, generation: u32, site: u64, taken: bool) -> Candidate {
-        Candidate { run_index: run, branch_index: branch, generation, site: SiteId(site), taken }
+        Candidate {
+            run_index: run,
+            branch_index: branch,
+            generation,
+            site: SiteId(site),
+            taken,
+        }
     }
 
     #[test]

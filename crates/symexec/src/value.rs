@@ -58,12 +58,18 @@ pub type CU64 = Concolic<u64>;
 impl<T: ConcolicInt> Concolic<T> {
     /// Wraps a purely concrete value (no symbolic part).
     pub fn concrete(value: T) -> Self {
-        Concolic { concrete: value, sym: None }
+        Concolic {
+            concrete: value,
+            sym: None,
+        }
     }
 
     /// Creates a value with both concrete and symbolic parts.
     pub fn with_term(value: T, term: TermId) -> Self {
-        Concolic { concrete: value, sym: Some(term) }
+        Concolic {
+            concrete: value,
+            sym: Some(term),
+        }
     }
 
     /// The concrete value.
@@ -87,7 +93,10 @@ impl<T: ConcolicInt> Concolic<T> {
     /// cannot be reversed by the solver (e.g. hash functions): execution
     /// continues with the concrete result and no constraint is recorded.
     pub fn concretize(&self) -> Self {
-        Concolic { concrete: self.concrete, sym: None }
+        Concolic {
+            concrete: self.concrete,
+            sym: None,
+        }
     }
 
     fn term_or_const(&self, ctx: &mut ExecCtx) -> TermId {
@@ -111,7 +120,10 @@ impl<T: ConcolicInt> Concolic<T> {
         let a = self.term_or_const(ctx);
         let b = other.term_or_const(ctx);
         let t = build(ctx.arena_mut(), a, b);
-        Concolic { concrete, sym: Some(t) }
+        Concolic {
+            concrete,
+            sym: Some(t),
+        }
     }
 
     fn cmpop(
@@ -127,24 +139,36 @@ impl<T: ConcolicInt> Concolic<T> {
         let a = self.term_or_const(ctx);
         let b = other.term_or_const(ctx);
         let t = build(ctx.arena_mut(), a, b);
-        ConcolicBool { concrete, sym: Some(t) }
+        ConcolicBool {
+            concrete,
+            sym: Some(t),
+        }
     }
 
     /// Wrapping addition.
     pub fn add(&self, other: &Self, ctx: &mut ExecCtx) -> Self {
-        let c = dice_solver::term::mask(self.concrete.to_u64().wrapping_add(other.concrete.to_u64()), T::WIDTH);
+        let c = dice_solver::term::mask(
+            self.concrete.to_u64().wrapping_add(other.concrete.to_u64()),
+            T::WIDTH,
+        );
         self.binop(other, ctx, c, |a, x, y| a.add(x, y))
     }
 
     /// Wrapping subtraction.
     pub fn sub(&self, other: &Self, ctx: &mut ExecCtx) -> Self {
-        let c = dice_solver::term::mask(self.concrete.to_u64().wrapping_sub(other.concrete.to_u64()), T::WIDTH);
+        let c = dice_solver::term::mask(
+            self.concrete.to_u64().wrapping_sub(other.concrete.to_u64()),
+            T::WIDTH,
+        );
         self.binop(other, ctx, c, |a, x, y| a.sub(x, y))
     }
 
     /// Wrapping multiplication.
     pub fn mul(&self, other: &Self, ctx: &mut ExecCtx) -> Self {
-        let c = dice_solver::term::mask(self.concrete.to_u64().wrapping_mul(other.concrete.to_u64()), T::WIDTH);
+        let c = dice_solver::term::mask(
+            self.concrete.to_u64().wrapping_mul(other.concrete.to_u64()),
+            T::WIDTH,
+        );
         self.binop(other, ctx, c, |a, x, y| a.mul(x, y))
     }
 
@@ -192,32 +216,44 @@ impl<T: ConcolicInt> Concolic<T> {
 
     /// Equality comparison.
     pub fn eq(&self, other: &Self, ctx: &mut ExecCtx) -> ConcolicBool {
-        self.cmpop(other, ctx, self.concrete == other.concrete, |a, x, y| a.eq(x, y))
+        self.cmpop(other, ctx, self.concrete == other.concrete, |a, x, y| {
+            a.eq(x, y)
+        })
     }
 
     /// Disequality comparison.
     pub fn ne(&self, other: &Self, ctx: &mut ExecCtx) -> ConcolicBool {
-        self.cmpop(other, ctx, self.concrete != other.concrete, |a, x, y| a.ne(x, y))
+        self.cmpop(other, ctx, self.concrete != other.concrete, |a, x, y| {
+            a.ne(x, y)
+        })
     }
 
     /// Unsigned less-than.
     pub fn lt(&self, other: &Self, ctx: &mut ExecCtx) -> ConcolicBool {
-        self.cmpop(other, ctx, self.concrete < other.concrete, |a, x, y| a.ult(x, y))
+        self.cmpop(other, ctx, self.concrete < other.concrete, |a, x, y| {
+            a.ult(x, y)
+        })
     }
 
     /// Unsigned less-or-equal.
     pub fn le(&self, other: &Self, ctx: &mut ExecCtx) -> ConcolicBool {
-        self.cmpop(other, ctx, self.concrete <= other.concrete, |a, x, y| a.ule(x, y))
+        self.cmpop(other, ctx, self.concrete <= other.concrete, |a, x, y| {
+            a.ule(x, y)
+        })
     }
 
     /// Unsigned greater-than.
     pub fn gt(&self, other: &Self, ctx: &mut ExecCtx) -> ConcolicBool {
-        self.cmpop(other, ctx, self.concrete > other.concrete, |a, x, y| a.ugt(x, y))
+        self.cmpop(other, ctx, self.concrete > other.concrete, |a, x, y| {
+            a.ugt(x, y)
+        })
     }
 
     /// Unsigned greater-or-equal.
     pub fn ge(&self, other: &Self, ctx: &mut ExecCtx) -> ConcolicBool {
-        self.cmpop(other, ctx, self.concrete >= other.concrete, |a, x, y| a.uge(x, y))
+        self.cmpop(other, ctx, self.concrete >= other.concrete, |a, x, y| {
+            a.uge(x, y)
+        })
     }
 
     /// Comparison against a concrete constant: equality.
@@ -252,12 +288,18 @@ pub struct ConcolicBool {
 impl ConcolicBool {
     /// Wraps a purely concrete boolean.
     pub fn concrete(value: bool) -> Self {
-        ConcolicBool { concrete: value, sym: None }
+        ConcolicBool {
+            concrete: value,
+            sym: None,
+        }
     }
 
     /// Creates a boolean with both concrete and symbolic parts.
     pub fn with_term(value: bool, term: TermId) -> Self {
-        ConcolicBool { concrete: value, sym: Some(term) }
+        ConcolicBool {
+            concrete: value,
+            sym: Some(term),
+        }
     }
 
     /// The concrete truth value.
@@ -281,7 +323,10 @@ impl ConcolicBool {
             None => ConcolicBool::concrete(!self.concrete),
             Some(t) => {
                 let nt = ctx.arena_mut().not(t);
-                ConcolicBool { concrete: !self.concrete, sym: Some(nt) }
+                ConcolicBool {
+                    concrete: !self.concrete,
+                    sym: Some(nt),
+                }
             }
         }
     }
@@ -295,7 +340,10 @@ impl ConcolicBool {
                 let a = self.term_or_const(ctx);
                 let b = other.term_or_const(ctx);
                 let t = ctx.arena_mut().and(a, b);
-                ConcolicBool { concrete, sym: Some(t) }
+                ConcolicBool {
+                    concrete,
+                    sym: Some(t),
+                }
             }
         }
     }
@@ -309,7 +357,10 @@ impl ConcolicBool {
                 let a = self.term_or_const(ctx);
                 let b = other.term_or_const(ctx);
                 let t = ctx.arena_mut().or(a, b);
-                ConcolicBool { concrete, sym: Some(t) }
+                ConcolicBool {
+                    concrete,
+                    sym: Some(t),
+                }
             }
         }
     }

@@ -32,13 +32,24 @@ fn main() {
     let seed = InputValues::new().with("ttl", 64).with("metric", 10);
     println!("observed input: {seed}");
 
-    let engine = ConcolicEngine::with_config(EngineConfig { max_runs: 32, ..Default::default() });
+    let engine = ConcolicEngine::with_config(EngineConfig {
+        max_runs: 32,
+        ..Default::default()
+    });
     let mut program = handler;
     let result = engine.explore(&mut program, &[seed]);
 
-    println!("\nexplored {} run(s), {} distinct path(s):", result.stats.runs, result.distinct_paths());
+    println!(
+        "\nexplored {} run(s), {} distinct path(s):",
+        result.stats.runs,
+        result.distinct_paths()
+    );
     for run in &result.runs {
-        let kind = if run.parent.is_none() { "seed" } else { "generated" };
+        let kind = if run.parent.is_none() {
+            "seed"
+        } else {
+            "generated"
+        };
         println!("  [{kind:9}] {} -> {}", run.trace.input, run.output);
     }
     println!(
@@ -46,6 +57,12 @@ fn main() {
         result.coverage.complete_sites(),
         result.coverage.site_count()
     );
-    assert!(result.outputs().any(|o| o.contains("special-case")), "the magic branch must be discovered");
-    assert_eq!(result.coverage.complete_sites(), result.coverage.site_count());
+    assert!(
+        result.outputs().any(|o| o.contains("special-case")),
+        "the magic branch must be discovered"
+    );
+    assert_eq!(
+        result.coverage.complete_sites(),
+        result.coverage.site_count()
+    );
 }

@@ -74,11 +74,23 @@ fn dice_prediction(mode: CustomerFilterMode) -> ExplorationReport {
 }
 
 fn main() {
-    println!("{:<42} {:>18} {:>22}", "customer filter configuration", "incident spreads?", "DiCE predicts leak?");
+    println!(
+        "{:<42} {:>18} {:>22}",
+        "customer filter configuration", "incident spreads?", "DiCE predicts leak?"
+    );
     for (mode, label) in [
-        (CustomerFilterMode::Correct, "correct (prefix set + origin pinned)"),
-        (CustomerFilterMode::Erroneous, "erroneous (stale prefix-set entry)"),
-        (CustomerFilterMode::Missing, "missing (no customer filter at all)"),
+        (
+            CustomerFilterMode::Correct,
+            "correct (prefix set + origin pinned)",
+        ),
+        (
+            CustomerFilterMode::Erroneous,
+            "erroneous (stale prefix-set entry)",
+        ),
+        (
+            CustomerFilterMode::Missing,
+            "missing (no customer filter at all)",
+        ),
     ] {
         let spreads = incident_spreads(mode);
         let report = dice_prediction(mode);
@@ -87,12 +99,15 @@ fn main() {
             label,
             if spreads { "YES (outage)" } else { "no" },
             if report.has_faults() {
-                format!("YES ({})", report
-                    .leaked_prefixes()
-                    .iter()
-                    .map(|p| p.to_string())
-                    .collect::<Vec<_>>()
-                    .join(" "))
+                format!(
+                    "YES ({})",
+                    report
+                        .leaked_prefixes()
+                        .iter()
+                        .map(|p| p.to_string())
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                )
             } else {
                 "no".to_string()
             }

@@ -13,8 +13,15 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(5_000);
 
-    let config = TraceGenConfig { prefix_count, update_count: 1_000, ..Default::default() };
-    println!("generating synthetic trace: {} prefixes, {} updates...", config.prefix_count, config.update_count);
+    let config = TraceGenConfig {
+        prefix_count,
+        update_count: 1_000,
+        ..Default::default()
+    };
+    println!(
+        "generating synthetic trace: {} prefixes, {} updates...",
+        config.prefix_count, config.update_count
+    );
     let trace = generate_trace(&config, asn::INTERNET, addr::INTERNET);
 
     let build_router = || {
@@ -29,9 +36,15 @@ fn main() {
     let mut router = build_router();
     let replayer = Replayer::new(&trace, addr::INTERNET);
     let load = replayer.load_table(&mut router);
-    println!("table loaded: {} prefixes at {:.0} updates/s", load.rib_prefixes, load.updates_per_second);
+    println!(
+        "table loaded: {} prefixes at {:.0} updates/s",
+        load.rib_prefixes, load.updates_per_second
+    );
     let baseline = replayer.replay_updates(&mut router, |_| {});
-    println!("baseline update replay: {:.0} updates/s", baseline.updates_per_second);
+    println!(
+        "baseline update replay: {:.0} updates/s",
+        baseline.updates_per_second
+    );
 
     // With exploration: DiCE runs on a checkpoint after every 200 updates.
     let mut router = build_router();
@@ -42,7 +55,10 @@ fn main() {
     cattrs.as_path = AsPath::from_sequence([asn::CUSTOMER, asn::CUSTOMER]);
     let observed = UpdateMessage::announce(vec!["41.1.0.0/16".parse().expect("valid")], &cattrs);
     let dice = Dice::with_config(DiceConfig {
-        engine: EngineConfig { max_runs: 8, ..Default::default() },
+        engine: EngineConfig {
+            max_runs: 8,
+            ..Default::default()
+        },
         ..Default::default()
     });
     let checkpoint = router.clone();
@@ -51,7 +67,10 @@ fn main() {
             let _ = dice.run_single(&checkpoint, customer, &observed);
         }
     });
-    println!("update replay with exploration: {:.0} updates/s", loaded.updates_per_second);
+    println!(
+        "update replay with exploration: {:.0} updates/s",
+        loaded.updates_per_second
+    );
     println!(
         "performance impact: {:.1}% (paper reports ~8% under full load, negligible in the realistic scenario)",
         slowdown_percent(baseline.updates_per_second, loaded.updates_per_second)

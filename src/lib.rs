@@ -5,8 +5,8 @@
 //! ATC 2011): re-exports of every workspace crate plus a prelude used by
 //! the examples and integration tests.
 //!
-//! See `README.md` for a tour, `DESIGN.md` for the system inventory and
-//! `EXPERIMENTS.md` for the paper-vs-measured results.
+//! See the repository's `README.md` for a crate map, the quickstart and
+//! the verification commands.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -39,11 +39,43 @@ pub mod prelude {
 
 #[cfg(test)]
 mod tests {
+    /// Every item the prelude lists resolves, constructs, and has exactly
+    /// one canonical path (the `use` below would be ambiguous otherwise).
     #[test]
-    fn prelude_reexports_compile() {
+    fn prelude_reexports_resolve_and_construct() {
         use crate::prelude::*;
+
+        let _ = RouteAttrs::default();
+        let _ = BgpMessage::Keepalive;
+        let _ = UpdateMessage::withdraw(Vec::new());
+        let prefix: Ipv4Prefix = "10.0.0.0/8".parse().expect("valid");
+        let _ = Route::new(prefix, RouteAttrs::default(), PeerId(1), 1);
+        let _ = AsPath::from_sequence([64_512]);
+        fn assert_checkpointable<T: Checkpointable>() {}
+        assert_checkpointable::<CheckpointedRouter>();
         let _ = CustomerFilterMode::Correct;
-        let _ = Dice::new();
-        let _ = TraceGenConfig::tiny();
+        let dice = Dice::with_config(DiceConfig::default());
+        let _: &DiceConfig = dice.config();
+        let _ = ExplorationReport::default();
+        let _: Option<Fault> = None;
+        let _ = OriginHijackChecker::new();
+        let _ = SharedCoreScheduler::baseline();
+        let observed = UpdateMessage::announce(vec![prefix], &RouteAttrs::default());
+        let _ = UpdateTemplate::from_update(&observed);
+        let topo = figure2_topology(CustomerFilterMode::Correct);
+        let _ = topo.node_by_name("Provider");
+        let _ = (addr::CUSTOMER, asn::CUSTOMER);
+        let config = TraceGenConfig::tiny();
+        let trace = generate_trace(&config, asn::INTERNET, addr::INTERNET);
+        let _ = Replayer::new(&trace, addr::INTERNET);
+        let _ = Simulator::new(&topo);
+        let spec = &topo.nodes()[0];
+        let router = BgpRouter::new(spec.config.clone());
+        let _: &RouterConfig = router.config();
+        let _ = CheckpointManager::new(CheckpointedRouter(router.clone()));
+        let _: Option<&NeighborConfig> = spec.config.neighbors.first();
+        let _ = ConcolicEngine::with_config(EngineConfig::default());
+        let _ = ExecCtx::new();
+        let _ = InputValues::new().with("x", 1);
     }
 }

@@ -69,8 +69,14 @@ fn correct_configuration_passes_online_testing() {
     let (router, customer, observed) = provider_scenario(CustomerFilterMode::Correct);
     let report = Dice::new().run_single(&router, customer, &observed);
     assert!(!report.has_faults());
-    assert!(report.branch_sites > 0, "the correct filter's branches were still explored");
-    assert!(report.runs > 1, "exploratory inputs beyond the seed were executed");
+    assert!(
+        report.branch_sites > 0,
+        "the correct filter's branches were still explored"
+    );
+    assert!(
+        report.runs > 1,
+        "exploratory inputs beyond the seed were executed"
+    );
 }
 
 #[test]
@@ -86,7 +92,10 @@ fn exploration_is_isolated_from_the_live_router() {
     assert_eq!(router.rib().prefix_count(), rib_before);
     assert_eq!(router.rib().route_count(), routes_before);
     assert_eq!(*router.stats(), stats_before);
-    assert!(report.intercepted_messages > 0, "exploratory messages were captured, not sent");
+    assert!(
+        report.intercepted_messages > 0,
+        "exploratory messages were captured, not sent"
+    );
 }
 
 #[test]
@@ -96,7 +105,11 @@ fn checkpoint_of_loaded_router_shares_memory_with_live_process() {
     let (router, _, _) = provider_scenario(CustomerFilterMode::Erroneous);
     // Load a few thousand synthetic routes to give the image some weight.
     let trace = generate_trace(
-        &TraceGenConfig { prefix_count: 3_000, update_count: 200, ..Default::default() },
+        &TraceGenConfig {
+            prefix_count: 3_000,
+            update_count: 200,
+            ..Default::default()
+        },
         asn::INTERNET,
         addr::INTERNET,
     );
@@ -116,7 +129,11 @@ fn checkpoint_of_loaded_router_shares_memory_with_live_process() {
         .expect("peer");
     let updates: Vec<UpdateMessage> = trace.updates.iter().map(|e| e.update.clone()).collect();
     for u in &updates {
-        manager.live_mut().state_mut().router_mut().handle_update(peer, u);
+        manager
+            .live_mut()
+            .state_mut()
+            .router_mut()
+            .handle_update(peer, u);
     }
     manager.live_mut().sync();
     let stats = checkpoint.memory_stats_vs(manager.live());
@@ -128,7 +145,12 @@ fn checkpoint_of_loaded_router_shares_memory_with_live_process() {
 fn full_table_load_and_replay_keep_router_consistent() {
     let (mut router, _, _) = provider_scenario(CustomerFilterMode::Correct);
     let trace = generate_trace(
-        &TraceGenConfig { prefix_count: 2_000, update_count: 500, withdrawal_percent: 20, ..Default::default() },
+        &TraceGenConfig {
+            prefix_count: 2_000,
+            update_count: 500,
+            withdrawal_percent: 20,
+            ..Default::default()
+        },
         asn::INTERNET,
         addr::INTERNET,
     );

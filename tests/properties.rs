@@ -10,7 +10,7 @@ use dice_bgp::wire;
 use dice_router::policy::{eval_filter, parse_filter, RouteView};
 use dice_router::PrefixTrie;
 use dice_solver::{Solver, TermArena};
-use dice_symexec::{CU32, ExecCtx};
+use dice_symexec::{ExecCtx, CU32};
 
 fn arb_prefix() -> impl Strategy<Value = Ipv4Prefix> {
     (any::<u32>(), 0u8..=32).prop_map(|(addr, len)| Ipv4Prefix::new(addr, len).expect("len <= 32"))
@@ -31,7 +31,10 @@ fn arb_attrs() -> impl Strategy<Value = RouteAttrs> {
             attrs.med = med;
             attrs.local_pref = local_pref;
             attrs.next_hop = std::net::Ipv4Addr::new(192, 0, 2, 1);
-            attrs.communities = communities.into_iter().map(|(a, b)| Community::new(a, b)).collect();
+            attrs.communities = communities
+                .into_iter()
+                .map(|(a, b)| Community::new(a, b))
+                .collect();
             attrs
         })
 }
