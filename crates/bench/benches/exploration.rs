@@ -1,6 +1,9 @@
 //! Experiment F1 (Figure 1): concolic exploration of a nested-branch
-//! handler — the engine negates predicates to reach every path — plus the
-//! sequential-vs-parallel comparison of a multi-input `Dice::run` round.
+//! handler — the engine negates predicates to reach every path — plus two
+//! comparisons: the sequential-vs-parallel multi-input `Dice::run` round
+//! (PR 1) and the sequential-vs-batched engine inner loop (incremental
+//! shared-prefix solving overlapped with execution), with fault-set
+//! equality asserted for both.
 
 use std::time::Instant;
 
@@ -54,6 +57,35 @@ fn dice_with_workers(workers: usize) -> Dice {
     })
 }
 
+/// A deep comparison chain: every run enqueues dozens of sibling negation
+/// candidates sharing a long path prefix — the multi-candidate scenario
+/// where batched incremental solving pays off.
+fn chain_program(ctx: &mut ExecCtx, input: &InputValues) -> u32 {
+    let v = ctx.symbolic_u32("v", input.get_or("v", 0) as u32);
+    let w = ctx.symbolic_u32("w", input.get_or("w", 0) as u32);
+    let mut crossed = 0u32;
+    for step in 0..32u32 {
+        let c = v.gt_const(step * 24, ctx);
+        if ctx.branch_labeled(&format!("v-step{step}"), c) {
+            crossed += 1;
+        }
+        let c = w.gt_const(step * 24 + 12, ctx);
+        if ctx.branch_labeled(&format!("w-step{step}"), c) {
+            crossed += 1;
+        }
+    }
+    crossed
+}
+
+fn chain_engine(batch_size: usize, solver_workers: usize) -> ConcolicEngine {
+    ConcolicEngine::with_config(EngineConfig {
+        max_runs: 96,
+        batch_size,
+        solver_workers,
+        ..Default::default()
+    })
+}
+
 fn bench_exploration(c: &mut Criterion) {
     let mut group = c.benchmark_group("exploration");
     group.sample_size(20);
@@ -86,7 +118,55 @@ fn bench_exploration(c: &mut Criterion) {
         b.iter(|| std::hint::black_box(dice.run(&router, &observed).runs))
     });
 
+    let chain_seeds = [InputValues::new().with("v", 0).with("w", 0)];
+
+    group.bench_function("multi_candidate_sequential_inner_loop", |b| {
+        let engine = chain_engine(0, 1);
+        b.iter(|| {
+            let mut program = chain_program;
+            std::hint::black_box(engine.explore(&mut program, &chain_seeds).stats.runs)
+        })
+    });
+
+    group.bench_function("multi_candidate_batched_worklist", |b| {
+        let engine = chain_engine(32, 2);
+        b.iter(|| {
+            let mut program = chain_program;
+            std::hint::black_box(engine.explore(&mut program, &chain_seeds).stats.runs)
+        })
+    });
+
     group.finish();
+
+    // Direct readout: the PR-1 sequential inner loop vs the batched
+    // worklist engine on the multi-candidate chain. The run sets must be
+    // identical; only the wall clock may differ.
+    let started = Instant::now();
+    let mut program = chain_program;
+    let sequential_engine = chain_engine(0, 1).explore(&mut program, &chain_seeds);
+    let sequential_inner = started.elapsed();
+    let started = Instant::now();
+    let mut program = chain_program;
+    let batched_engine = chain_engine(32, 2).explore(&mut program, &chain_seeds);
+    let batched_inner = started.elapsed();
+    assert_eq!(
+        sequential_engine.runs.len(),
+        batched_engine.runs.len(),
+        "batched engine must execute the same runs"
+    );
+    assert!(sequential_engine
+        .runs
+        .iter()
+        .zip(batched_engine.runs.iter())
+        .all(|(s, b)| s.output == b.output && s.trace.input == b.trace.input));
+    println!(
+        "\nmulti-candidate inner loop ({} runs, {} candidates): sequential {:?}, batched {:?}, speedup {:.2}x",
+        batched_engine.stats.runs,
+        batched_engine.stats.candidates,
+        sequential_inner,
+        batched_inner,
+        sequential_inner.as_secs_f64() / batched_inner.as_secs_f64().max(f64::EPSILON),
+    );
 
     // Direct speedup readout: same round, workers=1 vs all cores. The fault
     // sets must be identical; only the wall clock may differ.
@@ -101,6 +181,21 @@ fn bench_exploration(c: &mut Criterion) {
         "parallel round must find the same faults"
     );
     assert!(parallel.isolation_preserved && sequential.isolation_preserved);
+    // The batched inner loop must find exactly the faults the PR-1
+    // sequential inner loop found on the Figure 2 scenario.
+    let sequential_inner_loop = Dice::with_config(DiceConfig {
+        engine: EngineConfig {
+            max_runs: 64,
+            batch_size: 0,
+            ..Default::default()
+        },
+        ..Default::default()
+    })
+    .run(&router, &observed);
+    assert_eq!(
+        sequential_inner_loop.faults, parallel.faults,
+        "batched worklist engine must find the same fault set"
+    );
     println!(
         "\nmulti-input round ({} inputs, {} cores): sequential {:?}, parallel {:?}, speedup {:.2}x",
         observed.len(),

@@ -1,8 +1,87 @@
 //! Microbenchmark: solver query latency for the constraint shapes the
-//! BGP handler produces (supports experiment F1 and the CPU-overhead model).
+//! BGP handler produces (supports experiment F1 and the CPU-overhead model),
+//! plus the one-shot vs incremental batched comparison on shared-prefix
+//! candidate groups — the engine's sibling-negation workload.
+//!
+//! Set `DICE_BENCH_JSON=<path>` to write the incremental-vs-one-shot
+//! comparison as a JSON baseline artifact (CI uploads `BENCH_solver.json`
+//! for perf-trajectory tracking).
+
+use std::time::{Duration, Instant};
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use dice_solver::{Solver, TermArena};
+use dice_solver::{IncrementalSolver, Model, Solver, TermArena, TermId, Verdict};
+
+/// Variables and constraints mimicking a deep policy-filter path: `DEPTH`
+/// prefix constraints over `VARS` message fields, then one negation
+/// candidate per prefix position — every candidate shares the prefix below
+/// its branch, exactly like the engine's per-run candidate group.
+const VARS: usize = 8;
+const DEPTH: usize = 48;
+
+struct GroupScenario {
+    arena: TermArena,
+    prefix: Vec<TermId>,
+    candidates: Vec<TermId>,
+    seed: Model,
+}
+
+fn group_scenario() -> GroupScenario {
+    let mut arena = TermArena::new();
+    let vars: Vec<_> = (0..VARS)
+        .map(|i| arena.declare_var(format!("field{i}"), 32))
+        .collect();
+    let mut seed = Model::new();
+    for (i, &v) in vars.iter().enumerate() {
+        seed.set(v, (i as u64) * 1000 + 500);
+    }
+    let mut prefix = Vec::with_capacity(DEPTH);
+    let mut candidates = Vec::with_capacity(DEPTH);
+    for d in 0..DEPTH {
+        let v = vars[d % VARS];
+        let vt = arena.var(v);
+        let bound = arena.int_const((d as u64) * 7 + 3, 32);
+        // The taken side of branch d...
+        prefix.push(arena.uge(vt, bound));
+        // ...and the candidate negating it (what the engine asks for).
+        candidates.push(arena.ult(vt, bound));
+    }
+    GroupScenario {
+        arena,
+        prefix,
+        candidates,
+        seed,
+    }
+}
+
+/// Solves every candidate one-shot: each query re-preprocesses and
+/// re-propagates its whole prefix — the PR-1 inner-loop behavior.
+fn solve_group_one_shot(s: &mut GroupScenario) -> Vec<Verdict> {
+    let mut solver = Solver::new();
+    let mut verdicts = Vec::with_capacity(s.candidates.len());
+    for i in 0..s.candidates.len() {
+        let mut query: Vec<TermId> = s.prefix[..i].to_vec();
+        query.push(s.candidates[i]);
+        verdicts.push(solver.solve(&mut s.arena, &query, Some(&s.seed)));
+    }
+    verdicts
+}
+
+/// Solves every candidate through one incremental session: the shared
+/// prefix is asserted and propagated once, each candidate in a push/pop
+/// frame.
+fn solve_group_incremental(s: &mut GroupScenario) -> Vec<Verdict> {
+    let mut session = IncrementalSolver::new();
+    let mut verdicts = Vec::with_capacity(s.candidates.len());
+    for i in 0..s.candidates.len() {
+        session.push(&s.arena);
+        session.assert_term(&mut s.arena, s.candidates[i]);
+        verdicts.push(session.check(&s.arena, Some(&s.seed)));
+        session.pop();
+        session.assert_term(&mut s.arena, s.prefix[i]);
+    }
+    verdicts
+}
 
 fn bench_solver(c: &mut Criterion) {
     let mut group = c.benchmark_group("solver");
@@ -53,7 +132,69 @@ fn bench_solver(c: &mut Criterion) {
         })
     });
 
+    group.bench_function("candidate_group_one_shot", |b| {
+        b.iter(|| {
+            let mut s = group_scenario();
+            std::hint::black_box(solve_group_one_shot(&mut s).len())
+        })
+    });
+
+    group.bench_function("candidate_group_incremental", |b| {
+        b.iter(|| {
+            let mut s = group_scenario();
+            std::hint::black_box(solve_group_incremental(&mut s).len())
+        })
+    });
+
     group.finish();
+
+    // Direct readout + JSON baseline: same candidate group, one-shot vs
+    // batched, with the verdict-equality assertion that guards the whole
+    // optimization.
+    let reps: u32 = std::env::var("DICE_BENCH_SAMPLE_SIZE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+    let time = |f: &mut dyn FnMut() -> Vec<Verdict>| -> (Duration, Vec<Verdict>) {
+        let mut best = Duration::MAX;
+        let mut last = Vec::new();
+        for _ in 0..reps.max(1) {
+            let start = Instant::now();
+            last = f();
+            best = best.min(start.elapsed());
+        }
+        (best, last)
+    };
+    let (one_shot_time, one_shot_verdicts) = time(&mut || {
+        let mut s = group_scenario();
+        solve_group_one_shot(&mut s)
+    });
+    let (incremental_time, incremental_verdicts) = time(&mut || {
+        let mut s = group_scenario();
+        solve_group_incremental(&mut s)
+    });
+    assert_eq!(
+        one_shot_verdicts, incremental_verdicts,
+        "batched solving must return identical verdicts and models"
+    );
+    let speedup = one_shot_time.as_secs_f64() / incremental_time.as_secs_f64().max(f64::EPSILON);
+    println!(
+        "\nshared-prefix group ({DEPTH} candidates, {VARS} fields): one-shot {one_shot_time:?}, \
+         incremental {incremental_time:?}, speedup {speedup:.2}x",
+    );
+
+    if let Ok(path) = std::env::var("DICE_BENCH_JSON") {
+        let json = format!(
+            "{{\n  \"bench\": \"solver_shared_prefix_group\",\n  \"depth\": {DEPTH},\n  \
+             \"fields\": {VARS},\n  \"candidates\": {},\n  \"one_shot_ns\": {},\n  \
+             \"incremental_ns\": {},\n  \"speedup\": {speedup:.4}\n}}\n",
+            one_shot_verdicts.len(),
+            one_shot_time.as_nanos(),
+            incremental_time.as_nanos(),
+        );
+        std::fs::write(&path, json).expect("write bench baseline");
+        println!("wrote perf baseline to {path}");
+    }
 }
 
 criterion_group!(benches, bench_solver);

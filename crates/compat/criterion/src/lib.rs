@@ -10,6 +10,11 @@
 //! It has none of Criterion's statistics, plotting or comparison features —
 //! the goal is that `cargo bench` compiles, runs and reports useful numbers
 //! in an environment with no crates.io access.
+//!
+//! The `DICE_BENCH_SAMPLE_SIZE` environment variable overrides every
+//! benchmark's sample size (CI's bench-smoke step sets it to a small value
+//! so the suite runs in seconds while still executing every benchmark body
+//! and its assertions).
 
 #![forbid(unsafe_code)]
 
@@ -98,6 +103,11 @@ impl Bencher {
 const WARMUP_ITERS: usize = 3;
 
 fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) {
+    let sample_size = std::env::var("DICE_BENCH_SAMPLE_SIZE")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .map(|n| n.max(1))
+        .unwrap_or(sample_size);
     let mut bencher = Bencher {
         samples: Vec::with_capacity(sample_size),
         budget: sample_size,

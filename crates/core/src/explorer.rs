@@ -30,6 +30,14 @@ use crate::symbolic_input::UpdateTemplate;
 #[derive(Debug, Clone)]
 pub struct DiceConfig {
     /// Concolic engine configuration (path budget, strategy, solver).
+    ///
+    /// The engine default runs the batched worklist inner loop
+    /// ([`EngineConfig::batch_size`]) with a single solver worker per
+    /// exploration — `Dice::run` already fans observed inputs out across
+    /// [`DiceConfig::workers`] threads, and one overlapped solver thread
+    /// per input is the sweet spot that avoids oversubscribing cores with
+    /// nested parallelism. Raise `engine.solver_workers` only for rounds
+    /// with few observed inputs and deep traces.
     pub engine: EngineConfig,
     /// Maximum number of observed inputs explored per round.
     pub max_observed_inputs: usize,
@@ -68,6 +76,7 @@ struct InputOutcome {
     runs: usize,
     distinct_paths: usize,
     generated_inputs: usize,
+    waves: usize,
     solver_stats: SolverStats,
     coverage: Coverage,
     intercepted_messages: usize,
@@ -168,6 +177,7 @@ impl Dice {
             report.runs += outcome.runs;
             report.distinct_paths += outcome.distinct_paths;
             report.generated_inputs += outcome.generated_inputs;
+            report.solver_waves += outcome.waves;
             report.solver_stats.merge(&outcome.solver_stats);
             coverage.merge(&outcome.coverage);
             report.intercepted_messages += outcome.intercepted_messages;
@@ -216,6 +226,7 @@ impl Dice {
             runs: exploration.stats.runs,
             distinct_paths: exploration.distinct_paths(),
             generated_inputs: exploration.generated_inputs().len(),
+            waves: exploration.stats.waves,
             solver_stats: exploration.solver_stats,
             coverage: exploration.coverage,
             intercepted_messages: handler.interceptor().len(),
@@ -501,6 +512,44 @@ mod tests {
         assert_eq!(combined.faults, merged_faults);
         assert!(combined.isolation_preserved);
         assert!(singles.iter().all(|r| r.isolation_preserved));
+    }
+
+    #[test]
+    fn batched_inner_loop_equals_sequential_inner_loop() {
+        // PR-1's engine solved one candidate at a time from scratch
+        // (batch_size = 0); the batched worklist engine must find the same
+        // faults, runs and coverage on the Figure 2 scenario.
+        let (router, customer, observed) = scenario(CustomerFilterMode::Erroneous);
+        let inputs = multi_input_observed(&router, customer, &observed);
+
+        let sequential = Dice::with_config(DiceConfig {
+            engine: dice_symexec::EngineConfig {
+                max_runs: 64,
+                batch_size: 0,
+                ..Default::default()
+            },
+            ..Default::default()
+        })
+        .run(&router, &inputs);
+        let batched = Dice::new().run(&router, &inputs);
+
+        assert_eq!(sequential.faults, batched.faults, "fault sets diverged");
+        assert_eq!(sequential.runs, batched.runs);
+        assert_eq!(sequential.distinct_paths, batched.distinct_paths);
+        assert_eq!(sequential.generated_inputs, batched.generated_inputs);
+        assert_eq!(sequential.branch_sites, batched.branch_sites);
+        assert_eq!(sequential.complete_sites, batched.complete_sites);
+        assert_eq!(
+            sequential.intercepted_messages,
+            batched.intercepted_messages
+        );
+        assert_eq!(sequential.solver_waves, 0);
+        assert!(batched.solver_waves > 0, "batched engine processed waves");
+        assert!(
+            batched.solver_stats.incremental_queries > 0,
+            "candidates were solved through incremental sessions"
+        );
+        assert!(batched.has_faults());
     }
 
     #[test]

@@ -92,6 +92,28 @@ pub fn select_best(candidates: &[Route]) -> Option<usize> {
     best
 }
 
+/// Selects the best route from an iterator of borrowed candidates without
+/// materializing them (ties keep the earliest candidate, like
+/// [`select_best`]). This is the allocation-free path the RIB decision
+/// process runs on every announce/withdraw.
+pub fn best_of<'a, I>(candidates: I) -> Option<&'a Route>
+where
+    I: IntoIterator<Item = &'a Route>,
+{
+    let mut best: Option<&'a Route> = None;
+    for r in candidates {
+        match best {
+            None => best = Some(r),
+            Some(b) => {
+                if compare(r, b).0 == Ordering::Greater {
+                    best = Some(r);
+                }
+            }
+        }
+    }
+    best
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,5 +213,21 @@ mod tests {
         let candidates = vec![route(1, &[100, 200]), route(2, &[100]), best.clone()];
         assert_eq!(select_best(&candidates), Some(2));
         assert_eq!(select_best(&[]), None);
+    }
+
+    #[test]
+    fn best_of_agrees_with_select_best() {
+        let mut preferred = route(3, &[100]);
+        preferred.attrs.local_pref = Some(300);
+        let candidates = vec![route(1, &[100, 200]), route(2, &[100]), preferred];
+        let by_index = select_best(&candidates).map(|i| &candidates[i]);
+        assert_eq!(best_of(candidates.iter()), by_index);
+        assert_eq!(best_of(std::iter::empty()), None);
+        // Ties keep the earliest candidate in both selectors.
+        let tied = vec![route(1, &[100]), route(1, &[200])];
+        assert_eq!(
+            best_of(tied.iter()).map(|r| r.peer_router_id),
+            select_best(&tied).map(|i| tied[i].peer_router_id)
+        );
     }
 }

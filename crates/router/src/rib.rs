@@ -9,7 +9,7 @@ use std::collections::BTreeMap;
 use dice_bgp::prefix::Ipv4Prefix;
 use dice_bgp::route::{PeerId, Route};
 
-use crate::decision::select_best;
+use crate::decision::best_of;
 use crate::trie::PrefixTrie;
 
 /// The effect of applying an announcement or withdrawal to the Loc-RIB.
@@ -71,28 +71,59 @@ impl Rib {
 
     /// Inserts or replaces the route learned from `route.learned_from` for
     /// `route.prefix`, re-runs the decision process and reports the change.
+    ///
+    /// This is the hot path of UPDATE processing (and of every concolic
+    /// re-execution), so it allocates nothing beyond trie growth: the
+    /// previous best is snapshotted only when the announce overwrites it in
+    /// place, and reselection scans the candidate map without materializing
+    /// it.
     pub fn announce(&mut self, route: Route) -> RibChange {
         let prefix = route.prefix;
         let peer = route.learned_from;
-        let previous_best = self.best_route(&prefix).cloned();
         if self.table.get(&prefix).is_none() {
             self.table.insert(prefix, PrefixEntry::default());
             self.prefixes += 1;
         }
         let entry = self.table.get_mut(&prefix).expect("entry just ensured");
+        let old_best_peer = entry.best;
+        // The only state the insert below can destroy is the best route
+        // itself (a re-announcement from the best peer); everything else
+        // survives in the map and needs no defensive clone.
+        let overwritten_best = match old_best_peer {
+            Some(bp) if bp == peer => entry.candidates.get(&bp).cloned(),
+            _ => None,
+        };
         if entry.candidates.insert(peer, route).is_none() {
             self.candidates += 1;
         }
         Self::reselect(entry);
-        self.report_change(&prefix, previous_best)
+        match (old_best_peer, entry.best) {
+            (None, Some(new)) => RibChange::Updated(entry.candidates[&new].clone()),
+            (Some(old), Some(new)) if old != new => {
+                RibChange::Updated(entry.candidates[&new].clone())
+            }
+            (Some(old), Some(_)) if old == peer => {
+                // Same best peer; did the re-announcement change the route?
+                let current = &entry.candidates[&old];
+                if overwritten_best.as_ref() == Some(current) {
+                    RibChange::Unchanged
+                } else {
+                    RibChange::Updated(current.clone())
+                }
+            }
+            // Same best peer, untouched by this announce.
+            (Some(_), Some(_)) => RibChange::Unchanged,
+            // An announce never empties a candidate set.
+            (_, None) => RibChange::Unchanged,
+        }
     }
 
     /// Removes the route learned from `peer` for `prefix`, if any.
     pub fn withdraw(&mut self, prefix: &Ipv4Prefix, peer: PeerId) -> RibChange {
-        let previous_best = self.best_route(prefix).cloned();
         let Some(entry) = self.table.get_mut(prefix) else {
             return RibChange::Unchanged;
         };
+        let old_best_peer = entry.best;
         if entry.candidates.remove(&peer).is_none() {
             return RibChange::Unchanged;
         }
@@ -100,29 +131,24 @@ impl Rib {
         if entry.candidates.is_empty() {
             self.table.remove(prefix);
             self.prefixes -= 1;
-            return match previous_best {
+            return match old_best_peer {
                 Some(_) => RibChange::Removed(*prefix),
                 None => RibChange::Unchanged,
             };
         }
+        if old_best_peer != Some(peer) {
+            // Removing a non-best candidate cannot change the winner.
+            return RibChange::Unchanged;
+        }
         Self::reselect(entry);
-        self.report_change(prefix, previous_best)
+        match entry.best {
+            Some(new) => RibChange::Updated(entry.candidates[&new].clone()),
+            None => RibChange::Removed(*prefix),
+        }
     }
 
     fn reselect(entry: &mut PrefixEntry) {
-        let routes: Vec<Route> = entry.candidates.values().cloned().collect();
-        let peers: Vec<PeerId> = entry.candidates.keys().copied().collect();
-        entry.best = select_best(&routes).map(|i| peers[i]);
-    }
-
-    fn report_change(&self, prefix: &Ipv4Prefix, previous_best: Option<Route>) -> RibChange {
-        let new_best = self.best_route(prefix).cloned();
-        match (previous_best, new_best) {
-            (Some(old), Some(new)) if old == new => RibChange::Unchanged,
-            (_, Some(new)) => RibChange::Updated(new),
-            (Some(_), None) => RibChange::Removed(*prefix),
-            (None, None) => RibChange::Unchanged,
-        }
+        entry.best = best_of(entry.candidates.values()).map(|r| r.learned_from);
     }
 
     /// The best (Loc-RIB) route for a prefix, if any.
@@ -132,12 +158,16 @@ impl Rib {
         entry.candidates.get(&best)
     }
 
-    /// All candidate routes for a prefix.
-    pub fn candidates(&self, prefix: &Ipv4Prefix) -> Vec<&Route> {
-        match self.table.get(prefix) {
-            Some(entry) => entry.candidates.values().collect(),
-            None => Vec::new(),
-        }
+    /// All candidate routes for a prefix, in peer order.
+    ///
+    /// Returns a lazy iterator (empty for unknown prefixes) — the decision
+    /// process and checkpoint serializer walk candidate sets on every
+    /// operation, so no per-call `Vec` is built.
+    pub fn candidates(&self, prefix: &Ipv4Prefix) -> impl Iterator<Item = &Route> {
+        self.table
+            .get(prefix)
+            .into_iter()
+            .flat_map(|entry| entry.candidates.values())
     }
 
     /// The best route whose prefix covers the given prefix (most specific).
@@ -156,16 +186,13 @@ impl Rib {
         entry.candidates.get(&best)
     }
 
-    /// Iterates over all `(prefix, best route)` pairs (the Loc-RIB view).
-    pub fn loc_rib(&self) -> Vec<(Ipv4Prefix, &Route)> {
-        self.table
-            .iter()
-            .into_iter()
-            .filter_map(|(p, entry)| {
-                let best = entry.best?;
-                entry.candidates.get(&best).map(|r| (p, r))
-            })
-            .collect()
+    /// Iterates over all `(prefix, best route)` pairs (the Loc-RIB view),
+    /// lazily and in trie (depth-first) order.
+    pub fn loc_rib(&self) -> impl Iterator<Item = (Ipv4Prefix, &Route)> {
+        self.table.iter().filter_map(|(p, entry)| {
+            let best = entry.best?;
+            entry.candidates.get(&best).map(|r| (p, r))
+        })
     }
 
     /// Rough memory footprint estimate in bytes, used by the checkpoint
@@ -297,13 +324,42 @@ mod tests {
         rib.announce(route("10.0.0.0/8", 1, &[100, 200]));
         rib.announce(route("10.0.0.0/8", 2, &[300]));
         rib.announce(route("192.168.0.0/16", 1, &[100]));
-        let loc = rib.loc_rib();
-        assert_eq!(loc.len(), 2);
-        let ten = loc
-            .iter()
+        assert_eq!(rib.loc_rib().count(), 2);
+        let (_, ten) = rib
+            .loc_rib()
             .find(|(q, _)| *q == p("10.0.0.0/8"))
             .expect("present");
-        assert_eq!(ten.1.learned_from, PeerId(2));
+        assert_eq!(ten.learned_from, PeerId(2));
         assert!(rib.approx_size_bytes() > 0);
+    }
+
+    #[test]
+    fn candidates_iterates_per_peer_routes() {
+        let mut rib = Rib::new();
+        rib.announce(route("10.0.0.0/8", 1, &[100, 200]));
+        rib.announce(route("10.0.0.0/8", 2, &[300]));
+        let peers: Vec<PeerId> = rib
+            .candidates(&p("10.0.0.0/8"))
+            .map(|r| r.learned_from)
+            .collect();
+        assert_eq!(peers, vec![PeerId(1), PeerId(2)]);
+        assert_eq!(rib.candidates(&p("1.2.3.0/24")).count(), 0);
+    }
+
+    #[test]
+    fn reannouncement_from_best_peer_reports_attribute_changes() {
+        let mut rib = Rib::new();
+        rib.announce(route("10.0.0.0/8", 1, &[100, 200]));
+        // Identical re-announcement: unchanged.
+        assert_eq!(
+            rib.announce(route("10.0.0.0/8", 1, &[100, 200])),
+            RibChange::Unchanged
+        );
+        // Same (best) peer, different attributes: the Loc-RIB view changed
+        // even though the winning peer did not.
+        match rib.announce(route("10.0.0.0/8", 1, &[100, 200, 300])) {
+            RibChange::Updated(r) => assert_eq!(r.attrs.as_path.length(), 3),
+            other => panic!("expected update, got {other:?}"),
+        }
     }
 }

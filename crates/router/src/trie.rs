@@ -199,26 +199,59 @@ impl<T> PrefixTrie<T> {
         }
     }
 
-    /// Iterates over all `(prefix, value)` pairs in depth-first order.
-    pub fn iter(&self) -> Vec<(Ipv4Prefix, &T)> {
-        let mut out = Vec::with_capacity(self.len);
-        Self::walk(&self.root, 0, 0, &mut out);
-        out
+    /// Iterates over all `(prefix, value)` pairs in depth-first
+    /// (pre-order) order, lazily: no intermediate `Vec` is materialized,
+    /// so walking a full routing table streams straight out of the trie.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter {
+            // A /32 path is 33 nodes deep; 40 slots avoid regrowth.
+            stack: {
+                let mut stack = Vec::with_capacity(40);
+                stack.push((&self.root, 0u32, 0u8));
+                stack
+            },
+        }
     }
+}
 
-    fn walk<'a>(node: &'a Node<T>, addr: u32, depth: u8, out: &mut Vec<(Ipv4Prefix, &'a T)>) {
-        if let Some(v) = &node.value {
-            out.push((Ipv4Prefix::new(addr, depth).expect("depth <= 32"), v));
+/// Lazy depth-first iterator over a [`PrefixTrie`], returned by
+/// [`PrefixTrie::iter`].
+#[derive(Debug)]
+pub struct Iter<'a, T> {
+    /// Nodes still to visit, as `(node, accumulated address bits, depth)`.
+    stack: Vec<(&'a Node<T>, u32, u8)>,
+}
+
+impl<'a, T> Iterator for Iter<'a, T> {
+    type Item = (Ipv4Prefix, &'a T);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while let Some((node, addr, depth)) = self.stack.pop() {
+            if depth < 32 {
+                // Right child pushed first so the left subtree pops first,
+                // matching pre-order.
+                if let Some(child) = node.children[1].as_deref() {
+                    self.stack
+                        .push((child, addr | (1 << (31 - depth)), depth + 1));
+                }
+                if let Some(child) = node.children[0].as_deref() {
+                    self.stack.push((child, addr, depth + 1));
+                }
+            }
+            if let Some(v) = &node.value {
+                return Some((Ipv4Prefix::new(addr, depth).expect("depth <= 32"), v));
+            }
         }
-        if depth >= 32 {
-            return;
-        }
-        if let Some(child) = node.children[0].as_deref() {
-            Self::walk(child, addr, depth + 1, out);
-        }
-        if let Some(child) = node.children[1].as_deref() {
-            Self::walk(child, addr | (1 << (31 - depth)), depth + 1, out);
-        }
+        None
+    }
+}
+
+impl<'a, T> IntoIterator for &'a PrefixTrie<T> {
+    type Item = (Ipv4Prefix, &'a T);
+    type IntoIter = Iter<'a, T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
     }
 }
 
@@ -301,11 +334,28 @@ mod tests {
         for (i, s) in prefixes.iter().enumerate() {
             t.insert(p(s), i);
         }
-        let all = t.iter();
-        assert_eq!(all.len(), 4);
-        let mut names: Vec<String> = all.iter().map(|(q, _)| q.to_string()).collect();
+        assert_eq!(t.iter().count(), 4);
+        let mut names: Vec<String> = t.iter().map(|(q, _)| q.to_string()).collect();
         names.sort();
         assert!(names.contains(&"10.1.0.0/16".to_string()));
+    }
+
+    #[test]
+    fn iter_is_lazy_preorder_and_reentrant() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("0.0.0.0/0"), "root");
+        t.insert(p("10.0.0.0/8"), "left");
+        t.insert(p("128.0.0.0/1"), "right");
+        t.insert(p("10.1.0.0/16"), "left-deep");
+        // Pre-order: shallower before deeper, left (0-bit) before right.
+        let order: Vec<&str> = t.iter().map(|(_, v)| *v).collect();
+        assert_eq!(order, vec!["root", "left", "left-deep", "right"]);
+        // IntoIterator on a reference allows plain `for` loops.
+        let mut count = 0;
+        for (_, _) in &t {
+            count += 1;
+        }
+        assert_eq!(count, 4);
     }
 
     #[test]

@@ -1,0 +1,527 @@
+//! Incremental solving over an assertion stack.
+//!
+//! The concolic engine's inner loop negates one branch of a recorded path
+//! at a time: candidate *k* asks for `prefix[0..k] ∧ ¬branch[k]`. Solved
+//! one-shot ([`crate::Solver::solve`]), every sibling candidate re-flattens,
+//! re-deduplicates and re-propagates the whole shared prefix from scratch —
+//! `O(depth²)` work per run. [`IncrementalSolver`] keeps that work alive on
+//! a `push`/`pop` assertion stack instead:
+//!
+//! * **assert** simplifies a constraint once ([`crate::simplify`]) and
+//!   appends its atoms to the stack;
+//! * **check** folds any newly asserted atoms into the persistent interval
+//!   domains ([`crate::interval::Domains`]) — already-propagated prefix
+//!   constraints are *not* revisited — then funnels into the same
+//!   enumeration/local-search phases as the one-shot solver;
+//! * **push/pop** bracket per-candidate assertions, restoring the prefix
+//!   domains on pop so the next sibling starts from the shared state.
+//!
+//! Results are identical to one-shot solving: `check` sees the same
+//! simplified, sorted constraint set a [`crate::Solver::solve`] call would
+//! build, the same propagated domains, and runs the identical
+//! deterministic search phases. The domain equality rests on interval
+//! propagation having a unique fixpoint, so it holds *whenever from-scratch
+//! propagation of the full query converges within
+//! [`crate::SolverConfig::propagation_rounds`]* — true for the
+//! comparison-against-constant constraint families the concolic engine
+//! emits, which converge in a few sweeps; diverging would take a
+//! variable-to-variable inequality chain longer than the round budget
+//! (default 16), ordered so each sweep advances one hop. The session also
+//! guards the other direction: if its own cached prefix ever runs out of
+//! rounds before converging, the next query rebuilds the domains from
+//! scratch instead of reusing a start-point-dependent cache.
+//!
+//! # Example
+//!
+//! Two negation candidates sharing a two-constraint prefix, solved as one
+//! batched session:
+//!
+//! ```
+//! use dice_solver::{IncrementalSolver, TermArena};
+//!
+//! let mut arena = TermArena::new();
+//! let med = arena.declare_var("med", 32);
+//! let pref = arena.declare_var("local_pref", 32);
+//! let m = arena.var(med);
+//! let p = arena.var(pref);
+//! let c100 = arena.int_const(100, 32);
+//! let c50 = arena.int_const(50, 32);
+//!
+//! let mut session = IncrementalSolver::new();
+//! // Shared path prefix: med < 100, local_pref >= 50.
+//! let pre1 = arena.ult(m, c100);
+//! let pre2 = arena.uge(p, c50);
+//! session.assert_term(&mut arena, pre1);
+//! session.assert_term(&mut arena, pre2);
+//!
+//! // Candidate 1: negate `med < 10`.
+//! session.push(&arena);
+//! let c10 = arena.int_const(10, 32);
+//! let neg1 = arena.uge(m, c10);
+//! session.assert_term(&mut arena, neg1);
+//! let v1 = session.check(&arena, None);
+//! assert!(v1.model().is_some_and(|m1| m1.get(med) >= 10));
+//! session.pop();
+//!
+//! // Candidate 2: negate `local_pref <= 200` — the prefix domains are
+//! // reused, not re-propagated.
+//! session.push(&arena);
+//! let c200 = arena.int_const(200, 32);
+//! let neg2 = arena.ugt(p, c200);
+//! session.assert_term(&mut arena, neg2);
+//! let v2 = session.check(&arena, None);
+//! assert!(v2.model().is_some_and(|m2| m2.get(pref) > 200));
+//! session.pop();
+//!
+//! assert!(session.stats().assertions_reused > 0);
+//! ```
+
+use std::collections::HashSet;
+use std::time::Instant;
+
+use crate::interval::Domains;
+use crate::model::Model;
+use crate::simplify::flatten_into;
+use crate::solver::{decide, SolverConfig, Verdict};
+use crate::stats::SolverStats;
+use crate::term::{TermArena, TermId};
+
+/// State saved by [`IncrementalSolver::push`] and restored by
+/// [`IncrementalSolver::pop`].
+#[derive(Debug, Clone)]
+struct Frame {
+    /// Length of the asserted list at push time.
+    asserted_len: usize,
+    /// Interval domains at push time.
+    domains: Domains,
+    /// How many asserted constraints the saved domains had folded in.
+    propagated_len: usize,
+    /// Whether the saved domains were a propagation fixpoint.
+    converged: bool,
+    /// Whether the stack was already syntactically contradictory.
+    contradiction: bool,
+}
+
+/// A solver session with a push/pop assertion stack.
+///
+/// Simplification results and propagated interval domains persist across
+/// queries, so sibling queries sharing an assertion prefix are decided as
+/// one batched session instead of N from-scratch [`crate::Solver::solve`]
+/// calls. See the [module documentation](self) for the contract and an
+/// example.
+#[derive(Debug, Clone)]
+pub struct IncrementalSolver {
+    config: SolverConfig,
+    stats: SolverStats,
+    /// Flattened, deduplicated atoms, in assertion order.
+    asserted: Vec<TermId>,
+    /// Dedup set over `asserted`.
+    seen: HashSet<TermId>,
+    /// Interval domains covering `asserted[..propagated_len]`.
+    domains: Domains,
+    propagated_len: usize,
+    /// Whether `domains` is a fixpoint (vacuously true when empty).
+    converged: bool,
+    /// A literal `false` or a `p ∧ ¬p` pair has been asserted.
+    contradiction: bool,
+    frames: Vec<Frame>,
+}
+
+impl Default for IncrementalSolver {
+    fn default() -> Self {
+        Self::with_config(SolverConfig::default())
+    }
+}
+
+impl IncrementalSolver {
+    /// Creates a session with the default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a session with the given configuration.
+    pub fn with_config(config: SolverConfig) -> Self {
+        IncrementalSolver {
+            config,
+            stats: SolverStats::new(),
+            asserted: Vec::new(),
+            seen: HashSet::new(),
+            domains: Domains::new(),
+            propagated_len: 0,
+            // Vacuously a fixpoint: nothing has been propagated yet.
+            converged: true,
+            contradiction: false,
+            frames: Vec::new(),
+        }
+    }
+
+    /// Returns the configuration in use.
+    pub fn config(&self) -> &SolverConfig {
+        &self.config
+    }
+
+    /// Returns cumulative statistics for this session.
+    pub fn stats(&self) -> &SolverStats {
+        &self.stats
+    }
+
+    /// Resets cumulative statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats = SolverStats::new();
+    }
+
+    /// Current stack depth (number of unmatched pushes).
+    pub fn depth(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Number of (simplified) constraints currently asserted.
+    pub fn assertion_count(&self) -> usize {
+        self.asserted.len()
+    }
+
+    /// Returns true if the asserted set is already known contradictory
+    /// without consulting the domains or search phases.
+    pub fn is_contradiction(&self) -> bool {
+        self.contradiction
+    }
+
+    /// Saves the current assertion state; [`IncrementalSolver::pop`]
+    /// restores it.
+    ///
+    /// Assertions made since the last propagation are folded into the
+    /// interval domains *before* the snapshot is taken (propagation is
+    /// otherwise lazy), so every frame pushed on top of this state — each
+    /// sibling negation candidate — reuses the propagated prefix instead of
+    /// recomputing it after each pop. That commit step is why `push` takes
+    /// the arena.
+    pub fn push(&mut self, arena: &TermArena) {
+        if !self.contradiction && self.propagation_needed() {
+            let sorted = self.sorted_assertions();
+            self.propagate_pending(arena, &sorted);
+        }
+        self.frames.push(Frame {
+            asserted_len: self.asserted.len(),
+            domains: self.domains.clone(),
+            propagated_len: self.propagated_len,
+            converged: self.converged,
+            contradiction: self.contradiction,
+        });
+        self.stats.session_pushes += 1;
+    }
+
+    /// Returns true if the domains do not yet cover the asserted set.
+    fn propagation_needed(&self) -> bool {
+        self.propagated_len < self.asserted.len() || !self.converged
+    }
+
+    /// The asserted set in sorted order — exactly the constraint list
+    /// `preprocess` would hand the one-shot pipeline.
+    fn sorted_assertions(&self) -> Vec<TermId> {
+        let mut sorted = self.asserted.clone();
+        sorted.sort_unstable();
+        sorted
+    }
+
+    /// Folds assertions not yet covered by the domains into them,
+    /// propagating to a fixpoint. `sorted` must be the current
+    /// [`IncrementalSolver::sorted_assertions`]; callers that already hold
+    /// it (check) avoid re-sorting here.
+    fn propagate_pending(&mut self, arena: &TermArena, sorted: &[TermId]) {
+        let pending = self.asserted.len() - self.propagated_len;
+        if pending == 0 && self.converged {
+            return;
+        }
+        let start = Instant::now();
+        if !self.converged {
+            self.stats.assertions_propagated += self.asserted.len() as u64;
+            self.domains = Domains::init(arena, sorted);
+        } else {
+            self.stats.assertions_propagated += pending as u64;
+            self.domains
+                .ensure_vars(arena, &self.asserted[self.propagated_len..]);
+        }
+        let outcome = self
+            .domains
+            .propagate_counted(arena, sorted, self.config.propagation_rounds);
+        self.propagated_len = self.asserted.len();
+        self.converged = outcome.converged;
+        self.stats.propagation_time_ns += start.elapsed().as_nanos() as u64;
+    }
+
+    /// Restores the state saved by the matching [`IncrementalSolver::push`]:
+    /// assertions made since then are retracted and the saved prefix
+    /// domains are reinstated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called without a matching `push`.
+    pub fn pop(&mut self) {
+        let frame = self.frames.pop().expect("pop without matching push");
+        for t in &self.asserted[frame.asserted_len..] {
+            self.seen.remove(t);
+        }
+        self.asserted.truncate(frame.asserted_len);
+        self.domains = frame.domains;
+        self.propagated_len = frame.propagated_len;
+        self.converged = frame.converged;
+        self.contradiction = frame.contradiction;
+        self.stats.session_pops += 1;
+    }
+
+    /// Asserts a boolean constraint: normalizes it, flattens conjunctions,
+    /// drops tautologies and deduplicates against everything already on the
+    /// stack. Each distinct term is simplified exactly once per session, no
+    /// matter how many queries it participates in.
+    pub fn assert_term(&mut self, arena: &mut TermArena, term: TermId) {
+        if self.contradiction {
+            return;
+        }
+        let start = Instant::now();
+        let before = self.asserted.len();
+        if !flatten_into(arena, term, &mut self.seen, &mut self.asserted) {
+            self.contradiction = true;
+        } else {
+            // Detect `p` asserted on a stack already holding `not p`.
+            for i in before..self.asserted.len() {
+                let neg = arena.not(self.asserted[i]);
+                if self.seen.contains(&neg) {
+                    self.contradiction = true;
+                    break;
+                }
+            }
+        }
+        self.stats.preprocess_passes += 1;
+        self.stats.preprocess_time_ns += start.elapsed().as_nanos() as u64;
+    }
+
+    /// Asserts every constraint in the slice, in order.
+    pub fn assert_all(&mut self, arena: &mut TermArena, terms: &[TermId]) {
+        for &t in terms {
+            self.assert_term(arena, t);
+        }
+    }
+
+    /// Decides satisfiability of the conjunction of all asserted
+    /// constraints. `seed` plays the same role as in
+    /// [`crate::Solver::solve`].
+    ///
+    /// Only constraints asserted since the last `check` (or, after a `pop`,
+    /// since the restored frame's last propagation) are folded into the
+    /// interval domains; everything else is reused.
+    pub fn check(&mut self, arena: &TermArena, seed: Option<&Model>) -> Verdict {
+        let start = Instant::now();
+        let verdict = self.check_inner(arena, seed);
+        self.stats.queries += 1;
+        self.stats.incremental_queries += 1;
+        match &verdict {
+            Verdict::Sat(_) => self.stats.sat += 1,
+            Verdict::Unsat => self.stats.unsat += 1,
+            Verdict::Unknown => self.stats.unknown += 1,
+        }
+        self.stats.record_time(start.elapsed());
+        verdict
+    }
+
+    fn check_inner(&mut self, arena: &TermArena, seed: Option<&Model>) -> Verdict {
+        if self.contradiction {
+            self.stats.decided_by_preprocess += 1;
+            return Verdict::Unsat;
+        }
+        if self.asserted.is_empty() {
+            self.stats.decided_by_preprocess += 1;
+            return Verdict::Sat(seed.cloned().unwrap_or_default());
+        }
+
+        // The search phases expect the preprocessed set in sorted order,
+        // exactly as `preprocess` would have produced it; propagation uses
+        // the same list, so it is computed once per query.
+        let sorted = self.sorted_assertions();
+
+        // Constraints already folded into converged domains are reused as
+        // is; only assertions made since then get propagated.
+        if self.converged {
+            self.stats.assertions_reused += self.propagated_len as u64;
+        }
+        self.propagate_pending(arena, &sorted);
+        if self.domains.any_empty() {
+            self.stats.decided_by_propagation += 1;
+            return Verdict::Unsat;
+        }
+
+        decide(
+            &self.config,
+            &mut self.stats,
+            arena,
+            &sorted,
+            &self.domains,
+            seed,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::Solver;
+
+    fn arena_with_var(width: u32) -> (TermArena, crate::term::VarId, TermId) {
+        let mut arena = TermArena::new();
+        let x = arena.declare_var("x", width);
+        let xv = arena.var(x);
+        (arena, x, xv)
+    }
+
+    #[test]
+    fn empty_session_is_sat() {
+        let arena = TermArena::new();
+        let mut s = IncrementalSolver::new();
+        assert!(s.check(&arena, None).is_sat());
+        assert_eq!(s.stats().queries, 1);
+        assert_eq!(s.stats().incremental_queries, 1);
+    }
+
+    #[test]
+    fn push_pop_restores_verdicts() {
+        let (mut arena, x, xv) = arena_with_var(8);
+        let c5 = arena.int_const(5, 8);
+        let lt5 = arena.ult(xv, c5);
+        let ge5 = arena.uge(xv, c5);
+
+        let mut s = IncrementalSolver::new();
+        s.assert_term(&mut arena, lt5);
+        let m = s.check(&arena, None);
+        assert!(m.model().is_some_and(|m| m.get(x) < 5));
+
+        s.push(&arena);
+        s.assert_term(&mut arena, ge5);
+        assert!(s.check(&arena, None).is_unsat());
+        s.pop();
+
+        // The contradiction was retracted with the frame.
+        let m = s.check(&arena, None);
+        assert!(m.model().is_some_and(|m| m.get(x) < 5));
+        assert_eq!(s.depth(), 0);
+        assert_eq!(s.stats().session_pushes, 1);
+        assert_eq!(s.stats().session_pops, 1);
+    }
+
+    #[test]
+    fn nested_frames_restore_in_order() {
+        let (mut arena, x, xv) = arena_with_var(8);
+        let c10 = arena.int_const(10, 8);
+        let c20 = arena.int_const(20, 8);
+        let c30 = arena.int_const(30, 8);
+        let ge10 = arena.uge(xv, c10);
+        let ge20 = arena.uge(xv, c20);
+        let ge30 = arena.uge(xv, c30);
+
+        let mut s = IncrementalSolver::new();
+        s.assert_term(&mut arena, ge10);
+        s.push(&arena);
+        s.assert_term(&mut arena, ge20);
+        s.push(&arena);
+        s.assert_term(&mut arena, ge30);
+        assert_eq!(s.assertion_count(), 3);
+        let m = s.check(&arena, None);
+        assert!(m.model().is_some_and(|m| m.get(x) >= 30));
+        s.pop();
+        let m = s.check(&arena, None);
+        assert!(m.model().is_some_and(|m| m.get(x) >= 20));
+        s.pop();
+        let m = s.check(&arena, None);
+        assert!(m.model().is_some_and(|m| m.get(x) >= 10));
+    }
+
+    #[test]
+    fn duplicate_assertions_are_deduplicated() {
+        let (mut arena, _, xv) = arena_with_var(8);
+        let c5 = arena.int_const(5, 8);
+        let lt5 = arena.ult(xv, c5);
+        let mut s = IncrementalSolver::new();
+        s.assert_term(&mut arena, lt5);
+        s.assert_term(&mut arena, lt5);
+        s.push(&arena);
+        s.assert_term(&mut arena, lt5);
+        assert_eq!(s.assertion_count(), 1);
+        s.pop();
+        assert_eq!(s.assertion_count(), 1);
+        assert!(s.check(&arena, None).is_sat());
+    }
+
+    #[test]
+    fn p_and_not_p_is_syntactic_contradiction() {
+        let (mut arena, _, xv) = arena_with_var(8);
+        let c5 = arena.int_const(5, 8);
+        let p = arena.eq(xv, c5);
+        let np = arena.not(p);
+        let mut s = IncrementalSolver::new();
+        s.assert_term(&mut arena, p);
+        s.push(&arena);
+        s.assert_term(&mut arena, np);
+        assert!(s.is_contradiction());
+        assert!(s.check(&arena, None).is_unsat());
+        s.pop();
+        assert!(!s.is_contradiction());
+        assert!(s.check(&arena, None).is_sat());
+    }
+
+    #[test]
+    fn conjunctions_flatten_across_the_stack() {
+        let (mut arena, x, xv) = arena_with_var(8);
+        let c3 = arena.int_const(3, 8);
+        let c7 = arena.int_const(7, 8);
+        let a = arena.uge(xv, c3);
+        let b = arena.ule(xv, c7);
+        let both = arena.and(a, b);
+        let mut s = IncrementalSolver::new();
+        s.assert_term(&mut arena, both);
+        assert_eq!(s.assertion_count(), 2);
+        let m = s.check(&arena, None);
+        let v = m.model().expect("sat").get(x);
+        assert!((3..=7).contains(&v));
+    }
+
+    #[test]
+    fn matches_one_shot_solver_on_shared_prefix() {
+        // The engine's exact usage pattern: assert the prefix once, then
+        // push/check/pop one negation candidate at a time.
+        let mut arena = TermArena::new();
+        let a = arena.declare_var("a", 16);
+        let b = arena.declare_var("b", 16);
+        let av = arena.var(a);
+        let bv = arena.var(b);
+        let c100 = arena.int_const(100, 16);
+        let c50 = arena.int_const(50, 16);
+        let c10 = arena.int_const(10, 16);
+        let prefix = [arena.ult(av, c100), arena.uge(bv, c50)];
+        let negations = [
+            arena.uge(av, c10),
+            arena.ult(bv, c100),
+            arena.ugt(av, c100), // infeasible under the prefix
+        ];
+
+        let mut session = IncrementalSolver::new();
+        session.assert_all(&mut arena, &prefix);
+        for &neg in &negations {
+            session.push(&arena);
+            session.assert_term(&mut arena, neg);
+            let incremental = session.check(&arena, None);
+            session.pop();
+
+            let mut one_shot = Solver::new();
+            let mut query = prefix.to_vec();
+            query.push(neg);
+            let reference = one_shot.solve(&mut arena, &query, None);
+            assert_eq!(incremental, reference, "negation {}", arena.display(neg));
+        }
+        assert!(session.stats().assertions_reused > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "pop without matching push")]
+    fn pop_on_empty_stack_panics() {
+        let mut s = IncrementalSolver::new();
+        s.pop();
+    }
+}

@@ -121,6 +121,21 @@ impl Interval {
     }
 }
 
+/// The outcome of one propagation run, reported by
+/// [`Domains::propagate_counted`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Propagation {
+    /// `false` if an empty domain (contradiction) was derived.
+    pub consistent: bool,
+    /// Number of full sweeps over the constraint set performed.
+    pub rounds: usize,
+    /// `true` if a fixpoint was reached before the round budget ran out.
+    /// When this holds, the domains are independent of the starting point:
+    /// re-propagating the same constraints narrows nothing further, which
+    /// is what lets an incremental session reuse them across queries.
+    pub converged: bool,
+}
+
 /// Per-variable interval state for a constraint set.
 #[derive(Debug, Clone, Default)]
 pub struct Domains {
@@ -192,6 +207,22 @@ impl Domains {
         acc
     }
 
+    /// Registers every variable appearing in `constraints` that is not yet
+    /// tracked, initializing it to the full range of its declared width.
+    /// Used by the incremental session when new assertions introduce new
+    /// variables on top of an already-propagated stack.
+    pub fn ensure_vars(&mut self, arena: &TermArena, constraints: &[TermId]) {
+        let mut vars = Vec::new();
+        for &c in constraints {
+            arena.collect_vars(c, &mut vars);
+        }
+        for v in vars {
+            self.map
+                .entry(v)
+                .or_insert_with(|| Interval::full(arena.var_info(v).width));
+        }
+    }
+
     /// Runs interval propagation over the constraints until a fixpoint is
     /// reached (bounded by `max_rounds`). Returns `false` if a contradiction
     /// (empty domain) was derived.
@@ -201,21 +232,49 @@ impl Domains {
         constraints: &[TermId],
         max_rounds: usize,
     ) -> bool {
-        for _ in 0..max_rounds {
+        self.propagate_counted(arena, constraints, max_rounds)
+            .consistent
+    }
+
+    /// Like [`Domains::propagate`], but additionally reports how many sweeps
+    /// ran and whether a fixpoint was reached before the round budget.
+    pub fn propagate_counted(
+        &mut self,
+        arena: &TermArena,
+        constraints: &[TermId],
+        max_rounds: usize,
+    ) -> Propagation {
+        let mut rounds = 0;
+        let mut converged = false;
+        while rounds < max_rounds {
+            rounds += 1;
             let mut changed = false;
             for &c in constraints {
                 if !self.propagate_one(arena, c, &mut changed) {
-                    return false;
+                    return Propagation {
+                        consistent: false,
+                        rounds,
+                        converged: false,
+                    };
                 }
             }
             if self.any_empty() {
-                return false;
+                return Propagation {
+                    consistent: false,
+                    rounds,
+                    converged: false,
+                };
             }
             if !changed {
+                converged = true;
                 break;
             }
         }
-        !self.any_empty()
+        Propagation {
+            consistent: !self.any_empty(),
+            rounds,
+            converged: converged || constraints.is_empty(),
+        }
     }
 
     /// Propagates a single constraint. Returns `false` on contradiction.

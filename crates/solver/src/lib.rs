@@ -29,10 +29,18 @@
 //! let model = verdict.model().expect("satisfiable");
 //! assert!(model.get(metric) >= 100);
 //! ```
+//!
+//! When many queries share a constraint prefix — the sibling negation
+//! candidates of one concolic run — use the [`incremental`] module's
+//! [`IncrementalSolver`]: a push/pop assertion stack that keeps
+//! simplification results and propagated interval domains alive across
+//! queries, answering each one identically to [`Solver::solve`] at a
+//! fraction of the cost.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod incremental;
 pub mod interval;
 pub mod model;
 pub mod simplify;
@@ -40,9 +48,10 @@ pub mod solver;
 pub mod stats;
 pub mod term;
 
-pub use interval::{Domains, Interval};
+pub use incremental::IncrementalSolver;
+pub use interval::{Domains, Interval, Propagation};
 pub use model::{Model, Value};
-pub use simplify::{normalize, preprocess, Preprocessed};
+pub use simplify::{flatten_into, normalize, preprocess, Preprocessed};
 pub use solver::{Solver, SolverConfig, Verdict};
 pub use stats::SolverStats;
 pub use term::{BinOp, BoolOp, CmpOp, Sort, TermArena, TermId, TermKind, VarId};

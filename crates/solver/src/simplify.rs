@@ -35,12 +35,48 @@ impl Preprocessed {
 pub fn preprocess(arena: &mut TermArena, constraints: &[TermId]) -> Preprocessed {
     let mut out = Vec::new();
     let mut seen = HashSet::new();
-    let mut work: Vec<TermId> = constraints.to_vec();
+    for &c in constraints {
+        if !flatten_into(arena, c, &mut seen, &mut out) {
+            return Preprocessed::Contradiction;
+        }
+    }
+    // Detect the trivial `p` and `not p` contradiction after flattening.
+    for &c in &out {
+        let neg = arena.not(c);
+        if seen.contains(&neg) {
+            return Preprocessed::Contradiction;
+        }
+    }
+    out.sort();
+    Preprocessed::Constraints(out)
+}
+
+/// Incrementally flattens one constraint into an accumulated set: normalizes
+/// it, splits conjunctions, drops literal `true`s, and appends any new atoms
+/// to `out` while recording them in `seen` for deduplication.
+///
+/// Returns `false` when the constraint is literally `false` — the caller's
+/// accumulated set has become a contradiction. The `p` and `not p` check is
+/// *not* performed here (it needs `arena.not`, and the incremental session
+/// interleaves it with its own bookkeeping); callers wanting the full
+/// [`preprocess`] behavior must run it over `out` afterwards.
+///
+/// This is the stack-aware entry point used by
+/// [`crate::incremental::IncrementalSolver`]: across a batched session,
+/// `seen`/`out` persist, so each asserted term is simplified exactly once no
+/// matter how many queries share it.
+pub fn flatten_into(
+    arena: &mut TermArena,
+    constraint: TermId,
+    seen: &mut HashSet<TermId>,
+    out: &mut Vec<TermId>,
+) -> bool {
+    let mut work: Vec<TermId> = vec![constraint];
     while let Some(c) = work.pop() {
         let c = normalize(arena, c);
         match &arena.node(c).kind {
             TermKind::ConstBool(true) => continue,
-            TermKind::ConstBool(false) => return Preprocessed::Contradiction,
+            TermKind::ConstBool(false) => return false,
             TermKind::BoolBin {
                 op: BoolOp::And,
                 lhs,
@@ -56,15 +92,7 @@ pub fn preprocess(arena: &mut TermArena, constraints: &[TermId]) -> Preprocessed
             }
         }
     }
-    // Detect the trivial `p` and `not p` contradiction after flattening.
-    for &c in &out {
-        let neg = arena.not(c);
-        if seen.contains(&neg) {
-            return Preprocessed::Contradiction;
-        }
-    }
-    out.sort();
-    Preprocessed::Constraints(out)
+    true
 }
 
 /// Normalizes a boolean term: pushes negations into comparisons and removes

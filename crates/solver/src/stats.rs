@@ -1,4 +1,15 @@
 //! Solver statistics, reported by the DiCE exploration engine.
+//!
+//! Counters fall into three groups:
+//!
+//! * **query outcomes** — how many queries were answered and how;
+//! * **phase timers** — wall-clock time split by pipeline phase
+//!   (preprocessing, interval propagation, enumeration/search), so batched
+//!   sessions can show where a query's time went instead of lumping
+//!   everything into one cumulative timer;
+//! * **incremental-session counters** — pushes, pops and how much
+//!   preprocessing/propagation work the assertion stack reused across
+//!   queries ([`crate::incremental::IncrementalSolver`]).
 
 use std::fmt;
 use std::time::Duration;
@@ -6,7 +17,8 @@ use std::time::Duration;
 /// Counters collected across solver queries.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SolverStats {
-    /// Total number of `solve` calls.
+    /// Total number of satisfiability queries (one-shot `solve` calls plus
+    /// incremental `check` calls).
     pub queries: u64,
     /// Queries answered `Sat`.
     pub sat: u64,
@@ -25,8 +37,32 @@ pub struct SolverStats {
     pub decided_by_search: u64,
     /// Total number of candidate models evaluated.
     pub candidates_evaluated: u64,
-    /// Accumulated wall-clock time in nanoseconds.
+    /// Accumulated query wall-clock time in nanoseconds.
     pub total_time_ns: u64,
+    /// Time spent in simplification/flattening passes, in nanoseconds.
+    /// For incremental sessions this accrues at assertion time, outside
+    /// `total_time_ns`.
+    pub preprocess_time_ns: u64,
+    /// Time spent in interval propagation, in nanoseconds.
+    pub propagation_time_ns: u64,
+    /// Time spent enumerating or searching for models, in nanoseconds.
+    pub search_time_ns: u64,
+    /// Number of simplification passes run (one per one-shot query; one per
+    /// asserted term in an incremental session).
+    pub preprocess_passes: u64,
+    /// Queries answered through an incremental session (`check` calls).
+    pub incremental_queries: u64,
+    /// Frames pushed on incremental assertion stacks.
+    pub session_pushes: u64,
+    /// Frames popped from incremental assertion stacks.
+    pub session_pops: u64,
+    /// Constraints whose preprocessing and propagation results were reused
+    /// from the assertion stack instead of being recomputed, summed over
+    /// incremental queries.
+    pub assertions_reused: u64,
+    /// Constraints newly folded into interval domains by incremental
+    /// queries.
+    pub assertions_propagated: u64,
 }
 
 impl SolverStats {
@@ -47,6 +83,15 @@ impl SolverStats {
         self.decided_by_search += other.decided_by_search;
         self.candidates_evaluated += other.candidates_evaluated;
         self.total_time_ns += other.total_time_ns;
+        self.preprocess_time_ns += other.preprocess_time_ns;
+        self.propagation_time_ns += other.propagation_time_ns;
+        self.search_time_ns += other.search_time_ns;
+        self.preprocess_passes += other.preprocess_passes;
+        self.incremental_queries += other.incremental_queries;
+        self.session_pushes += other.session_pushes;
+        self.session_pops += other.session_pops;
+        self.assertions_reused += other.assertions_reused;
+        self.assertions_propagated += other.assertions_propagated;
     }
 
     /// Records elapsed time for one query.
@@ -69,6 +114,16 @@ impl SolverStats {
         }
         (self.sat + self.unsat) as f64 / self.queries as f64
     }
+
+    /// Fraction of constraint work reused from an assertion stack across
+    /// incremental queries, in `[0, 1]`. `0.0` when nothing was batched.
+    pub fn reuse_rate(&self) -> f64 {
+        let total = self.assertions_reused + self.assertions_propagated;
+        if total == 0 {
+            return 0.0;
+        }
+        self.assertions_reused as f64 / total as f64
+    }
 }
 
 impl fmt::Display for SolverStats {
@@ -81,7 +136,18 @@ impl fmt::Display for SolverStats {
             self.unsat,
             self.unknown,
             self.mean_query_time()
-        )
+        )?;
+        if self.incremental_queries > 0 {
+            write!(
+                f,
+                " incremental={} reuse={:.0}% (push/pop {}/{})",
+                self.incremental_queries,
+                self.reuse_rate() * 100.0,
+                self.session_pushes,
+                self.session_pops,
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -101,6 +167,9 @@ mod tests {
             queries: 3,
             sat: 2,
             unknown: 1,
+            incremental_queries: 3,
+            assertions_reused: 5,
+            assertions_propagated: 5,
             ..Default::default()
         };
         a.merge(&b);
@@ -108,6 +177,8 @@ mod tests {
         assert_eq!(a.sat, 3);
         assert_eq!(a.unsat, 1);
         assert_eq!(a.unknown, 1);
+        assert_eq!(a.incremental_queries, 3);
+        assert_eq!(a.assertions_reused, 5);
     }
 
     #[test]
@@ -131,5 +202,18 @@ mod tests {
         s.record_time(Duration::from_micros(10));
         s.record_time(Duration::from_micros(30));
         assert_eq!(s.mean_query_time(), Duration::from_micros(20));
+    }
+
+    #[test]
+    fn reuse_rate_reflects_batching() {
+        let mut s = SolverStats::new();
+        assert_eq!(s.reuse_rate(), 0.0);
+        s.assertions_reused = 3;
+        s.assertions_propagated = 1;
+        assert!((s.reuse_rate() - 0.75).abs() < 1e-9);
+        s.incremental_queries = 2;
+        let text = s.to_string();
+        assert!(text.contains("incremental=2"));
+        assert!(text.contains("reuse=75%"));
     }
 }

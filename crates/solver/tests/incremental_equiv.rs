@@ -1,0 +1,187 @@
+//! Property suite: batched push/pop solving is observationally identical to
+//! independent one-shot solving.
+//!
+//! For randomly generated constraint systems shaped like the concolic
+//! engine's queries — a shared path prefix plus one negated branch per
+//! candidate — an [`IncrementalSolver`] session must return exactly the
+//! same verdicts *and models* as N independent [`Solver::solve`] calls.
+
+use proptest::prelude::*;
+
+use dice_solver::{IncrementalSolver, Model, Solver, TermArena, TermId, VarId, Verdict};
+
+/// Bit widths assigned to generated variables: small enough to exercise the
+/// enumeration phase, large enough (16) to force local search.
+const WIDTHS: [u32; 4] = [4, 6, 8, 16];
+
+/// One generated comparison: `var_a op (const | var_b)`.
+///
+/// `op` selects from eq/ne/ult/ule/ugt/uge; `kind` picks the rhs form and
+/// whether the constraint is additionally wrapped in a negation.
+type Spec = (u8, u8, u8, u16);
+
+fn materialize(arena: &mut TermArena, vars: &[VarId], spec: Spec) -> TermId {
+    let (a, op, kind, value) = spec;
+    let va = vars[a as usize % vars.len()];
+    let width = arena.var_info(va).width;
+    let lhs = arena.var(va);
+    let rhs = if kind % 3 == 2 && vars.len() > 1 {
+        // var-vs-var comparison; widths must match, so resize.
+        let vb = vars[(a as usize + 1) % vars.len()];
+        let rv = arena.var(vb);
+        arena.resize(rv, width)
+    } else {
+        arena.int_const(value as u64, width)
+    };
+    let cmp = match op % 6 {
+        0 => arena.eq(lhs, rhs),
+        1 => arena.ne(lhs, rhs),
+        2 => arena.ult(lhs, rhs),
+        3 => arena.ule(lhs, rhs),
+        4 => arena.ugt(lhs, rhs),
+        _ => arena.uge(lhs, rhs),
+    };
+    if kind % 5 == 4 {
+        arena.not(cmp)
+    } else {
+        cmp
+    }
+}
+
+fn setup(var_count: usize, seeds: &[u16]) -> (TermArena, Vec<VarId>, Model) {
+    let mut arena = TermArena::new();
+    let vars: Vec<VarId> = (0..var_count)
+        .map(|i| arena.declare_var(format!("v{i}"), WIDTHS[i % WIDTHS.len()]))
+        .collect();
+    let mut seed = Model::new();
+    for (i, &v) in vars.iter().enumerate() {
+        seed.set(v, seeds.get(i).copied().unwrap_or(0) as u64);
+    }
+    (arena, vars, seed)
+}
+
+fn assert_same(incremental: &Verdict, reference: &Verdict, context: &str) {
+    assert_eq!(
+        incremental, reference,
+        "batched and one-shot solving diverged: {context}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The engine's sibling-candidate pattern: one shared prefix, each
+    /// candidate pushed as its own frame.
+    #[test]
+    fn sibling_candidates_match_independent_solves(
+        var_count in 1usize..4,
+        prefix in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<u16>()), 1..6),
+        candidates in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<u16>()), 1..6),
+        seeds in prop::collection::vec(any::<u16>(), 4..5),
+    ) {
+        let (mut arena, vars, seed) = setup(var_count, &seeds);
+        let prefix_terms: Vec<TermId> = prefix
+            .iter()
+            .map(|&s| materialize(&mut arena, &vars, s))
+            .collect();
+        let candidate_terms: Vec<TermId> = candidates
+            .iter()
+            .map(|&s| materialize(&mut arena, &vars, s))
+            .collect();
+
+        let mut session = IncrementalSolver::new();
+        session.assert_all(&mut arena, &prefix_terms);
+        for &cand in &candidate_terms {
+            session.push(&arena);
+            session.assert_term(&mut arena, cand);
+            let incremental = session.check(&arena, Some(&seed));
+            session.pop();
+
+            let mut one_shot = Solver::new();
+            let mut query = prefix_terms.clone();
+            query.push(cand);
+            let reference = one_shot.solve(&mut arena, &query, Some(&seed));
+            assert_same(&incremental, &reference, &arena.display(cand));
+        }
+    }
+
+    /// The engine's progressive-prefix pattern: walking down one path,
+    /// negating each branch in turn while the prefix grows underneath.
+    #[test]
+    fn progressive_prefix_matches_independent_solves(
+        var_count in 1usize..4,
+        path in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<u16>()), 1..8),
+        seeds in prop::collection::vec(any::<u16>(), 4..5),
+    ) {
+        let (mut arena, vars, seed) = setup(var_count, &seeds);
+        let path_terms: Vec<TermId> = path
+            .iter()
+            .map(|&s| materialize(&mut arena, &vars, s))
+            .collect();
+
+        let mut session = IncrementalSolver::new();
+        for i in 0..path_terms.len() {
+            // Branch i negated on top of prefix [0, i).
+            let negated = arena.not(path_terms[i]);
+            session.push(&arena);
+            session.assert_term(&mut arena, negated);
+            let incremental = session.check(&arena, Some(&seed));
+            session.pop();
+
+            let mut one_shot = Solver::new();
+            let mut query: Vec<TermId> = path_terms[..i].to_vec();
+            query.push(negated);
+            let reference = one_shot.solve(&mut arena, &query, Some(&seed));
+            assert_same(&incremental, &reference, &arena.display(negated));
+
+            // Extend the shared prefix with the branch actually taken.
+            session.assert_term(&mut arena, path_terms[i]);
+        }
+    }
+
+    /// Nested frames: a frame stacked on a sibling frame still answers like
+    /// the equivalent flat one-shot query, and popping restores exactly.
+    #[test]
+    fn nested_frames_match_flat_queries(
+        var_count in 1usize..4,
+        base in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<u16>()), 1..4),
+        inner in (any::<u8>(), any::<u8>(), any::<u8>(), any::<u16>()),
+        deeper in (any::<u8>(), any::<u8>(), any::<u8>(), any::<u16>()),
+        seeds in prop::collection::vec(any::<u16>(), 4..5),
+    ) {
+        let (mut arena, vars, seed) = setup(var_count, &seeds);
+        let base_terms: Vec<TermId> = base
+            .iter()
+            .map(|&s| materialize(&mut arena, &vars, s))
+            .collect();
+        let inner_term = materialize(&mut arena, &vars, inner);
+        let deeper_term = materialize(&mut arena, &vars, deeper);
+
+        let mut session = IncrementalSolver::new();
+        session.assert_all(&mut arena, &base_terms);
+        session.push(&arena);
+        session.assert_term(&mut arena, inner_term);
+        session.push(&arena);
+        session.assert_term(&mut arena, deeper_term);
+
+        let mut one_shot = Solver::new();
+        let mut flat = base_terms.clone();
+        flat.push(inner_term);
+        flat.push(deeper_term);
+        let incremental = session.check(&arena, Some(&seed));
+        let reference = one_shot.solve(&mut arena, &flat, Some(&seed));
+        assert_same(&incremental, &reference, "deeper frame");
+
+        session.pop();
+        let mut flat = base_terms.clone();
+        flat.push(inner_term);
+        let incremental = session.check(&arena, Some(&seed));
+        let reference = one_shot.solve(&mut arena, &flat, Some(&seed));
+        assert_same(&incremental, &reference, "inner frame after pop");
+
+        session.pop();
+        let incremental = session.check(&arena, Some(&seed));
+        let reference = one_shot.solve(&mut arena, &base_terms, Some(&seed));
+        assert_same(&incremental, &reference, "base after popping all frames");
+    }
+}

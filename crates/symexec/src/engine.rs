@@ -13,11 +13,29 @@
 //!
 //! The program under test implements [`SymbolicProgram`]; in DiCE it is the
 //! BGP UPDATE handler executing over a clone of the node checkpoint.
+//!
+//! # Batched worklist mode
+//!
+//! By default the engine runs steps 2–3 as a *batched worklist* rather
+//! than strictly one candidate at a time: it drains a wave of independent
+//! candidates from the worklist, groups them by originating run, solves
+//! each group incrementally against its shared path prefix
+//! ([`dice_solver::IncrementalSolver`]) on worker threads, and overlaps
+//! that solving with concrete execution — solved inputs are executed on
+//! the main thread, in wave order, while later candidates are still being
+//! solved. Runs, coverage and per-candidate engine counters are identical
+//! to the sequential loop (`EngineConfig::batch_size == 0`); only
+//! wall-clock time and the *solver-internal* statistics differ (the
+//! batched mode may solve a candidate whose result the sequential loop
+//! would have skipped as a duplicate before solving — the result is
+//! discarded, and the engine-level skip counters match).
 
-use std::collections::HashSet;
+use std::collections::{BTreeMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
 use std::time::{Duration, Instant};
 
-use dice_solver::{Solver, SolverConfig, SolverStats, Verdict};
+use dice_solver::{IncrementalSolver, Solver, SolverConfig, SolverStats, Verdict};
 
 use crate::context::ExecCtx;
 use crate::coverage::Coverage;
@@ -67,7 +85,24 @@ pub struct EngineConfig {
     pub solver: SolverConfig,
     /// If true, skip negation candidates whose target `(site, direction)`
     /// is already covered. This trades exhaustive path coverage for speed.
+    ///
+    /// Pruning consults coverage at pop time, which the batched worklist
+    /// cannot replay exactly; enabling it forces the sequential loop.
     pub prune_covered_directions: bool,
+    /// Maximum number of candidates drained from the worklist per wave in
+    /// the batched worklist mode. `0` disables batching entirely and runs
+    /// the sequential negate-solve-execute loop.
+    ///
+    /// Only [`SearchStrategy::Generational`] pops are order-stable under
+    /// batching (see [`SearchStrategy::batchable`]); configurations with
+    /// other strategies fall back to the sequential loop regardless of
+    /// this setting.
+    pub batch_size: usize,
+    /// Worker threads solving candidate groups in batched mode; the main
+    /// thread concurrently executes solved inputs. `0` uses the machine's
+    /// available parallelism; the count is never higher than the number of
+    /// candidate groups in a wave.
+    pub solver_workers: usize,
 }
 
 impl Default for EngineConfig {
@@ -79,6 +114,8 @@ impl Default for EngineConfig {
             strategy: SearchStrategy::Generational,
             solver: SolverConfig::default(),
             prune_covered_directions: false,
+            batch_size: 16,
+            solver_workers: 1,
         }
     }
 }
@@ -114,6 +151,8 @@ pub struct ExplorationStats {
     pub solver_unsat: usize,
     /// Solver queries that timed out / were undecided.
     pub solver_unknown: usize,
+    /// Worklist waves processed by the batched engine (0 when sequential).
+    pub waves: usize,
     /// Total wall-clock time of the exploration, in nanoseconds.
     pub elapsed_ns: u64,
 }
@@ -162,6 +201,68 @@ impl<O> Exploration<O> {
     }
 }
 
+/// One drained worklist entry: the candidate plus the path identity its
+/// negation targets (already recorded in the attempted set).
+#[derive(Debug, Clone, Copy)]
+struct WaveItem {
+    candidate: Candidate,
+    target: PathId,
+}
+
+/// A group of same-run wave candidates together with the run's trace,
+/// lent to a solver worker for the duration of the wave.
+struct SolveUnit {
+    run_index: usize,
+    /// `(wave position, candidate)`, sorted by branch index so the shared
+    /// prefix is asserted monotonically.
+    items: Vec<(usize, Candidate)>,
+    trace: ExecTrace,
+}
+
+/// A solver worker's answer for one wave position.
+enum SolveMsg {
+    /// The negation is satisfiable; execute this input.
+    Sat(InputValues),
+    Unsat,
+    Unknown,
+}
+
+/// The mutable exploration state threaded through both engine loops: the
+/// run list, aggregate coverage, counters, the candidate worklist and the
+/// set of attempted path identities.
+struct ExplorationState<O> {
+    runs: Vec<RunRecord<O>>,
+    coverage: Coverage,
+    stats: ExplorationStats,
+    worklist: Worklist,
+    /// Path identities we have executed or already queued a query for.
+    attempted: HashSet<PathId>,
+}
+
+impl<O> ExplorationState<O> {
+    fn new(strategy: SearchStrategy) -> Self {
+        ExplorationState {
+            runs: Vec::new(),
+            coverage: Coverage::new(),
+            stats: ExplorationStats::default(),
+            worklist: Worklist::new(strategy),
+            attempted: HashSet::new(),
+        }
+    }
+
+    /// Finalizes counters and packages the exploration result.
+    fn finish(mut self, started: Instant, solver_stats: SolverStats) -> Exploration<O> {
+        self.stats.runs = self.runs.len();
+        self.stats.elapsed_ns = started.elapsed().as_nanos() as u64;
+        Exploration {
+            runs: self.runs,
+            coverage: self.coverage,
+            stats: self.stats,
+            solver_stats,
+        }
+    }
+}
+
 /// The concolic execution engine.
 #[derive(Debug, Default)]
 pub struct ConcolicEngine {
@@ -187,104 +288,323 @@ impl ConcolicEngine {
     /// Explores the program starting from the given seed inputs.
     ///
     /// Each seed is executed once; every symbolic branch observed becomes a
-    /// negation candidate. The engine then repeatedly selects a candidate,
-    /// solves for an input on the unexplored side, and executes it, until
+    /// negation candidate. The engine then repeatedly selects candidates,
+    /// solves for inputs on the unexplored side, and executes them, until
     /// `max_runs` executions have been performed or the worklist is empty.
+    ///
+    /// With [`EngineConfig::batch_size`] > 0 (the default) candidates are
+    /// processed by the batched worklist pipeline — grouped by originating
+    /// run, solved incrementally against the shared path prefix, and
+    /// overlapped with execution — producing the same runs, coverage and
+    /// engine counters as the sequential loop.
     pub fn explore<P: SymbolicProgram>(
+        &self,
+        program: &mut P,
+        seeds: &[InputValues],
+    ) -> Exploration<P::Output> {
+        // Batching requires a strategy whose pop order survives deferred
+        // integration; coverage pruning additionally consults state the
+        // wave pipeline cannot replay. Everything else gains nothing from
+        // single-candidate waves (no shared prefix, per-wave thread setup),
+        // so those configurations run the plain sequential loop.
+        if self.config.batch_size == 0
+            || self.config.prune_covered_directions
+            || !self.config.strategy.batchable()
+        {
+            self.explore_sequential(program, seeds)
+        } else {
+            self.explore_batched(program, seeds)
+        }
+    }
+
+    /// The strictly sequential negate-solve-execute loop: one candidate at
+    /// a time, each solved from scratch. Reference semantics for the
+    /// batched mode, and the only mode supporting coverage pruning.
+    fn explore_sequential<P: SymbolicProgram>(
         &self,
         program: &mut P,
         seeds: &[InputValues],
     ) -> Exploration<P::Output> {
         let start = Instant::now();
         let mut solver = Solver::with_config(self.config.solver);
-        let mut runs: Vec<RunRecord<P::Output>> = Vec::new();
-        let mut coverage = Coverage::new();
-        let mut stats = ExplorationStats::default();
-        let mut worklist = Worklist::new(self.config.strategy);
-        // Path identities we have executed or already queued a query for.
-        let mut attempted: HashSet<PathId> = HashSet::new();
+        let mut state = ExplorationState::new(self.config.strategy);
 
-        // Seed executions (the paper's "previously observed inputs").
-        for seed in seeds {
-            if runs.len() >= self.config.max_runs {
-                break;
-            }
-            let record = self.execute(program, seed.clone(), None, 0);
-            self.integrate(
-                record,
-                &mut runs,
-                &mut coverage,
-                &mut worklist,
-                &mut attempted,
-                &mut stats,
-            );
-        }
+        self.execute_seeds(program, seeds, &mut state);
 
         // Main negate-solve-execute loop.
-        while runs.len() < self.config.max_runs {
-            let Some(candidate) = worklist.pop(&coverage) else {
+        while state.runs.len() < self.config.max_runs {
+            let Some(candidate) = state.worklist.pop(&state.coverage) else {
                 break;
             };
             if self.config.prune_covered_directions
-                && coverage.direction_covered(candidate.site, !candidate.taken)
+                && state
+                    .coverage
+                    .direction_covered(candidate.site, !candidate.taken)
             {
-                stats.skipped_covered += 1;
+                state.stats.skipped_covered += 1;
                 continue;
             }
-            let target = runs[candidate.run_index]
+            let target = state.runs[candidate.run_index]
                 .trace
                 .negated_path_id(candidate.branch_index);
-            if !attempted.insert(target) {
-                stats.skipped_duplicates += 1;
+            if !state.attempted.insert(target) {
+                state.stats.skipped_duplicates += 1;
                 continue;
             }
             // Build and solve the negation query against the originating
             // run's arena.
-            let (query, seed_model, fallback_input) = {
-                let run = &mut runs[candidate.run_index];
+            let (query, seed_model) = {
+                let run = &mut state.runs[candidate.run_index];
                 let query = run.trace.negation_query(candidate.branch_index);
-                (query, run.trace.concrete.clone(), run.trace.input.clone())
+                (query, run.trace.concrete.clone())
             };
             let verdict = {
-                let run = &mut runs[candidate.run_index];
+                let run = &mut state.runs[candidate.run_index];
                 solver.solve(&mut run.trace.arena, &query, Some(&seed_model))
             };
             match verdict {
                 Verdict::Sat(model) => {
-                    stats.solver_sat += 1;
+                    state.stats.solver_sat += 1;
                     let input = {
-                        let run = &runs[candidate.run_index];
-                        InputValues::from_model(&model, &run.trace.var_map, &fallback_input)
+                        let run = &state.runs[candidate.run_index];
+                        InputValues::from_model(&model, &run.trace.var_map, &run.trace.input)
                     };
-                    let generation = runs[candidate.run_index].generation + 1;
+                    let generation = state.runs[candidate.run_index].generation + 1;
                     let record = self.execute(
                         program,
                         input,
                         Some((candidate.run_index, candidate.branch_index)),
                         generation,
                     );
-                    self.integrate(
-                        record,
-                        &mut runs,
-                        &mut coverage,
-                        &mut worklist,
-                        &mut attempted,
-                        &mut stats,
-                    );
+                    self.integrate(record, &mut state);
                 }
-                Verdict::Unsat => stats.solver_unsat += 1,
-                Verdict::Unknown => stats.solver_unknown += 1,
+                Verdict::Unsat => state.stats.solver_unsat += 1,
+                Verdict::Unknown => state.stats.solver_unknown += 1,
             }
         }
 
-        stats.runs = runs.len();
-        stats.elapsed_ns = start.elapsed().as_nanos() as u64;
-        Exploration {
-            runs,
-            coverage,
-            stats,
-            solver_stats: *solver.stats(),
+        state.finish(start, *solver.stats())
+    }
+
+    /// The batched worklist loop: drain a wave, solve candidate groups
+    /// incrementally on worker threads, execute solved inputs on this
+    /// thread in wave order while later candidates are still solving.
+    fn explore_batched<P: SymbolicProgram>(
+        &self,
+        program: &mut P,
+        seeds: &[InputValues],
+    ) -> Exploration<P::Output> {
+        let start = Instant::now();
+        let mut state = ExplorationState::new(self.config.strategy);
+        let mut solver_stats = SolverStats::new();
+
+        self.execute_seeds(program, seeds, &mut state);
+
+        while state.runs.len() < self.config.max_runs {
+            let budget = self.config.max_runs - state.runs.len();
+            let wave = self.drain_wave(&mut state, budget);
+            if wave.is_empty() {
+                break;
+            }
+            state.stats.waves += 1;
+            self.solve_and_commit(program, &wave, &mut state, &mut solver_stats);
         }
+
+        state.finish(start, solver_stats)
+    }
+
+    /// Executes the seed inputs (the paper's "previously observed inputs").
+    fn execute_seeds<P: SymbolicProgram>(
+        &self,
+        program: &mut P,
+        seeds: &[InputValues],
+        state: &mut ExplorationState<P::Output>,
+    ) {
+        for seed in seeds {
+            if state.runs.len() >= self.config.max_runs {
+                break;
+            }
+            let record = self.execute(program, seed.clone(), None, 0);
+            self.integrate(record, state);
+        }
+    }
+
+    /// Drains the next wave of candidates: up to `budget` (and at most
+    /// [`EngineConfig::batch_size`]) entries the strategy would pop
+    /// consecutively regardless of interleaved executions, with
+    /// already-attempted targets filtered out exactly as the sequential
+    /// loop does at pop time.
+    fn drain_wave<O>(&self, state: &mut ExplorationState<O>, budget: usize) -> Vec<WaveItem> {
+        // `explore` only routes batchable strategies here.
+        debug_assert!(self.config.strategy.batchable());
+        let limit = budget.min(self.config.batch_size);
+        let mut wave: Vec<WaveItem> = Vec::new();
+        while wave.len() < limit {
+            let first = wave.first().map(|w| w.candidate);
+            let popped = state.worklist.pop_if(&state.coverage, |c| match &first {
+                None => true,
+                Some(f) => self.config.strategy.same_wave(f, c),
+            });
+            let Some(candidate) = popped else {
+                break;
+            };
+            let target = state.runs[candidate.run_index]
+                .trace
+                .negated_path_id(candidate.branch_index);
+            if !state.attempted.insert(target) {
+                state.stats.skipped_duplicates += 1;
+                continue;
+            }
+            wave.push(WaveItem { candidate, target });
+        }
+        wave
+    }
+
+    /// Solves a wave's candidates on worker threads (one incremental
+    /// session per originating run, shared prefix asserted once) and
+    /// commits the results — executing satisfiable inputs — on the current
+    /// thread, in wave order, while solving continues.
+    fn solve_and_commit<P: SymbolicProgram>(
+        &self,
+        program: &mut P,
+        wave: &[WaveItem],
+        state: &mut ExplorationState<P::Output>,
+        solver_stats: &mut SolverStats,
+    ) {
+        // Group wave positions by originating run; each group becomes one
+        // incremental solver session over that run's trace.
+        let mut grouped: BTreeMap<usize, Vec<(usize, Candidate)>> = BTreeMap::new();
+        for (pos, item) in wave.iter().enumerate() {
+            grouped
+                .entry(item.candidate.run_index)
+                .or_default()
+                .push((pos, item.candidate));
+        }
+        // Lend each group its originating trace for the duration of the
+        // wave; commits below only append new runs, never touch these.
+        let units: Vec<Mutex<Option<SolveUnit>>> = grouped
+            .into_iter()
+            .map(|(run_index, mut items)| {
+                items.sort_by_key(|(_, c)| c.branch_index);
+                let trace = std::mem::replace(&mut state.runs[run_index].trace, ExecTrace::empty());
+                Mutex::new(Some(SolveUnit {
+                    run_index,
+                    items,
+                    trace,
+                }))
+            })
+            .collect();
+
+        let workers = self.effective_solver_workers(units.len());
+        let next_unit = AtomicUsize::new(0);
+        let solver_config = self.config.solver;
+        let (tx, rx) = mpsc::channel::<(usize, SolveMsg)>();
+
+        let mut returned: Vec<(usize, ExecTrace, SolverStats)> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let tx = tx.clone();
+                    let (next_unit, units) = (&next_unit, &units);
+                    scope.spawn(move || {
+                        let mut done = Vec::new();
+                        loop {
+                            let i = next_unit.fetch_add(1, Ordering::Relaxed);
+                            let Some(unit) = units.get(i) else {
+                                return done;
+                            };
+                            let unit = unit
+                                .lock()
+                                .expect("solve unit lock")
+                                .take()
+                                .expect("solve unit claimed exactly once");
+                            done.push(solve_unit(solver_config, unit, &tx));
+                        }
+                    })
+                })
+                .collect();
+            drop(tx);
+
+            // Commit pump: results arrive in solver-completion order but
+            // are applied strictly in wave order, so exploration state
+            // evolves exactly as in the sequential loop.
+            let mut pending: Vec<Option<SolveMsg>> = (0..wave.len()).map(|_| None).collect();
+            let mut next_commit = 0usize;
+            let mut wave_paths: HashSet<PathId> = HashSet::new();
+            for (pos, msg) in rx {
+                pending[pos] = Some(msg);
+                while next_commit < wave.len() {
+                    let Some(ready) = pending[next_commit].take() else {
+                        break;
+                    };
+                    self.commit(program, &wave[next_commit], ready, state, &mut wave_paths);
+                    next_commit += 1;
+                }
+            }
+
+            for handle in handles {
+                returned.extend(handle.join().expect("solver worker panicked"));
+            }
+        });
+
+        // Hand the lent traces back and fold in the sessions' statistics.
+        for (run_index, trace, unit_stats) in returned {
+            state.runs[run_index].trace = trace;
+            solver_stats.merge(&unit_stats);
+        }
+    }
+
+    /// Applies one wave entry's solver result, replicating the sequential
+    /// loop's pop-time checks against the now-current exploration state.
+    fn commit<P: SymbolicProgram>(
+        &self,
+        program: &mut P,
+        item: &WaveItem,
+        msg: SolveMsg,
+        state: &mut ExplorationState<P::Output>,
+        wave_paths: &mut HashSet<PathId>,
+    ) {
+        // The sequential loop would not even have popped this candidate
+        // once the run budget filled.
+        if state.runs.len() >= self.config.max_runs {
+            return;
+        }
+        // A run executed earlier in this wave may have claimed the target
+        // path; the sequential loop skips such candidates before solving.
+        // The (already computed) result is discarded and, like there, does
+        // not count as a solver outcome.
+        if wave_paths.contains(&item.target) {
+            state.stats.skipped_duplicates += 1;
+            return;
+        }
+        match msg {
+            SolveMsg::Sat(input) => {
+                state.stats.solver_sat += 1;
+                let record = self.execute(
+                    program,
+                    input,
+                    Some((item.candidate.run_index, item.candidate.branch_index)),
+                    item.candidate.generation + 1,
+                );
+                wave_paths.insert(record.trace.path_id());
+                self.integrate(record, state);
+            }
+            SolveMsg::Unsat => state.stats.solver_unsat += 1,
+            SolveMsg::Unknown => state.stats.solver_unknown += 1,
+        }
+    }
+
+    /// The solver worker count for a wave of `unit_count` candidate
+    /// groups: the configured count, or available parallelism when the
+    /// configuration says `0`, never more threads than groups.
+    fn effective_solver_workers(&self, unit_count: usize) -> usize {
+        let configured = match self.config.solver_workers {
+            0 => std::thread::available_parallelism()
+                .map(usize::from)
+                .unwrap_or(1),
+            n => n,
+        };
+        configured.min(unit_count).max(1)
     }
 
     /// Executes the program once and wraps the result in a [`RunRecord`].
@@ -308,23 +628,15 @@ impl ConcolicEngine {
 
     /// Adds a completed run to the exploration state: updates coverage,
     /// marks its path as attempted and enqueues its negation candidates.
-    fn integrate<O>(
-        &self,
-        record: RunRecord<O>,
-        runs: &mut Vec<RunRecord<O>>,
-        coverage: &mut Coverage,
-        worklist: &mut Worklist,
-        attempted: &mut HashSet<PathId>,
-        stats: &mut ExplorationStats,
-    ) {
-        let run_index = runs.len();
+    fn integrate<O>(&self, record: RunRecord<O>, state: &mut ExplorationState<O>) {
+        let run_index = state.runs.len();
         for b in &record.trace.branches {
-            coverage.record(b.site, b.taken);
+            state.coverage.record(b.site, b.taken);
             if let Some(label) = record.trace.site_labels.get(&b.site) {
-                coverage.record_label(b.site, label);
+                state.coverage.record_label(b.site, label);
             }
         }
-        attempted.insert(record.trace.path_id());
+        state.attempted.insert(record.trace.path_id());
         let candidate_count = record.trace.branches.len();
         let limit = if self.config.max_candidates_per_run == 0 {
             candidate_count
@@ -332,17 +644,63 @@ impl ConcolicEngine {
             self.config.max_candidates_per_run.min(candidate_count)
         };
         for (branch_index, b) in record.trace.branches.iter().enumerate().take(limit) {
-            worklist.push(Candidate {
+            state.worklist.push(Candidate {
                 run_index,
                 branch_index,
                 generation: record.generation,
                 site: b.site,
                 taken: b.taken,
             });
-            stats.candidates += 1;
+            state.stats.candidates += 1;
         }
-        runs.push(record);
+        state.runs.push(record);
     }
+}
+
+/// Solves one candidate group as a batched incremental session: the shared
+/// path prefix is asserted (and propagated) once, each candidate's negated
+/// branch solved in its own push/pop frame. Results stream to the commit
+/// pump as they are produced.
+fn solve_unit(
+    config: SolverConfig,
+    mut unit: SolveUnit,
+    tx: &mpsc::Sender<(usize, SolveMsg)>,
+) -> (usize, ExecTrace, SolverStats) {
+    let mut session = IncrementalSolver::with_config(config);
+    let seed_model = unit.trace.concrete.clone();
+    let mut next_branch = 0usize;
+    for &(pos, candidate) in &unit.items {
+        let index = candidate.branch_index;
+        // Extend the shared prefix up to (excluding) the negated branch.
+        while next_branch < index {
+            let branch = unit.trace.branches[next_branch];
+            let taken = branch.taken_constraint(&mut unit.trace.arena);
+            session.assert_term(&mut unit.trace.arena, taken);
+            next_branch += 1;
+        }
+        session.push(&unit.trace.arena);
+        let branch = unit.trace.branches[index];
+        let negated = branch.negated_constraint(&mut unit.trace.arena);
+        session.assert_term(&mut unit.trace.arena, negated);
+        let verdict = session.check(&unit.trace.arena, Some(&seed_model));
+        session.pop();
+
+        let msg = match verdict {
+            Verdict::Sat(model) => SolveMsg::Sat(InputValues::from_model(
+                &model,
+                &unit.trace.var_map,
+                &unit.trace.input,
+            )),
+            Verdict::Unsat => SolveMsg::Unsat,
+            Verdict::Unknown => SolveMsg::Unknown,
+        };
+        if tx.send((pos, msg)).is_err() {
+            // The engine stopped listening (it is unwinding); no point
+            // solving the rest of the group.
+            break;
+        }
+    }
+    (unit.run_index, unit.trace, *session.stats())
 }
 
 #[cfg(test)]
@@ -501,5 +859,48 @@ mod tests {
         // Site "p2" is only reachable after negating "p1"; coverage proves
         // the aggregate set was extended with constraints from later runs.
         assert_eq!(result.coverage.site_count(), 2);
+    }
+
+    #[test]
+    fn batched_mode_uses_incremental_sessions() {
+        let engine = ConcolicEngine::new();
+        let seeds = [InputValues::new().with("x", 5).with("y", 0)];
+        let mut program = figure1_program;
+        let result = engine.explore(&mut program, &seeds);
+        assert!(result.stats.waves > 0, "default engine batches waves");
+        assert!(
+            result.solver_stats.incremental_queries > 0,
+            "candidates are solved through incremental sessions"
+        );
+    }
+
+    #[test]
+    fn sequential_mode_has_no_waves() {
+        let engine = ConcolicEngine::with_config(EngineConfig {
+            batch_size: 0,
+            ..Default::default()
+        });
+        let seeds = [InputValues::new().with("x", 5).with("y", 0)];
+        let mut program = figure1_program;
+        let result = engine.explore(&mut program, &seeds);
+        assert_eq!(result.stats.waves, 0);
+        assert_eq!(result.solver_stats.incremental_queries, 0);
+    }
+
+    #[test]
+    fn solver_worker_count_is_bounded() {
+        let auto = ConcolicEngine::new();
+        assert_eq!(auto.effective_solver_workers(0), 1);
+        assert_eq!(auto.effective_solver_workers(1), 1);
+        let wide = ConcolicEngine::with_config(EngineConfig {
+            solver_workers: 8,
+            ..Default::default()
+        });
+        assert_eq!(wide.effective_solver_workers(3), 3);
+        let unlimited = ConcolicEngine::with_config(EngineConfig {
+            solver_workers: 0,
+            ..Default::default()
+        });
+        assert!(unlimited.effective_solver_workers(1_000) >= 1);
     }
 }

@@ -46,6 +46,31 @@ pub enum SearchStrategy {
     },
 }
 
+impl SearchStrategy {
+    /// Returns true if the strategy's pop order is unaffected by deferring
+    /// the integration of executed runs, i.e. whether the engine may drain
+    /// several candidates as one batch and still pop in exactly the order
+    /// the sequential negate-solve-execute loop would.
+    ///
+    /// This holds for [`SearchStrategy::Generational`]: runs generated
+    /// while a generation-`g` wave is in flight only enqueue
+    /// generation-`g+1` candidates, which strict `(generation,
+    /// branch_index)` ordering never prefers over remaining `g` candidates.
+    /// The other strategies consult state that changes with every execution
+    /// (depth frontier, coverage, RNG draws), so the engine runs them
+    /// through the sequential loop instead.
+    pub fn batchable(&self) -> bool {
+        matches!(self, SearchStrategy::Generational)
+    }
+
+    /// Returns true if `next` may join a batch started by `first` without
+    /// changing the sequential pop order. Only meaningful when
+    /// [`SearchStrategy::batchable`] holds.
+    pub fn same_wave(&self, first: &Candidate, next: &Candidate) -> bool {
+        self.batchable() && first.generation == next.generation
+    }
+}
+
 /// Worklist of pending candidates with strategy-driven selection.
 #[derive(Debug)]
 pub struct Worklist {
@@ -84,7 +109,28 @@ impl Worklist {
     }
 
     /// Selects and removes the next candidate according to the strategy.
+    ///
+    /// Removal preserves the insertion order of the remaining candidates,
+    /// so ties (equal strategy keys) always break toward the earliest
+    /// enqueued candidate — a property the batched engine relies on to pop
+    /// in exactly the sequential order.
     pub fn pop(&mut self, coverage: &Coverage) -> Option<Candidate> {
+        self.pop_if(coverage, |_| true)
+    }
+
+    /// Like [`Worklist::pop`], but lets the caller inspect the selected
+    /// candidate first: if `accept` returns false the candidate stays in
+    /// the worklist and `None` is returned.
+    ///
+    /// With [`SearchStrategy::Random`] a refusal still consumes an RNG
+    /// draw, perturbing subsequent selections; callers batching waves
+    /// should consult [`SearchStrategy::batchable`] and never probe
+    /// non-batchable strategies.
+    pub fn pop_if(
+        &mut self,
+        coverage: &Coverage,
+        accept: impl FnOnce(&Candidate) -> bool,
+    ) -> Option<Candidate> {
         if self.items.is_empty() {
             return None;
         }
@@ -141,7 +187,10 @@ impl Worklist {
             }
             SearchStrategy::Random { .. } => self.rng.gen_range(0..self.items.len()),
         };
-        Some(self.items.swap_remove(idx))
+        if !accept(&self.items[idx]) {
+            return None;
+        }
+        Some(self.items.remove(idx))
     }
 }
 
@@ -213,6 +262,51 @@ mod tests {
         };
         assert_eq!(order(42), order(42));
         assert_eq!(order(42).len(), 8);
+    }
+
+    #[test]
+    fn pop_if_leaves_refused_candidates_in_place() {
+        let mut wl = Worklist::new(SearchStrategy::Generational);
+        wl.push(cand(0, 0, 0, 10, true));
+        wl.push(cand(1, 0, 1, 11, true));
+        let cov = Coverage::new();
+        let first = wl.pop(&cov).expect("non-empty");
+        assert_eq!(first.generation, 0);
+        // The next selection is generation 1; a same-wave barrier refuses it.
+        let strategy = SearchStrategy::Generational;
+        let refused = wl.pop_if(&cov, |c| strategy.same_wave(&first, c));
+        assert!(refused.is_none());
+        assert_eq!(wl.len(), 1, "refused candidate stays queued");
+        let accepted = wl.pop(&cov).expect("still there");
+        assert_eq!(accepted.generation, 1);
+    }
+
+    #[test]
+    fn only_generational_is_batchable() {
+        assert!(SearchStrategy::Generational.batchable());
+        assert!(!SearchStrategy::DepthFirst.batchable());
+        assert!(!SearchStrategy::CoverageGuided.batchable());
+        assert!(!SearchStrategy::Random { seed: 1 }.batchable());
+        let a = cand(0, 0, 2, 10, true);
+        let same = cand(1, 3, 2, 11, false);
+        let other = cand(1, 3, 3, 11, false);
+        assert!(SearchStrategy::Generational.same_wave(&a, &same));
+        assert!(!SearchStrategy::Generational.same_wave(&a, &other));
+        assert!(!SearchStrategy::DepthFirst.same_wave(&a, &same));
+    }
+
+    #[test]
+    fn pop_breaks_ties_by_insertion_order() {
+        let mut wl = Worklist::new(SearchStrategy::Generational);
+        // Equal (generation, branch_index) keys: insertion order decides.
+        wl.push(cand(7, 0, 0, 10, true));
+        wl.push(cand(8, 0, 0, 11, true));
+        wl.push(cand(9, 0, 0, 12, true));
+        let cov = Coverage::new();
+        let order: Vec<usize> = std::iter::from_fn(|| wl.pop(&cov))
+            .map(|c| c.run_index)
+            .collect();
+        assert_eq!(order, vec![7, 8, 9]);
     }
 
     #[test]
