@@ -15,13 +15,9 @@ fn bench_detection(c: &mut Criterion) {
         install_victim_prefix(&mut router);
         let customer = customer_peer(&router);
         let observed = observed_customer_update();
-        let dice = Dice::with_config(DiceConfig {
-            engine: EngineConfig {
-                max_runs: 32,
-                ..Default::default()
-            },
-            ..Default::default()
-        });
+        let dice = Dice::with_config(
+            DiceConfig::default().with_engine(EngineConfig::default().with_max_runs(32)),
+        );
         b.iter(|| {
             let report = dice.run_single(&router, customer, &observed);
             assert!(report.has_faults());

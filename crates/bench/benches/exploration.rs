@@ -51,10 +51,7 @@ fn multi_input_scenario() -> (BgpRouter, Vec<(PeerId, UpdateMessage)>) {
 }
 
 fn dice_with_workers(workers: usize) -> Dice {
-    Dice::with_config(DiceConfig {
-        workers,
-        ..Default::default()
-    })
+    Dice::with_config(DiceConfig::default().with_workers(workers))
 }
 
 /// A deep comparison chain: every run enqueues dozens of sibling negation
@@ -78,12 +75,12 @@ fn chain_program(ctx: &mut ExecCtx, input: &InputValues) -> u32 {
 }
 
 fn chain_engine(batch_size: usize, solver_workers: usize) -> ConcolicEngine {
-    ConcolicEngine::with_config(EngineConfig {
-        max_runs: 96,
-        batch_size,
-        solver_workers,
-        ..Default::default()
-    })
+    ConcolicEngine::with_config(
+        EngineConfig::default()
+            .with_max_runs(96)
+            .with_batch_size(batch_size)
+            .with_solver_workers(solver_workers),
+    )
 }
 
 fn bench_exploration(c: &mut Criterion) {
@@ -92,10 +89,7 @@ fn bench_exploration(c: &mut Criterion) {
 
     group.bench_function("figure1_full_coverage", |b| {
         b.iter(|| {
-            let engine = ConcolicEngine::with_config(EngineConfig {
-                max_runs: 16,
-                ..Default::default()
-            });
+            let engine = ConcolicEngine::with_config(EngineConfig::default().with_max_runs(16));
             let mut program = figure1_program;
             let result = engine.explore(
                 &mut program,
@@ -183,14 +177,10 @@ fn bench_exploration(c: &mut Criterion) {
     assert!(parallel.isolation_preserved && sequential.isolation_preserved);
     // The batched inner loop must find exactly the faults the PR-1
     // sequential inner loop found on the Figure 2 scenario.
-    let sequential_inner_loop = Dice::with_config(DiceConfig {
-        engine: EngineConfig {
-            max_runs: 64,
-            batch_size: 0,
-            ..Default::default()
-        },
-        ..Default::default()
-    })
+    let sequential_inner_loop = Dice::with_config(
+        DiceConfig::default()
+            .with_engine(EngineConfig::default().with_max_runs(64).with_batch_size(0)),
+    )
     .run(&router, &observed);
     assert_eq!(
         sequential_inner_loop.faults, parallel.faults,

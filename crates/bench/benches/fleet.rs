@@ -1,0 +1,148 @@
+//! Fleet exploration benchmark: one DiCE round beside every node of the
+//! Figure 2 topology, sequential (core budget 1) vs concurrent (all
+//! cores), with the report-digest equality assertion that guards the
+//! orchestrator — budgets only change thread counts, never results.
+//!
+//! Set `DICE_BENCH_FLEET_JSON=<path>` to write the sequential-vs-parallel
+//! comparison as a JSON baseline artifact (CI uploads `BENCH_fleet.json`
+//! for perf-trajectory tracking).
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dice_bgp::attributes::RouteAttrs;
+use dice_bgp::message::{BgpMessage, UpdateMessage};
+use dice_bgp::AsPath;
+use dice_core::{
+    DiceBuilder, FleetExplorer, FleetReport, ForwardingLoopChecker, OriginHijackChecker,
+};
+use dice_netsim::topology::{addr, asn, figure2_topology, CustomerFilterMode};
+use dice_netsim::Simulator;
+use dice_symexec::EngineConfig;
+
+fn announcement(prefix: &str, path: &[u32], next_hop: std::net::Ipv4Addr) -> BgpMessage {
+    let mut attrs = RouteAttrs::default();
+    attrs.as_path = AsPath::from_sequence(path.iter().copied());
+    attrs.next_hop = next_hop;
+    BgpMessage::Update(UpdateMessage::announce(
+        vec![prefix.parse().expect("valid prefix")],
+        &attrs,
+    ))
+}
+
+/// The simulated Figure 2 fleet after live traffic: the victim /22
+/// installed from the Internet, several customer announcements observed —
+/// enough per-node inputs that node-level parallelism has work to split.
+fn simulated_fleet() -> Simulator {
+    let topo = figure2_topology(CustomerFilterMode::Erroneous);
+    let provider = topo.node_by_name("Provider").expect("node");
+    let mut sim = Simulator::new(&topo);
+    sim.inject(
+        provider,
+        addr::INTERNET,
+        announcement(
+            "208.65.152.0/22",
+            &[asn::INTERNET, 3356, asn::VICTIM],
+            addr::INTERNET,
+        ),
+    );
+    sim.run_to_quiescence(100);
+    for block in [
+        "41.1.0.0/16",
+        "41.64.0.0/12",
+        "41.128.0.0/12",
+        "41.192.0.0/12",
+    ] {
+        sim.inject(
+            provider,
+            addr::CUSTOMER,
+            announcement(block, &[asn::CUSTOMER, asn::CUSTOMER], addr::CUSTOMER),
+        );
+        sim.run_to_quiescence(100);
+    }
+    sim
+}
+
+fn explorer(core_budget: usize) -> FleetExplorer {
+    let session = DiceBuilder::new()
+        .engine(EngineConfig::default().with_max_runs(64))
+        .checker(Box::new(OriginHijackChecker::new()))
+        .checker(Box::new(ForwardingLoopChecker::new()))
+        .build();
+    FleetExplorer::new(session).with_core_budget(core_budget)
+}
+
+fn bench_fleet(c: &mut Criterion) {
+    let sim = simulated_fleet();
+
+    let mut group = c.benchmark_group("fleet");
+    group.sample_size(10);
+
+    group.bench_function("figure2_sequential_budget1", |b| {
+        let fleet = explorer(1);
+        b.iter(|| std::hint::black_box(fleet.explore(&sim).total_runs()))
+    });
+
+    group.bench_function("figure2_parallel_all_cores", |b| {
+        let fleet = explorer(0);
+        b.iter(|| std::hint::black_box(fleet.explore(&sim).total_runs()))
+    });
+
+    group.finish();
+
+    // Direct readout + JSON baseline: sequential vs parallel fleet round,
+    // with the digest-equality assertion that guards the orchestrator.
+    let reps: u32 = std::env::var("DICE_BENCH_SAMPLE_SIZE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+    let time = |fleet: &FleetExplorer| -> (Duration, FleetReport) {
+        let mut best = Duration::MAX;
+        let mut last = FleetReport::default();
+        for _ in 0..reps.max(1) {
+            let start = Instant::now();
+            last = fleet.explore(&sim);
+            best = best.min(start.elapsed());
+        }
+        (best, last)
+    };
+    let (sequential_time, sequential) = time(&explorer(1));
+    let (parallel_time, parallel) = time(&explorer(0));
+    assert_eq!(
+        sequential.digest(),
+        parallel.digest(),
+        "fleet reports must be identical for every core budget"
+    );
+    assert!(sequential.has_faults(), "the provider leak is detected");
+    let speedup = sequential_time.as_secs_f64() / parallel_time.as_secs_f64().max(f64::EPSILON);
+    println!(
+        "\nfleet round ({} nodes, {} runs, {} fault(s), {} cores): sequential {:?}, parallel {:?}, speedup {:.2}x",
+        sequential.nodes.len(),
+        sequential.total_runs(),
+        sequential.faults.len(),
+        std::thread::available_parallelism()
+            .map(usize::from)
+            .unwrap_or(1),
+        sequential_time,
+        parallel_time,
+        speedup,
+    );
+
+    if let Ok(path) = std::env::var("DICE_BENCH_FLEET_JSON") {
+        let json = format!(
+            "{{\n  \"bench\": \"fleet_figure2_round\",\n  \"nodes\": {},\n  \"runs\": {},\n  \
+             \"faults\": {},\n  \"sequential_ns\": {},\n  \"parallel_ns\": {},\n  \
+             \"speedup\": {speedup:.4}\n}}\n",
+            sequential.nodes.len(),
+            sequential.total_runs(),
+            sequential.faults.len(),
+            sequential_time.as_nanos(),
+            parallel_time.as_nanos(),
+        );
+        std::fs::write(&path, json).expect("write bench baseline");
+        println!("wrote perf baseline to {path}");
+    }
+}
+
+criterion_group!(benches, bench_fleet);
+criterion_main!(benches);

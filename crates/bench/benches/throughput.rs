@@ -31,13 +31,9 @@ fn bench_throughput(c: &mut Criterion) {
             let peer = internet_peer(&router);
             let customer = customer_peer(&router);
             let observed = observed_customer_update();
-            let dice = Dice::with_config(DiceConfig {
-                engine: EngineConfig {
-                    max_runs: 4,
-                    ..Default::default()
-                },
-                ..Default::default()
-            });
+            let dice = Dice::with_config(
+                DiceConfig::default().with_engine(EngineConfig::default().with_max_runs(4)),
+            );
             let checkpoint = router.clone();
             let result =
                 SharedCoreScheduler { explore_every: 64 }.run(&mut router, peer, &updates, || {

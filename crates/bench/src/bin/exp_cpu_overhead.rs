@@ -59,13 +59,9 @@ fn main() {
         } else {
             trace.table.clone()
         };
-        let dice = Dice::with_config(DiceConfig {
-            engine: EngineConfig {
-                max_runs: 8,
-                ..Default::default()
-            },
-            ..Default::default()
-        });
+        let dice = Dice::with_config(
+            DiceConfig::default().with_engine(EngineConfig::default().with_max_runs(8)),
+        );
         let checkpoint = router.clone();
         let scheduler = if with_exploration {
             SharedCoreScheduler { explore_every: 256 }

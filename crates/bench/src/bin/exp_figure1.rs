@@ -27,10 +27,7 @@ fn main() {
     println!("== Experiment F1: concolic predicate negation (paper Figure 1) ==");
     let seed = InputValues::new().with("x", 5).with("y", 0);
     println!("observed input: {seed}");
-    let engine = ConcolicEngine::with_config(EngineConfig {
-        max_runs: 16,
-        ..Default::default()
-    });
+    let engine = ConcolicEngine::with_config(EngineConfig::default().with_max_runs(16));
     let mut program = handler;
     let result = engine.explore(&mut program, &[seed]);
 

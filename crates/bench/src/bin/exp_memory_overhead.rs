@@ -78,10 +78,7 @@ fn main() {
             let Some(template) = UpdateTemplate::from_update(observed) else {
                 continue;
             };
-            let engine = ConcolicEngine::with_config(EngineConfig {
-                max_runs: 16,
-                ..Default::default()
-            });
+            let engine = ConcolicEngine::with_config(EngineConfig::default().with_max_runs(16));
             let mut handler = SymbolicUpdateHandler::new(
                 clone.state().router().clone(),
                 customer,

@@ -22,13 +22,9 @@ fn run_mode(mode: CustomerFilterMode, table_prefixes: usize) -> dice_core::Explo
     }
     let customer = customer_peer(&router);
     let observed = observed_customer_update();
-    let dice = Dice::with_config(DiceConfig {
-        engine: EngineConfig {
-            max_runs: 64,
-            ..Default::default()
-        },
-        ..Default::default()
-    });
+    let dice = Dice::with_config(
+        DiceConfig::default().with_engine(EngineConfig::default().with_max_runs(64)),
+    );
     dice.run_single(&router, customer, &observed)
 }
 

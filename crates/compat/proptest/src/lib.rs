@@ -171,7 +171,7 @@ pub mod prop {
         use crate::{Strategy, TestRng};
         use rand::Rng;
 
-        /// The strategy returned by [`vec`].
+        /// The strategy returned by [`vec()`].
         #[derive(Debug, Clone)]
         pub struct VecStrategy<S> {
             element: S,

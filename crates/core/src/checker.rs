@@ -1,24 +1,57 @@
 //! Fault checkers: predicates over exploratory outcomes and the
 //! checkpointed node state.
 //!
-//! The showcase checker detects *origin misconfiguration / route leaks*
-//! (§4.2): "for each exploratory message, we check whether the announced
-//! route is accepted, and in this case we detect a potential hijack if that
-//! route overrides the origin AS of a route already in the routing table
-//! prior to starting exploration." Prefixes that are hijackable by nature
-//! (IP anycast) can be whitelisted to suppress false positives.
+//! Checkers implement [`FaultChecker`], an object-safe `Send + Sync` trait,
+//! and are registered on a [`crate::DiceSession`] through
+//! [`crate::DiceBuilder::checker`]; the session applies every registered
+//! checker to every explored outcome.
+//!
+//! Two checkers ship with the crate:
+//!
+//! * [`OriginHijackChecker`] — the showcase checker of §4.2: "for each
+//!   exploratory message, we check whether the announced route is accepted,
+//!   and in this case we detect a potential hijack if that route overrides
+//!   the origin AS of a route already in the routing table prior to
+//!   starting exploration." Prefixes that are hijackable by nature (IP
+//!   anycast) can be whitelisted to suppress false positives.
+//! * [`ForwardingLoopChecker`] — flags accepted exploratory announcements
+//!   whose NLRI covers their own BGP next hop with no more-specific
+//!   installed route to resolve it: installing such a route makes next-hop
+//!   resolution recurse through the route itself, a forwarding loop.
 
 use std::fmt;
+use std::net::Ipv4Addr;
 
 use dice_bgp::prefix::Ipv4Prefix;
 use dice_bgp::Asn;
+use dice_netsim::topology::NodeId;
 use dice_router::Rib;
 
 use crate::handler::HandlerOutcome;
 
 /// A fault detected during exploration.
+///
+/// Construct through [`Fault::new`]; the struct is `#[non_exhaustive]` so
+/// future provenance fields are not breaking changes.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum Fault {
+#[non_exhaustive]
+pub struct Fault {
+    /// Name of the checker that reported the fault.
+    pub checker: String,
+    /// The topology node whose exploration found the fault. `None` for
+    /// single-node runs outside a fleet context.
+    pub node: Option<NodeId>,
+    /// What was detected.
+    pub kind: FaultKind,
+}
+
+/// The kind of misbehaviour a checker detected.
+///
+/// `#[non_exhaustive]`: new checkers add variants without breaking
+/// downstream matches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FaultKind {
     /// An exploratory announcement would override the origin AS of an
     /// installed route: a potential prefix hijack / route leak.
     PotentialHijack {
@@ -31,21 +64,58 @@ pub enum Fault {
         /// The trusted origin AS of the installed route.
         existing_origin: Asn,
     },
+    /// An accepted announcement covers its own BGP next hop with no
+    /// more-specific installed route: next-hop resolution would recurse
+    /// through the announced route itself.
+    ForwardingLoop {
+        /// The prefix the exploratory message announced.
+        announced: Ipv4Prefix,
+        /// The next hop that would resolve through the announcement.
+        next_hop: Ipv4Addr,
+    },
 }
 
 impl Fault {
-    /// The prefix range that can be leaked.
-    pub fn leaked_prefix(&self) -> Ipv4Prefix {
-        match self {
-            Fault::PotentialHijack { announced, .. } => *announced,
+    /// Creates a fault reported by the named checker, with no node
+    /// provenance.
+    pub fn new(checker: impl Into<String>, kind: FaultKind) -> Self {
+        Fault {
+            checker: checker.into(),
+            node: None,
+            kind,
         }
+    }
+
+    /// Stamps the topology node whose exploration found the fault.
+    pub fn with_node(mut self, node: NodeId) -> Self {
+        self.node = Some(node);
+        self
+    }
+
+    /// The prefix range the fault is about.
+    pub fn leaked_prefix(&self) -> Ipv4Prefix {
+        match &self.kind {
+            FaultKind::PotentialHijack { announced, .. } => *announced,
+            FaultKind::ForwardingLoop { announced, .. } => *announced,
+        }
+    }
+
+    /// The fleet-wide deduplication key: `(checker, prefix, offending
+    /// message)`. Two sightings of the same misbehaviour on different nodes
+    /// share a key; node provenance is deliberately excluded.
+    pub fn fleet_key(&self) -> (String, Ipv4Prefix, String) {
+        (
+            self.checker.clone(),
+            self.leaked_prefix(),
+            self.kind.to_string(),
+        )
     }
 }
 
-impl fmt::Display for Fault {
+impl fmt::Display for FaultKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Fault::PotentialHijack {
+            FaultKind::PotentialHijack {
                 announced,
                 claimed_origin,
                 existing_prefix,
@@ -56,13 +126,36 @@ impl fmt::Display for Fault {
                     "potential hijack: {announced} claimed by {claimed_origin} would override {existing_prefix} originated by {existing_origin}"
                 )
             }
+            FaultKind::ForwardingLoop {
+                announced,
+                next_hop,
+            } => {
+                write!(
+                    f,
+                    "forwarding loop: {announced} covers its own next hop {next_hop}"
+                )
+            }
+        }
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.kind)?;
+        match self.node {
+            Some(node) => write!(f, " [{} @ node {}]", self.checker, node.0),
+            None => write!(f, " [{}]", self.checker),
         }
     }
 }
 
 /// A checker applied to every exploratory outcome.
-pub trait FaultChecker {
-    /// Short name used in reports.
+///
+/// The trait is object-safe and `Send + Sync`: sessions hold checkers as
+/// `Arc<dyn FaultChecker>` built once and shared across exploration worker
+/// threads.
+pub trait FaultChecker: Send + Sync {
+    /// Short name used in reports and fleet-wide deduplication keys.
     fn name(&self) -> &str;
 
     /// Inspects one outcome against the checkpointed routing table taken
@@ -114,12 +207,63 @@ impl FaultChecker for OriginHijackChecker {
         if existing_origin.value() == outcome.origin_as {
             return None;
         }
-        Some(Fault::PotentialHijack {
-            announced: outcome.prefix,
-            claimed_origin: Asn(outcome.origin_as),
-            existing_prefix: existing.prefix,
-            existing_origin,
-        })
+        Some(Fault::new(
+            self.name(),
+            FaultKind::PotentialHijack {
+                announced: outcome.prefix,
+                claimed_origin: Asn(outcome.origin_as),
+                existing_prefix: existing.prefix,
+                existing_origin,
+            },
+        ))
+    }
+}
+
+/// Flags accepted announcements whose prefix covers their own next hop.
+///
+/// Installing such a route makes the next hop resolve through the route
+/// itself unless a more-specific installed route still covers it — the
+/// recursive-resolution loop that self-referential static or leaked routes
+/// cause in practice.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ForwardingLoopChecker;
+
+impl ForwardingLoopChecker {
+    /// Creates the checker.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl FaultChecker for ForwardingLoopChecker {
+    fn name(&self) -> &str {
+        "forwarding-loop"
+    }
+
+    fn check(&self, outcome: &HandlerOutcome, checkpoint_rib: &Rib) -> Option<Fault> {
+        if !outcome.accepted {
+            return None;
+        }
+        let next_hop = u32::from(outcome.next_hop);
+        if next_hop == 0 || !outcome.prefix.contains_ip(next_hop) {
+            return None;
+        }
+        // Only a *strictly* more specific installed route keeps next-hop
+        // resolution off the announced route: an equal-length route is the
+        // very prefix the announcement competes to replace, so it cannot be
+        // relied on to resolve the next hop.
+        if let Some(existing) = checkpoint_rib.lookup_ip(next_hop) {
+            if existing.prefix.len() > outcome.prefix.len() {
+                return None;
+            }
+        }
+        Some(Fault::new(
+            self.name(),
+            FaultKind::ForwardingLoop {
+                announced: outcome.prefix,
+                next_hop: outcome.next_hop,
+            },
+        ))
     }
 }
 
@@ -151,6 +295,7 @@ mod tests {
             prefix: prefix.parse().expect("valid"),
             origin_as,
             accepted,
+            next_hop: Ipv4Addr::new(10, 0, 1, 1),
             filter: FilterOutcome {
                 verdict: if accepted {
                     FilterVerdict::Accept
@@ -174,8 +319,8 @@ mod tests {
         let fault = checker
             .check(&outcome("208.65.153.0/24", 17557, true), &rib)
             .expect("hijack detected");
-        match &fault {
-            Fault::PotentialHijack {
+        match &fault.kind {
+            FaultKind::PotentialHijack {
                 claimed_origin,
                 existing_origin,
                 existing_prefix,
@@ -185,10 +330,32 @@ mod tests {
                 assert_eq!(*existing_origin, Asn(36561));
                 assert_eq!(existing_prefix.to_string(), "208.65.152.0/22");
             }
+            other => panic!("unexpected fault kind {other:?}"),
         }
         assert_eq!(fault.leaked_prefix().to_string(), "208.65.153.0/24");
+        assert_eq!(fault.checker, "origin-hijack");
+        assert_eq!(fault.node, None);
         assert!(fault.to_string().contains("17557"));
+        assert!(fault.to_string().contains("origin-hijack"));
         assert_eq!(checker.name(), "origin-hijack");
+    }
+
+    #[test]
+    fn node_provenance_is_stamped_and_displayed() {
+        let rib = rib_with_youtube();
+        let fault = OriginHijackChecker::new()
+            .check(&outcome("208.65.153.0/24", 17557, true), &rib)
+            .expect("hijack detected")
+            .with_node(NodeId(1));
+        assert_eq!(fault.node, Some(NodeId(1)));
+        assert!(fault.to_string().contains("node 1"));
+        // The fleet key ignores provenance: the same misbehaviour seen on
+        // two nodes deduplicates.
+        let unstamped = OriginHijackChecker::new()
+            .check(&outcome("208.65.153.0/24", 17557, true), &rib)
+            .expect("hijack detected");
+        assert_eq!(fault.fleet_key(), unstamped.fleet_key());
+        assert_ne!(fault, unstamped, "provenance still distinguishes values");
     }
 
     #[test]
@@ -226,5 +393,85 @@ mod tests {
         assert!(checker
             .check(&outcome("208.65.153.0/24", 17557, true), &rib)
             .is_none());
+    }
+
+    #[test]
+    fn checkers_are_object_safe_and_shareable() {
+        let checkers: Vec<std::sync::Arc<dyn FaultChecker>> = vec![
+            std::sync::Arc::new(OriginHijackChecker::new()),
+            std::sync::Arc::new(ForwardingLoopChecker::new()),
+        ];
+        let names: Vec<&str> = checkers.iter().map(|c| c.name()).collect();
+        assert_eq!(names, ["origin-hijack", "forwarding-loop"]);
+        fn assert_send_sync<T: Send + Sync>(_: &T) {}
+        assert_send_sync(&checkers);
+    }
+
+    #[test]
+    fn forwarding_loop_fires_when_prefix_covers_next_hop() {
+        let checker = ForwardingLoopChecker::new();
+        let rib = Rib::new();
+        // 10.0.0.0/8 with next hop 10.0.1.1: the route covers its own next
+        // hop and nothing more specific resolves it.
+        let fault = checker
+            .check(&outcome("10.0.0.0/8", 17557, true), &rib)
+            .expect("loop detected");
+        match &fault.kind {
+            FaultKind::ForwardingLoop {
+                announced,
+                next_hop,
+            } => {
+                assert_eq!(announced.to_string(), "10.0.0.0/8");
+                assert_eq!(*next_hop, Ipv4Addr::new(10, 0, 1, 1));
+            }
+            other => panic!("unexpected fault kind {other:?}"),
+        }
+        assert_eq!(fault.checker, "forwarding-loop");
+        assert!(fault.to_string().contains("forwarding loop"));
+    }
+
+    #[test]
+    fn forwarding_loop_needs_acceptance_and_coverage() {
+        let checker = ForwardingLoopChecker::new();
+        let rib = Rib::new();
+        // Rejected: no fault even though the prefix covers the next hop.
+        assert!(checker
+            .check(&outcome("10.0.0.0/8", 17557, false), &rib)
+            .is_none());
+        // Accepted but the next hop (10.0.1.1) lies outside the prefix.
+        assert!(checker
+            .check(&outcome("41.1.0.0/16", 17557, true), &rib)
+            .is_none());
+    }
+
+    #[test]
+    fn forwarding_loop_suppressed_by_more_specific_route() {
+        let checker = ForwardingLoopChecker::new();
+        let mut rib = Rib::new();
+        // A /24 covering the next hop already installed: resolution never
+        // recurses through the announced /8.
+        let mut attrs = RouteAttrs::default();
+        attrs.as_path = AsPath::from_sequence([1299, 64_500]);
+        attrs.next_hop = Ipv4Addr::new(10, 0, 2, 1);
+        rib.announce(Route::new(
+            "10.0.1.0/24".parse().expect("valid"),
+            attrs,
+            PeerId(2),
+            2,
+        ));
+        assert!(checker
+            .check(&outcome("10.0.0.0/8", 17557, true), &rib)
+            .is_none());
+        // A covering route *broader* than the announcement does not help:
+        // the announced route stays the most specific match for its own
+        // next hop.
+        assert!(checker
+            .check(&outcome("10.0.1.0/25", 17557, true), &rib)
+            .is_some());
+        // Neither does an *equal-length* covering route: it is the very
+        // prefix the announcement competes to replace.
+        assert!(checker
+            .check(&outcome("10.0.1.0/24", 17557, true), &rib)
+            .is_some());
     }
 }

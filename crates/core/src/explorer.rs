@@ -1,4 +1,4 @@
-//! The DiCE exploration orchestrator.
+//! The single-node DiCE exploration entry point.
 //!
 //! One exploration round implements §2.3 end to end:
 //!
@@ -11,29 +11,36 @@
 //! 3. intercept every message the exploratory executions produce;
 //! 4. apply the fault checkers to every explored outcome against the
 //!    checkpointed routing table.
-
-use std::time::Instant;
+//!
+//! [`Dice`] is the legacy single-node wrapper kept for compatibility: it
+//! owns a [`DiceSession`] built from a [`DiceConfig`] (with the default
+//! [`crate::OriginHijackChecker`]) and delegates every round to
+//! [`DiceSession::explore`] — reports are identical to driving the session
+//! directly. New code should use [`crate::DiceBuilder`] (pluggable
+//! checkers) and, for multi-node topologies, [`crate::FleetExplorer`].
 
 use dice_bgp::message::UpdateMessage;
 use dice_bgp::route::PeerId;
 use dice_router::BgpRouter;
-use dice_solver::SolverStats;
-use dice_symexec::{ConcolicEngine, Coverage, EngineConfig, InputValues};
+use dice_symexec::EngineConfig;
 
-use crate::checker::{Fault, FaultChecker, OriginHijackChecker};
-use crate::handler::SymbolicUpdateHandler;
-use crate::isolation::LiveStateFingerprint;
+use crate::checker::Fault;
 use crate::report::ExplorationReport;
-use crate::symbolic_input::UpdateTemplate;
+use crate::session::{DiceBuilder, DiceSession};
 
 /// Configuration of a DiCE instance.
+///
+/// `#[non_exhaustive]`: construct via [`DiceConfig::default`] and the
+/// `with_*` builder methods (or [`crate::DiceBuilder`]) so future fields
+/// are not breaking changes.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct DiceConfig {
     /// Concolic engine configuration (path budget, strategy, solver).
     ///
     /// The engine default runs the batched worklist inner loop
     /// ([`EngineConfig::batch_size`]) with a single solver worker per
-    /// exploration — `Dice::run` already fans observed inputs out across
+    /// exploration — exploration already fans observed inputs out across
     /// [`DiceConfig::workers`] threads, and one overlapped solver thread
     /// per input is the sweet spot that avoids oversubscribing cores with
     /// nested parallelism. Raise `engine.solver_workers` only for rounds
@@ -55,10 +62,7 @@ pub struct DiceConfig {
 impl Default for DiceConfig {
     fn default() -> Self {
         DiceConfig {
-            engine: EngineConfig {
-                max_runs: 64,
-                ..Default::default()
-            },
+            engine: EngineConfig::default().with_max_runs(64),
             max_observed_inputs: 16,
             anycast_whitelist: Vec::new(),
             workers: 0,
@@ -66,27 +70,41 @@ impl Default for DiceConfig {
     }
 }
 
-/// Everything one observed input contributes to the round's report.
-///
-/// Produced per `(peer, update)` pair — possibly on a worker thread — and
-/// merged into the [`ExplorationReport`] in input order, so the merged
-/// report is byte-for-byte the one sequential exploration produces.
-#[derive(Debug)]
-struct InputOutcome {
-    runs: usize,
-    distinct_paths: usize,
-    generated_inputs: usize,
-    waves: usize,
-    solver_stats: SolverStats,
-    coverage: Coverage,
-    intercepted_messages: usize,
-    faults: Vec<Fault>,
+impl DiceConfig {
+    /// Sets the concolic engine configuration.
+    pub fn with_engine(mut self, engine: EngineConfig) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Sets the maximum number of observed inputs explored per round.
+    pub fn with_max_observed_inputs(mut self, max: usize) -> Self {
+        self.max_observed_inputs = max;
+        self
+    }
+
+    /// Sets the anycast prefixes excluded from hijack reports.
+    pub fn with_anycast_whitelist(mut self, prefixes: Vec<dice_bgp::Ipv4Prefix>) -> Self {
+        self.anycast_whitelist = prefixes;
+        self
+    }
+
+    /// Sets the worker thread count (0 = available parallelism).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
 }
 
 /// The DiCE online-testing facility attached to one router.
+///
+/// A thin wrapper over [`DiceSession`] with the default checker registry;
+/// kept so pre-session callers keep compiling. The session — and thus the
+/// checker set — is built once at construction and shared across rounds
+/// and worker threads.
 #[derive(Debug, Clone, Default)]
 pub struct Dice {
-    config: DiceConfig,
+    session: DiceSession,
 }
 
 impl Dice {
@@ -97,154 +115,26 @@ impl Dice {
 
     /// Creates a DiCE instance with the given configuration.
     pub fn with_config(config: DiceConfig) -> Self {
-        Dice { config }
+        Dice {
+            session: DiceBuilder::new().config(config).build(),
+        }
     }
 
     /// The configuration in use.
     pub fn config(&self) -> &DiceConfig {
-        &self.config
+        self.session.config()
+    }
+
+    /// The underlying exploration session.
+    pub fn session(&self) -> &DiceSession {
+        &self.session
     }
 
     /// Runs one exploration round over the live router, seeding from the
-    /// given observed `(peer, update)` inputs.
-    ///
-    /// The live router is only read to take the checkpoint and to verify
-    /// isolation afterwards; all execution happens on clones. Observed
-    /// inputs are independent of each other (each explores its own clone of
-    /// the checkpoint), so they are fanned out across
-    /// [`DiceConfig::workers`] threads and their outcomes merged in input
-    /// order — the report is identical to a sequential round.
+    /// given observed `(peer, update)` inputs. Equivalent to
+    /// [`DiceSession::explore`] on [`Dice::session`].
     pub fn run(&self, live: &BgpRouter, observed: &[(PeerId, UpdateMessage)]) -> ExplorationReport {
-        let started = Instant::now();
-        let fingerprint = LiveStateFingerprint::capture(live);
-        // Checkpoint: a fork of the live node's state.
-        let checkpoint = live.clone();
-        let checker = OriginHijackChecker::new()
-            .with_anycast_whitelist(self.config.anycast_whitelist.clone());
-
-        let inputs = &observed[..observed.len().min(self.config.max_observed_inputs)];
-        let mut report = ExplorationReport {
-            observed_inputs: inputs.len(),
-            ..Default::default()
-        };
-
-        let workers = self.effective_workers(inputs.len());
-        let outcomes: Vec<Option<InputOutcome>> = if workers <= 1 {
-            inputs
-                .iter()
-                .map(|(peer, update)| self.explore_input(&checkpoint, &checker, *peer, update))
-                .collect()
-        } else {
-            // Work-stealing over input indices: workers claim the next
-            // unexplored input from a shared counter, so uneven per-input
-            // costs balance across all cores. Outcome i still lands in slot
-            // i, which keeps the merge order — and thus the report —
-            // identical to the sequential path.
-            let mut slots: Vec<Option<InputOutcome>> = (0..inputs.len()).map(|_| None).collect();
-            let next_input = std::sync::atomic::AtomicUsize::new(0);
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..workers)
-                    .map(|_| {
-                        let (checkpoint, checker, next_input) =
-                            (&checkpoint, &checker, &next_input);
-                        scope.spawn(move || {
-                            let mut explored = Vec::new();
-                            loop {
-                                let i =
-                                    next_input.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                                let Some((peer, update)) = inputs.get(i) else {
-                                    return explored;
-                                };
-                                explored.push((
-                                    i,
-                                    self.explore_input(checkpoint, checker, *peer, update),
-                                ));
-                            }
-                        })
-                    })
-                    .collect();
-                for handle in handles {
-                    for (i, outcome) in handle.join().expect("exploration worker panicked") {
-                        slots[i] = outcome;
-                    }
-                }
-            });
-            slots
-        };
-
-        let mut coverage = Coverage::new();
-        for outcome in outcomes.into_iter().flatten() {
-            report.runs += outcome.runs;
-            report.distinct_paths += outcome.distinct_paths;
-            report.generated_inputs += outcome.generated_inputs;
-            report.solver_waves += outcome.waves;
-            report.solver_stats.merge(&outcome.solver_stats);
-            coverage.merge(&outcome.coverage);
-            report.intercepted_messages += outcome.intercepted_messages;
-            for fault in outcome.faults {
-                if !report.faults.contains(&fault) {
-                    report.faults.push(fault);
-                }
-            }
-        }
-
-        report.branch_sites = coverage.site_count();
-        report.complete_sites = coverage.complete_sites();
-        report.isolation_preserved = fingerprint.matches(live);
-        report.elapsed = started.elapsed();
-        report
-    }
-
-    /// Explores one observed input from the checkpointed state.
-    ///
-    /// Returns `None` for inputs that yield no symbolic template (pure
-    /// withdrawals). Takes only shared references so input exploration can
-    /// run on worker threads.
-    fn explore_input(
-        &self,
-        checkpoint: &BgpRouter,
-        checker: &OriginHijackChecker,
-        peer: PeerId,
-        update: &UpdateMessage,
-    ) -> Option<InputOutcome> {
-        let template = UpdateTemplate::from_update(update)?;
-        let seed: InputValues = template.seed();
-        let mut handler = SymbolicUpdateHandler::new(checkpoint.clone(), peer, template);
-        let engine = ConcolicEngine::with_config(self.config.engine);
-        let exploration = engine.explore(&mut handler, &[seed]);
-
-        let mut faults = Vec::new();
-        for run in &exploration.runs {
-            if let Some(fault) = checker.check(&run.output, checkpoint.rib()) {
-                if !faults.contains(&fault) {
-                    faults.push(fault);
-                }
-            }
-        }
-
-        Some(InputOutcome {
-            runs: exploration.stats.runs,
-            distinct_paths: exploration.distinct_paths(),
-            generated_inputs: exploration.generated_inputs().len(),
-            waves: exploration.stats.waves,
-            solver_stats: exploration.solver_stats,
-            coverage: exploration.coverage,
-            intercepted_messages: handler.interceptor().len(),
-            faults,
-        })
-    }
-
-    /// The worker count for a round over `input_count` inputs: the
-    /// configured count, or available parallelism when the configuration
-    /// says `0`, never more threads than inputs.
-    fn effective_workers(&self, input_count: usize) -> usize {
-        let configured = match self.config.workers {
-            0 => std::thread::available_parallelism()
-                .map(usize::from)
-                .unwrap_or(1),
-            n => n,
-        };
-        configured.min(input_count).max(1)
+        self.session.explore(live, observed)
     }
 
     /// Convenience wrapper: explore a single observed update.
@@ -257,16 +147,15 @@ impl Dice {
         self.run(live, &[(peer, update.clone())])
     }
 
-    /// Applies the configured checkers to one already-computed outcome
-    /// (exposed for tests and custom orchestration).
+    /// Applies the session's checkers to one already-computed outcome
+    /// (exposed for tests and custom orchestration); returns the first
+    /// fault found, matching the legacy single-checker signature.
     pub fn check_outcome(
         &self,
         outcome: &crate::handler::HandlerOutcome,
         rib: &dice_router::Rib,
     ) -> Option<Fault> {
-        OriginHijackChecker::new()
-            .with_anycast_whitelist(self.config.anycast_whitelist.clone())
-            .check(outcome, rib)
+        self.session.check_outcome(outcome, rib).into_iter().next()
     }
 }
 
@@ -378,10 +267,9 @@ mod tests {
     #[test]
     fn anycast_whitelist_suppresses_reports() {
         let (router, customer, observed) = scenario(CustomerFilterMode::Missing);
-        let dice = Dice::with_config(DiceConfig {
-            anycast_whitelist: vec!["0.0.0.0/0".parse().expect("valid")],
-            ..Default::default()
-        });
+        let dice = Dice::with_config(
+            DiceConfig::default().with_anycast_whitelist(vec!["0.0.0.0/0".parse().expect("valid")]),
+        );
         let report = dice.run_single(&router, customer, &observed);
         assert!(
             !report.has_faults(),
@@ -439,6 +327,7 @@ mod tests {
             a.solver_stats.queries, b.solver_stats.queries,
             "{what}: solver queries"
         );
+        assert_eq!(a.digest(), b.digest(), "{what}: digest");
     }
 
     #[test]
@@ -447,16 +336,10 @@ mod tests {
         let inputs = multi_input_observed(&router, customer, &observed);
         assert!(inputs.len() >= 4);
 
-        let sequential = Dice::with_config(DiceConfig {
-            workers: 1,
-            ..Default::default()
-        })
-        .run(&router, &inputs);
-        let parallel = Dice::with_config(DiceConfig {
-            workers: 4,
-            ..Default::default()
-        })
-        .run(&router, &inputs);
+        let sequential =
+            Dice::with_config(DiceConfig::default().with_workers(1)).run(&router, &inputs);
+        let parallel =
+            Dice::with_config(DiceConfig::default().with_workers(4)).run(&router, &inputs);
 
         assert_reports_equal(&sequential, &parallel, "workers=1 vs workers=4");
         assert!(
@@ -468,6 +351,21 @@ mod tests {
             "concurrent exploration must not touch live state"
         );
         assert!(sequential.isolation_preserved);
+    }
+
+    #[test]
+    fn legacy_run_is_equivalent_to_a_default_session() {
+        // `Dice::run` must stay a faithful wrapper: the same round driven
+        // through the builder API produces an identical report.
+        let (router, customer, observed) = scenario(CustomerFilterMode::Erroneous);
+        let inputs = multi_input_observed(&router, customer, &observed);
+
+        let legacy = Dice::new().run(&router, &inputs);
+        let session = crate::DiceBuilder::new().build();
+        let direct = session.explore(&router, &inputs);
+
+        assert_reports_equal(&legacy, &direct, "Dice::run vs DiceSession::explore");
+        assert!(legacy.has_faults());
     }
 
     #[test]
@@ -522,14 +420,10 @@ mod tests {
         let (router, customer, observed) = scenario(CustomerFilterMode::Erroneous);
         let inputs = multi_input_observed(&router, customer, &observed);
 
-        let sequential = Dice::with_config(DiceConfig {
-            engine: dice_symexec::EngineConfig {
-                max_runs: 64,
-                batch_size: 0,
-                ..Default::default()
-            },
-            ..Default::default()
-        })
+        let sequential = Dice::with_config(
+            DiceConfig::default()
+                .with_engine(EngineConfig::default().with_max_runs(64).with_batch_size(0)),
+        )
         .run(&router, &inputs);
         let batched = Dice::new().run(&router, &inputs);
 
@@ -554,19 +448,13 @@ mod tests {
 
     #[test]
     fn worker_count_is_bounded_by_inputs_and_never_zero() {
-        let dice = Dice::with_config(DiceConfig {
-            workers: 8,
-            ..Default::default()
-        });
-        assert_eq!(dice.effective_workers(3), 3);
-        assert_eq!(dice.effective_workers(0), 1);
+        let dice = Dice::with_config(DiceConfig::default().with_workers(8));
+        assert_eq!(dice.session().effective_workers(3), 3);
+        assert_eq!(dice.session().effective_workers(0), 1);
         let auto = Dice::new();
-        assert!(auto.effective_workers(1_000) >= 1);
-        let sequential = Dice::with_config(DiceConfig {
-            workers: 1,
-            ..Default::default()
-        });
-        assert_eq!(sequential.effective_workers(64), 1);
+        assert!(auto.session().effective_workers(1_000) >= 1);
+        let sequential = Dice::with_config(DiceConfig::default().with_workers(1));
+        assert_eq!(sequential.session().effective_workers(64), 1);
     }
 
     #[test]

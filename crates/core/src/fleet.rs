@@ -1,0 +1,449 @@
+//! Fleet-level exploration: one DiCE round beside every node of a
+//! topology.
+//!
+//! The paper's headline setting is *federated* online testing — a DiCE
+//! instance runs beside every node of a heterogeneous deployment, each
+//! exploring from the inputs its node observed locally. [`FleetExplorer`]
+//! reproduces that over the deterministic [`Simulator`]:
+//!
+//! 1. **harvest** — each node's observed inputs are taken from the
+//!    simulation's delivery log ([`Simulator::observed_inputs`]): exactly
+//!    the UPDATEs the node's local DiCE instance would have seen;
+//! 2. **explore** — one exploration round runs per node, nodes fanned out
+//!    concurrently under a global core budget: the budget is split across
+//!    the per-node worker pools so the nested parallelism (nodes × observed
+//!    inputs × solver threads) never oversubscribes the machine;
+//! 3. **merge** — per-node [`ExplorationReport`]s are collected in
+//!    topology order into a [`FleetReport`], and faults are deduplicated
+//!    fleet-wide by `(checker, prefix, offending message)`
+//!    ([`Fault::fleet_key`]) — the same leak observed from three vantage
+//!    points is one fleet fault with three sightings.
+//!
+//! Reports are deterministic: node order is topology order, per-node
+//! reports are worker-count-invariant, and dedup keeps first-sighting
+//! order, so the same simulation state yields byte-identical
+//! [`FleetReport::digest`]s for every budget setting.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use dice_netsim::topology::NodeId;
+use dice_netsim::Simulator;
+
+use crate::checker::Fault;
+use crate::report::ExplorationReport;
+use crate::session::DiceSession;
+
+/// One node's contribution to a fleet round.
+#[derive(Debug, Clone)]
+pub struct NodeReport {
+    /// The node's id within the topology.
+    pub node: NodeId,
+    /// The node's human-readable name.
+    pub name: String,
+    /// The node's exploration report — identical to what a single-node
+    /// round over the same router and inputs produces.
+    pub report: ExplorationReport,
+}
+
+/// A fault after fleet-wide deduplication, with every sighting recorded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetFault {
+    /// The fault, stamped with the first node that saw it.
+    pub fault: Fault,
+    /// Every node whose exploration found the fault, in sighting order.
+    pub nodes: Vec<NodeId>,
+}
+
+/// The merged result of one fleet exploration round.
+#[derive(Debug, Clone, Default)]
+pub struct FleetReport {
+    /// Per-node reports, in topology order.
+    pub nodes: Vec<NodeReport>,
+    /// Fleet-wide deduplicated faults, in first-sighting order.
+    pub faults: Vec<FleetFault>,
+    /// Wall-clock duration of the whole fleet round.
+    pub elapsed: Duration,
+}
+
+impl FleetReport {
+    /// Returns true if any node found any fault.
+    pub fn has_faults(&self) -> bool {
+        !self.faults.is_empty()
+    }
+
+    /// The report of one node, if it was explored.
+    pub fn node(&self, node: NodeId) -> Option<&ExplorationReport> {
+        self.nodes
+            .iter()
+            .find(|n| n.node == node)
+            .map(|n| &n.report)
+    }
+
+    /// Total executions across the fleet.
+    pub fn total_runs(&self) -> usize {
+        self.nodes.iter().map(|n| n.report.runs).sum()
+    }
+
+    /// Fault sightings before deduplication (sum of per-node fault counts).
+    pub fn total_sightings(&self) -> usize {
+        self.nodes.iter().map(|n| n.report.faults.len()).sum()
+    }
+
+    /// A canonical rendering of every deterministic field — per-node
+    /// digests plus the deduplicated fault list. Independent of worker
+    /// counts and core budgets.
+    pub fn digest(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for n in &self.nodes {
+            writeln!(out, "node{}:{}", n.node.0, n.report.digest())
+                .expect("writing to a String cannot fail");
+        }
+        for f in &self.faults {
+            let nodes: Vec<String> = f.nodes.iter().map(|n| n.0.to_string()).collect();
+            writeln!(out, "fleet-fault:{} nodes=[{}]", f.fault, nodes.join(","))
+                .expect("writing to a String cannot fail");
+        }
+        out
+    }
+}
+
+impl fmt::Display for FleetReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "DiCE fleet exploration: {} node(s), {} run(s), {} sighting(s) -> {} distinct fault(s) in {:?}",
+            self.nodes.len(),
+            self.total_runs(),
+            self.total_sightings(),
+            self.faults.len(),
+            self.elapsed,
+        )?;
+        for n in &self.nodes {
+            writeln!(
+                f,
+                "  [{}] {}: {} run(s), {} fault(s), isolation preserved: {}",
+                n.node.0,
+                n.name,
+                n.report.runs,
+                n.report.faults.len(),
+                n.report.isolation_preserved,
+            )?;
+        }
+        if self.faults.is_empty() {
+            writeln!(f, "  no faults detected fleet-wide")?;
+        } else {
+            for fault in &self.faults {
+                let nodes: Vec<String> = fault.nodes.iter().map(|n| n.0.to_string()).collect();
+                writeln!(
+                    f,
+                    "  - {} (seen on node(s) {})",
+                    fault.fault,
+                    nodes.join(", ")
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Deduplicates per-node fault lists fleet-wide.
+///
+/// Keyed by [`Fault::fleet_key`] — `(checker, prefix, offending message)`;
+/// node provenance never splits a key. The first sighting (in the given
+/// report order) contributes the representative [`Fault`], stamped with its
+/// node; later sightings only append to [`FleetFault::nodes`]. Every fault
+/// present in any input report is represented in the output — nothing is
+/// dropped, which `tests/properties.rs` asserts by property.
+pub fn dedup_fleet_faults(reports: &[(NodeId, &ExplorationReport)]) -> Vec<FleetFault> {
+    let mut out: Vec<FleetFault> = Vec::new();
+    let mut index: HashMap<(String, dice_bgp::Ipv4Prefix, String), usize> = HashMap::new();
+    for (node, report) in reports {
+        for fault in &report.faults {
+            match index.entry(fault.fleet_key()) {
+                std::collections::hash_map::Entry::Occupied(slot) => {
+                    let existing = &mut out[*slot.get()];
+                    if !existing.nodes.contains(node) {
+                        existing.nodes.push(*node);
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(out.len());
+                    out.push(FleetFault {
+                        fault: fault.clone().with_node(*node),
+                        nodes: vec![*node],
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Runs one exploration round beside every node of a simulated topology.
+#[derive(Debug, Clone)]
+pub struct FleetExplorer {
+    session: DiceSession,
+    core_budget: usize,
+}
+
+impl Default for FleetExplorer {
+    fn default() -> Self {
+        FleetExplorer::new(DiceSession::default())
+    }
+}
+
+impl FleetExplorer {
+    /// Creates a fleet explorer running every node's round through the
+    /// given session (shared checker registry, shared engine settings).
+    pub fn new(session: DiceSession) -> Self {
+        FleetExplorer {
+            session,
+            core_budget: 0,
+        }
+    }
+
+    /// Sets the global core budget shared by all concurrent node rounds
+    /// (`0`, the default, uses the machine's available parallelism). The
+    /// budget bounds *threads*, not results: reports are identical for
+    /// every setting.
+    pub fn with_core_budget(mut self, cores: usize) -> Self {
+        self.core_budget = cores;
+        self
+    }
+
+    /// The session driving every node round.
+    pub fn session(&self) -> &DiceSession {
+        &self.session
+    }
+
+    /// Explores every node of the simulation, harvesting each node's
+    /// observed inputs from the delivery log.
+    pub fn explore(&self, sim: &Simulator) -> FleetReport {
+        let nodes: Vec<NodeId> = (0..sim.len()).map(NodeId).collect();
+        self.explore_nodes(sim, &nodes)
+    }
+
+    /// Explores the given nodes only (e.g. just the DiCE-enabled ones).
+    /// Duplicate ids are explored once: the report has one entry per
+    /// distinct node, in first-occurrence order.
+    pub fn explore_nodes(&self, sim: &Simulator, nodes: &[NodeId]) -> FleetReport {
+        let started = Instant::now();
+        let mut seen = std::collections::HashSet::new();
+        let nodes: Vec<NodeId> = nodes
+            .iter()
+            .copied()
+            .filter(|node| seen.insert(*node))
+            .collect();
+        let budget = crate::parallel::resolve_cores(self.core_budget);
+        // Split the budget: F node rounds run concurrently, each with
+        // budget/F input workers and a single solver worker per input
+        // (EngineConfig::with_core_budget). Total threads stay within the
+        // budget instead of multiplying across the three nesting levels.
+        let concurrent = budget.min(nodes.len()).max(1);
+        let workers_per_node = (budget / concurrent).max(1);
+        let node_session = self
+            .session
+            .with_workers(workers_per_node)
+            .with_engine_core_budget(1);
+
+        // Harvest in one pass over the delivery log, grouping entries by
+        // requested node (cloning only what an explored node observed).
+        let mut by_node: HashMap<NodeId, Vec<_>> = HashMap::new();
+        for entry in sim.observed_log() {
+            if seen.contains(&entry.node) {
+                by_node
+                    .entry(entry.node)
+                    .or_default()
+                    .push((entry.peer, entry.update.clone()));
+            }
+        }
+        let harvested: Vec<_> = nodes
+            .iter()
+            .map(|&node| (node, by_node.remove(&node).unwrap_or_default()))
+            .collect();
+
+        // Work-stealing fan-out over nodes, results merged back in topology
+        // order so the report is deterministic for every budget.
+        let reports = crate::parallel::fan_out(&harvested, concurrent, |(node, observed)| {
+            node_session.explore(sim.router(*node), observed)
+        });
+
+        let node_reports: Vec<NodeReport> = nodes
+            .iter()
+            .zip(reports)
+            .map(|(&node, report)| NodeReport {
+                node,
+                name: sim.name(node).to_string(),
+                report,
+            })
+            .collect();
+        let keyed: Vec<(NodeId, &ExplorationReport)> =
+            node_reports.iter().map(|n| (n.node, &n.report)).collect();
+        let faults = dedup_fleet_faults(&keyed);
+
+        FleetReport {
+            nodes: node_reports,
+            faults,
+            elapsed: started.elapsed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::{ForwardingLoopChecker, OriginHijackChecker};
+    use crate::explorer::Dice;
+    use crate::session::DiceBuilder;
+    use dice_bgp::attributes::RouteAttrs;
+    use dice_bgp::message::{BgpMessage, UpdateMessage};
+    use dice_bgp::AsPath;
+    use dice_netsim::topology::{addr, asn, figure2_topology, CustomerFilterMode};
+    use std::net::Ipv4Addr;
+
+    fn announcement(prefix: &str, path: &[u32], next_hop: Ipv4Addr) -> BgpMessage {
+        let mut attrs = RouteAttrs::default();
+        attrs.as_path = AsPath::from_sequence(path.iter().copied());
+        attrs.next_hop = next_hop;
+        BgpMessage::Update(UpdateMessage::announce(
+            vec![prefix.parse().expect("valid")],
+            &attrs,
+        ))
+    }
+
+    /// The Figure 2 simulation after live traffic: the Internet announces
+    /// the victim /22 (installed everywhere), then the customer makes its
+    /// routine announcement — both recorded in the observation log.
+    fn simulated_figure2(mode: CustomerFilterMode) -> Simulator {
+        let topo = figure2_topology(mode);
+        let provider = topo.node_by_name("Provider").expect("node");
+        let mut sim = Simulator::new(&topo);
+        sim.inject(
+            provider,
+            addr::INTERNET,
+            announcement(
+                "208.65.152.0/22",
+                &[asn::INTERNET, 3356, asn::VICTIM],
+                addr::INTERNET,
+            ),
+        );
+        sim.run_to_quiescence(100);
+        sim.inject(
+            provider,
+            addr::CUSTOMER,
+            announcement(
+                "41.1.0.0/16",
+                &[asn::CUSTOMER, asn::CUSTOMER],
+                addr::CUSTOMER,
+            ),
+        );
+        sim.run_to_quiescence(100);
+        sim
+    }
+
+    #[test]
+    fn single_node_fleet_run_is_byte_identical_to_legacy_dice_run() {
+        let sim = simulated_figure2(CustomerFilterMode::Erroneous);
+        let topo = figure2_topology(CustomerFilterMode::Erroneous);
+        let provider = topo.node_by_name("Provider").expect("node");
+
+        let fleet = FleetExplorer::default().explore_nodes(&sim, &[provider]);
+        let legacy = Dice::new().run(sim.router(provider), &sim.observed_inputs(provider));
+
+        assert_eq!(fleet.nodes.len(), 1);
+        assert_eq!(
+            fleet.nodes[0].report.digest(),
+            legacy.digest(),
+            "fleet single-node report must be byte-identical to Dice::run"
+        );
+        assert!(legacy.has_faults(), "the erroneous filter is flagged");
+        assert_eq!(fleet.faults.len(), legacy.faults.len());
+        assert_eq!(fleet.faults[0].nodes, vec![provider]);
+        assert_eq!(fleet.faults[0].fault.node, Some(provider));
+    }
+
+    #[test]
+    fn fleet_round_explores_every_node_concurrently() {
+        let sim = simulated_figure2(CustomerFilterMode::Erroneous);
+        let session = DiceBuilder::new()
+            .checker(Box::new(OriginHijackChecker::new()))
+            .checker(Box::new(ForwardingLoopChecker::new()))
+            .build();
+        let report = FleetExplorer::new(session).explore(&sim);
+
+        assert_eq!(report.nodes.len(), 3, "all Figure 2 nodes explored");
+        assert!(report.has_faults(), "the provider leak is found");
+        assert!(report.total_runs() > 0);
+        assert!(report.nodes.iter().all(|n| n.report.isolation_preserved));
+        // The customer node observed nothing (no one announces to it in
+        // this scenario beyond re-advertisements it originated).
+        let text = report.to_string();
+        assert!(text.contains("Provider"));
+        assert!(text.contains("fault(s)"));
+    }
+
+    #[test]
+    fn fleet_report_is_deterministic_across_core_budgets() {
+        let sim = simulated_figure2(CustomerFilterMode::Erroneous);
+        let digest_for = |budget: usize| {
+            FleetExplorer::default()
+                .with_core_budget(budget)
+                .explore(&sim)
+                .digest()
+        };
+        let sequential = digest_for(1);
+        assert_eq!(sequential, digest_for(2), "budget 1 vs 2");
+        assert_eq!(sequential, digest_for(8), "budget 1 vs 8");
+        assert_eq!(sequential, digest_for(0), "budget 1 vs auto");
+    }
+
+    #[test]
+    fn fleet_dedup_merges_sightings_of_the_same_fault() {
+        // The erroneous filter leak is detected from the provider's
+        // exploration; inject the same observed input at two vantage nodes
+        // sharing a config by exploring the provider twice under different
+        // ids via dedup_fleet_faults directly.
+        let sim = simulated_figure2(CustomerFilterMode::Erroneous);
+        let topo = figure2_topology(CustomerFilterMode::Erroneous);
+        let provider = topo.node_by_name("Provider").expect("node");
+        let report = Dice::new().run(sim.router(provider), &sim.observed_inputs(provider));
+        assert!(report.has_faults());
+
+        let merged = dedup_fleet_faults(&[(NodeId(0), &report), (NodeId(2), &report)]);
+        assert_eq!(merged.len(), report.faults.len(), "same faults, deduped");
+        for fault in &merged {
+            assert_eq!(fault.nodes, vec![NodeId(0), NodeId(2)]);
+            assert_eq!(fault.fault.node, Some(NodeId(0)), "first sighting wins");
+        }
+        // No sighting is ever dropped.
+        let merged_keys: Vec<_> = merged.iter().map(|f| f.fault.fleet_key()).collect();
+        for fault in &report.faults {
+            assert!(merged_keys.contains(&fault.fleet_key()));
+        }
+    }
+
+    #[test]
+    fn duplicate_node_ids_are_explored_once() {
+        let sim = simulated_figure2(CustomerFilterMode::Erroneous);
+        let topo = figure2_topology(CustomerFilterMode::Erroneous);
+        let provider = topo.node_by_name("Provider").expect("node");
+
+        let once = FleetExplorer::default().explore_nodes(&sim, &[provider]);
+        let duplicated = FleetExplorer::default().explore_nodes(&sim, &[provider, provider]);
+        assert_eq!(duplicated.nodes.len(), 1, "duplicates collapse");
+        assert_eq!(duplicated.digest(), once.digest());
+    }
+
+    #[test]
+    fn correct_fleet_stays_clean() {
+        let sim = simulated_figure2(CustomerFilterMode::Correct);
+        let report = FleetExplorer::default().explore(&sim);
+        assert!(!report.has_faults(), "{report}");
+        assert!(report.to_string().contains("no faults detected fleet-wide"));
+        assert_eq!(report.total_sightings(), 0);
+        assert!(report.node(NodeId(99)).is_none());
+    }
+}

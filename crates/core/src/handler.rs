@@ -25,6 +25,8 @@ pub struct HandlerOutcome {
     pub origin_as: u32,
     /// Whether the import policy accepted the route.
     pub accepted: bool,
+    /// The BGP next hop carried by the exploratory message.
+    pub next_hop: std::net::Ipv4Addr,
     /// The filter outcome (attribute modifications requested).
     pub filter: FilterOutcome,
     /// Number of messages the node would have emitted (all intercepted).
@@ -127,6 +129,7 @@ impl SymbolicProgram for SymbolicUpdateHandler {
             prefix,
             origin_as: attrs.origin_as().map(|a| a.value()).unwrap_or(0),
             accepted,
+            next_hop: attrs.next_hop,
             filter: filter_outcome,
             intercepted_messages: intercepted,
         }
@@ -194,10 +197,7 @@ mod tests {
         let template = UpdateTemplate::from_update(&observed_update()).expect("template");
         let seed = template.seed();
         let mut handler = SymbolicUpdateHandler::new(router, peer, template);
-        let engine = ConcolicEngine::with_config(EngineConfig {
-            max_runs: 32,
-            ..Default::default()
-        });
+        let engine = ConcolicEngine::with_config(EngineConfig::default().with_max_runs(32));
         let exploration = engine.explore(&mut handler, &[seed]);
         let accepted = exploration.outputs().filter(|o| o.accepted).count();
         let rejected = exploration.outputs().filter(|o| !o.accepted).count();

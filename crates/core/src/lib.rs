@@ -19,7 +19,18 @@
 //!   ([`MessageInterceptor`], [`LiveStateFingerprint`]), and
 //! * applying **fault checkers** to every explored state; the showcase
 //!   checker flags origin misconfiguration / route leaks
-//!   ([`OriginHijackChecker`]).
+//!   ([`OriginHijackChecker`]), and a second checker flags self-resolving
+//!   forwarding loops ([`ForwardingLoopChecker`]).
+//!
+//! Two entry points drive rounds:
+//!
+//! * [`DiceBuilder`] → [`DiceSession`] — one node, explicit observed
+//!   inputs, pluggable checker registry ([`FaultChecker`] is object-safe
+//!   and `Send + Sync`); [`Dice`] remains as a thin compatibility wrapper.
+//! * [`FleetExplorer`] — the paper's federated setting: harvests each
+//!   node's observed inputs from a simulated topology and runs one round
+//!   beside every node concurrently, merging results into a [`FleetReport`]
+//!   with fleet-wide fault deduplication.
 //!
 //! ## Example
 //!
@@ -61,19 +72,24 @@
 pub mod checker;
 pub mod checkpointable;
 pub mod explorer;
+pub mod fleet;
 pub mod handler;
 pub mod isolation;
+mod parallel;
 pub mod report;
 pub mod scheduler;
+pub mod session;
 pub mod symbolic_input;
 
-pub use checker::{Fault, FaultChecker, OriginHijackChecker};
+pub use checker::{Fault, FaultChecker, FaultKind, ForwardingLoopChecker, OriginHijackChecker};
 pub use checkpointable::CheckpointedRouter;
 pub use explorer::{Dice, DiceConfig};
+pub use fleet::{dedup_fleet_faults, FleetExplorer, FleetFault, FleetReport, NodeReport};
 pub use handler::{HandlerOutcome, SymbolicUpdateHandler};
 pub use isolation::{LiveStateFingerprint, MessageInterceptor};
 pub use report::ExplorationReport;
 pub use scheduler::{ScheduleResult, SharedCoreScheduler};
+pub use session::{DiceBuilder, DiceSession};
 pub use symbolic_input::{fields, UpdateTemplate};
 
 // Re-exported so examples and benches can select the misconfiguration mode

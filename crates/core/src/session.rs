@@ -1,0 +1,409 @@
+//! The exploration session: configuration plus a pluggable checker
+//! registry, built once and reused across rounds.
+//!
+//! [`DiceBuilder`] composes a [`DiceSession`]:
+//!
+//! ```
+//! use dice_core::{DiceBuilder, ForwardingLoopChecker};
+//! use dice_symexec::EngineConfig;
+//!
+//! let session = DiceBuilder::new()
+//!     .engine(EngineConfig::default().with_max_runs(64))
+//!     .workers(2)
+//!     .checker(Box::new(ForwardingLoopChecker::new()))
+//!     .build();
+//! assert_eq!(session.checker_names(), ["forwarding-loop"]);
+//! ```
+//!
+//! The session owns its checkers as `Arc<dyn FaultChecker>`: they are
+//! constructed exactly once at `build()` time and shared by reference
+//! across the worker threads of every exploration round (the legacy
+//! `Dice::run` path rebuilt its hardcoded checker each round). A session
+//! with no registered checkers defaults to the paper's showcase
+//! [`OriginHijackChecker`], configured from
+//! [`DiceConfig::anycast_whitelist`].
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
+
+use dice_bgp::message::UpdateMessage;
+use dice_bgp::route::PeerId;
+use dice_router::BgpRouter;
+use dice_solver::SolverStats;
+use dice_symexec::{ConcolicEngine, Coverage, EngineConfig, InputValues};
+
+use crate::checker::{Fault, FaultChecker, OriginHijackChecker};
+use crate::explorer::DiceConfig;
+use crate::handler::{HandlerOutcome, SymbolicUpdateHandler};
+use crate::isolation::LiveStateFingerprint;
+use crate::report::ExplorationReport;
+use crate::symbolic_input::UpdateTemplate;
+
+/// Builds a [`DiceSession`]: engine/worker configuration plus the fault
+/// checker registry.
+#[derive(Default)]
+pub struct DiceBuilder {
+    config: DiceConfig,
+    checkers: Vec<Arc<dyn FaultChecker>>,
+}
+
+impl DiceBuilder {
+    /// Starts from the default configuration and an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replaces the whole configuration.
+    pub fn config(mut self, config: DiceConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the concolic engine configuration.
+    pub fn engine(mut self, engine: EngineConfig) -> Self {
+        self.config.engine = engine;
+        self
+    }
+
+    /// Sets the number of worker threads exploring observed inputs
+    /// concurrently (0 = available parallelism, 1 = sequential).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
+    /// Sets the maximum number of observed inputs explored per round.
+    pub fn max_observed_inputs(mut self, max: usize) -> Self {
+        self.config.max_observed_inputs = max;
+        self
+    }
+
+    /// Sets the anycast whitelist applied by the default
+    /// [`OriginHijackChecker`] (ignored once any checker is registered
+    /// explicitly — configure explicit checkers directly).
+    pub fn anycast_whitelist(mut self, prefixes: Vec<dice_bgp::Ipv4Prefix>) -> Self {
+        self.config.anycast_whitelist = prefixes;
+        self
+    }
+
+    /// Registers a fault checker. Checkers run against every explored
+    /// outcome in registration order. Registering any checker replaces the
+    /// default [`OriginHijackChecker`]; re-register it explicitly alongside
+    /// others to keep hijack detection.
+    pub fn checker(mut self, checker: Box<dyn FaultChecker>) -> Self {
+        self.checkers.push(Arc::from(checker));
+        self
+    }
+
+    /// Finalizes the session, constructing the checker registry once.
+    pub fn build(self) -> DiceSession {
+        let mut checkers = self.checkers;
+        if checkers.is_empty() {
+            checkers
+                .push(Arc::new(OriginHijackChecker::new().with_anycast_whitelist(
+                    self.config.anycast_whitelist.clone(),
+                )));
+        }
+        DiceSession {
+            config: self.config,
+            checkers: checkers.into(),
+        }
+    }
+}
+
+impl fmt::Debug for DiceBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DiceBuilder")
+            .field("config", &self.config)
+            .field(
+                "checkers",
+                &self.checkers.iter().map(|c| c.name()).collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+/// Everything one observed input contributes to the round's report.
+///
+/// Produced per `(peer, update)` pair — possibly on a worker thread — and
+/// merged into the [`ExplorationReport`] in input order, so the merged
+/// report is byte-for-byte the one sequential exploration produces.
+#[derive(Debug)]
+struct InputOutcome {
+    runs: usize,
+    distinct_paths: usize,
+    generated_inputs: usize,
+    waves: usize,
+    solver_stats: SolverStats,
+    coverage: Coverage,
+    intercepted_messages: usize,
+    faults: Vec<Fault>,
+}
+
+/// A configured exploration session: engine settings plus the checker
+/// registry, shared (cheaply, via `Arc`) across rounds and worker threads.
+#[derive(Clone)]
+pub struct DiceSession {
+    config: DiceConfig,
+    checkers: Arc<[Arc<dyn FaultChecker>]>,
+}
+
+impl Default for DiceSession {
+    fn default() -> Self {
+        DiceBuilder::new().build()
+    }
+}
+
+impl fmt::Debug for DiceSession {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DiceSession")
+            .field("config", &self.config)
+            .field("checkers", &self.checker_names())
+            .finish()
+    }
+}
+
+impl DiceSession {
+    /// Starts building a session.
+    pub fn builder() -> DiceBuilder {
+        DiceBuilder::new()
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &DiceConfig {
+        &self.config
+    }
+
+    /// The registered checker names, in application order.
+    pub fn checker_names(&self) -> Vec<&str> {
+        self.checkers.iter().map(|c| c.name()).collect()
+    }
+
+    /// Returns a session sharing this session's checker registry but using
+    /// `workers` exploration threads — how a fleet orchestrator slices a
+    /// global core budget across nodes without rebuilding checkers.
+    pub fn with_workers(&self, workers: usize) -> DiceSession {
+        let mut config = self.config.clone();
+        config.workers = workers;
+        DiceSession {
+            config,
+            checkers: Arc::clone(&self.checkers),
+        }
+    }
+
+    /// Returns a session whose engine solver workers are capped to
+    /// `budget` cores ([`EngineConfig::with_core_budget`]), checker
+    /// registry shared. Thread counts only — reports are unchanged.
+    pub fn with_engine_core_budget(&self, budget: usize) -> DiceSession {
+        let mut config = self.config.clone();
+        config.engine = config.engine.with_core_budget(budget);
+        DiceSession {
+            config,
+            checkers: Arc::clone(&self.checkers),
+        }
+    }
+
+    /// Runs one exploration round over the live router, seeding from the
+    /// given observed `(peer, update)` inputs.
+    ///
+    /// The live router is only read to take the checkpoint and to verify
+    /// isolation afterwards; all execution happens on clones. Observed
+    /// inputs are independent of each other (each explores its own clone of
+    /// the checkpoint), so they are fanned out across
+    /// [`DiceConfig::workers`] threads and their outcomes merged in input
+    /// order — the report is identical to a sequential round.
+    pub fn explore(
+        &self,
+        live: &BgpRouter,
+        observed: &[(PeerId, UpdateMessage)],
+    ) -> ExplorationReport {
+        let started = Instant::now();
+        let fingerprint = LiveStateFingerprint::capture(live);
+        // Checkpoint: a fork of the live node's state.
+        let checkpoint = live.clone();
+
+        let inputs = &observed[..observed.len().min(self.config.max_observed_inputs)];
+        let mut report = ExplorationReport {
+            observed_inputs: inputs.len(),
+            ..Default::default()
+        };
+
+        // Work-stealing fan-out over inputs; outcomes land in input order,
+        // so the merged report is identical to a sequential round.
+        let workers = self.effective_workers(inputs.len());
+        let outcomes: Vec<Option<InputOutcome>> =
+            crate::parallel::fan_out(inputs, workers, |(peer, update)| {
+                self.explore_input(&checkpoint, *peer, update)
+            });
+
+        let mut coverage = Coverage::new();
+        for outcome in outcomes.into_iter().flatten() {
+            report.runs += outcome.runs;
+            report.distinct_paths += outcome.distinct_paths;
+            report.generated_inputs += outcome.generated_inputs;
+            report.solver_waves += outcome.waves;
+            report.solver_stats.merge(&outcome.solver_stats);
+            coverage.merge(&outcome.coverage);
+            report.intercepted_messages += outcome.intercepted_messages;
+            for fault in outcome.faults {
+                if !report.faults.contains(&fault) {
+                    report.faults.push(fault);
+                }
+            }
+        }
+
+        report.branch_sites = coverage.site_count();
+        report.complete_sites = coverage.complete_sites();
+        report.isolation_preserved = fingerprint.matches(live);
+        report.elapsed = started.elapsed();
+        report
+    }
+
+    /// Explores one observed input from the checkpointed state.
+    ///
+    /// Returns `None` for inputs that yield no symbolic template (pure
+    /// withdrawals). Takes only shared references so input exploration can
+    /// run on worker threads.
+    fn explore_input(
+        &self,
+        checkpoint: &BgpRouter,
+        peer: PeerId,
+        update: &UpdateMessage,
+    ) -> Option<InputOutcome> {
+        let template = UpdateTemplate::from_update(update)?;
+        let seed: InputValues = template.seed();
+        let mut handler = SymbolicUpdateHandler::new(checkpoint.clone(), peer, template);
+        let engine = ConcolicEngine::with_config(self.config.engine);
+        let exploration = engine.explore(&mut handler, &[seed]);
+
+        let mut faults = Vec::new();
+        for run in &exploration.runs {
+            for fault in self.check_outcome(&run.output, checkpoint.rib()) {
+                if !faults.contains(&fault) {
+                    faults.push(fault);
+                }
+            }
+        }
+
+        Some(InputOutcome {
+            runs: exploration.stats.runs,
+            distinct_paths: exploration.distinct_paths(),
+            generated_inputs: exploration.generated_inputs().len(),
+            waves: exploration.stats.waves,
+            solver_stats: exploration.solver_stats,
+            coverage: exploration.coverage,
+            intercepted_messages: handler.interceptor().len(),
+            faults,
+        })
+    }
+
+    /// Applies every registered checker to one already-computed outcome, in
+    /// registration order.
+    pub fn check_outcome(&self, outcome: &HandlerOutcome, rib: &dice_router::Rib) -> Vec<Fault> {
+        self.checkers
+            .iter()
+            .filter_map(|checker| checker.check(outcome, rib))
+            .collect()
+    }
+
+    /// The worker count for a round over `input_count` inputs: the
+    /// configured count, or available parallelism when the configuration
+    /// says `0`, never more threads than inputs.
+    pub(crate) fn effective_workers(&self, input_count: usize) -> usize {
+        crate::parallel::resolve_cores(self.config.workers)
+            .min(input_count)
+            .max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::ForwardingLoopChecker;
+    use dice_bgp::attributes::RouteAttrs;
+    use dice_bgp::AsPath;
+    use dice_netsim::topology::{addr, figure2_topology, CustomerFilterMode};
+    use std::net::Ipv4Addr;
+
+    fn provider(mode: CustomerFilterMode) -> BgpRouter {
+        let topo = figure2_topology(mode);
+        let spec = &topo.nodes()[topo.node_by_name("Provider").expect("node").0];
+        let mut router = BgpRouter::new(spec.config.clone());
+        router.start();
+        router
+    }
+
+    #[test]
+    fn empty_builder_registers_the_default_hijack_checker() {
+        let session = DiceBuilder::new().build();
+        assert_eq!(session.checker_names(), ["origin-hijack"]);
+        assert!(format!("{session:?}").contains("origin-hijack"));
+        assert!(format!("{:?}", DiceBuilder::new()).contains("DiceBuilder"));
+    }
+
+    #[test]
+    fn registered_checkers_replace_the_default() {
+        let session = DiceBuilder::new()
+            .checker(Box::new(ForwardingLoopChecker::new()))
+            .checker(Box::new(OriginHijackChecker::new()))
+            .build();
+        assert_eq!(
+            session.checker_names(),
+            ["forwarding-loop", "origin-hijack"]
+        );
+    }
+
+    #[test]
+    fn builder_setters_reach_the_config() {
+        let session = DiceBuilder::new()
+            .engine(EngineConfig::default().with_max_runs(7))
+            .workers(3)
+            .max_observed_inputs(5)
+            .anycast_whitelist(vec!["0.0.0.0/0".parse().expect("valid")])
+            .build();
+        assert_eq!(session.config().engine.max_runs, 7);
+        assert_eq!(session.config().workers, 3);
+        assert_eq!(session.config().max_observed_inputs, 5);
+        assert_eq!(session.config().anycast_whitelist.len(), 1);
+    }
+
+    #[test]
+    fn with_workers_shares_the_checker_registry() {
+        let session = DiceBuilder::new().workers(1).build();
+        let wide = session.with_workers(4);
+        assert_eq!(wide.config().workers, 4);
+        assert_eq!(session.config().workers, 1);
+        assert!(Arc::ptr_eq(&session.checkers[0], &wide.checkers[0]));
+    }
+
+    #[test]
+    fn forwarding_loop_checker_fires_through_a_session_round() {
+        // The customer announces a block covering the peering links
+        // themselves (10.0.0.0/8): with no customer filtering the Provider
+        // accepts it, and the route's next hop (10.0.1.1) resolves through
+        // the route — the forwarding-loop scenario, invisible to the hijack
+        // checker because no covered route is installed.
+        let router = provider(CustomerFilterMode::Missing);
+        let customer = router.peer_by_address(addr::CUSTOMER).expect("peer");
+        let mut attrs = RouteAttrs::default();
+        attrs.as_path = AsPath::from_sequence([17557, 17557]);
+        attrs.next_hop = Ipv4Addr::new(10, 0, 1, 1);
+        let observed = UpdateMessage::announce(vec!["10.0.0.0/8".parse().expect("valid")], &attrs);
+
+        let session = DiceBuilder::new()
+            .checker(Box::new(OriginHijackChecker::new()))
+            .checker(Box::new(ForwardingLoopChecker::new()))
+            .build();
+        let report = session.explore(&router, &[(customer, observed.clone())]);
+        assert!(report.has_faults(), "loop checker must fire:\n{report}");
+        assert!(report.faults.iter().any(|f| f.checker == "forwarding-loop"));
+        assert!(report.faults.iter().all(|f| f.checker != "origin-hijack"));
+
+        // The same round through a hijack-only session stays clean: the
+        // fault class genuinely needs the second checker.
+        let hijack_only = DiceBuilder::new().build();
+        let report = hijack_only.explore(&router, &[(customer, observed)]);
+        assert!(!report.has_faults());
+    }
+}

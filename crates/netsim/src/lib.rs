@@ -27,7 +27,7 @@ pub mod trace;
 
 pub use metrics::{slowdown_percent, MeasuredRegion, ThroughputMeter};
 pub use replay::{ReplayStats, Replayer};
-pub use sim::{SimStats, Simulator};
+pub use sim::{ObservedInput, SimStats, Simulator};
 pub use topology::{figure2_topology, CustomerFilterMode, NodeId, NodeSpec, Topology};
 pub use trace::{
     generate_trace, BgpTrace, TraceEvent, TraceGenConfig, PAPER_TABLE_SIZE, PAPER_TRACE_SECONDS,

@@ -7,11 +7,23 @@
 
 use std::collections::VecDeque;
 
-use dice_bgp::message::BgpMessage;
+use dice_bgp::message::{BgpMessage, UpdateMessage};
 use dice_bgp::route::PeerId;
 use dice_router::BgpRouter;
 
 use crate::topology::{NodeId, Topology};
+
+/// One UPDATE observed by a node during simulation: the raw material DiCE
+/// exploration seeds from ("previously observed inputs", §2.3).
+#[derive(Debug, Clone)]
+pub struct ObservedInput {
+    /// The node that received the message.
+    pub node: NodeId,
+    /// The receiving node's peer the message arrived from.
+    pub peer: PeerId,
+    /// The UPDATE message.
+    pub update: UpdateMessage,
+}
 
 /// A message in flight between two nodes.
 #[derive(Debug, Clone)]
@@ -40,6 +52,7 @@ pub struct Simulator {
     link_delay: u64,
     queue: VecDeque<InFlight>,
     stats: SimStats,
+    observed: Vec<ObservedInput>,
 }
 
 impl Simulator {
@@ -60,6 +73,7 @@ impl Simulator {
             link_delay: 1,
             queue: VecDeque::new(),
             stats: SimStats::default(),
+            observed: Vec::new(),
         }
     }
 
@@ -116,9 +130,44 @@ impl Simulator {
             self.stats.undeliverable += 1;
             return;
         };
+        self.record_observed(node, peer, &message);
         let out = self.routers[node.0].handle_message(peer, &message);
         self.stats.delivered += 1;
         self.enqueue_outgoing(node, out);
+    }
+
+    /// Logs an UPDATE delivered to a node — exactly what the DiCE instance
+    /// beside that node would have observed on the wire. Non-UPDATE
+    /// messages carry no explorable input and are not recorded.
+    fn record_observed(&mut self, node: NodeId, peer: PeerId, message: &BgpMessage) {
+        if let BgpMessage::Update(update) = message {
+            self.observed.push(ObservedInput {
+                node,
+                peer,
+                update: update.clone(),
+            });
+        }
+    }
+
+    /// The UPDATEs a node observed so far, in delivery order, as the
+    /// `(peer, update)` pairs a DiCE exploration round seeds from.
+    pub fn observed_inputs(&self, node: NodeId) -> Vec<(PeerId, UpdateMessage)> {
+        self.observed
+            .iter()
+            .filter(|o| o.node == node)
+            .map(|o| (o.peer, o.update.clone()))
+            .collect()
+    }
+
+    /// The full observation log across all nodes, in delivery order.
+    pub fn observed_log(&self) -> &[ObservedInput] {
+        &self.observed
+    }
+
+    /// Clears the observation log (e.g. after harvesting one round's
+    /// inputs) without touching router or queue state.
+    pub fn clear_observed(&mut self) {
+        self.observed.clear();
     }
 
     fn enqueue_outgoing(&mut self, from_node: NodeId, outgoing: Vec<(PeerId, BgpMessage)>) {
@@ -169,6 +218,7 @@ impl Simulator {
         self.queue = remaining;
         let delivered = due.len();
         for m in due {
+            self.record_observed(m.to_node, m.from_peer, &m.message);
             let out = self.routers[m.to_node.0].handle_message(m.from_peer, &m.message);
             self.stats.delivered += 1;
             self.enqueue_outgoing(m.to_node, out);
@@ -303,6 +353,48 @@ mod tests {
             .best_route(&"8.8.0.0/16".parse().expect("valid"))
             .is_some());
         assert_eq!(sim.now(), 5);
+    }
+
+    #[test]
+    fn observed_inputs_are_harvested_per_node() {
+        let topo = figure2_topology(CustomerFilterMode::Missing);
+        let mut sim = Simulator::new(&topo);
+        let provider = topo.node_by_name("Provider").expect("node");
+        let customer = topo.node_by_name("Customer").expect("node");
+        let internet = topo.node_by_name("RestOfInternet").expect("node");
+
+        sim.inject(
+            provider,
+            addr::CUSTOMER,
+            announcement("41.1.0.0/16", &[asn::CUSTOMER], addr::CUSTOMER),
+        );
+        sim.run_to_quiescence(100);
+
+        // The Provider observed the injected customer announcement...
+        let provider_obs = sim.observed_inputs(provider);
+        assert_eq!(provider_obs.len(), 1);
+        assert_eq!(
+            provider_obs[0].1.nlri,
+            vec!["41.1.0.0/16".parse::<Ipv4Prefix>().expect("valid")]
+        );
+        // ...and the re-advertisement reached the Internet node, which
+        // observed it too; the customer saw nothing (split horizon back to
+        // the announcer still counts if delivered — here nothing was).
+        assert_eq!(sim.observed_inputs(internet).len(), 1);
+        assert!(sim.observed_inputs(customer).is_empty());
+        assert_eq!(sim.observed_log().len(), 2);
+
+        // Keepalives are not explorable inputs.
+        sim.inject(
+            provider,
+            addr::CUSTOMER,
+            BgpMessage::Keepalive(dice_bgp::message::KeepaliveMessage),
+        );
+        assert_eq!(sim.observed_log().len(), 2);
+
+        sim.clear_observed();
+        assert!(sim.observed_log().is_empty());
+        assert!(sim.observed_inputs(provider).is_empty());
     }
 
     #[test]

@@ -70,7 +70,11 @@ where
 }
 
 /// Configuration of the exploration loop.
+///
+/// `#[non_exhaustive]`: construct via [`EngineConfig::default`] and the
+/// `with_*` builder methods so future fields are not breaking changes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct EngineConfig {
     /// Maximum number of program executions (including seed runs).
     pub max_runs: usize,
@@ -105,6 +109,18 @@ pub struct EngineConfig {
     pub solver_workers: usize,
 }
 
+/// Resolves a configured core count: `0` (the codebase-wide "all cores"
+/// convention) becomes the machine's available parallelism, anything else
+/// passes through.
+fn resolve_cores(configured: usize) -> usize {
+    match configured {
+        0 => std::thread::available_parallelism()
+            .map(usize::from)
+            .unwrap_or(1),
+        n => n,
+    }
+}
+
 impl Default for EngineConfig {
     fn default() -> Self {
         EngineConfig {
@@ -117,6 +133,79 @@ impl Default for EngineConfig {
             batch_size: 16,
             solver_workers: 1,
         }
+    }
+}
+
+impl EngineConfig {
+    /// Sets the maximum number of program executions (including seeds).
+    pub fn with_max_runs(mut self, max_runs: usize) -> Self {
+        self.max_runs = max_runs;
+        self
+    }
+
+    /// Sets the maximum number of branches recorded per run.
+    pub fn with_max_branches_per_run(mut self, max: usize) -> Self {
+        self.max_branches_per_run = max;
+        self
+    }
+
+    /// Sets the maximum number of negation candidates taken from a single
+    /// run (0 means unlimited).
+    pub fn with_max_candidates_per_run(mut self, max: usize) -> Self {
+        self.max_candidates_per_run = max;
+        self
+    }
+
+    /// Sets the search strategy for candidate selection.
+    pub fn with_strategy(mut self, strategy: SearchStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Sets the solver configuration.
+    pub fn with_solver(mut self, solver: SolverConfig) -> Self {
+        self.solver = solver;
+        self
+    }
+
+    /// Enables or disables skipping candidates whose target direction is
+    /// already covered (forces the sequential inner loop when enabled).
+    pub fn with_prune_covered_directions(mut self, prune: bool) -> Self {
+        self.prune_covered_directions = prune;
+        self
+    }
+
+    /// Sets the batched-worklist wave size (0 disables batching and runs
+    /// the sequential negate-solve-execute loop).
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Sets the number of worker threads solving candidate groups in
+    /// batched mode (0 uses the machine's available parallelism).
+    pub fn with_solver_workers(mut self, workers: usize) -> Self {
+        self.solver_workers = workers;
+        self
+    }
+
+    /// Resolves `solver_workers` against a shared core budget and returns
+    /// the capped configuration: an orchestrator running many explorations
+    /// concurrently (per observed input, per topology node) hands each
+    /// engine a slice of the machine so nested parallelism never
+    /// oversubscribes. A `budget` of 0 means the machine's available
+    /// parallelism (the codebase-wide "0 = all cores" convention);
+    /// `solver_workers == 0` (auto) resolves to the budget itself. The
+    /// result is always at least one worker, and the cap only changes
+    /// thread counts — explorations are report-identical for every worker
+    /// count.
+    pub fn with_core_budget(mut self, budget: usize) -> Self {
+        let budget = resolve_cores(budget);
+        self.solver_workers = match self.solver_workers {
+            0 => budget,
+            n => n.min(budget),
+        };
+        self
     }
 }
 
@@ -598,13 +687,9 @@ impl ConcolicEngine {
     /// groups: the configured count, or available parallelism when the
     /// configuration says `0`, never more threads than groups.
     fn effective_solver_workers(&self, unit_count: usize) -> usize {
-        let configured = match self.config.solver_workers {
-            0 => std::thread::available_parallelism()
-                .map(usize::from)
-                .unwrap_or(1),
-            n => n,
-        };
-        configured.min(unit_count).max(1)
+        resolve_cores(self.config.solver_workers)
+            .min(unit_count)
+            .max(1)
     }
 
     /// Executes the program once and wraps the result in a [`RunRecord`].
@@ -902,5 +987,34 @@ mod tests {
             ..Default::default()
         });
         assert!(unlimited.effective_solver_workers(1_000) >= 1);
+    }
+
+    #[test]
+    fn core_budget_caps_solver_workers() {
+        // Explicit budgets cap explicit worker counts and resolve auto (0).
+        let capped = EngineConfig::default()
+            .with_solver_workers(8)
+            .with_core_budget(2);
+        assert_eq!(capped.solver_workers, 2);
+        let auto_workers = EngineConfig::default()
+            .with_solver_workers(0)
+            .with_core_budget(3);
+        assert_eq!(auto_workers.solver_workers, 3);
+        // Budget 0 follows the codebase-wide "0 = all cores" convention.
+        let all_cores = std::thread::available_parallelism()
+            .map(usize::from)
+            .unwrap_or(1);
+        let auto_budget = EngineConfig::default()
+            .with_solver_workers(0)
+            .with_core_budget(0);
+        assert_eq!(auto_budget.solver_workers, all_cores);
+        // Never below one worker.
+        assert_eq!(
+            EngineConfig::default()
+                .with_solver_workers(1)
+                .with_core_budget(1)
+                .solver_workers,
+            1
+        );
     }
 }

@@ -123,10 +123,7 @@ fn assert_equivalent<O: std::fmt::Debug + PartialEq>(
 }
 
 fn sequential_config() -> EngineConfig {
-    EngineConfig {
-        batch_size: 0,
-        ..Default::default()
-    }
+    EngineConfig::default().with_batch_size(0)
 }
 
 #[test]
@@ -138,11 +135,9 @@ fn figure1_is_identical_across_batch_sizes_and_workers() {
             let batched = explore(
                 figure1,
                 &seeds,
-                EngineConfig {
-                    batch_size,
-                    solver_workers,
-                    ..Default::default()
-                },
+                EngineConfig::default()
+                    .with_batch_size(batch_size)
+                    .with_solver_workers(solver_workers),
             );
             assert_equivalent(
                 &reference,
@@ -158,26 +153,12 @@ fn figure1_is_identical_across_batch_sizes_and_workers() {
 #[test]
 fn deep_chain_is_identical_and_batches_widely() {
     let seeds = [InputValues::new().with("v", 0)];
-    let config = EngineConfig {
-        max_runs: 64,
-        ..Default::default()
-    };
-    let reference = explore(
-        chain,
-        &seeds,
-        EngineConfig {
-            batch_size: 0,
-            ..config
-        },
-    );
+    let config = EngineConfig::default().with_max_runs(64);
+    let reference = explore(chain, &seeds, config.with_batch_size(0));
     let batched = explore(
         chain,
         &seeds,
-        EngineConfig {
-            batch_size: 16,
-            solver_workers: 2,
-            ..config
-        },
+        config.with_batch_size(16).with_solver_workers(2),
     );
     assert_equivalent(&reference, &batched, "deep chain");
     assert!(batched.stats.waves > 1, "the chain spans several waves");
@@ -200,11 +181,9 @@ fn remerging_paths_and_unsat_negations_are_identical() {
         let batched = explore(
             remerge,
             &seeds,
-            EngineConfig {
-                batch_size,
-                solver_workers: 2,
-                ..Default::default()
-            },
+            EngineConfig::default()
+                .with_batch_size(batch_size)
+                .with_solver_workers(2),
         );
         assert_equivalent(&reference, &batched, &format!("remerge batch={batch_size}"));
     }
@@ -229,27 +208,14 @@ fn non_batchable_strategies_remain_identical() {
         SearchStrategy::CoverageGuided,
         SearchStrategy::Random { seed: 42 },
     ] {
-        let config = EngineConfig {
-            max_runs: 32,
-            strategy,
-            ..Default::default()
-        };
-        let reference = explore(
-            chain,
-            &seeds,
-            EngineConfig {
-                batch_size: 0,
-                ..config
-            },
-        );
+        let config = EngineConfig::default()
+            .with_max_runs(32)
+            .with_strategy(strategy);
+        let reference = explore(chain, &seeds, config.with_batch_size(0));
         let batched = explore(
             chain,
             &seeds,
-            EngineConfig {
-                batch_size: 16,
-                solver_workers: 2,
-                ..config
-            },
+            config.with_batch_size(16).with_solver_workers(2),
         );
         assert_equivalent(&reference, &batched, &format!("{strategy:?}"));
     }
@@ -259,18 +225,8 @@ fn non_batchable_strategies_remain_identical() {
 fn tight_run_budgets_are_identical() {
     let seeds = [InputValues::new().with("v", 0)];
     for max_runs in 1..10 {
-        let config = EngineConfig {
-            max_runs,
-            ..Default::default()
-        };
-        let reference = explore(
-            chain,
-            &seeds,
-            EngineConfig {
-                batch_size: 0,
-                ..config
-            },
-        );
+        let config = EngineConfig::default().with_max_runs(max_runs);
+        let reference = explore(chain, &seeds, config.with_batch_size(0));
         let batched = explore(chain, &seeds, config);
         assert_equivalent(&reference, &batched, &format!("max_runs={max_runs}"));
         assert!(batched.runs.len() <= max_runs);

@@ -32,10 +32,7 @@ fn main() {
     let seed = InputValues::new().with("ttl", 64).with("metric", 10);
     println!("observed input: {seed}");
 
-    let engine = ConcolicEngine::with_config(EngineConfig {
-        max_runs: 32,
-        ..Default::default()
-    });
+    let engine = ConcolicEngine::with_config(EngineConfig::default().with_max_runs(32));
     let mut program = handler;
     let result = engine.explore(&mut program, &[seed]);
 

@@ -44,9 +44,14 @@ fn main() {
     let observed =
         UpdateMessage::announce(vec!["41.1.0.0/16".parse().expect("valid prefix")], &cattrs);
 
-    // 4. Run one DiCE exploration round: checkpoint, concolic exploration of
-    //    the UPDATE handler and the configured filters, fault checking.
-    let report = Dice::new().run_single(&router, customer, &observed);
+    // 4. Build an exploration session and run one DiCE round: checkpoint,
+    //    concolic exploration of the UPDATE handler and the configured
+    //    filters, fault checking. The builder owns the checker registry;
+    //    with none registered it defaults to the origin-hijack checker.
+    //    (The legacy one-liner still works:
+    //    `Dice::new().run_single(&router, customer, &observed)`.)
+    let session = DiceBuilder::new().build();
+    let report = session.explore(&router, &[(customer, observed.clone())]);
     println!("{report}");
 
     // 5. The erroneous filter lets the customer announce the victim's

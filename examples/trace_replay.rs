@@ -54,13 +54,9 @@ fn main() {
     let mut cattrs = RouteAttrs::default();
     cattrs.as_path = AsPath::from_sequence([asn::CUSTOMER, asn::CUSTOMER]);
     let observed = UpdateMessage::announce(vec!["41.1.0.0/16".parse().expect("valid")], &cattrs);
-    let dice = Dice::with_config(DiceConfig {
-        engine: EngineConfig {
-            max_runs: 8,
-            ..Default::default()
-        },
-        ..Default::default()
-    });
+    let dice = Dice::with_config(
+        DiceConfig::default().with_engine(EngineConfig::default().with_max_runs(8)),
+    );
     let checkpoint = router.clone();
     let loaded = replayer.replay_updates(&mut router, |fed| {
         if fed % 200 == 0 {

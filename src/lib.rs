@@ -28,10 +28,11 @@ pub mod prelude {
     pub use dice_bgp::AsPath;
     pub use dice_checkpoint::{CheckpointManager, Checkpointable};
     pub use dice_core::{
-        CheckpointedRouter, CustomerFilterMode, Dice, DiceConfig, ExplorationReport, Fault,
-        OriginHijackChecker, SharedCoreScheduler, UpdateTemplate,
+        CheckpointedRouter, CustomerFilterMode, Dice, DiceBuilder, DiceConfig, DiceSession,
+        ExplorationReport, Fault, FaultChecker, FaultKind, FleetExplorer, FleetFault, FleetReport,
+        ForwardingLoopChecker, OriginHijackChecker, SharedCoreScheduler, UpdateTemplate,
     };
-    pub use dice_netsim::topology::{addr, asn, figure2_topology};
+    pub use dice_netsim::topology::{addr, asn, figure2_topology, NodeId, Topology};
     pub use dice_netsim::{generate_trace, Replayer, Simulator, TraceGenConfig};
     pub use dice_router::{BgpRouter, NeighborConfig, RouterConfig};
     pub use dice_symexec::{ConcolicEngine, EngineConfig, ExecCtx, InputValues};
@@ -58,7 +59,19 @@ mod tests {
         let _: &DiceConfig = dice.config();
         let _ = ExplorationReport::default();
         let _: Option<Fault> = None;
+        let _: Option<FaultKind> = None;
         let _ = OriginHijackChecker::new();
+        let session: DiceSession = DiceBuilder::new()
+            .checker(Box::new(ForwardingLoopChecker::new()))
+            .build();
+        let fleet = FleetExplorer::new(session).with_core_budget(1);
+        let _: &DiceSession = fleet.session();
+        let _: Option<FleetFault> = None;
+        let _ = FleetReport::default();
+        let _ = NodeId(0);
+        let _ = Topology::new();
+        fn assert_checker<T: FaultChecker>() {}
+        assert_checker::<OriginHijackChecker>();
         let _ = SharedCoreScheduler::baseline();
         let observed = UpdateMessage::announce(vec![prefix], &RouteAttrs::default());
         let _ = UpdateTemplate::from_update(&observed);

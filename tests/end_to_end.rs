@@ -177,3 +177,69 @@ fn dice_report_is_reproducible_for_the_same_inputs() {
     assert_eq!(a.faults, b.faults);
     assert_eq!(a.leaked_prefixes(), b.leaked_prefixes());
 }
+
+/// The federated setting end to end through the umbrella crate: live
+/// simulation over Figure 2, per-node input harvesting, one exploration
+/// round beside every node through a two-checker session, fleet-wide
+/// deduplication — with the single-node path asserted byte-identical to
+/// legacy `Dice::run`.
+#[test]
+fn fleet_exploration_detects_the_leak_from_harvested_inputs() {
+    let topo = figure2_topology(CustomerFilterMode::Erroneous);
+    let provider = topo.node_by_name("Provider").expect("node");
+    let mut sim = Simulator::new(&topo);
+
+    // Live traffic: the Internet announces the victim prefix, then the
+    // customer makes its routine announcement.
+    let mut attrs = RouteAttrs::default();
+    attrs.as_path = AsPath::from_sequence([asn::INTERNET, 3356, 36561]);
+    attrs.next_hop = addr::INTERNET;
+    sim.inject(
+        provider,
+        addr::INTERNET,
+        BgpMessage::Update(UpdateMessage::announce(
+            vec!["208.65.152.0/22".parse().expect("valid")],
+            &attrs,
+        )),
+    );
+    sim.run_to_quiescence(100);
+    let mut cattrs = RouteAttrs::default();
+    cattrs.as_path = AsPath::from_sequence([asn::CUSTOMER, asn::CUSTOMER]);
+    cattrs.next_hop = addr::CUSTOMER;
+    sim.inject(
+        provider,
+        addr::CUSTOMER,
+        BgpMessage::Update(UpdateMessage::announce(
+            vec!["41.1.0.0/16".parse().expect("valid")],
+            &cattrs,
+        )),
+    );
+    sim.run_to_quiescence(100);
+
+    let session = DiceBuilder::new()
+        .checker(Box::new(OriginHijackChecker::new()))
+        .checker(Box::new(ForwardingLoopChecker::new()))
+        .build();
+    assert_eq!(
+        session.checker_names(),
+        ["origin-hijack", "forwarding-loop"]
+    );
+    let fleet = FleetExplorer::new(session).explore(&sim);
+
+    assert_eq!(fleet.nodes.len(), 3, "every Figure 2 node explored");
+    assert!(
+        fleet.has_faults(),
+        "the provider leak is detected:\n{fleet}"
+    );
+    assert!(fleet
+        .faults
+        .iter()
+        .any(|f| f.fault.checker == "origin-hijack" && f.nodes.contains(&provider)));
+    assert!(fleet.nodes.iter().all(|n| n.report.isolation_preserved));
+
+    // The single-node fleet path is byte-identical to legacy Dice::run
+    // over the same harvested inputs.
+    let single = FleetExplorer::default().explore_nodes(&sim, &[provider]);
+    let legacy = Dice::new().run(sim.router(provider), &sim.observed_inputs(provider));
+    assert_eq!(single.nodes[0].report.digest(), legacy.digest());
+}

@@ -209,4 +209,68 @@ proptest! {
         let (decoded, _) = wire::decode(&bytes).expect("generated message is valid");
         prop_assert_eq!(decoded, BgpMessage::Update(update));
     }
+
+    /// Fleet-wide fault deduplication is lossless: every fault present in
+    /// any per-node report is represented in the merged list (same fleet
+    /// key), every representative carries provenance, and no two merged
+    /// entries share a key.
+    #[test]
+    fn fleet_dedup_never_drops_a_fault(
+        per_node in prop::collection::vec(
+            prop::collection::vec((0u32..8, 0u32..4, 0u32..3, 0u8..2), 0..6),
+            1..5,
+        ),
+    ) {
+        use dice::core::{dedup_fleet_faults, FaultKind};
+        use dice_bgp::Asn;
+
+        // Synthesize per-node reports from small tuples so collisions
+        // within and across nodes are common.
+        let reports: Vec<ExplorationReport> = per_node
+            .iter()
+            .map(|faults| ExplorationReport {
+                faults: faults
+                    .iter()
+                    .map(|&(block, origin, existing, checker)| {
+                        let announced =
+                            Ipv4Prefix::new(block << 24, 24).expect("len <= 32");
+                        let kind = FaultKind::PotentialHijack {
+                            announced,
+                            claimed_origin: Asn(64_512 + origin),
+                            existing_prefix: announced,
+                            existing_origin: Asn(65_000 + existing),
+                        };
+                        Fault::new(if checker == 0 { "origin-hijack" } else { "other" }, kind)
+                    })
+                    .collect(),
+                ..Default::default()
+            })
+            .collect();
+        let keyed: Vec<(NodeId, &ExplorationReport)> = reports
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (NodeId(i), r))
+            .collect();
+
+        let merged = dedup_fleet_faults(&keyed);
+        let merged_keys: Vec<_> = merged.iter().map(|f| f.fault.fleet_key()).collect();
+
+        // Lossless: every sighting is represented, with its node recorded.
+        for (node, report) in &keyed {
+            for fault in &report.faults {
+                let idx = merged_keys
+                    .iter()
+                    .position(|k| *k == fault.fleet_key());
+                let Some(idx) = idx else {
+                    panic!("fault {fault} dropped by fleet dedup");
+                };
+                prop_assert!(merged[idx].nodes.contains(node));
+            }
+        }
+        // Deduplicated: keys are unique and provenance is first-sighting.
+        for (i, key) in merged_keys.iter().enumerate() {
+            prop_assert_eq!(merged_keys.iter().position(|k| k == key), Some(i));
+            prop_assert_eq!(merged[i].fault.node, merged[i].nodes.first().copied());
+        }
+    }
 }
