@@ -1,0 +1,176 @@
+//! Live-orchestration benchmark: continuous multi-round exploration
+//! against a progressing simulation vs one end-of-run harvested round,
+//! with the equivalence assertion that guards the orchestrator — a
+//! single-round live run over a quiesced simulator is byte-identical to
+//! `FleetExplorer::explore` on the same state.
+//!
+//! Set `DICE_BENCH_LIVE_JSON=<path>` to write the comparison as a JSON
+//! baseline artifact (CI uploads `BENCH_live.json` next to
+//! `BENCH_solver.json` and `BENCH_fleet.json`).
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dice_bgp::attributes::RouteAttrs;
+use dice_bgp::message::{BgpMessage, UpdateMessage};
+use dice_bgp::AsPath;
+use dice_core::{
+    DiceBuilder, DiceSession, FleetExplorer, LiveOrchestrator, LiveReport, OriginHijackChecker,
+    RouteOscillationChecker,
+};
+use dice_netsim::topology::{addr, asn, figure2_topology, CustomerFilterMode, NodeId};
+use dice_netsim::Simulator;
+use dice_symexec::EngineConfig;
+
+const EPOCH_BLOCKS: [&str; 4] = [
+    "41.1.0.0/16",
+    "41.64.0.0/12",
+    "41.128.0.0/12",
+    "41.192.0.0/12",
+];
+
+fn announcement(prefix: &str, path: &[u32], next_hop: std::net::Ipv4Addr) -> BgpMessage {
+    let mut attrs = RouteAttrs::default();
+    attrs.as_path = AsPath::from_sequence(path.iter().copied());
+    attrs.next_hop = next_hop;
+    BgpMessage::Update(UpdateMessage::announce(
+        vec![prefix.parse().expect("valid prefix")],
+        &attrs,
+    ))
+}
+
+fn fresh_sim() -> (Simulator, NodeId) {
+    let topo = figure2_topology(CustomerFilterMode::Erroneous);
+    let provider = topo.node_by_name("Provider").expect("node");
+    let mut sim = Simulator::new(&topo);
+    sim.inject(
+        provider,
+        addr::INTERNET,
+        announcement(
+            "208.65.152.0/22",
+            &[asn::INTERNET, 3356, asn::VICTIM],
+            addr::INTERNET,
+        ),
+    );
+    sim.run_to_quiescence(100);
+    (sim, provider)
+}
+
+fn session() -> DiceSession {
+    DiceBuilder::new()
+        .engine(EngineConfig::default().with_max_runs(64))
+        .checker(Box::new(OriginHijackChecker::new()))
+        .checker(Box::new(RouteOscillationChecker::new()))
+        .build()
+}
+
+/// One continuous run: an epoch of customer traffic per round.
+fn live_run(core_budget: usize) -> LiveReport {
+    let (mut sim, provider) = fresh_sim();
+    LiveOrchestrator::new(session())
+        .with_core_budget(core_budget)
+        .run(&mut sim, |sim, epoch| {
+            if let Some(block) = EPOCH_BLOCKS.get(epoch) {
+                sim.inject(
+                    provider,
+                    addr::CUSTOMER,
+                    announcement(block, &[asn::CUSTOMER, asn::CUSTOMER], addr::CUSTOMER),
+                );
+            }
+            epoch + 1 < EPOCH_BLOCKS.len()
+        })
+}
+
+fn bench_live(c: &mut Criterion) {
+    let mut group = c.benchmark_group("live");
+    group.sample_size(10);
+
+    group.bench_function("figure2_continuous_rounds_budget1", |b| {
+        b.iter(|| std::hint::black_box(live_run(1).total_runs()))
+    });
+
+    group.bench_function("figure2_continuous_rounds_all_cores", |b| {
+        b.iter(|| std::hint::black_box(live_run(0).total_runs()))
+    });
+
+    group.finish();
+
+    // Direct readout + JSON baseline, plus the two guarantees that guard
+    // the orchestrator: budget-invariant digests, and the single-round
+    // equivalence anchor against FleetExplorer.
+    let reps: u32 = std::env::var("DICE_BENCH_SAMPLE_SIZE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+    let time = |budget: usize| -> (Duration, LiveReport) {
+        let mut best = Duration::MAX;
+        let mut last = LiveReport::default();
+        for _ in 0..reps.max(1) {
+            let start = Instant::now();
+            last = live_run(budget);
+            best = best.min(start.elapsed());
+        }
+        (best, last)
+    };
+    let (sequential_time, sequential) = time(1);
+    let (parallel_time, parallel) = time(0);
+    assert_eq!(
+        sequential.digest(),
+        parallel.digest(),
+        "live reports must be identical for every core budget"
+    );
+    assert_eq!(sequential.rounds.len(), EPOCH_BLOCKS.len());
+    assert!(sequential.has_faults(), "the provider leak is detected");
+
+    // Anchor: one quiesced round == FleetExplorer, byte for byte.
+    let (mut sim, provider) = fresh_sim();
+    sim.inject(
+        provider,
+        addr::CUSTOMER,
+        announcement(
+            EPOCH_BLOCKS[0],
+            &[asn::CUSTOMER, asn::CUSTOMER],
+            addr::CUSTOMER,
+        ),
+    );
+    sim.run_to_quiescence(100);
+    let fleet = FleetExplorer::new(session()).explore(&sim);
+    let single = LiveOrchestrator::new(session()).run(&mut sim, |_, _| false);
+    assert_eq!(
+        single.rounds[0].report.digest(),
+        fleet.digest(),
+        "single-round live run must match FleetExplorer exactly"
+    );
+
+    let speedup = sequential_time.as_secs_f64() / parallel_time.as_secs_f64().max(f64::EPSILON);
+    println!(
+        "\nlive run ({} rounds, {} runs, {} fault(s), {} cores): sequential {:?}, parallel {:?}, speedup {:.2}x",
+        sequential.rounds.len(),
+        sequential.total_runs(),
+        sequential.faults.len(),
+        std::thread::available_parallelism()
+            .map(usize::from)
+            .unwrap_or(1),
+        sequential_time,
+        parallel_time,
+        speedup,
+    );
+
+    if let Ok(path) = std::env::var("DICE_BENCH_LIVE_JSON") {
+        let json = format!(
+            "{{\n  \"bench\": \"live_figure2_continuous\",\n  \"rounds\": {},\n  \"runs\": {},\n  \
+             \"faults\": {},\n  \"sequential_ns\": {},\n  \"parallel_ns\": {},\n  \
+             \"speedup\": {speedup:.4}\n}}\n",
+            sequential.rounds.len(),
+            sequential.total_runs(),
+            sequential.faults.len(),
+            sequential_time.as_nanos(),
+            parallel_time.as_nanos(),
+        );
+        std::fs::write(&path, json).expect("write bench baseline");
+        println!("wrote perf baseline to {path}");
+    }
+}
+
+criterion_group!(benches, bench_live);
+criterion_main!(benches);

@@ -6,7 +6,7 @@
 //! [`crate::DiceBuilder::checker`]; the session applies every registered
 //! checker to every explored outcome.
 //!
-//! Two checkers ship with the crate:
+//! Three checkers ship with the crate:
 //!
 //! * [`OriginHijackChecker`] — the showcase checker of §4.2: "for each
 //!   exploratory message, we check whether the announced route is accepted,
@@ -18,6 +18,11 @@
 //!   whose NLRI covers their own BGP next hop with no more-specific
 //!   installed route to resolve it: installing such a route makes next-hop
 //!   resolution recurse through the route itself, a forwarding loop.
+//! * [`RouteOscillationChecker`] — a *sequence-aware* checker over
+//!   [`FaultChecker::check_round`]: it replays the intercepted message
+//!   sequences of a whole round's runs and flags prefixes the node would
+//!   alternately announce and withdraw — the route-flapping signature that
+//!   per-outcome checks cannot see.
 
 use std::fmt;
 use std::net::Ipv4Addr;
@@ -73,6 +78,19 @@ pub enum FaultKind {
         /// The next hop that would resolve through the announcement.
         next_hop: Ipv4Addr,
     },
+    /// Across one round's exploratory runs the node alternately announced
+    /// and withdrew the same prefix: inputs within the observed envelope
+    /// flip the import verdict back and forth, so the deployment would
+    /// flap the route.
+    RouteOscillation {
+        /// The prefix the node would flap.
+        announced: Ipv4Prefix,
+        /// Announce↔withdraw transitions observed across the round's runs.
+        /// Deliberately excluded from the [`fmt::Display`] rendering so the
+        /// fleet/cross-round dedup key ([`Fault::fleet_key`]) stays stable
+        /// when later rounds observe more flips of the same prefix.
+        transitions: usize,
+    },
 }
 
 impl Fault {
@@ -97,6 +115,7 @@ impl Fault {
         match &self.kind {
             FaultKind::PotentialHijack { announced, .. } => *announced,
             FaultKind::ForwardingLoop { announced, .. } => *announced,
+            FaultKind::RouteOscillation { announced, .. } => *announced,
         }
     }
 
@@ -135,6 +154,15 @@ impl fmt::Display for FaultKind {
                     "forwarding loop: {announced} covers its own next hop {next_hop}"
                 )
             }
+            FaultKind::RouteOscillation { announced, .. } => {
+                // The transition count is intentionally not rendered: the
+                // rendering is the dedup key, and the same flapping prefix
+                // must collapse across rounds that saw different counts.
+                write!(
+                    f,
+                    "route oscillation: {announced} alternates between announce and withdraw"
+                )
+            }
         }
     }
 }
@@ -161,6 +189,21 @@ pub trait FaultChecker: Send + Sync {
     /// Inspects one outcome against the checkpointed routing table taken
     /// before exploration started.
     fn check(&self, outcome: &HandlerOutcome, checkpoint_rib: &Rib) -> Option<Fault>;
+
+    /// Inspects a whole round's outcomes *as a sequence*, in execution
+    /// order (seed runs first, then generated runs, concatenated over
+    /// observed inputs in input order), against the checkpointed routing
+    /// table.
+    ///
+    /// The default implementation reports nothing — per-outcome checkers
+    /// need not care. Sequence-aware checkers such as
+    /// [`RouteOscillationChecker`] override it to detect misbehaviour that
+    /// only shows across runs (flapping, churn). The session applies it
+    /// once per exploration round, after the per-outcome pass.
+    fn check_round(&self, outcomes: &[HandlerOutcome], checkpoint_rib: &Rib) -> Vec<Fault> {
+        let _ = (outcomes, checkpoint_rib);
+        Vec::new()
+    }
 }
 
 /// The origin-misconfiguration (prefix hijack / route leak) checker.
@@ -267,10 +310,99 @@ impl FaultChecker for ForwardingLoopChecker {
     }
 }
 
+/// Flags prefixes the node would alternately announce and withdraw across
+/// one round's exploratory runs — route flapping driven by inputs inside
+/// the observed envelope.
+///
+/// The checker is sequence-aware: it implements
+/// [`FaultChecker::check_round`] over the round's [`HandlerOutcome`]s in
+/// execution order, derives one announce/withdraw event per run and prefix
+/// from the recorded intercepted message sequence
+/// ([`HandlerOutcome::intercepted`]), and reports every prefix whose event
+/// sequence flips direction at least
+/// [`min_transitions`](RouteOscillationChecker::with_min_transitions)
+/// times (default 2 — a full announce→withdraw→announce cycle). The
+/// per-outcome [`FaultChecker::check`] hook reports nothing.
+#[derive(Debug, Clone, Copy)]
+pub struct RouteOscillationChecker {
+    min_transitions: usize,
+}
+
+impl Default for RouteOscillationChecker {
+    fn default() -> Self {
+        RouteOscillationChecker { min_transitions: 2 }
+    }
+}
+
+impl RouteOscillationChecker {
+    /// Creates the checker with the default threshold of two transitions
+    /// (one full announce/withdraw cycle).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets how many announce↔withdraw transitions a prefix's event
+    /// sequence needs before it is reported (clamped to at least 1).
+    pub fn with_min_transitions(mut self, transitions: usize) -> Self {
+        self.min_transitions = transitions.max(1);
+        self
+    }
+}
+
+impl FaultChecker for RouteOscillationChecker {
+    fn name(&self) -> &str {
+        "route-oscillation"
+    }
+
+    fn check(&self, _outcome: &HandlerOutcome, _checkpoint_rib: &Rib) -> Option<Fault> {
+        None
+    }
+
+    fn check_round(&self, outcomes: &[HandlerOutcome], _checkpoint_rib: &Rib) -> Vec<Fault> {
+        use std::collections::{BTreeMap, BTreeSet};
+
+        // One event per (run, prefix, direction): a run announcing the same
+        // prefix to three peers is one announce event, not three.
+        let mut events: BTreeMap<Ipv4Prefix, Vec<bool>> = BTreeMap::new();
+        for outcome in outcomes {
+            let mut announced: BTreeSet<Ipv4Prefix> = BTreeSet::new();
+            let mut withdrawn: BTreeSet<Ipv4Prefix> = BTreeSet::new();
+            for (_, update) in &outcome.intercepted {
+                announced.extend(update.nlri.iter().copied());
+                withdrawn.extend(update.withdrawn.iter().copied());
+            }
+            for prefix in announced {
+                events.entry(prefix).or_default().push(true);
+            }
+            for prefix in withdrawn {
+                events.entry(prefix).or_default().push(false);
+            }
+        }
+
+        // BTreeMap iteration keeps the report order deterministic.
+        events
+            .into_iter()
+            .filter_map(|(prefix, sequence)| {
+                let transitions = sequence.windows(2).filter(|w| w[0] != w[1]).count();
+                (transitions >= self.min_transitions).then(|| {
+                    Fault::new(
+                        self.name(),
+                        FaultKind::RouteOscillation {
+                            announced: prefix,
+                            transitions,
+                        },
+                    )
+                })
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use dice_bgp::attributes::RouteAttrs;
+    use dice_bgp::message::UpdateMessage;
     use dice_bgp::route::{PeerId, Route};
     use dice_bgp::AsPath;
     use dice_router::{FilterOutcome, FilterVerdict};
@@ -307,8 +439,22 @@ mod tests {
                 prepend: 0,
                 added_communities: Vec::new(),
             },
-            intercepted_messages: 0,
+            intercepted: Vec::new(),
         }
+    }
+
+    /// An outcome that would have emitted one announce (or withdraw) of
+    /// `prefix` toward a single peer.
+    fn outcome_emitting(prefix: &str, announce: bool) -> HandlerOutcome {
+        let mut o = outcome(prefix, 17557, announce);
+        let parsed: Ipv4Prefix = prefix.parse().expect("valid");
+        let update = if announce {
+            UpdateMessage::announce(vec![parsed], &RouteAttrs::default())
+        } else {
+            UpdateMessage::withdraw(vec![parsed])
+        };
+        o.intercepted = vec![(PeerId(9), update)];
+        o
     }
 
     #[test]
@@ -400,11 +546,90 @@ mod tests {
         let checkers: Vec<std::sync::Arc<dyn FaultChecker>> = vec![
             std::sync::Arc::new(OriginHijackChecker::new()),
             std::sync::Arc::new(ForwardingLoopChecker::new()),
+            std::sync::Arc::new(RouteOscillationChecker::new()),
         ];
         let names: Vec<&str> = checkers.iter().map(|c| c.name()).collect();
-        assert_eq!(names, ["origin-hijack", "forwarding-loop"]);
+        assert_eq!(
+            names,
+            ["origin-hijack", "forwarding-loop", "route-oscillation"]
+        );
         fn assert_send_sync<T: Send + Sync>(_: &T) {}
         assert_send_sync(&checkers);
+        // The default round hook reports nothing for per-outcome checkers.
+        let rib = Rib::new();
+        let round = [outcome("10.0.0.0/8", 17557, true)];
+        assert!(checkers[0].check_round(&round, &rib).is_empty());
+    }
+
+    #[test]
+    fn oscillation_flags_a_full_announce_withdraw_cycle() {
+        let checker = RouteOscillationChecker::new();
+        let rib = rib_with_youtube();
+        let round = [
+            outcome_emitting("41.1.0.0/16", true),
+            outcome_emitting("41.1.0.0/16", false),
+            outcome_emitting("41.1.0.0/16", true),
+        ];
+        let faults = checker.check_round(&round, &rib);
+        assert_eq!(faults.len(), 1);
+        let fault = &faults[0];
+        assert_eq!(fault.checker, "route-oscillation");
+        assert_eq!(fault.leaked_prefix().to_string(), "41.1.0.0/16");
+        match fault.kind {
+            FaultKind::RouteOscillation { transitions, .. } => assert_eq!(transitions, 2),
+            ref other => panic!("unexpected fault kind {other:?}"),
+        }
+        assert!(fault.to_string().contains("route oscillation"));
+        // The per-outcome hook stays silent by design.
+        assert!(checker.check(&round[0], &rib).is_none());
+    }
+
+    #[test]
+    fn oscillation_needs_enough_transitions_and_matching_prefixes() {
+        let checker = RouteOscillationChecker::new();
+        let rib = Rib::new();
+        // Announce then withdraw is one transition — half a cycle.
+        let half = [
+            outcome_emitting("41.1.0.0/16", true),
+            outcome_emitting("41.1.0.0/16", false),
+        ];
+        assert!(checker.check_round(&half, &rib).is_empty());
+        // Flips across *different* prefixes never alternate.
+        let disjoint = [
+            outcome_emitting("41.1.0.0/16", true),
+            outcome_emitting("41.64.0.0/12", false),
+            outcome_emitting("41.1.0.0/16", true),
+        ];
+        assert!(checker.check_round(&disjoint, &rib).is_empty());
+        // A lowered threshold reports the half cycle.
+        let eager = RouteOscillationChecker::new().with_min_transitions(0);
+        assert_eq!(eager.check_round(&half, &rib).len(), 1);
+        // Runs that intercept nothing contribute no events.
+        let quiet = [outcome("41.1.0.0/16", 17557, false)];
+        assert!(checker.check_round(&quiet, &rib).is_empty());
+    }
+
+    #[test]
+    fn oscillation_fleet_key_is_stable_across_transition_counts() {
+        // Rounds of different lengths see different flip counts for the
+        // same flapping prefix; dedup across rounds must still collapse
+        // them into one fault.
+        let few = Fault::new(
+            "route-oscillation",
+            FaultKind::RouteOscillation {
+                announced: "41.1.0.0/16".parse().expect("valid"),
+                transitions: 2,
+            },
+        );
+        let many = Fault::new(
+            "route-oscillation",
+            FaultKind::RouteOscillation {
+                announced: "41.1.0.0/16".parse().expect("valid"),
+                transitions: 7,
+            },
+        );
+        assert_eq!(few.fleet_key(), many.fleet_key());
+        assert_ne!(few, many, "the counts still distinguish values");
     }
 
     #[test]

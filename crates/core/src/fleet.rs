@@ -28,12 +28,18 @@ use std::collections::HashMap;
 use std::fmt;
 use std::time::{Duration, Instant};
 
+use dice_bgp::message::UpdateMessage;
+use dice_bgp::route::PeerId;
 use dice_netsim::topology::NodeId;
 use dice_netsim::Simulator;
 
 use crate::checker::Fault;
 use crate::report::ExplorationReport;
 use crate::session::DiceSession;
+
+/// One node's harvest window: the `(peer, update)` inputs its round
+/// explores.
+pub type NodeWindow = (NodeId, Vec<(PeerId, UpdateMessage)>);
 
 /// One node's contribution to a fleet round.
 #[derive(Debug, Clone)]
@@ -230,24 +236,12 @@ impl FleetExplorer {
     /// Duplicate ids are explored once: the report has one entry per
     /// distinct node, in first-occurrence order.
     pub fn explore_nodes(&self, sim: &Simulator, nodes: &[NodeId]) -> FleetReport {
-        let started = Instant::now();
         let mut seen = std::collections::HashSet::new();
         let nodes: Vec<NodeId> = nodes
             .iter()
             .copied()
             .filter(|node| seen.insert(*node))
             .collect();
-        let budget = crate::parallel::resolve_cores(self.core_budget);
-        // Split the budget: F node rounds run concurrently, each with
-        // budget/F input workers and a single solver worker per input
-        // (EngineConfig::with_core_budget). Total threads stay within the
-        // budget instead of multiplying across the three nesting levels.
-        let concurrent = budget.min(nodes.len()).max(1);
-        let workers_per_node = (budget / concurrent).max(1);
-        let node_session = self
-            .session
-            .with_workers(workers_per_node)
-            .with_engine_core_budget(1);
 
         // Harvest in one pass over the delivery log, grouping entries by
         // requested node (cloning only what an explored node observed).
@@ -264,19 +258,65 @@ impl FleetExplorer {
             .iter()
             .map(|&node| (node, by_node.remove(&node).unwrap_or_default()))
             .collect();
+        self.explore_windows(sim, harvested)
+    }
 
-        // Work-stealing fan-out over nodes, results merged back in topology
+    /// Runs one round over explicit per-node input windows — the
+    /// continuous-orchestration entry point: [`crate::LiveOrchestrator`]
+    /// harvests an incremental epoch window per node
+    /// ([`Simulator::observed_inputs_in`]) and hands it here, so each round
+    /// explores only what arrived since the previous one.
+    ///
+    /// Duplicate node ids collapse to their first occurrence. The global
+    /// core budget is split with per-node worker pools sized by observed
+    /// -input volume: a node that observed most of the window gets most of
+    /// the budget. As everywhere, budgets bound *threads*, not results —
+    /// for identical windows the report digest is byte-identical to
+    /// [`FleetExplorer::explore_nodes`] for every budget setting.
+    pub fn explore_windows(&self, sim: &Simulator, windows: Vec<NodeWindow>) -> FleetReport {
+        let started = Instant::now();
+        let mut seen = std::collections::HashSet::new();
+        let windows: Vec<NodeWindow> = windows
+            .into_iter()
+            .filter(|(node, _)| seen.insert(*node))
+            .collect();
+
+        let budget = crate::parallel::resolve_cores(self.core_budget);
+        // Split the budget: at most `concurrent` node rounds run at once,
+        // each with one baseline worker plus a share of the leftover
+        // budget proportional to its window's observed-input volume, and a
+        // single solver worker per input (EngineConfig::with_core_budget).
+        // The floors guarantee the extras sum to at most `budget -
+        // concurrent`, so any `concurrent` rounds running simultaneously
+        // hold at most `budget` threads — no skew of window sizes can
+        // oversubscribe the machine across the three nesting levels.
+        let concurrent = budget.min(windows.len()).max(1);
+        let total_inputs: usize = windows.iter().map(|(_, inputs)| inputs.len()).sum();
+        let extra = budget.saturating_sub(concurrent);
+        let sessions: Vec<DiceSession> = windows
+            .iter()
+            .map(|(_, inputs)| {
+                let share = 1
+                    + (extra * inputs.len())
+                        .checked_div(total_inputs)
+                        .unwrap_or(0);
+                self.session.with_workers(share).with_engine_core_budget(1)
+            })
+            .collect();
+        let items: Vec<(usize, &NodeWindow)> = windows.iter().enumerate().collect();
+
+        // Work-stealing fan-out over nodes, results merged back in window
         // order so the report is deterministic for every budget.
-        let reports = crate::parallel::fan_out(&harvested, concurrent, |(node, observed)| {
-            node_session.explore(sim.router(*node), observed)
+        let reports = crate::parallel::fan_out(&items, concurrent, |(i, (node, observed))| {
+            sessions[*i].explore(sim.router(*node), observed)
         });
 
-        let node_reports: Vec<NodeReport> = nodes
+        let node_reports: Vec<NodeReport> = windows
             .iter()
             .zip(reports)
-            .map(|(&node, report)| NodeReport {
-                node,
-                name: sim.name(node).to_string(),
+            .map(|((node, _), report)| NodeReport {
+                node: *node,
+                name: sim.name(*node).to_string(),
                 report,
             })
             .collect();
@@ -423,6 +463,47 @@ mod tests {
         for fault in &report.faults {
             assert!(merged_keys.contains(&fault.fleet_key()));
         }
+    }
+
+    #[test]
+    fn explore_windows_on_full_windows_matches_explore_nodes() {
+        let sim = simulated_figure2(CustomerFilterMode::Erroneous);
+        let nodes: Vec<NodeId> = (0..sim.len()).map(NodeId).collect();
+        let explorer = FleetExplorer::default();
+
+        let via_nodes = explorer.explore_nodes(&sim, &nodes);
+        let head = sim.observed_cursor();
+        let windows: Vec<_> = nodes
+            .iter()
+            .map(|&n| (n, sim.observed_inputs_in(n, 0, head)))
+            .collect();
+        let via_windows = explorer.explore_windows(&sim, windows);
+        assert_eq!(via_windows.digest(), via_nodes.digest());
+
+        // Volume-adaptive budgets only change thread counts, never the
+        // report: wildly different budgets agree byte for byte.
+        let windows = |_| {
+            nodes
+                .iter()
+                .map(|&n| (n, sim.observed_inputs_in(n, 0, head)))
+                .collect::<Vec<_>>()
+        };
+        for budget in [1usize, 3, 16] {
+            let report = FleetExplorer::default()
+                .with_core_budget(budget)
+                .explore_windows(&sim, windows(budget));
+            assert_eq!(report.digest(), via_nodes.digest(), "budget {budget}");
+        }
+        // Duplicate window entries collapse to the first occurrence.
+        let mut duplicated = windows(0);
+        let extra = duplicated[0].clone();
+        duplicated.push(extra);
+        let report = explorer.explore_windows(&sim, duplicated);
+        assert_eq!(report.digest(), via_nodes.digest());
+        // An empty window set yields an empty report.
+        let empty = explorer.explore_windows(&sim, Vec::new());
+        assert!(empty.nodes.is_empty());
+        assert!(!empty.has_faults());
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! rather than sent (§2.3: "DiCE intercepts the messages generated during
 //! exploration").
 
+use dice_bgp::message::UpdateMessage;
 use dice_bgp::prefix::Ipv4Prefix;
 use dice_bgp::route::PeerId;
 use dice_router::policy::eval_filter;
@@ -29,8 +30,25 @@ pub struct HandlerOutcome {
     pub next_hop: std::net::Ipv4Addr,
     /// The filter outcome (attribute modifications requested).
     pub filter: FilterOutcome,
-    /// Number of messages the node would have emitted (all intercepted).
-    pub intercepted_messages: usize,
+    /// The messages this execution would have emitted, in emission order —
+    /// all intercepted, never sent. Sequence-aware checkers (e.g.
+    /// [`crate::RouteOscillationChecker`]) read announce/withdraw events
+    /// from here across a round's runs.
+    pub intercepted: Vec<(PeerId, UpdateMessage)>,
+}
+
+impl HandlerOutcome {
+    /// Number of messages the execution would have emitted (all
+    /// intercepted).
+    ///
+    /// Migration shim: this used to be a plain `usize` field of the same
+    /// name; it is now derived from the recorded
+    /// [`intercepted`](HandlerOutcome::intercepted) message *sequence*.
+    /// Existing `outcome.intercepted_messages` readers only need added
+    /// parentheses; the field form goes away entirely in the next release.
+    pub fn intercepted_messages(&self) -> usize {
+        self.intercepted.len()
+    }
 }
 
 /// The symbolic UPDATE handler explored by the concolic engine.
@@ -113,14 +131,27 @@ impl SymbolicProgram for SymbolicUpdateHandler {
         let accepted = filter_outcome.is_accept();
 
         // If accepted, the node would re-advertise to its other established
-        // peers; those exploratory messages are intercepted, never sent.
-        let mut intercepted = 0;
-        if accepted {
-            let exploratory = dice_bgp::message::UpdateMessage::announce(vec![prefix], &attrs);
+        // peers; if rejected while the checkpointed table holds a best
+        // route for the very same prefix learned from the same peer, the
+        // node would instead revoke it (treat-as-withdraw). Either way the
+        // exploratory messages are intercepted, never sent — and recorded
+        // in emission order so sequence-aware checkers can replay them.
+        let exploratory = if accepted {
+            Some(UpdateMessage::announce(vec![prefix], &attrs))
+        } else {
+            match self.checkpoint.rib().best_route(&prefix) {
+                Some(existing) if existing.learned_from == self.peer => {
+                    Some(UpdateMessage::withdraw(vec![prefix]))
+                }
+                _ => None,
+            }
+        };
+        let mut intercepted = Vec::new();
+        if let Some(exploratory) = exploratory {
             for p in self.checkpoint.peers() {
                 if p.id != self.peer && p.is_established() {
                     self.interceptor.capture(p.id, exploratory.clone());
-                    intercepted += 1;
+                    intercepted.push((p.id, exploratory.clone()));
                 }
             }
         }
@@ -131,7 +162,7 @@ impl SymbolicProgram for SymbolicUpdateHandler {
             accepted,
             next_hop: attrs.next_hop,
             filter: filter_outcome,
-            intercepted_messages: intercepted,
+            intercepted,
         }
     }
 }
@@ -172,8 +203,55 @@ mod tests {
         let outcome = handler.run(&mut ctx, &seed);
         assert!(outcome.accepted, "missing filter accepts everything");
         // The message toward the transit peer was intercepted, not sent.
-        assert_eq!(outcome.intercepted_messages, 1);
+        assert_eq!(outcome.intercepted_messages(), 1);
+        assert_eq!(outcome.intercepted[0].1.nlri, vec![outcome.prefix]);
+        assert!(outcome.intercepted[0].1.withdrawn.is_empty());
         assert_eq!(handler.interceptor().len(), 1);
+    }
+
+    #[test]
+    fn rejection_of_an_installed_route_emits_a_withdraw() {
+        // The provider installed the customer's block; an exploratory
+        // variant the (correct) filter rejects would revoke that route, so
+        // the handler intercepts a withdraw for the same prefix.
+        let mut router = provider(CustomerFilterMode::Correct);
+        let peer = router.peer_by_address(addr::CUSTOMER).expect("peer");
+        router.handle_update(peer, &observed_update());
+        assert!(router
+            .rib()
+            .best_route(&"41.1.0.0/16".parse().expect("valid"))
+            .is_some());
+
+        let template = UpdateTemplate::from_update(&observed_update()).expect("template");
+        let mut handler = SymbolicUpdateHandler::new(router, peer, template);
+        let mut ctx = ExecCtx::new();
+        // Same prefix, wrong origin AS: the correct filter rejects it.
+        let rejected = handler
+            .template()
+            .seed()
+            .with(crate::symbolic_input::fields::SOURCE_AS, 64_999);
+        let outcome = handler.run(&mut ctx, &rejected);
+        assert!(!outcome.accepted);
+        assert_eq!(outcome.intercepted_messages(), 1);
+        let (_, update) = &outcome.intercepted[0];
+        assert!(update.nlri.is_empty());
+        assert_eq!(update.withdrawn, vec![outcome.prefix]);
+
+        // A rejected prefix the checkpoint never installed from this peer
+        // revokes nothing.
+        let mut ctx = ExecCtx::new();
+        let foreign = handler
+            .template()
+            .seed()
+            .with(
+                crate::symbolic_input::fields::NLRI_ADDR,
+                u32::from_be_bytes([198, 51, 100, 0]) as u64,
+            )
+            .with(crate::symbolic_input::fields::NLRI_LEN, 24)
+            .with(crate::symbolic_input::fields::SOURCE_AS, 64_999);
+        let outcome = handler.run(&mut ctx, &foreign);
+        assert!(!outcome.accepted);
+        assert_eq!(outcome.intercepted_messages(), 0);
     }
 
     #[test]

@@ -22,7 +22,7 @@
 //!   ([`OriginHijackChecker`]), and a second checker flags self-resolving
 //!   forwarding loops ([`ForwardingLoopChecker`]).
 //!
-//! Two entry points drive rounds:
+//! Three entry points drive rounds:
 //!
 //! * [`DiceBuilder`] → [`DiceSession`] — one node, explicit observed
 //!   inputs, pluggable checker registry ([`FaultChecker`] is object-safe
@@ -31,6 +31,12 @@
 //!   node's observed inputs from a simulated topology and runs one round
 //!   beside every node concurrently, merging results into a [`FleetReport`]
 //!   with fleet-wide fault deduplication.
+//! * [`LiveOrchestrator`] — the paper's *continuous* operating mode:
+//!   interleaves live simulation progress with exploration rounds, each
+//!   harvesting an incremental epoch window of newly observed inputs, and
+//!   accumulates a [`LiveReport`] with cross-round fault deduplication.
+//!   Sequence-aware checkers ([`RouteOscillationChecker`]) exploit the
+//!   per-run intercepted message sequences continuous rounds record.
 //!
 //! ## Example
 //!
@@ -75,18 +81,25 @@ pub mod explorer;
 pub mod fleet;
 pub mod handler;
 pub mod isolation;
+pub mod live;
 mod parallel;
 pub mod report;
 pub mod scheduler;
 pub mod session;
 pub mod symbolic_input;
 
-pub use checker::{Fault, FaultChecker, FaultKind, ForwardingLoopChecker, OriginHijackChecker};
+pub use checker::{
+    Fault, FaultChecker, FaultKind, ForwardingLoopChecker, OriginHijackChecker,
+    RouteOscillationChecker,
+};
 pub use checkpointable::CheckpointedRouter;
 pub use explorer::{Dice, DiceConfig};
-pub use fleet::{dedup_fleet_faults, FleetExplorer, FleetFault, FleetReport, NodeReport};
+pub use fleet::{
+    dedup_fleet_faults, FleetExplorer, FleetFault, FleetReport, NodeReport, NodeWindow,
+};
 pub use handler::{HandlerOutcome, SymbolicUpdateHandler};
 pub use isolation::{LiveStateFingerprint, MessageInterceptor};
+pub use live::{LiveFault, LiveOrchestrator, LiveReport, LiveRound};
 pub use report::ExplorationReport;
 pub use scheduler::{ScheduleResult, SharedCoreScheduler};
 pub use session::{DiceBuilder, DiceSession};

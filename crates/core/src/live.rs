@@ -1,0 +1,501 @@
+//! Continuous online exploration against a *running* simulation.
+//!
+//! The paper's operating mode is not one harvested round over a frozen
+//! snapshot: "DiCE continuously and automatically explores the system
+//! behavior" alongside production execution. [`LiveOrchestrator`]
+//! reproduces that over the deterministic [`Simulator`]:
+//!
+//! 1. **drive** — a caller-supplied driver injects the next stretch of
+//!    live traffic (or reports that none is coming) and the simulator runs
+//!    to quiescence;
+//! 2. **window** — the delivery log is epoch-tagged
+//!    ([`dice_netsim::ObservedInput::seq`]), so the round harvests exactly
+//!    the inputs that arrived since the previous round
+//!    ([`Simulator::observed_inputs_in`]) — no global wipe, no node ever
+//!    loses another node's pending observations;
+//! 3. **explore** — one fleet round runs over the window
+//!    ([`FleetExplorer::explore_windows`]) under the shared global core
+//!    budget, with per-node worker pools sized by each node's share of the
+//!    window volume;
+//! 4. **accumulate** — every round's [`FleetReport`] lands in a
+//!    [`LiveReport`], and faults are deduplicated *across rounds* by
+//!    [`Fault::fleet_key`]: the same leak re-detected every round is one
+//!    live fault with every sighting round recorded.
+//!
+//! Because each round checkpoints the node state *as it was when the round
+//! ran*, continuous rounds see behaviour that a single end-of-run harvest
+//! cannot: a route that was installed during the run but withdrawn before
+//! the end only flaps in the mid-run checkpoint (see the route-oscillation
+//! end-to-end test in `tests/live_orchestrator.rs`).
+//!
+//! Reports stay deterministic: a single-round run over a quiesced
+//! simulator is byte-identical (per [`FleetReport::digest`]) to
+//! [`FleetExplorer::explore`] over the same state, for every core budget.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use dice_netsim::topology::NodeId;
+use dice_netsim::Simulator;
+
+use crate::checker::Fault;
+use crate::fleet::{FleetExplorer, FleetReport};
+use crate::session::DiceSession;
+
+/// One executed exploration round of a live run.
+#[derive(Debug, Clone)]
+pub struct LiveRound {
+    /// Executed-round index (0-based; epochs that observed nothing do not
+    /// consume an index).
+    pub index: usize,
+    /// The harvested epoch window `[from, to)` in delivery-log sequence
+    /// numbers ([`dice_netsim::ObservedInput::seq`]).
+    pub window: (u64, u64),
+    /// The round's fleet report over exactly that window.
+    pub report: FleetReport,
+}
+
+/// A fault after cross-round deduplication, with every sighting recorded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LiveFault {
+    /// The fault, as first sighted (node provenance of the first sighting).
+    pub fault: Fault,
+    /// Every node whose exploration found the fault, in sighting order.
+    pub nodes: Vec<NodeId>,
+    /// Every executed round that re-detected the fault, in round order.
+    pub rounds: Vec<usize>,
+}
+
+/// The accumulated result of a continuous exploration run.
+#[derive(Debug, Clone, Default)]
+pub struct LiveReport {
+    /// Executed rounds, in execution order.
+    pub rounds: Vec<LiveRound>,
+    /// Faults deduplicated across nodes *and* rounds by
+    /// [`Fault::fleet_key`], in first-sighting order.
+    pub faults: Vec<LiveFault>,
+    /// Wall-clock duration of the whole run (driving, simulating and
+    /// exploring).
+    pub elapsed: Duration,
+}
+
+impl LiveReport {
+    /// Returns true if any round found any fault.
+    pub fn has_faults(&self) -> bool {
+        !self.faults.is_empty()
+    }
+
+    /// Total executions across all rounds and nodes.
+    pub fn total_runs(&self) -> usize {
+        self.rounds.iter().map(|r| r.report.total_runs()).sum()
+    }
+
+    /// Fault sightings before any deduplication (sum over rounds of
+    /// per-node fault counts).
+    pub fn total_sightings(&self) -> usize {
+        self.rounds.iter().map(|r| r.report.total_sightings()).sum()
+    }
+
+    /// The last executed round, if any ran.
+    pub fn last_round(&self) -> Option<&LiveRound> {
+        self.rounds.last()
+    }
+
+    /// A canonical rendering of every deterministic field: each round's
+    /// window and [`FleetReport::digest`], then the cross-round fault list
+    /// with full provenance. Independent of wall-clock time, worker counts
+    /// and core budgets — byte-identical across reruns of the same
+    /// deterministic scenario.
+    pub fn digest(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for round in &self.rounds {
+            writeln!(
+                out,
+                "round{} window=[{},{}):",
+                round.index, round.window.0, round.window.1
+            )
+            .expect("writing to a String cannot fail");
+            out.push_str(&round.report.digest());
+        }
+        for f in &self.faults {
+            let nodes: Vec<String> = f.nodes.iter().map(|n| n.0.to_string()).collect();
+            let rounds: Vec<String> = f.rounds.iter().map(|r| r.to_string()).collect();
+            writeln!(
+                out,
+                "live-fault:{} nodes=[{}] rounds=[{}]",
+                f.fault,
+                nodes.join(","),
+                rounds.join(",")
+            )
+            .expect("writing to a String cannot fail");
+        }
+        out
+    }
+}
+
+impl fmt::Display for LiveReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "DiCE live exploration: {} round(s), {} run(s), {} sighting(s) -> {} distinct fault(s) in {:?}",
+            self.rounds.len(),
+            self.total_runs(),
+            self.total_sightings(),
+            self.faults.len(),
+            self.elapsed,
+        )?;
+        for round in &self.rounds {
+            writeln!(
+                f,
+                "  round {} over window [{}, {}): {} run(s), {} sighting(s)",
+                round.index,
+                round.window.0,
+                round.window.1,
+                round.report.total_runs(),
+                round.report.total_sightings(),
+            )?;
+        }
+        if self.faults.is_empty() {
+            writeln!(f, "  no faults detected across any round")?;
+        } else {
+            for fault in &self.faults {
+                let nodes: Vec<String> = fault.nodes.iter().map(|n| n.0.to_string()).collect();
+                let rounds: Vec<String> = fault.rounds.iter().map(|r| r.to_string()).collect();
+                writeln!(
+                    f,
+                    "  - {} (node(s) {}; round(s) {})",
+                    fault.fault,
+                    nodes.join(", "),
+                    rounds.join(", ")
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Interleaves live simulation progress with continuous exploration
+/// rounds.
+///
+/// Construct from a [`DiceSession`] (shared checker registry and engine
+/// settings, like [`FleetExplorer`]), then [`LiveOrchestrator::run`] with a
+/// traffic driver. The driver is called once per epoch to push the next
+/// stretch of live traffic into the simulator and returns whether more may
+/// come; after each epoch the simulator runs to quiescence and the newly
+/// observed window is explored.
+#[derive(Debug, Clone)]
+pub struct LiveOrchestrator {
+    explorer: FleetExplorer,
+    quiesce_steps: u64,
+    max_rounds: usize,
+}
+
+impl Default for LiveOrchestrator {
+    fn default() -> Self {
+        LiveOrchestrator::new(DiceSession::default())
+    }
+}
+
+impl LiveOrchestrator {
+    /// Creates an orchestrator running every round through the given
+    /// session.
+    pub fn new(session: DiceSession) -> Self {
+        LiveOrchestrator {
+            explorer: FleetExplorer::new(session),
+            quiesce_steps: 100,
+            max_rounds: 64,
+        }
+    }
+
+    /// Sets the global core budget shared by every round's node fan-out
+    /// (`0`, the default, uses the machine's available parallelism).
+    /// Budgets bound threads, never results.
+    pub fn with_core_budget(mut self, cores: usize) -> Self {
+        self.explorer = self.explorer.with_core_budget(cores);
+        self
+    }
+
+    /// Sets how many simulator steps each epoch may take to quiesce before
+    /// its round harvests (default 100).
+    pub fn with_quiesce_steps(mut self, steps: u64) -> Self {
+        self.quiesce_steps = steps;
+        self
+    }
+
+    /// Caps the number of driver epochs — and therefore executed rounds —
+    /// of one [`LiveOrchestrator::run`] call (default 64; clamped to at
+    /// least 1). The safety valve against drivers that never report
+    /// completion.
+    pub fn with_max_rounds(mut self, rounds: usize) -> Self {
+        self.max_rounds = rounds.max(1);
+        self
+    }
+
+    /// The fleet explorer driving each round.
+    pub fn explorer(&self) -> &FleetExplorer {
+        &self.explorer
+    }
+
+    /// Runs continuous exploration against the simulation.
+    ///
+    /// Per epoch: `drive(sim, epoch)` injects the next stretch of live
+    /// traffic (returning `false` once no more will come), the simulator
+    /// runs to quiescence, and the epoch window — everything observed
+    /// since the previous round, including inputs already in the log
+    /// before this call for the first round — is explored as one fleet
+    /// round over every node. Epochs whose window is empty execute no
+    /// round. The loop ends when the driver reports completion or
+    /// [`LiveOrchestrator::with_max_rounds`] is reached.
+    ///
+    /// With a driver that immediately returns `false` over an already
+    /// quiesced simulator this degenerates to exactly one round over the
+    /// full log — byte-identical, per [`FleetReport::digest`], to
+    /// [`FleetExplorer::explore`] on the same state (the equivalence
+    /// anchor asserted in `tests/live_orchestrator.rs`).
+    pub fn run<F>(&self, sim: &mut Simulator, mut drive: F) -> LiveReport
+    where
+        F: FnMut(&mut Simulator, usize) -> bool,
+    {
+        let started = Instant::now();
+        let nodes: Vec<NodeId> = (0..sim.len()).map(NodeId).collect();
+        let mut report = LiveReport::default();
+        let mut index: HashMap<(String, dice_bgp::Ipv4Prefix, String), usize> = HashMap::new();
+        let mut cursor = 0u64;
+
+        for epoch in 0..self.max_rounds.max(1) {
+            let more = drive(sim, epoch);
+            sim.run_to_quiescence(self.quiesce_steps);
+            let head = sim.observed_cursor();
+            if head > cursor {
+                let windows: Vec<_> = nodes
+                    .iter()
+                    .map(|&node| (node, sim.observed_inputs_in(node, cursor, head)))
+                    .collect();
+                let fleet = self.explorer.explore_windows(sim, windows);
+                let round_index = report.rounds.len();
+                Self::merge_round_faults(&mut report.faults, &mut index, &fleet, round_index);
+                report.rounds.push(LiveRound {
+                    index: round_index,
+                    window: (cursor, head),
+                    report: fleet,
+                });
+                cursor = head;
+            }
+            if !more {
+                break;
+            }
+        }
+
+        report.elapsed = started.elapsed();
+        report
+    }
+
+    /// Folds one round's fleet-deduplicated faults into the cross-round
+    /// list: keys ([`Fault::fleet_key`]) already present collect the new
+    /// sighting's nodes and round; new keys append in first-sighting
+    /// order. Nothing is ever dropped.
+    fn merge_round_faults(
+        faults: &mut Vec<LiveFault>,
+        index: &mut HashMap<(String, dice_bgp::Ipv4Prefix, String), usize>,
+        fleet: &FleetReport,
+        round: usize,
+    ) {
+        for sighting in &fleet.faults {
+            match index.entry(sighting.fault.fleet_key()) {
+                std::collections::hash_map::Entry::Occupied(slot) => {
+                    let existing = &mut faults[*slot.get()];
+                    for node in &sighting.nodes {
+                        if !existing.nodes.contains(node) {
+                            existing.nodes.push(*node);
+                        }
+                    }
+                    existing.rounds.push(round);
+                }
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(faults.len());
+                    faults.push(LiveFault {
+                        fault: sighting.fault.clone(),
+                        nodes: sighting.nodes.clone(),
+                        rounds: vec![round],
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dice_bgp::attributes::RouteAttrs;
+    use dice_bgp::message::{BgpMessage, UpdateMessage};
+    use dice_bgp::AsPath;
+    use dice_netsim::topology::{addr, asn, figure2_topology, CustomerFilterMode};
+    use std::net::Ipv4Addr;
+
+    fn announcement(prefix: &str, path: &[u32], next_hop: Ipv4Addr) -> BgpMessage {
+        let mut attrs = RouteAttrs::default();
+        attrs.as_path = AsPath::from_sequence(path.iter().copied());
+        attrs.next_hop = next_hop;
+        BgpMessage::Update(UpdateMessage::announce(
+            vec![prefix.parse().expect("valid")],
+            &attrs,
+        ))
+    }
+
+    fn inject_victim_table(sim: &mut Simulator, provider: NodeId) {
+        sim.inject(
+            provider,
+            addr::INTERNET,
+            announcement(
+                "208.65.152.0/22",
+                &[asn::INTERNET, 3356, asn::VICTIM],
+                addr::INTERNET,
+            ),
+        );
+        sim.run_to_quiescence(100);
+    }
+
+    fn inject_customer_block(sim: &mut Simulator, provider: NodeId, block: &str) {
+        sim.inject(
+            provider,
+            addr::CUSTOMER,
+            announcement(block, &[asn::CUSTOMER, asn::CUSTOMER], addr::CUSTOMER),
+        );
+        sim.run_to_quiescence(100);
+    }
+
+    #[test]
+    fn single_round_run_is_byte_identical_to_a_fleet_exploration() {
+        let topo = figure2_topology(CustomerFilterMode::Erroneous);
+        let provider = topo.node_by_name("Provider").expect("node");
+        let mut sim = Simulator::new(&topo);
+        inject_victim_table(&mut sim, provider);
+        inject_customer_block(&mut sim, provider, "41.1.0.0/16");
+
+        let session = DiceSession::default();
+        let fleet = FleetExplorer::new(session.clone()).explore(&sim);
+        let live = LiveOrchestrator::new(session).run(&mut sim, |_, _| false);
+
+        assert_eq!(live.rounds.len(), 1, "one round over the full log");
+        assert_eq!(
+            live.rounds[0].report.digest(),
+            fleet.digest(),
+            "the quiesced single-round path must match FleetExplorer exactly"
+        );
+        assert_eq!(live.rounds[0].window.0, 0);
+        assert_eq!(live.rounds[0].window.1, sim.observed_cursor());
+        assert!(live.has_faults());
+        assert_eq!(live.faults.len(), fleet.faults.len());
+        assert_eq!(live.total_runs(), fleet.total_runs());
+    }
+
+    #[test]
+    fn rounds_harvest_disjoint_incremental_windows() {
+        let topo = figure2_topology(CustomerFilterMode::Erroneous);
+        let provider = topo.node_by_name("Provider").expect("node");
+        let mut sim = Simulator::new(&topo);
+        inject_victim_table(&mut sim, provider);
+
+        let blocks = ["41.1.0.0/16", "41.64.0.0/12", "41.128.0.0/12"];
+        let live = LiveOrchestrator::default().run(&mut sim, |sim, epoch| {
+            if let Some(block) = blocks.get(epoch) {
+                inject_customer_block(sim, provider, block);
+            }
+            epoch + 1 < blocks.len()
+        });
+
+        assert_eq!(live.rounds.len(), blocks.len());
+        // Windows tile the log: contiguous, ascending, starting at 0.
+        assert_eq!(live.rounds[0].window.0, 0);
+        for pair in live.rounds.windows(2) {
+            assert_eq!(pair[0].window.1, pair[1].window.0);
+            assert!(pair[1].window.1 > pair[1].window.0);
+        }
+        assert_eq!(
+            live.rounds.last().expect("rounds ran").window.1,
+            sim.observed_cursor()
+        );
+        // Every round explores exactly its window, not the whole history:
+        // the per-node observed inputs sum to the window's size (every log
+        // entry belongs to exactly one node).
+        for round in &live.rounds {
+            let window_inputs: usize = round
+                .report
+                .nodes
+                .iter()
+                .map(|n| n.report.observed_inputs)
+                .sum();
+            let window_len = (round.window.1 - round.window.0) as usize;
+            assert_eq!(window_inputs, window_len, "round {}", round.index);
+        }
+        assert!(live.to_string().contains("round 2"));
+    }
+
+    #[test]
+    fn the_same_fault_redetected_every_round_dedups_across_rounds() {
+        let topo = figure2_topology(CustomerFilterMode::Erroneous);
+        let provider = topo.node_by_name("Provider").expect("node");
+        let mut sim = Simulator::new(&topo);
+        inject_victim_table(&mut sim, provider);
+
+        // The customer re-announces the same block every epoch: each round
+        // re-detects the same leak.
+        let live = LiveOrchestrator::default().run(&mut sim, |sim, epoch| {
+            inject_customer_block(sim, provider, "41.1.0.0/16");
+            epoch < 1
+        });
+        assert_eq!(live.rounds.len(), 2);
+        assert!(live.has_faults());
+        let per_round: usize = live.rounds.iter().map(|r| r.report.faults.len()).sum();
+        assert!(
+            per_round > live.faults.len(),
+            "cross-round dedup collapsed re-detections ({per_round} sightings -> {} faults)",
+            live.faults.len()
+        );
+        // Every fault carries the rounds that saw it, in order.
+        assert!(live.faults.iter().any(|f| f.rounds == vec![0, 1]));
+        for fault in &live.faults {
+            assert!(!fault.rounds.is_empty());
+            assert!(fault.rounds.windows(2).all(|w| w[0] < w[1]));
+        }
+        // The digest is stable across identical reruns.
+        let mut sim2 = Simulator::new(&topo);
+        inject_victim_table(&mut sim2, provider);
+        let rerun = LiveOrchestrator::default().run(&mut sim2, |sim, epoch| {
+            inject_customer_block(sim, provider, "41.1.0.0/16");
+            epoch < 1
+        });
+        assert_eq!(rerun.digest(), live.digest());
+    }
+
+    #[test]
+    fn quiet_epochs_execute_no_round_and_max_rounds_caps_the_run() {
+        let topo = figure2_topology(CustomerFilterMode::Correct);
+        let mut sim = Simulator::new(&topo);
+
+        // No traffic at all: no rounds, no faults, empty digest.
+        let idle = LiveOrchestrator::default().run(&mut sim, |_, _| true);
+        assert!(idle.rounds.is_empty());
+        assert!(!idle.has_faults());
+        assert_eq!(idle.total_runs(), 0);
+        assert!(idle.last_round().is_none());
+        assert_eq!(idle.digest(), "");
+        assert!(idle.to_string().contains("no faults detected"));
+
+        // A driver that never stops is cut off at max_rounds epochs.
+        let provider = topo.node_by_name("Provider").expect("node");
+        let mut epochs = 0usize;
+        let capped = LiveOrchestrator::default()
+            .with_max_rounds(3)
+            .run(&mut sim, |sim, _| {
+                epochs += 1;
+                inject_customer_block(sim, provider, "41.1.0.0/16");
+                true
+            });
+        assert_eq!(epochs, 3);
+        assert_eq!(capped.rounds.len(), 3);
+    }
+}

@@ -139,6 +139,10 @@ struct InputOutcome {
     coverage: Coverage,
     intercepted_messages: usize,
     faults: Vec<Fault>,
+    /// Every run's application-level outcome, in execution order — the
+    /// sequence the round-level checker pass ([`FaultChecker::check_round`])
+    /// replays after per-input outcomes are merged in input order.
+    outcomes: Vec<HandlerOutcome>,
 }
 
 /// A configured exploration session: engine settings plus the checker
@@ -238,6 +242,7 @@ impl DiceSession {
             });
 
         let mut coverage = Coverage::new();
+        let mut round_outcomes: Vec<HandlerOutcome> = Vec::new();
         for outcome in outcomes.into_iter().flatten() {
             report.runs += outcome.runs;
             report.distinct_paths += outcome.distinct_paths;
@@ -250,6 +255,16 @@ impl DiceSession {
                 if !report.faults.contains(&fault) {
                     report.faults.push(fault);
                 }
+            }
+            round_outcomes.extend(outcome.outcomes);
+        }
+
+        // Round-level pass: sequence-aware checkers see the whole round's
+        // outcomes, concatenated in input order (each input's runs already
+        // in execution order) — deterministic for every worker count.
+        for fault in self.check_round(&round_outcomes, checkpoint.rib()) {
+            if !report.faults.contains(&fault) {
+                report.faults.push(fault);
             }
         }
 
@@ -275,7 +290,7 @@ impl DiceSession {
         let seed: InputValues = template.seed();
         let mut handler = SymbolicUpdateHandler::new(checkpoint.clone(), peer, template);
         let engine = ConcolicEngine::with_config(self.config.engine);
-        let exploration = engine.explore(&mut handler, &[seed]);
+        let mut exploration = engine.explore(&mut handler, &[seed]);
 
         let mut faults = Vec::new();
         for run in &exploration.runs {
@@ -292,9 +307,10 @@ impl DiceSession {
             generated_inputs: exploration.generated_inputs().len(),
             waves: exploration.stats.waves,
             solver_stats: exploration.solver_stats,
-            coverage: exploration.coverage,
+            coverage: std::mem::replace(&mut exploration.coverage, Coverage::new()),
             intercepted_messages: handler.interceptor().len(),
             faults,
+            outcomes: exploration.into_outputs(),
         })
     }
 
@@ -304,6 +320,17 @@ impl DiceSession {
         self.checkers
             .iter()
             .filter_map(|checker| checker.check(outcome, rib))
+            .collect()
+    }
+
+    /// Applies every registered checker's round-level hook
+    /// ([`FaultChecker::check_round`]) to a whole round's outcome sequence,
+    /// in registration order. [`DiceSession::explore`] calls this once per
+    /// round, after the per-outcome pass.
+    pub fn check_round(&self, outcomes: &[HandlerOutcome], rib: &dice_router::Rib) -> Vec<Fault> {
+        self.checkers
+            .iter()
+            .flat_map(|checker| checker.check_round(outcomes, rib))
             .collect()
     }
 
@@ -375,6 +402,60 @@ mod tests {
         assert_eq!(wide.config().workers, 4);
         assert_eq!(session.config().workers, 1);
         assert!(Arc::ptr_eq(&session.checkers[0], &wide.checkers[0]));
+    }
+
+    #[test]
+    fn route_oscillation_checker_fires_through_a_session_round() {
+        // A customer import filter gated on *attributes only* (origin AS,
+        // MED): every exploratory variant keeps the announced prefix, so
+        // generated inputs alternate between acceptance (re-announce) and
+        // rejection (revoke the installed route) of the very same prefix —
+        // the node would flap it. Only the round-level sequence pass can
+        // see that.
+        let filter = dice_router::policy::parse_filter(
+            r#"filter customer_in {
+                if source_as = 17557 then accept;
+                if med > 100 then accept;
+                reject;
+            }"#,
+        )
+        .expect("valid filter");
+        let topo = dice_netsim::topology::figure2_topology_with_customer_filter(filter);
+        let spec = &topo.nodes()[topo.node_by_name("Provider").expect("node").0];
+        let mut router = BgpRouter::new(spec.config.clone());
+        router.start();
+
+        let customer = router.peer_by_address(addr::CUSTOMER).expect("peer");
+        let mut attrs = RouteAttrs::default();
+        attrs.as_path = AsPath::from_sequence([17557, 17557]);
+        attrs.next_hop = Ipv4Addr::new(10, 0, 1, 1);
+        let observed = UpdateMessage::announce(vec!["41.1.0.0/16".parse().expect("valid")], &attrs);
+        router.handle_update(customer, &observed);
+        assert!(router
+            .rib()
+            .best_route(&"41.1.0.0/16".parse().expect("valid"))
+            .is_some());
+
+        let session = DiceBuilder::new()
+            .checker(Box::new(crate::checker::RouteOscillationChecker::new()))
+            .build();
+        let report = session.explore(&router, &[(customer, observed.clone())]);
+        let fault = report
+            .faults
+            .iter()
+            .find(|f| f.checker == "route-oscillation")
+            .unwrap_or_else(|| panic!("oscillation must be flagged:\n{report}"));
+        assert_eq!(fault.leaked_prefix().to_string(), "41.1.0.0/16");
+        assert!(report.isolation_preserved);
+
+        // Per-outcome checkers alone cannot: the same round through the
+        // default (hijack-only) session stays clean.
+        let hijack_only = DiceBuilder::new().build();
+        let report = hijack_only.explore(&router, &[(customer, observed)]);
+        assert!(report
+            .faults
+            .iter()
+            .all(|f| f.checker != "route-oscillation"));
     }
 
     #[test]

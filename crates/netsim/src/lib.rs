@@ -28,7 +28,10 @@ pub mod trace;
 pub use metrics::{slowdown_percent, MeasuredRegion, ThroughputMeter};
 pub use replay::{ReplayStats, Replayer};
 pub use sim::{ObservedInput, SimStats, Simulator};
-pub use topology::{figure2_topology, CustomerFilterMode, NodeId, NodeSpec, Topology};
+pub use topology::{
+    figure2_topology, figure2_topology_with_customer_filter, CustomerFilterMode, NodeId, NodeSpec,
+    Topology,
+};
 pub use trace::{
     generate_trace, BgpTrace, TraceEvent, TraceGenConfig, PAPER_TABLE_SIZE, PAPER_TRACE_SECONDS,
 };

@@ -17,6 +17,11 @@ use crate::topology::{NodeId, Topology};
 /// exploration seeds from ("previously observed inputs", §2.3).
 #[derive(Debug, Clone)]
 pub struct ObservedInput {
+    /// Global delivery-log sequence number (the entry's *epoch tag*):
+    /// assigned monotonically at record time and never reused, so harvest
+    /// windows `[from, to)` taken against [`Simulator::observed_cursor`]
+    /// stay valid even after earlier entries are drained.
+    pub seq: u64,
     /// The node that received the message.
     pub node: NodeId,
     /// The receiving node's peer the message arrived from.
@@ -53,6 +58,9 @@ pub struct Simulator {
     queue: VecDeque<InFlight>,
     stats: SimStats,
     observed: Vec<ObservedInput>,
+    /// Next sequence number to tag an observed entry with; equals the
+    /// number of UPDATEs ever recorded, independent of drains.
+    observed_seq: u64,
 }
 
 impl Simulator {
@@ -74,6 +82,7 @@ impl Simulator {
             queue: VecDeque::new(),
             stats: SimStats::default(),
             observed: Vec::new(),
+            observed_seq: 0,
         }
     }
 
@@ -142,10 +151,12 @@ impl Simulator {
     fn record_observed(&mut self, node: NodeId, peer: PeerId, message: &BgpMessage) {
         if let BgpMessage::Update(update) = message {
             self.observed.push(ObservedInput {
+                seq: self.observed_seq,
                 node,
                 peer,
                 update: update.clone(),
             });
+            self.observed_seq += 1;
         }
     }
 
@@ -164,8 +175,66 @@ impl Simulator {
         &self.observed
     }
 
-    /// Clears the observation log (e.g. after harvesting one round's
-    /// inputs) without touching router or queue state.
+    /// The current harvest cursor: the sequence number the *next* observed
+    /// UPDATE will be tagged with. Two cursors taken before and after a
+    /// stretch of live traffic bound the epoch window `[before, after)`
+    /// that [`Simulator::observed_inputs_in`] harvests — continuous
+    /// orchestrators advance through the delivery log this way without
+    /// ever wiping it.
+    pub fn observed_cursor(&self) -> u64 {
+        self.observed_seq
+    }
+
+    /// The UPDATEs `node` observed inside the epoch window `[from, to)`
+    /// (sequence numbers per [`ObservedInput::seq`]), in delivery order.
+    ///
+    /// Windows partition the log losslessly: for any ascending cursor
+    /// sequence, concatenating the per-window harvests reproduces exactly
+    /// what a one-shot [`Simulator::observed_inputs`] returns, per node,
+    /// in order (asserted by property in `tests/properties.rs`).
+    pub fn observed_inputs_in(
+        &self,
+        node: NodeId,
+        from: u64,
+        to: u64,
+    ) -> Vec<(PeerId, UpdateMessage)> {
+        // The log is sorted by `seq` (append-only tags; drains preserve
+        // order), so the window's bounds binary-search in O(log n) and the
+        // scan touches only the window — continuous orchestrators harvest
+        // every epoch without ever re-walking the full history.
+        let start = self.observed.partition_point(|o| o.seq < from);
+        let end = start + self.observed[start..].partition_point(|o| o.seq < to);
+        self.observed[start..end]
+            .iter()
+            .filter(|o| o.node == node)
+            .map(|o| (o.peer, o.update.clone()))
+            .collect()
+    }
+
+    /// Removes and returns `node`'s entries from the observation log, in
+    /// delivery order, leaving every other node's pending inputs — and all
+    /// sequence numbers — intact. This is the per-node replacement for the
+    /// deprecated global [`Simulator::clear_observed`] wipe.
+    pub fn drain_observed(&mut self, node: NodeId) -> Vec<(PeerId, UpdateMessage)> {
+        let mut drained = Vec::new();
+        self.observed.retain(|o| {
+            if o.node == node {
+                drained.push((o.peer, o.update.clone()));
+                false
+            } else {
+                true
+            }
+        });
+        drained
+    }
+
+    /// Clears the observation log for **all** nodes at once.
+    #[deprecated(
+        since = "0.1.0",
+        note = "a global wipe drops other nodes' pending inputs mid-harvest; \
+                use `drain_observed(node)` or windowed harvesting via \
+                `observed_cursor()` / `observed_inputs_in(node, from, to)`"
+    )]
     pub fn clear_observed(&mut self) {
         self.observed.clear();
     }
@@ -392,9 +461,87 @@ mod tests {
         );
         assert_eq!(sim.observed_log().len(), 2);
 
+        #[allow(deprecated)]
         sim.clear_observed();
         assert!(sim.observed_log().is_empty());
         assert!(sim.observed_inputs(provider).is_empty());
+    }
+
+    #[test]
+    fn windowed_harvest_partitions_the_delivery_log() {
+        let topo = figure2_topology(CustomerFilterMode::Missing);
+        let mut sim = Simulator::new(&topo);
+        let provider = topo.node_by_name("Provider").expect("node");
+        let internet = topo.node_by_name("RestOfInternet").expect("node");
+
+        assert_eq!(sim.observed_cursor(), 0);
+        sim.inject(
+            provider,
+            addr::CUSTOMER,
+            announcement("41.1.0.0/16", &[asn::CUSTOMER], addr::CUSTOMER),
+        );
+        sim.run_to_quiescence(100);
+        let mid = sim.observed_cursor();
+        assert!(mid >= 2, "injection plus re-advertisement observed");
+
+        sim.inject(
+            provider,
+            addr::CUSTOMER,
+            announcement("41.64.0.0/12", &[asn::CUSTOMER], addr::CUSTOMER),
+        );
+        sim.run_to_quiescence(100);
+        let end = sim.observed_cursor();
+        assert!(end > mid);
+
+        // Per node: window one plus window two equals the one-shot harvest.
+        for node in [provider, internet] {
+            let mut windows = sim.observed_inputs_in(node, 0, mid);
+            windows.extend(sim.observed_inputs_in(node, mid, end));
+            assert_eq!(windows, sim.observed_inputs(node), "node {}", node.0);
+        }
+        // An empty window at the head harvests nothing.
+        assert!(sim.observed_inputs_in(provider, end, end + 10).is_empty());
+        // Sequence tags are the global delivery order.
+        let seqs: Vec<u64> = sim.observed_log().iter().map(|o| o.seq).collect();
+        assert_eq!(seqs, (0..end).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn per_node_drain_leaves_other_nodes_pending_inputs() {
+        let topo = figure2_topology(CustomerFilterMode::Missing);
+        let mut sim = Simulator::new(&topo);
+        let provider = topo.node_by_name("Provider").expect("node");
+        let internet = topo.node_by_name("RestOfInternet").expect("node");
+
+        sim.inject(
+            provider,
+            addr::CUSTOMER,
+            announcement("41.1.0.0/16", &[asn::CUSTOMER], addr::CUSTOMER),
+        );
+        sim.run_to_quiescence(100);
+        assert_eq!(sim.observed_inputs(provider).len(), 1);
+        assert_eq!(sim.observed_inputs(internet).len(), 1);
+
+        // The regression clear_observed() caused: harvesting one node must
+        // not drop the other node's pending inputs.
+        let expected = sim.observed_inputs(provider);
+        let drained = sim.drain_observed(provider);
+        assert_eq!(drained, expected);
+        assert_eq!(drained.len(), 1);
+        assert!(sim.observed_inputs(provider).is_empty());
+        assert_eq!(
+            sim.observed_inputs(internet).len(),
+            1,
+            "other nodes' observations survive a per-node drain"
+        );
+        // Sequence numbers are never reused after a drain.
+        let before = sim.observed_cursor();
+        sim.inject(
+            provider,
+            addr::CUSTOMER,
+            announcement("41.128.0.0/12", &[asn::CUSTOMER], addr::CUSTOMER),
+        );
+        assert_eq!(sim.observed_log().last().map(|o| o.seq), Some(before));
     }
 
     #[test]

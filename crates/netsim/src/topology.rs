@@ -111,20 +111,6 @@ pub enum CustomerFilterMode {
 /// DiCE-enabled node. `mode` selects how (mis)configured the Provider's
 /// customer route filtering is.
 pub fn figure2_topology(mode: CustomerFilterMode) -> Topology {
-    let mut topo = Topology::new();
-
-    // Customer (AS 17557): originates its own allocation, no import filters.
-    let customer_cfg = RouterConfig::new(addr::CUSTOMER, asn::CUSTOMER)
-        .with_filter(dice_router::policy::FilterDef::accept_all("all"))
-        .with_neighbor(NeighborConfig {
-            address: addr::PROVIDER,
-            remote_as: asn::PROVIDER,
-            import_filter: Some("all".into()),
-            export_filter: Some("all".into()),
-        })
-        .with_static_route("41.0.0.0/12".parse().expect("valid"), addr::CUSTOMER);
-    topo.add_node("Customer", customer_cfg);
-
     // Provider (AS 3491): customer-provider link + transit to the Internet.
     let customer_in = match mode {
         CustomerFilterMode::Correct => parse_filter(
@@ -150,6 +136,33 @@ pub fn figure2_topology(mode: CustomerFilterMode) -> Topology {
         .expect("valid filter"),
         CustomerFilterMode::Missing => dice_router::policy::FilterDef::accept_all("customer_in"),
     };
+    figure2_topology_with_customer_filter(customer_in)
+}
+
+/// The Figure 2 wiring with an arbitrary Provider customer import filter
+/// (referenced by the filter's own name). This is the hook scenario tests
+/// use to install bespoke policies — e.g. an attribute-gated filter whose
+/// exploratory variants alternately accept and revoke the same prefix, the
+/// route-flapping setup the live orchestrator's oscillation checker
+/// detects.
+pub fn figure2_topology_with_customer_filter(
+    customer_in: dice_router::policy::FilterDef,
+) -> Topology {
+    let mut topo = Topology::new();
+
+    // Customer (AS 17557): originates its own allocation, no import filters.
+    let customer_cfg = RouterConfig::new(addr::CUSTOMER, asn::CUSTOMER)
+        .with_filter(dice_router::policy::FilterDef::accept_all("all"))
+        .with_neighbor(NeighborConfig {
+            address: addr::PROVIDER,
+            remote_as: asn::PROVIDER,
+            import_filter: Some("all".into()),
+            export_filter: Some("all".into()),
+        })
+        .with_static_route("41.0.0.0/12".parse().expect("valid"), addr::CUSTOMER);
+    topo.add_node("Customer", customer_cfg);
+
+    let customer_in_name = customer_in.name.clone();
     let provider_cfg = RouterConfig::new(addr::PROVIDER, asn::PROVIDER)
         .with_filter(customer_in)
         .with_filter(dice_router::policy::FilterDef::accept_all("transit_in"))
@@ -157,7 +170,7 @@ pub fn figure2_topology(mode: CustomerFilterMode) -> Topology {
         .with_neighbor(NeighborConfig {
             address: addr::CUSTOMER,
             remote_as: asn::CUSTOMER,
-            import_filter: Some("customer_in".into()),
+            import_filter: Some(customer_in_name),
             export_filter: Some("announce_all".into()),
         })
         .with_neighbor(NeighborConfig {

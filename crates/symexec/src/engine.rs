@@ -278,6 +278,19 @@ impl<O> Exploration<O> {
         ids.len()
     }
 
+    /// Consumes the exploration and returns every run's application-level
+    /// output, preserving execution order (seed runs first, generated runs
+    /// in the order they were committed — identical between the batched
+    /// and sequential inner loops).
+    ///
+    /// This is the plumbing surface for *sequence-aware* fault checkers:
+    /// outputs carry whatever the program recorded per run (in DiCE, the
+    /// intercepted message sequence), and the order they are returned in is
+    /// the order the round executed them.
+    pub fn into_outputs(self) -> Vec<O> {
+        self.runs.into_iter().map(|r| r.output).collect()
+    }
+
     /// The inputs of all non-seed runs, i.e. the inputs the engine derived
     /// by negating branch predicates. In DiCE these become the exploratory
     /// messages sent to the cloned checkpoint.
@@ -866,6 +879,18 @@ mod tests {
         assert!(outputs.contains(&2));
         assert!(outputs.contains(&0));
         assert!(!outputs.contains(&1));
+    }
+
+    #[test]
+    fn into_outputs_preserves_execution_order() {
+        let engine = ConcolicEngine::new();
+        let seeds = [InputValues::new().with("x", 5).with("y", 0)];
+        let mut program = figure1_program;
+        let result = engine.explore(&mut program, &seeds);
+        let by_ref: Vec<&str> = result.outputs().copied().collect();
+        let owned = result.into_outputs();
+        assert_eq!(owned, by_ref, "ownership transfer keeps run order");
+        assert_eq!(owned.first().copied(), Some("shallow"), "seed runs first");
     }
 
     #[test]

@@ -30,9 +30,12 @@ pub mod prelude {
     pub use dice_core::{
         CheckpointedRouter, CustomerFilterMode, Dice, DiceBuilder, DiceConfig, DiceSession,
         ExplorationReport, Fault, FaultChecker, FaultKind, FleetExplorer, FleetFault, FleetReport,
-        ForwardingLoopChecker, OriginHijackChecker, SharedCoreScheduler, UpdateTemplate,
+        ForwardingLoopChecker, LiveFault, LiveOrchestrator, LiveReport, LiveRound,
+        OriginHijackChecker, RouteOscillationChecker, SharedCoreScheduler, UpdateTemplate,
     };
-    pub use dice_netsim::topology::{addr, asn, figure2_topology, NodeId, Topology};
+    pub use dice_netsim::topology::{
+        addr, asn, figure2_topology, figure2_topology_with_customer_filter, NodeId, Topology,
+    };
     pub use dice_netsim::{generate_trace, Replayer, Simulator, TraceGenConfig};
     pub use dice_router::{BgpRouter, NeighborConfig, RouterConfig};
     pub use dice_symexec::{ConcolicEngine, EngineConfig, ExecCtx, InputValues};
@@ -68,6 +71,18 @@ mod tests {
         let _: &DiceSession = fleet.session();
         let _: Option<FleetFault> = None;
         let _ = FleetReport::default();
+        let _ = RouteOscillationChecker::new().with_min_transitions(3);
+        let live = LiveOrchestrator::default()
+            .with_core_budget(1)
+            .with_quiesce_steps(50)
+            .with_max_rounds(2);
+        let _: &FleetExplorer = live.explorer();
+        let _: Option<LiveFault> = None;
+        let _: Option<LiveRound> = None;
+        let _ = LiveReport::default();
+        let _ = figure2_topology_with_customer_filter(dice_router::policy::FilterDef::accept_all(
+            "customer_in",
+        ));
         let _ = NodeId(0);
         let _ = Topology::new();
         fn assert_checker<T: FaultChecker>() {}

@@ -1,0 +1,183 @@
+//! End-to-end tests of continuous ("live") exploration: the
+//! `LiveOrchestrator` interleaving simulation progress with exploration
+//! rounds, its equivalence anchor against `FleetExplorer`, and the class
+//! of temporal faults — route oscillation — that only continuous rounds
+//! can catch.
+
+use dice::prelude::*;
+use dice::router::policy::parse_filter;
+use std::net::Ipv4Addr;
+
+fn announcement(prefix: &str, path: &[u32], next_hop: Ipv4Addr) -> BgpMessage {
+    let mut attrs = RouteAttrs::default();
+    attrs.as_path = AsPath::from_sequence(path.iter().copied());
+    attrs.next_hop = next_hop;
+    BgpMessage::Update(UpdateMessage::announce(
+        vec![prefix.parse().expect("valid")],
+        &attrs,
+    ))
+}
+
+fn two_checker_session() -> DiceSession {
+    DiceBuilder::new()
+        .checker(Box::new(OriginHijackChecker::new()))
+        .checker(Box::new(RouteOscillationChecker::new()))
+        .build()
+}
+
+/// The acceptance anchor: a single-round live run over a quiesced
+/// simulator is byte-identical (per report digest) to `FleetExplorer`
+/// over the same inputs — the orchestrator adds scheduling, never
+/// different results.
+#[test]
+fn single_round_live_run_matches_fleet_exploration_byte_for_byte() {
+    let topo = figure2_topology(CustomerFilterMode::Erroneous);
+    let provider = topo.node_by_name("Provider").expect("node");
+    let mut sim = Simulator::new(&topo);
+    sim.inject(
+        provider,
+        addr::INTERNET,
+        announcement(
+            "208.65.152.0/22",
+            &[asn::INTERNET, 3356, asn::VICTIM],
+            addr::INTERNET,
+        ),
+    );
+    sim.run_to_quiescence(100);
+    sim.inject(
+        provider,
+        addr::CUSTOMER,
+        announcement(
+            "41.1.0.0/16",
+            &[asn::CUSTOMER, asn::CUSTOMER],
+            addr::CUSTOMER,
+        ),
+    );
+    sim.run_to_quiescence(100);
+
+    let session = two_checker_session();
+    let fleet = FleetExplorer::new(session.clone()).explore(&sim);
+    let live = LiveOrchestrator::new(session).run(&mut sim, |_, _| false);
+
+    assert_eq!(live.rounds.len(), 1);
+    assert_eq!(live.rounds[0].report.digest(), fleet.digest());
+    assert!(live.has_faults(), "the provider leak is detected:\n{live}");
+    assert_eq!(live.faults.len(), fleet.faults.len());
+    for (lf, ff) in live.faults.iter().zip(&fleet.faults) {
+        assert_eq!(lf.fault, ff.fault);
+        assert_eq!(lf.nodes, ff.nodes);
+        assert_eq!(lf.rounds, vec![0]);
+    }
+}
+
+/// The temporal-fault acceptance test: live traffic installs a route,
+/// exploration runs a round *while it is installed*, then the route is
+/// withdrawn. The mid-run round sees the node alternately announce and
+/// revoke the prefix (route oscillation); a single harvested round over
+/// the final state — where the route is long gone — cannot.
+#[test]
+fn multi_round_live_run_detects_an_oscillation_a_single_round_misses() {
+    // A customer import filter gated on attributes only: exploratory
+    // variants keep the announced prefix but flip the verdict, so with the
+    // route installed the node would flap it.
+    let filter = parse_filter(
+        r#"filter customer_in {
+            if source_as = 17557 then accept;
+            if med > 100 then accept;
+            reject;
+        }"#,
+    )
+    .expect("valid filter");
+    let topo = figure2_topology_with_customer_filter(filter);
+    let provider = topo.node_by_name("Provider").expect("node");
+    let mut sim = Simulator::new(&topo);
+
+    let flap_prefix: Ipv4Prefix = "41.1.0.0/16".parse().expect("valid");
+    let live = LiveOrchestrator::new(two_checker_session()).run(&mut sim, |sim, epoch| {
+        match epoch {
+            // Epoch 0: the customer announces its block; the filter
+            // accepts it and the provider installs it.
+            0 => {
+                sim.inject(
+                    provider,
+                    addr::CUSTOMER,
+                    announcement(
+                        "41.1.0.0/16",
+                        &[asn::CUSTOMER, asn::CUSTOMER],
+                        addr::CUSTOMER,
+                    ),
+                );
+                true
+            }
+            // Epoch 1: the customer withdraws it again — by the end of the
+            // run the provider's table no longer holds the route.
+            _ => {
+                sim.inject(
+                    provider,
+                    addr::CUSTOMER,
+                    BgpMessage::Update(UpdateMessage::withdraw(vec![flap_prefix])),
+                );
+                false
+            }
+        }
+    });
+
+    // The route is gone from the live table...
+    assert!(sim
+        .router(provider)
+        .rib()
+        .best_route(&flap_prefix)
+        .is_none());
+    // ...but the round that ran while it was installed caught the flap.
+    let oscillation = live
+        .faults
+        .iter()
+        .find(|f| f.fault.checker == "route-oscillation")
+        .unwrap_or_else(|| panic!("live run must catch the oscillation:\n{live}"));
+    assert_eq!(oscillation.fault.leaked_prefix(), flap_prefix);
+    assert_eq!(oscillation.rounds, vec![0], "caught by the mid-run round");
+    assert!(oscillation.nodes.contains(&provider));
+
+    // A single harvested round over the very same (final) simulator state
+    // explores the same observed inputs but checkpoints a table without
+    // the route: rejected variants revoke nothing, no announce/withdraw
+    // alternation exists, the oscillation is invisible.
+    let one_shot = FleetExplorer::new(two_checker_session()).explore(&sim);
+    assert!(
+        one_shot
+            .faults
+            .iter()
+            .all(|f| f.fault.checker != "route-oscillation"),
+        "a single end-of-run round cannot see the temporal fault:\n{one_shot}"
+    );
+    // Not because nothing was explored: the announcement is still in the
+    // log and still harvested.
+    assert!(one_shot.node(provider).expect("provider explored").runs > 0);
+
+    // The live run's digest is stable across identical reruns.
+    let mut sim2 = Simulator::new(&topo);
+    let rerun =
+        LiveOrchestrator::new(two_checker_session()).run(&mut sim2, |sim, epoch| match epoch {
+            0 => {
+                sim.inject(
+                    provider,
+                    addr::CUSTOMER,
+                    announcement(
+                        "41.1.0.0/16",
+                        &[asn::CUSTOMER, asn::CUSTOMER],
+                        addr::CUSTOMER,
+                    ),
+                );
+                true
+            }
+            _ => {
+                sim.inject(
+                    provider,
+                    addr::CUSTOMER,
+                    BgpMessage::Update(UpdateMessage::withdraw(vec![flap_prefix])),
+                );
+                false
+            }
+        });
+    assert_eq!(rerun.digest(), live.digest());
+}
