@@ -79,7 +79,7 @@ fn main() {
                 continue;
             };
             let engine = ConcolicEngine::with_config(EngineConfig::default().with_max_runs(16));
-            let mut handler = SymbolicUpdateHandler::new(
+            let mut handler = SymbolicUpdateHandler::from_router(
                 clone.state().router().clone(),
                 customer,
                 template.clone(),

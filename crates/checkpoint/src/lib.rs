@@ -46,4 +46,4 @@ pub use checkpoint::{CheckpointManager, Checkpointable, TrackedProcess};
 pub use codec::{DecodeError, Decoder, Encoder};
 pub use page::{Page, PAGE_SIZE};
 pub use space::AddressSpace;
-pub use stats::{CloneOverhead, MemoryStats};
+pub use stats::{CloneOverhead, CowForkStats, MemoryStats};

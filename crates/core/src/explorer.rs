@@ -28,6 +28,23 @@ use crate::checker::Fault;
 use crate::report::ExplorationReport;
 use crate::session::{DiceBuilder, DiceSession};
 
+/// How a round materializes the router state each handler executes over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum CheckpointMode {
+    /// One copy-on-write [`crate::RoundCheckpoint`] captured per round and
+    /// shared by every handler (the default): per-input setup is a
+    /// reference-count bump, and the capture itself shares every untouched
+    /// RIB shard with the live router.
+    #[default]
+    CowRound,
+    /// Deep-clone the full router once per observed input — the
+    /// pre-copy-on-write reference path. Kept selectable so equivalence
+    /// anchors (tests and the RIB bench) can assert byte-identical reports
+    /// against it; reports are identical in both modes.
+    DeepClonePerInput,
+}
+
 /// Configuration of a DiCE instance.
 ///
 /// `#[non_exhaustive]`: construct via [`DiceConfig::default`] and the
@@ -53,10 +70,14 @@ pub struct DiceConfig {
     /// Worker threads exploring observed inputs concurrently.
     ///
     /// `0` (the default) uses the machine's available parallelism; `1`
-    /// forces fully sequential exploration. Each observed input explores an
-    /// independent clone of the checkpoint, so the report is identical for
-    /// every worker count — only the wall clock changes.
+    /// forces fully sequential exploration. Observed inputs are
+    /// independent of each other, so the report is identical for every
+    /// worker count — only the wall clock changes.
     pub workers: usize,
+    /// How handler state is materialized per observed input (shared
+    /// copy-on-write round checkpoint by default). Reports are identical
+    /// in every mode — only allocation and copy costs change.
+    pub checkpoint: CheckpointMode,
 }
 
 impl Default for DiceConfig {
@@ -66,6 +87,7 @@ impl Default for DiceConfig {
             max_observed_inputs: 16,
             anycast_whitelist: Vec::new(),
             workers: 0,
+            checkpoint: CheckpointMode::default(),
         }
     }
 }
@@ -92,6 +114,12 @@ impl DiceConfig {
     /// Sets the worker thread count (0 = available parallelism).
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers;
+        self
+    }
+
+    /// Sets how handler state is materialized per observed input.
+    pub fn with_checkpoint_mode(mut self, mode: CheckpointMode) -> Self {
+        self.checkpoint = mode;
         self
     }
 }
@@ -444,6 +472,37 @@ mod tests {
             "candidates were solved through incremental sessions"
         );
         assert!(batched.has_faults());
+    }
+
+    #[test]
+    fn cow_round_checkpoint_equals_per_input_deep_cloning() {
+        // The copy-on-write round checkpoint (one Arc-shared snapshot per
+        // round) must be a pure cost optimisation: the same round under
+        // the pre-change deep-clone-per-input path produces a byte-identical
+        // report, for sequential and parallel rounds alike.
+        let (router, customer, observed) = scenario(CustomerFilterMode::Erroneous);
+        let inputs = multi_input_observed(&router, customer, &observed);
+
+        let cow = Dice::new().run(&router, &inputs);
+        let cloned = Dice::with_config(
+            DiceConfig::default().with_checkpoint_mode(crate::CheckpointMode::DeepClonePerInput),
+        )
+        .run(&router, &inputs);
+        assert_reports_equal(&cow, &cloned, "CowRound vs DeepClonePerInput");
+        assert!(cow.has_faults(), "the erroneous filter is still flagged");
+        assert!(cow.isolation_preserved && cloned.isolation_preserved);
+
+        let cloned_sequential = Dice::with_config(
+            DiceConfig::default()
+                .with_workers(1)
+                .with_checkpoint_mode(crate::CheckpointMode::DeepClonePerInput),
+        )
+        .run(&router, &inputs);
+        assert_reports_equal(
+            &cow,
+            &cloned_sequential,
+            "CowRound vs sequential deep clones",
+        );
     }
 
     #[test]

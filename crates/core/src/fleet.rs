@@ -12,7 +12,10 @@
 //! 2. **explore** — one exploration round runs per node, nodes fanned out
 //!    concurrently under a global core budget: the budget is split across
 //!    the per-node worker pools so the nested parallelism (nodes × observed
-//!    inputs × solver threads) never oversubscribes the machine;
+//!    inputs × solver threads) never oversubscribes the machine. Each
+//!    node's round captures one copy-on-write [`crate::RoundCheckpoint`]
+//!    and shares it across every observed input of that round (no deep
+//!    clone per input — see [`crate::CheckpointMode`]);
 //! 3. **merge** — per-node [`ExplorationReport`]s are collected in
 //!    topology order into a [`FleetReport`], and faults are deduplicated
 //!    fleet-wide by `(checker, prefix, offending message)`
@@ -423,6 +426,24 @@ mod tests {
         let text = report.to_string();
         assert!(text.contains("Provider"));
         assert!(text.contains("fault(s)"));
+    }
+
+    #[test]
+    fn fleet_round_is_identical_under_both_checkpoint_modes() {
+        let sim = simulated_figure2(CustomerFilterMode::Erroneous);
+        let cow = FleetExplorer::default().explore(&sim);
+        let cloned = FleetExplorer::new(
+            DiceBuilder::new()
+                .checkpoint_mode(crate::CheckpointMode::DeepClonePerInput)
+                .build(),
+        )
+        .explore(&sim);
+        assert_eq!(
+            cow.digest(),
+            cloned.digest(),
+            "the CoW round checkpoint must not change any fleet result"
+        );
+        assert!(cow.has_faults());
     }
 
     #[test]

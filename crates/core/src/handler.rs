@@ -14,6 +14,7 @@ use dice_router::policy::eval_filter;
 use dice_router::{BgpRouter, FilterOutcome, FilterVerdict};
 use dice_symexec::{ExecCtx, InputValues, SymbolicProgram};
 
+use crate::checkpoint::RoundCheckpoint;
 use crate::isolation::MessageInterceptor;
 use crate::symbolic_input::UpdateTemplate;
 
@@ -52,18 +53,28 @@ impl HandlerOutcome {
 }
 
 /// The symbolic UPDATE handler explored by the concolic engine.
+///
+/// The handler only *reads* the checkpointed router (filters, peers, the
+/// routing table), so every handler of a round shares one
+/// [`RoundCheckpoint`] by reference count instead of deep-cloning the
+/// router per observed input.
 #[derive(Debug)]
 pub struct SymbolicUpdateHandler {
-    checkpoint: BgpRouter,
+    checkpoint: RoundCheckpoint,
     peer: PeerId,
     template: UpdateTemplate,
     interceptor: MessageInterceptor,
 }
 
 impl SymbolicUpdateHandler {
-    /// Creates a handler over a checkpoint clone of the router, exploring
-    /// inputs derived from an update observed from `peer`.
-    pub fn new(checkpoint: BgpRouter, peer: PeerId, template: UpdateTemplate) -> Self {
+    /// Creates a handler over a shared round checkpoint, exploring inputs
+    /// derived from an update observed from `peer`.
+    ///
+    /// Migration note: this used to take an owned `BgpRouter` (a deep
+    /// clone per handler); pass [`RoundCheckpoint::capture`] of the
+    /// router, or use [`SymbolicUpdateHandler::from_router`] to keep the
+    /// old call shape.
+    pub fn new(checkpoint: RoundCheckpoint, peer: PeerId, template: UpdateTemplate) -> Self {
         SymbolicUpdateHandler {
             checkpoint,
             peer,
@@ -72,9 +83,15 @@ impl SymbolicUpdateHandler {
         }
     }
 
+    /// Convenience wrapper for the pre-copy-on-write call shape: wraps an
+    /// owned router as a single-handler checkpoint.
+    pub fn from_router(router: BgpRouter, peer: PeerId, template: UpdateTemplate) -> Self {
+        Self::new(RoundCheckpoint::from_router(router), peer, template)
+    }
+
     /// The checkpoint the handler executes over.
     pub fn checkpoint(&self) -> &BgpRouter {
-        &self.checkpoint
+        self.checkpoint.router()
     }
 
     /// The input template.
@@ -102,14 +119,13 @@ impl SymbolicProgram for SymbolicUpdateHandler {
         let (prefix, attrs) = self.template.materialize(input);
         let view = self.template.symbolic_view(ctx, input);
 
+        // Everything below only reads the shared snapshot.
+        let router = self.checkpoint.router();
+
         // Run the peer's import policy over the symbolic view. A peer
         // without an import filter accepts everything; a reference to a
         // missing filter fails closed, mirroring the live router.
-        let filter_outcome = match self
-            .checkpoint
-            .peer(self.peer)
-            .and_then(|p| p.import_filter.clone())
-        {
+        let filter_outcome = match router.peer(self.peer).and_then(|p| p.import_filter.clone()) {
             None => FilterOutcome {
                 verdict: FilterVerdict::Accept,
                 local_pref: None,
@@ -117,7 +133,7 @@ impl SymbolicProgram for SymbolicUpdateHandler {
                 prepend: 0,
                 added_communities: Vec::new(),
             },
-            Some(name) => match self.checkpoint.config().filter(&name) {
+            Some(name) => match router.config().filter(&name) {
                 Some(filter) => eval_filter(filter, &view, ctx),
                 None => FilterOutcome {
                     verdict: FilterVerdict::Reject,
@@ -139,7 +155,7 @@ impl SymbolicProgram for SymbolicUpdateHandler {
         let exploratory = if accepted {
             Some(UpdateMessage::announce(vec![prefix], &attrs))
         } else {
-            match self.checkpoint.rib().best_route(&prefix) {
+            match router.rib().best_route(&prefix) {
                 Some(existing) if existing.learned_from == self.peer => {
                     Some(UpdateMessage::withdraw(vec![prefix]))
                 }
@@ -148,7 +164,7 @@ impl SymbolicProgram for SymbolicUpdateHandler {
         };
         let mut intercepted = Vec::new();
         if let Some(exploratory) = exploratory {
-            for p in self.checkpoint.peers() {
+            for p in router.peers() {
                 if p.id != self.peer && p.is_established() {
                     self.interceptor.capture(p.id, exploratory.clone());
                     intercepted.push((p.id, exploratory.clone()));
@@ -197,7 +213,7 @@ mod tests {
         let router = provider(CustomerFilterMode::Missing);
         let peer = router.peer_by_address(addr::CUSTOMER).expect("peer");
         let template = UpdateTemplate::from_update(&observed_update()).expect("template");
-        let mut handler = SymbolicUpdateHandler::new(router, peer, template);
+        let mut handler = SymbolicUpdateHandler::from_router(router, peer, template);
         let mut ctx = ExecCtx::new();
         let seed = handler.template().seed();
         let outcome = handler.run(&mut ctx, &seed);
@@ -223,7 +239,7 @@ mod tests {
             .is_some());
 
         let template = UpdateTemplate::from_update(&observed_update()).expect("template");
-        let mut handler = SymbolicUpdateHandler::new(router, peer, template);
+        let mut handler = SymbolicUpdateHandler::from_router(router, peer, template);
         let mut ctx = ExecCtx::new();
         // Same prefix, wrong origin AS: the correct filter rejects it.
         let rejected = handler
@@ -259,7 +275,7 @@ mod tests {
         let router = provider(CustomerFilterMode::Correct);
         let peer = router.peer_by_address(addr::CUSTOMER).expect("peer");
         let template = UpdateTemplate::from_update(&observed_update()).expect("template");
-        let mut handler = SymbolicUpdateHandler::new(router, peer, template);
+        let mut handler = SymbolicUpdateHandler::from_router(router, peer, template);
         let mut ctx = ExecCtx::new();
         let seed = handler.template().seed();
         let outcome = handler.run(&mut ctx, &seed);
@@ -274,7 +290,7 @@ mod tests {
         let peer = router.peer_by_address(addr::CUSTOMER).expect("peer");
         let template = UpdateTemplate::from_update(&observed_update()).expect("template");
         let seed = template.seed();
-        let mut handler = SymbolicUpdateHandler::new(router, peer, template);
+        let mut handler = SymbolicUpdateHandler::from_router(router, peer, template);
         let engine = ConcolicEngine::with_config(EngineConfig::default().with_max_runs(32));
         let exploration = engine.explore(&mut handler, &[seed]);
         let accepted = exploration.outputs().filter(|o| o.accepted).count();

@@ -76,6 +76,7 @@
 #![warn(missing_docs)]
 
 pub mod checker;
+pub mod checkpoint;
 pub mod checkpointable;
 pub mod explorer;
 pub mod fleet;
@@ -92,8 +93,9 @@ pub use checker::{
     Fault, FaultChecker, FaultKind, ForwardingLoopChecker, OriginHijackChecker,
     RouteOscillationChecker,
 };
+pub use checkpoint::RoundCheckpoint;
 pub use checkpointable::CheckpointedRouter;
-pub use explorer::{Dice, DiceConfig};
+pub use explorer::{CheckpointMode, Dice, DiceConfig};
 pub use fleet::{
     dedup_fleet_faults, FleetExplorer, FleetFault, FleetReport, NodeReport, NodeWindow,
 };

@@ -20,7 +20,17 @@
 //! 4. **accumulate** — every round's [`FleetReport`] lands in a
 //!    [`LiveReport`], and faults are deduplicated *across rounds* by
 //!    [`Fault::fleet_key`]: the same leak re-detected every round is one
-//!    live fault with every sighting round recorded.
+//!    live fault with every sighting round recorded;
+//! 5. **compact** — once the round's window is harvested, the delivery log
+//!    below the cursor is dropped ([`Simulator::trim_observed_below`];
+//!    disable via [`LiveOrchestrator::with_log_compaction`]), bounding a
+//!    long live session's memory by the unharvested tail.
+//!
+//! Each round's state is a fresh copy-on-write [`crate::RoundCheckpoint`]
+//! per node, captured when the round runs and dropped with it — a
+//! checkpoint never outlives the epoch window it was taken for, and within
+//! the round every explored input shares it instead of deep-cloning the
+//! router.
 //!
 //! Because each round checkpoints the node state *as it was when the round
 //! ran*, continuous rounds see behaviour that a single end-of-run harvest
@@ -190,6 +200,7 @@ pub struct LiveOrchestrator {
     explorer: FleetExplorer,
     quiesce_steps: u64,
     max_rounds: usize,
+    compact_log: bool,
 }
 
 impl Default for LiveOrchestrator {
@@ -206,6 +217,7 @@ impl LiveOrchestrator {
             explorer: FleetExplorer::new(session),
             quiesce_steps: 100,
             max_rounds: 64,
+            compact_log: true,
         }
     }
 
@@ -230,6 +242,20 @@ impl LiveOrchestrator {
     /// completion.
     pub fn with_max_rounds(mut self, rounds: usize) -> Self {
         self.max_rounds = rounds.max(1);
+        self
+    }
+
+    /// Enables or disables delivery-log compaction (default: enabled).
+    ///
+    /// After each executed round — once the orchestrator's cursor has
+    /// passed the harvested window — the simulator log below the cursor is
+    /// dropped ([`Simulator::trim_observed_below`]), so a long-running live
+    /// session holds only the unharvested tail instead of the unbounded
+    /// full history. Disable it when something else re-harvests the same
+    /// simulator after the run (e.g. a comparative one-shot
+    /// [`FleetExplorer::explore`] over the full log).
+    pub fn with_log_compaction(mut self, enabled: bool) -> Self {
+        self.compact_log = enabled;
         self
     }
 
@@ -282,6 +308,11 @@ impl LiveOrchestrator {
                     report: fleet,
                 });
                 cursor = head;
+                if self.compact_log {
+                    // Every cursor of this run has passed `cursor`, so the
+                    // log below it can never be harvested again: drop it.
+                    sim.trim_observed_below(cursor);
+                }
             }
             if !more {
                 break;
@@ -469,6 +500,47 @@ mod tests {
             epoch < 1
         });
         assert_eq!(rerun.digest(), live.digest());
+    }
+
+    #[test]
+    fn log_compaction_drops_harvested_windows_without_changing_reports() {
+        let topo = figure2_topology(CustomerFilterMode::Erroneous);
+        let provider = topo.node_by_name("Provider").expect("node");
+        let blocks = ["41.1.0.0/16", "41.64.0.0/12"];
+        let drive = |sim: &mut Simulator, epoch: usize| {
+            if let Some(block) = blocks.get(epoch) {
+                inject_customer_block(sim, provider, block);
+            }
+            epoch + 1 < blocks.len()
+        };
+
+        // Default: the log is trimmed up to the cursor after each round —
+        // a fully harvested run leaves an empty log.
+        let mut compacted_sim = Simulator::new(&topo);
+        inject_victim_table(&mut compacted_sim, provider);
+        let compacted = LiveOrchestrator::default().run(&mut compacted_sim, drive);
+        assert!(
+            compacted_sim.observed_log().is_empty(),
+            "every window was harvested, so compaction empties the log"
+        );
+        assert_eq!(compacted_sim.observed_cursor(), {
+            let last = compacted.rounds.last().expect("rounds ran");
+            last.window.1
+        });
+
+        // Compaction never changes what exploration reports.
+        let mut retained_sim = Simulator::new(&topo);
+        inject_victim_table(&mut retained_sim, provider);
+        let retained = LiveOrchestrator::default()
+            .with_log_compaction(false)
+            .run(&mut retained_sim, drive);
+        assert_eq!(retained.digest(), compacted.digest());
+        assert_eq!(
+            retained_sim.observed_log().len() as u64,
+            retained_sim.observed_cursor(),
+            "without compaction the full history is retained"
+        );
+        assert!(compacted.has_faults());
     }
 
     #[test]

@@ -34,7 +34,8 @@ use dice_solver::SolverStats;
 use dice_symexec::{ConcolicEngine, Coverage, EngineConfig, InputValues};
 
 use crate::checker::{Fault, FaultChecker, OriginHijackChecker};
-use crate::explorer::DiceConfig;
+use crate::checkpoint::RoundCheckpoint;
+use crate::explorer::{CheckpointMode, DiceConfig};
 use crate::handler::{HandlerOutcome, SymbolicUpdateHandler};
 use crate::isolation::LiveStateFingerprint;
 use crate::report::ExplorationReport;
@@ -76,6 +77,14 @@ impl DiceBuilder {
     /// Sets the maximum number of observed inputs explored per round.
     pub fn max_observed_inputs(mut self, max: usize) -> Self {
         self.config.max_observed_inputs = max;
+        self
+    }
+
+    /// Sets how handler state is materialized per observed input
+    /// ([`CheckpointMode`]; shared copy-on-write round checkpoint by
+    /// default). Reports are identical in every mode.
+    pub fn checkpoint_mode(mut self, mode: CheckpointMode) -> Self {
+        self.config.checkpoint = mode;
         self
     }
 
@@ -212,11 +221,14 @@ impl DiceSession {
     /// given observed `(peer, update)` inputs.
     ///
     /// The live router is only read to take the checkpoint and to verify
-    /// isolation afterwards; all execution happens on clones. Observed
-    /// inputs are independent of each other (each explores its own clone of
-    /// the checkpoint), so they are fanned out across
+    /// isolation afterwards; all execution happens over the round's shared
+    /// copy-on-write snapshot ([`RoundCheckpoint`], captured exactly once
+    /// per round and handed to every handler — or a deep clone per input
+    /// under [`CheckpointMode::DeepClonePerInput`]). Observed inputs are
+    /// independent of each other, so they are fanned out across
     /// [`DiceConfig::workers`] threads and their outcomes merged in input
-    /// order — the report is identical to a sequential round.
+    /// order — the report is identical to a sequential round and for every
+    /// checkpoint mode.
     pub fn explore(
         &self,
         live: &BgpRouter,
@@ -224,8 +236,9 @@ impl DiceSession {
     ) -> ExplorationReport {
         let started = Instant::now();
         let fingerprint = LiveStateFingerprint::capture(live);
-        // Checkpoint: a fork of the live node's state.
-        let checkpoint = live.clone();
+        // Checkpoint: a copy-on-write fork of the live node's state, taken
+        // once for the whole round.
+        let checkpoint = RoundCheckpoint::capture(live);
 
         let inputs = &observed[..observed.len().min(self.config.max_observed_inputs)];
         let mut report = ExplorationReport {
@@ -262,7 +275,7 @@ impl DiceSession {
         // Round-level pass: sequence-aware checkers see the whole round's
         // outcomes, concatenated in input order (each input's runs already
         // in execution order) — deterministic for every worker count.
-        for fault in self.check_round(&round_outcomes, checkpoint.rib()) {
+        for fault in self.check_round(&round_outcomes, checkpoint.router().rib()) {
             if !report.faults.contains(&fault) {
                 report.faults.push(fault);
             }
@@ -279,22 +292,31 @@ impl DiceSession {
     ///
     /// Returns `None` for inputs that yield no symbolic template (pure
     /// withdrawals). Takes only shared references so input exploration can
-    /// run on worker threads.
+    /// run on worker threads. Under the default [`CheckpointMode::CowRound`]
+    /// the handler shares the round snapshot (a reference-count bump);
+    /// under [`CheckpointMode::DeepClonePerInput`] it gets a full copy, the
+    /// pre-copy-on-write reference path.
     fn explore_input(
         &self,
-        checkpoint: &BgpRouter,
+        checkpoint: &RoundCheckpoint,
         peer: PeerId,
         update: &UpdateMessage,
     ) -> Option<InputOutcome> {
         let template = UpdateTemplate::from_update(update)?;
         let seed: InputValues = template.seed();
-        let mut handler = SymbolicUpdateHandler::new(checkpoint.clone(), peer, template);
+        let handler_checkpoint = match self.config.checkpoint {
+            CheckpointMode::DeepClonePerInput => {
+                RoundCheckpoint::from_router(checkpoint.router().deep_clone())
+            }
+            _ => checkpoint.clone(),
+        };
+        let mut handler = SymbolicUpdateHandler::new(handler_checkpoint, peer, template);
         let engine = ConcolicEngine::with_config(self.config.engine);
         let mut exploration = engine.explore(&mut handler, &[seed]);
 
         let mut faults = Vec::new();
         for run in &exploration.runs {
-            for fault in self.check_outcome(&run.output, checkpoint.rib()) {
+            for fault in self.check_outcome(&run.output, checkpoint.router().rib()) {
                 if !faults.contains(&fault) {
                     faults.push(fault);
                 }

@@ -228,6 +228,26 @@ impl Simulator {
         drained
     }
 
+    /// Removes every observation-log entry with a sequence number below
+    /// `seq`, returning the number of entries dropped — log compaction for
+    /// long-running simulations, whose epoch-tagged delivery log otherwise
+    /// grows without bound.
+    ///
+    /// Safe to call once **every** harvester's cursor has passed `seq`:
+    /// windowed harvests ([`Simulator::observed_inputs_in`]) with
+    /// `from >= seq` and the cursor itself ([`Simulator::observed_cursor`])
+    /// are unaffected, because sequence tags are assigned monotonically and
+    /// never reused. Harvests reaching below `seq` after a trim silently
+    /// return only what remains — the caller owns the cursor contract
+    /// (continuous orchestrators call this after each harvested round).
+    pub fn trim_observed_below(&mut self, seq: u64) -> usize {
+        // The log is sorted by `seq` (append-only tags, order-preserving
+        // drains), so the cut point binary-searches.
+        let cut = self.observed.partition_point(|o| o.seq < seq);
+        self.observed.drain(..cut);
+        cut
+    }
+
     /// Clears the observation log for **all** nodes at once.
     #[deprecated(
         since = "0.1.0",
@@ -461,10 +481,62 @@ mod tests {
         );
         assert_eq!(sim.observed_log().len(), 2);
 
-        #[allow(deprecated)]
-        sim.clear_observed();
+        // Per-node drains empty the log without the deprecated global
+        // wipe (which would also have dropped other nodes' entries).
+        for node in [provider, customer, internet] {
+            sim.drain_observed(node);
+        }
         assert!(sim.observed_log().is_empty());
         assert!(sim.observed_inputs(provider).is_empty());
+    }
+
+    #[test]
+    fn trim_compacts_the_log_below_a_passed_cursor() {
+        let topo = figure2_topology(CustomerFilterMode::Missing);
+        let mut sim = Simulator::new(&topo);
+        let provider = topo.node_by_name("Provider").expect("node");
+        let internet = topo.node_by_name("RestOfInternet").expect("node");
+
+        sim.inject(
+            provider,
+            addr::CUSTOMER,
+            announcement("41.1.0.0/16", &[asn::CUSTOMER], addr::CUSTOMER),
+        );
+        sim.run_to_quiescence(100);
+        let mid = sim.observed_cursor();
+        sim.inject(
+            provider,
+            addr::CUSTOMER,
+            announcement("41.64.0.0/12", &[asn::CUSTOMER], addr::CUSTOMER),
+        );
+        sim.run_to_quiescence(100);
+        let head = sim.observed_cursor();
+
+        // Harvest the first window everywhere, then compact below it.
+        let second_window_before: Vec<_> = sim.observed_inputs_in(provider, mid, head);
+        let trimmed = sim.trim_observed_below(mid);
+        assert_eq!(trimmed as u64, mid, "every entry below the cursor dropped");
+        assert!(sim.observed_log().iter().all(|o| o.seq >= mid));
+
+        // Cursor and later windows are untouched by compaction.
+        assert_eq!(sim.observed_cursor(), head);
+        assert_eq!(
+            sim.observed_inputs_in(provider, mid, head),
+            second_window_before
+        );
+        assert!(!sim.observed_inputs(internet).is_empty());
+
+        // Trimming is idempotent, and trimming everything empties the log
+        // without ever reusing sequence numbers.
+        assert_eq!(sim.trim_observed_below(mid), 0);
+        sim.trim_observed_below(head);
+        assert!(sim.observed_log().is_empty());
+        sim.inject(
+            provider,
+            addr::CUSTOMER,
+            announcement("41.128.0.0/12", &[asn::CUSTOMER], addr::CUSTOMER),
+        );
+        assert_eq!(sim.observed_log().first().map(|o| o.seq), Some(head));
     }
 
     #[test]

@@ -3,14 +3,44 @@
 //! The RIB is the node state that DiCE checkpoints and that the hijack
 //! checker inspects ("a route already in the routing table prior to
 //! starting exploration", paper §4.2).
+//!
+//! # Sharding and copy-on-write
+//!
+//! At the paper's scale (a 319,355-prefix full table) a single trie makes
+//! two hot paths serialize on one core: loading the table, and cloning the
+//! table for every exploration checkpoint. The RIB is therefore split into
+//! `N` independent tries (`N` a power of two, sized from the machine's
+//! available cores by default) keyed by the top `log2(N)` bits of the
+//! prefix address; prefixes shorter than `log2(N)` bits live in a small
+//! shared "short" trie. Every shard sits behind an [`Arc`]:
+//!
+//! * **sharded operation** — announce, withdraw, reselection and lookups
+//!   touch exactly one shard (plus, for covering queries, the short trie),
+//!   and [`Rib::load_parallel`] loads disjoint shard buckets on worker
+//!   threads with no cross-shard locking;
+//! * **copy-on-write forking** — `Rib::clone` is `N` reference-count
+//!   bumps (the fork/checkpoint operation); the first write to a shard
+//!   after a fork copies just that shard ([`Arc::make_mut`]), so a live
+//!   router and its exploration checkpoints share every shard neither
+//!   side has touched. [`Rib::deep_clone`] keeps the old copy-everything
+//!   behaviour for equivalence anchors and benchmarks.
+//!
+//! Sharding is an implementation detail: for any shard count the RIB is
+//! observationally identical (asserted by property test), and
+//! [`Rib::loc_rib`] merges shards back into the exact canonical prefix
+//! order a single trie iterates in, so every digest built by walking the
+//! table stays byte-identical.
 
+use std::cmp::Ordering;
 use std::collections::BTreeMap;
+use std::iter::Peekable;
+use std::sync::Arc;
 
 use dice_bgp::prefix::Ipv4Prefix;
 use dice_bgp::route::{PeerId, Route};
 
 use crate::decision::best_of;
-use crate::trie::PrefixTrie;
+use crate::trie::{Iter as TrieIter, PrefixTrie};
 
 /// The effect of applying an announcement or withdrawal to the Loc-RIB.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -39,45 +69,29 @@ struct PrefixEntry {
     best: Option<PeerId>,
 }
 
-/// The router's routing table.
-///
-/// Internally one trie maps each prefix to its candidate set (the
-/// Adj-RIBs-In merged per prefix) and the selected best route (the
-/// Loc-RIB view).
+/// One independent slice of the routing table: a trie over the prefixes
+/// whose top bits route to this shard, plus its local counters. Shards
+/// never reference each other, so per-shard operations need no
+/// coordination and a shard is the unit of copy-on-write.
 #[derive(Debug, Clone, Default)]
-pub struct Rib {
+struct RibShard {
     table: PrefixTrie<PrefixEntry>,
-    /// Number of prefixes with at least one candidate.
+    /// Number of prefixes with at least one candidate, in this shard.
     prefixes: usize,
-    /// Total number of candidate routes.
+    /// Total number of candidate routes, in this shard.
     candidates: usize,
 }
 
-impl Rib {
-    /// Creates an empty RIB.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Number of prefixes with at least one route.
-    pub fn prefix_count(&self) -> usize {
-        self.prefixes
-    }
-
-    /// Total number of candidate routes across all peers.
-    pub fn route_count(&self) -> usize {
-        self.candidates
-    }
-
-    /// Inserts or replaces the route learned from `route.learned_from` for
-    /// `route.prefix`, re-runs the decision process and reports the change.
+impl RibShard {
+    /// Inserts or replaces the route learned from `route.learned_from`,
+    /// re-runs the decision process and reports the Loc-RIB change.
     ///
     /// This is the hot path of UPDATE processing (and of every concolic
     /// re-execution), so it allocates nothing beyond trie growth: the
     /// previous best is snapshotted only when the announce overwrites it in
     /// place, and reselection scans the candidate map without materializing
     /// it.
-    pub fn announce(&mut self, route: Route) -> RibChange {
+    fn announce(&mut self, route: Route) -> RibChange {
         let prefix = route.prefix;
         let peer = route.learned_from;
         if self.table.get(&prefix).is_none() {
@@ -119,7 +133,7 @@ impl Rib {
     }
 
     /// Removes the route learned from `peer` for `prefix`, if any.
-    pub fn withdraw(&mut self, prefix: &Ipv4Prefix, peer: PeerId) -> RibChange {
+    fn withdraw(&mut self, prefix: &Ipv4Prefix, peer: PeerId) -> RibChange {
         let Some(entry) = self.table.get_mut(prefix) else {
             return RibChange::Unchanged;
         };
@@ -150,10 +164,274 @@ impl Rib {
     fn reselect(entry: &mut PrefixEntry) {
         entry.best = best_of(entry.candidates.values()).map(|r| r.learned_from);
     }
+}
+
+/// The canonical table order: lexicographic over prefix bit strings, with
+/// a prefix sorting before anything it covers. This is exactly the order a
+/// pre-order depth-first walk of a single trie yields, so merging shards
+/// under it reproduces the unsharded iteration byte for byte.
+fn canonical_cmp(a: Ipv4Prefix, b: Ipv4Prefix) -> Ordering {
+    let common = a.len().min(b.len());
+    let mask = if common == 0 {
+        0
+    } else {
+        u32::MAX << (32 - common)
+    };
+    (a.addr() & mask)
+        .cmp(&(b.addr() & mask))
+        .then(a.len().cmp(&b.len()))
+}
+
+/// The router's routing table.
+///
+/// Internally a power-of-two set of independent tries (see the module
+/// docs) maps each prefix to its candidate set (the Adj-RIBs-In merged per
+/// prefix) and the selected best route (the Loc-RIB view). `Clone` is the
+/// copy-on-write fork: shards are shared until written.
+#[derive(Debug, Clone)]
+pub struct Rib {
+    /// `2^shard_bits` shards, each owning the prefixes whose top
+    /// `shard_bits` address bits equal the shard index.
+    shards: Vec<Arc<RibShard>>,
+    /// Prefixes shorter than `shard_bits` (they span several shards).
+    short: Arc<RibShard>,
+    shard_bits: u8,
+}
+
+impl Default for Rib {
+    fn default() -> Self {
+        Rib::with_shard_count(default_shard_count())
+    }
+}
+
+/// The default shard count: the machine's available parallelism rounded up
+/// to a power of two, clamped to `[1, 64]` so forks stay a handful of
+/// reference-count bumps even on very wide machines.
+fn default_shard_count() -> usize {
+    std::thread::available_parallelism()
+        .map(usize::from)
+        .unwrap_or(1)
+        .next_power_of_two()
+        .clamp(1, 64)
+}
+
+impl Rib {
+    /// Creates an empty RIB with the default shard count (sized from the
+    /// machine's available cores).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty RIB with `count` shards, rounded up to the nearest
+    /// power of two and clamped to `[1, 256]`. Shard count is invisible to
+    /// every query — it only changes how operations spread across cores
+    /// and how much a fork copies on first write.
+    pub fn with_shard_count(count: usize) -> Self {
+        let count = count.next_power_of_two().clamp(1, 256);
+        let shard_bits = count.trailing_zeros() as u8;
+        Rib {
+            shards: (0..count).map(|_| Arc::new(RibShard::default())).collect(),
+            short: Arc::new(RibShard::default()),
+            shard_bits,
+        }
+    }
+
+    /// The number of shards the table is split into.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index owning `prefix`, or `None` for prefixes shorter
+    /// than the shard key (those live in the shared short trie).
+    fn shard_index(&self, prefix: &Ipv4Prefix) -> Option<usize> {
+        if self.shard_bits == 0 {
+            return Some(0);
+        }
+        if prefix.len() < self.shard_bits {
+            return None;
+        }
+        Some((prefix.addr() >> (32 - self.shard_bits as u32)) as usize)
+    }
+
+    /// The shard (or short trie) holding `prefix`, read-only.
+    fn home(&self, prefix: &Ipv4Prefix) -> &RibShard {
+        match self.shard_index(prefix) {
+            Some(i) => &self.shards[i],
+            None => &self.short,
+        }
+    }
+
+    /// The shard (or short trie) holding `prefix`, for writing: the
+    /// copy-on-write point — a shard still shared with a fork is copied
+    /// here, and only here.
+    fn home_mut(&mut self, prefix: &Ipv4Prefix) -> &mut RibShard {
+        match self.shard_index(prefix) {
+            Some(i) => Arc::make_mut(&mut self.shards[i]),
+            None => Arc::make_mut(&mut self.short),
+        }
+    }
+
+    /// Number of prefixes with at least one route.
+    pub fn prefix_count(&self) -> usize {
+        self.short.prefixes + self.shards.iter().map(|s| s.prefixes).sum::<usize>()
+    }
+
+    /// Total number of candidate routes across all peers.
+    pub fn route_count(&self) -> usize {
+        self.short.candidates + self.shards.iter().map(|s| s.candidates).sum::<usize>()
+    }
+
+    /// Inserts or replaces the route learned from `route.learned_from` for
+    /// `route.prefix`, re-runs the decision process and reports the change.
+    /// Touches exactly one shard.
+    pub fn announce(&mut self, route: Route) -> RibChange {
+        let prefix = route.prefix;
+        self.home_mut(&prefix).announce(route)
+    }
+
+    /// Removes the route learned from `peer` for `prefix`, if any.
+    /// Touches exactly one shard.
+    pub fn withdraw(&mut self, prefix: &Ipv4Prefix, peer: PeerId) -> RibChange {
+        let slot = match self.shard_index(prefix) {
+            Some(i) => &mut self.shards[i],
+            None => &mut self.short,
+        };
+        // Uniquely owned shard (the steady state of a live router whose
+        // checkpoints have diverged): mutate in place, one trie walk.
+        if let Some(shard) = Arc::get_mut(slot) {
+            return shard.withdraw(prefix, peer);
+        }
+        // The shard is shared with a fork: pay the copy-on-write clone
+        // only when the withdrawal will actually change something.
+        if !slot
+            .table
+            .get(prefix)
+            .is_some_and(|e| e.candidates.contains_key(&peer))
+        {
+            return RibChange::Unchanged;
+        }
+        Arc::make_mut(slot).withdraw(prefix, peer)
+    }
+
+    /// Loads a batch of routes, fanned out across `workers` threads
+    /// (`0` uses the machine's available parallelism) with each worker
+    /// announcing into a disjoint set of shards — no locks, no contention.
+    /// Returns the number of routes applied.
+    ///
+    /// Equivalent to announcing the routes in order (asserted by test):
+    /// routes for the same prefix keep their relative order because they
+    /// share a shard bucket.
+    pub fn load_parallel(&mut self, routes: Vec<Route>, workers: usize) -> usize {
+        let total = routes.len();
+        let mut buckets: Vec<Vec<Route>> = (0..self.shards.len()).map(|_| Vec::new()).collect();
+        let mut short_routes = Vec::new();
+        for route in routes {
+            match self.shard_index(&route.prefix) {
+                Some(i) => buckets[i].push(route),
+                None => short_routes.push(route),
+            }
+        }
+        // Short prefixes are rare in real tables; load them inline.
+        if !short_routes.is_empty() {
+            let short = Arc::make_mut(&mut self.short);
+            for route in short_routes {
+                short.announce(route);
+            }
+        }
+        let workers = match workers {
+            0 => std::thread::available_parallelism()
+                .map(usize::from)
+                .unwrap_or(1),
+            n => n,
+        };
+        let mut jobs: Vec<(&mut RibShard, Vec<Route>)> = self
+            .shards
+            .iter_mut()
+            .zip(buckets)
+            .filter(|(_, bucket)| !bucket.is_empty())
+            .map(|(shard, bucket)| (Arc::make_mut(shard), bucket))
+            .collect();
+        if jobs.is_empty() {
+            return total;
+        }
+        if workers <= 1 || jobs.len() == 1 {
+            for (shard, bucket) in jobs {
+                for route in bucket {
+                    shard.announce(route);
+                }
+            }
+            return total;
+        }
+        // Balance by route volume, not shard count: real tables skew
+        // heavily across the top address bits, so contiguous chunking
+        // could hand one worker almost everything. Greedy
+        // longest-processing-time assignment: largest buckets first, each
+        // to the currently lightest worker.
+        let worker_count = workers.min(jobs.len());
+        jobs.sort_by_key(|(_, bucket)| std::cmp::Reverse(bucket.len()));
+        // Per worker: (routes assigned, shard jobs to run).
+        type WorkerGroup<'a> = (usize, Vec<(&'a mut RibShard, Vec<Route>)>);
+        let mut groups: Vec<WorkerGroup<'_>> = (0..worker_count).map(|_| (0, Vec::new())).collect();
+        for job in jobs {
+            let lightest = groups
+                .iter_mut()
+                .min_by_key(|(load, _)| *load)
+                .expect("worker_count >= 1");
+            lightest.0 += job.1.len();
+            lightest.1.push(job);
+        }
+        std::thread::scope(|scope| {
+            for (_, group) in groups {
+                scope.spawn(move || {
+                    for (shard, bucket) in group {
+                        for route in bucket {
+                            shard.announce(route);
+                        }
+                    }
+                });
+            }
+        });
+        total
+    }
+
+    /// A fully independent copy: every shard's contents are duplicated,
+    /// sharing nothing with `self`. This is what `Rib::clone` did before
+    /// shards became copy-on-write; equivalence anchors and the checkpoint
+    /// benchmarks use it as the reference cost.
+    pub fn deep_clone(&self) -> Rib {
+        Rib {
+            shards: self
+                .shards
+                .iter()
+                .map(|s| Arc::new(RibShard::clone(s)))
+                .collect(),
+            short: Arc::new(RibShard::clone(&self.short)),
+            shard_bits: self.shard_bits,
+        }
+    }
+
+    /// Copy-on-write accounting against another fork of the same table:
+    /// `(shared, total)` shard units (including the short trie) still
+    /// physically shared between the two. Tables with different shard
+    /// layouts share nothing.
+    pub fn cow_shard_sharing(&self, other: &Rib) -> (usize, usize) {
+        let total = self.shards.len() + 1;
+        if self.shards.len() != other.shards.len() {
+            return (0, total);
+        }
+        let mut shared = usize::from(Arc::ptr_eq(&self.short, &other.short));
+        shared += self
+            .shards
+            .iter()
+            .zip(&other.shards)
+            .filter(|(a, b)| Arc::ptr_eq(a, b))
+            .count();
+        (shared, total)
+    }
 
     /// The best (Loc-RIB) route for a prefix, if any.
     pub fn best_route(&self, prefix: &Ipv4Prefix) -> Option<&Route> {
-        let entry = self.table.get(prefix)?;
+        let entry = self.home(prefix).table.get(prefix)?;
         let best = entry.best?;
         entry.candidates.get(&best)
     }
@@ -164,7 +442,8 @@ impl Rib {
     /// process and checkpoint serializer walk candidate sets on every
     /// operation, so no per-call `Vec` is built.
     pub fn candidates(&self, prefix: &Ipv4Prefix) -> impl Iterator<Item = &Route> {
-        self.table
+        self.home(prefix)
+            .table
             .get(prefix)
             .into_iter()
             .flat_map(|entry| entry.candidates.values())
@@ -174,22 +453,54 @@ impl Rib {
     /// This is the route an exploratory announcement for `prefix` would
     /// compete with, used by the origin-hijack checker.
     pub fn best_covering_route(&self, prefix: &Ipv4Prefix) -> Option<&Route> {
-        let (_, entry) = self.table.longest_covering(prefix)?;
+        // A covering prefix at least `shard_bits` long shares the top bits
+        // with `prefix`, so it lives in the same shard; shorter covers live
+        // in the short trie. The shard hit is always the more specific.
+        let entry = match self.shard_index(prefix) {
+            Some(i) => self.shards[i]
+                .table
+                .longest_covering(prefix)
+                .or_else(|| self.short.table.longest_covering(prefix)),
+            None => self.short.table.longest_covering(prefix),
+        };
+        let (_, entry) = entry?;
         let best = entry.best?;
         entry.candidates.get(&best)
     }
 
     /// Longest-prefix-match forwarding lookup for an IP address.
     pub fn lookup_ip(&self, ip: u32) -> Option<&Route> {
-        let (_, entry) = self.table.longest_match_ip(ip)?;
+        let shard_hit = if self.shard_bits == 0 {
+            self.shards[0].table.longest_match_ip(ip)
+        } else {
+            let i = (ip >> (32 - self.shard_bits as u32)) as usize;
+            self.shards[i]
+                .table
+                .longest_match_ip(ip)
+                .or_else(|| self.short.table.longest_match_ip(ip))
+        };
+        let (_, entry) = shard_hit?;
         let best = entry.best?;
         entry.candidates.get(&best)
     }
 
+    /// Iterates over every `(prefix, entry)` pair across all shards in the
+    /// canonical table order (the single-trie pre-order): shards are
+    /// disjoint, already-sorted runs, so this is a two-way merge of the
+    /// short trie against the shard chain.
+    fn entries(&self) -> ShardedEntries<'_> {
+        ShardedEntries {
+            short: self.short.table.iter().peekable(),
+            shards: self.shards.iter(),
+            current: None,
+        }
+    }
+
     /// Iterates over all `(prefix, best route)` pairs (the Loc-RIB view),
-    /// lazily and in trie (depth-first) order.
+    /// lazily and in canonical (single-trie depth-first) order — identical
+    /// for every shard count.
     pub fn loc_rib(&self) -> impl Iterator<Item = (Ipv4Prefix, &Route)> {
-        self.table.iter().filter_map(|(p, entry)| {
+        self.entries().filter_map(|(p, entry)| {
             let best = entry.best?;
             entry.candidates.get(&best).map(|r| (p, r))
         })
@@ -200,7 +511,51 @@ impl Rib {
     pub fn approx_size_bytes(&self) -> usize {
         // Each candidate route carries a prefix, attributes and an AS path;
         // 160 bytes is a conservative per-route estimate, plus trie nodes.
-        self.candidates * 160 + self.prefixes * 64
+        self.route_count() * 160 + self.prefix_count() * 64
+    }
+}
+
+/// Lazy merge of all shard tries (plus the short trie) in canonical
+/// prefix order, returned by [`Rib::loc_rib`]'s implementation.
+struct ShardedEntries<'a> {
+    short: Peekable<TrieIter<'a, PrefixEntry>>,
+    shards: std::slice::Iter<'a, Arc<RibShard>>,
+    current: Option<Peekable<TrieIter<'a, PrefixEntry>>>,
+}
+
+impl<'a> Iterator for ShardedEntries<'a> {
+    type Item = (Ipv4Prefix, &'a PrefixEntry);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        // Advance to the next shard with entries remaining. Shard runs are
+        // disjoint and ordered by shard index, so chaining them yields one
+        // sorted run to merge against the short trie.
+        let shard_head = loop {
+            match self.current.as_mut() {
+                Some(iter) => match iter.peek() {
+                    Some(&(prefix, _)) => break Some(prefix),
+                    None => self.current = None,
+                },
+                None => match self.shards.next() {
+                    Some(shard) => self.current = Some(shard.table.iter().peekable()),
+                    None => break None,
+                },
+            }
+        };
+        match (self.short.peek().map(|&(p, _)| p), shard_head) {
+            (None, None) => None,
+            (Some(_), None) => self.short.next(),
+            (None, Some(_)) => self.current.as_mut().expect("head peeked").next(),
+            (Some(s), Some(h)) => {
+                // Never equal: short entries are strictly shorter than the
+                // shard key, shard entries at least as long.
+                if canonical_cmp(s, h) == Ordering::Less {
+                    self.short.next()
+                } else {
+                    self.current.as_mut().expect("head peeked").next()
+                }
+            }
+        }
     }
 }
 
@@ -361,5 +716,169 @@ mod tests {
             RibChange::Updated(r) => assert_eq!(r.attrs.as_path.length(), 3),
             other => panic!("expected update, got {other:?}"),
         }
+    }
+
+    /// A route mix that exercises every shard-count corner: short prefixes
+    /// (/0../5), prefixes exactly at common shard boundaries, deep /32s,
+    /// and adjacent address space in different shards.
+    fn mixed_routes() -> Vec<Route> {
+        vec![
+            route("0.0.0.0/0", 1, &[100]),
+            route("128.0.0.0/1", 2, &[200]),
+            route("64.0.0.0/3", 1, &[100, 200]),
+            route("10.0.0.0/8", 1, &[100]),
+            route("10.0.0.0/8", 2, &[300, 400]),
+            route("10.1.0.0/16", 3, &[500]),
+            route("192.168.0.0/16", 1, &[100]),
+            route("192.168.1.1/32", 2, &[200]),
+            route("208.65.152.0/22", 1, &[3356, 36561]),
+            route("208.65.153.0/24", 2, &[17557]),
+            route("223.255.255.0/24", 3, &[999]),
+        ]
+    }
+
+    #[test]
+    fn every_shard_count_is_observationally_identical() {
+        let reference = {
+            let mut rib = Rib::with_shard_count(1);
+            for r in mixed_routes() {
+                rib.announce(r);
+            }
+            rib
+        };
+        let ref_loc: Vec<(Ipv4Prefix, Route)> =
+            reference.loc_rib().map(|(p, r)| (p, r.clone())).collect();
+        for count in [2usize, 4, 16, 64, 256] {
+            let mut rib = Rib::with_shard_count(count);
+            assert_eq!(rib.shard_count(), count);
+            for r in mixed_routes() {
+                rib.announce(r);
+            }
+            assert_eq!(rib.prefix_count(), reference.prefix_count(), "{count}");
+            assert_eq!(rib.route_count(), reference.route_count(), "{count}");
+            // The merged iteration reproduces the single-trie order exactly.
+            let loc: Vec<(Ipv4Prefix, Route)> =
+                rib.loc_rib().map(|(p, r)| (p, r.clone())).collect();
+            assert_eq!(loc, ref_loc, "loc_rib order diverged at {count} shards");
+            // Point queries agree, including covers resolved from the
+            // short trie.
+            for ip in [0x0a010203u32, 0xc0a80101, 0xd0419901, 0x55555555] {
+                assert_eq!(
+                    rib.lookup_ip(ip).map(|r| r.prefix),
+                    reference.lookup_ip(ip).map(|r| r.prefix),
+                    "lookup_ip({ip:#x}) at {count} shards"
+                );
+            }
+            assert_eq!(
+                rib.best_covering_route(&p("208.65.153.128/25"))
+                    .map(|r| r.prefix),
+                Some(p("208.65.153.0/24"))
+            );
+            assert_eq!(
+                rib.best_covering_route(&p("55.0.0.0/24")).map(|r| r.prefix),
+                Some(p("0.0.0.0/0")),
+                "short-trie cover at {count} shards"
+            );
+        }
+    }
+
+    #[test]
+    fn shard_counts_round_up_and_clamp() {
+        assert_eq!(Rib::with_shard_count(0).shard_count(), 1);
+        assert_eq!(Rib::with_shard_count(3).shard_count(), 4);
+        assert_eq!(Rib::with_shard_count(1024).shard_count(), 256);
+        let default = Rib::new().shard_count();
+        assert!(default.is_power_of_two() && default <= 64);
+    }
+
+    #[test]
+    fn clone_is_a_cow_fork_and_deep_clone_shares_nothing() {
+        let mut live = Rib::with_shard_count(8);
+        for r in mixed_routes() {
+            live.announce(r);
+        }
+        let fork = live.clone();
+        let (shared, total) = fork.cow_shard_sharing(&live);
+        assert_eq!(total, 9, "8 shards plus the short trie");
+        assert_eq!(shared, total, "an untouched fork shares every unit");
+
+        // Writing one prefix copies exactly the affected shard.
+        live.announce(route("203.0.113.0/24", 1, &[100]));
+        let (shared_after, _) = fork.cow_shard_sharing(&live);
+        assert_eq!(shared_after, total - 1, "one shard copied on write");
+        // The fork is unaffected by the live write.
+        assert!(fork.best_route(&p("203.0.113.0/24")).is_none());
+        assert!(live.best_route(&p("203.0.113.0/24")).is_some());
+
+        // A no-op withdrawal must not break sharing.
+        let mut fork2 = live.clone();
+        assert_eq!(
+            fork2.withdraw(&p("1.2.3.0/24"), PeerId(9)),
+            RibChange::Unchanged
+        );
+        assert_eq!(
+            fork2.withdraw(&p("10.0.0.0/8"), PeerId(9)),
+            RibChange::Unchanged,
+            "unknown peer on a known prefix is also a no-op"
+        );
+        let (shared2, total2) = fork2.cow_shard_sharing(&live);
+        assert_eq!(shared2, total2, "no-op withdrawals copy nothing");
+
+        // deep_clone duplicates everything up front.
+        let deep = live.deep_clone();
+        let (shared_deep, _) = deep.cow_shard_sharing(&live);
+        assert_eq!(shared_deep, 0);
+        assert_eq!(deep.prefix_count(), live.prefix_count());
+        let a: Vec<_> = deep.loc_rib().map(|(p, _)| p).collect();
+        let b: Vec<_> = live.loc_rib().map(|(p, _)| p).collect();
+        assert_eq!(a, b);
+
+        // Different layouts never report sharing.
+        let other = Rib::with_shard_count(2);
+        assert_eq!(live.cow_shard_sharing(&other).0, 0);
+    }
+
+    #[test]
+    fn load_parallel_equals_sequential_announce() {
+        let routes: Vec<Route> = (0..2_000u32)
+            .map(|i| {
+                let prefix = Ipv4Prefix::new(((i % 200 + 1) << 24) | (i << 8), 24).expect("valid");
+                Route::new(
+                    prefix,
+                    {
+                        let mut attrs = RouteAttrs::default();
+                        attrs.as_path = AsPath::from_sequence([1299, 100_000 + i]);
+                        attrs.next_hop = Ipv4Addr::new(10, 0, 2, 1);
+                        attrs
+                    },
+                    PeerId(2),
+                    2,
+                )
+            })
+            .chain(std::iter::once(route("0.0.0.0/0", 1, &[100])))
+            .collect();
+
+        let mut sequential = Rib::with_shard_count(16);
+        for r in routes.clone() {
+            sequential.announce(r);
+        }
+        for workers in [0usize, 1, 4] {
+            let mut parallel = Rib::with_shard_count(16);
+            assert_eq!(
+                parallel.load_parallel(routes.clone(), workers),
+                routes.len()
+            );
+            assert_eq!(parallel.prefix_count(), sequential.prefix_count());
+            assert_eq!(parallel.route_count(), sequential.route_count());
+            let a: Vec<(Ipv4Prefix, Route)> =
+                parallel.loc_rib().map(|(p, r)| (p, r.clone())).collect();
+            let b: Vec<(Ipv4Prefix, Route)> =
+                sequential.loc_rib().map(|(p, r)| (p, r.clone())).collect();
+            assert_eq!(a, b, "workers={workers}");
+        }
+        // An empty load is a no-op.
+        let mut empty = Rib::new();
+        assert_eq!(empty.load_parallel(Vec::new(), 0), 0);
+        assert_eq!(empty.prefix_count(), 0);
     }
 }

@@ -118,6 +118,35 @@ impl BgpRouter {
         &self.rib
     }
 
+    /// A fully independent copy of the router, duplicating the routing
+    /// table up front instead of sharing its shards copy-on-write.
+    ///
+    /// `BgpRouter::clone` is the checkpoint/fork operation: the RIB's
+    /// shards are shared until either side writes ([`Rib`] module docs).
+    /// `deep_clone` restores the pre-copy-on-write cost model; the
+    /// exploration equivalence anchors and the checkpoint benchmarks use
+    /// it as the reference path.
+    pub fn deep_clone(&self) -> BgpRouter {
+        let mut copy = self.clone();
+        copy.rib = self.rib.deep_clone();
+        copy
+    }
+
+    /// Bulk-loads routes straight into the RIB, fanned out across
+    /// `workers` threads over disjoint shards ([`Rib::load_parallel`];
+    /// `0` uses the machine's available parallelism). Returns the number
+    /// of routes applied.
+    ///
+    /// This is the table-dump fast path: import policy and propagation are
+    /// bypassed (the routes are installed exactly as given), matching how
+    /// an operator preloads a full table before bringing sessions up.
+    pub fn load_routes(&mut self, routes: Vec<Route>, workers: usize) -> usize {
+        let loaded = self.rib.load_parallel(routes, workers);
+        self.stats.prefixes_announced += loaded as u64;
+        self.stats.routes_accepted += loaded as u64;
+        loaded
+    }
+
     /// Router-wide counters.
     pub fn stats(&self) -> &RouterStats {
         &self.stats
@@ -575,6 +604,60 @@ mod tests {
         assert!(out.is_empty());
         assert_eq!(r.rib().prefix_count(), 0);
         assert_eq!(r.stats().routes_rejected, 1);
+    }
+
+    #[test]
+    fn clone_is_cow_and_deep_clone_is_independent() {
+        let mut live = provider();
+        let customer = live
+            .peer_by_address(Ipv4Addr::new(10, 0, 1, 1))
+            .expect("peer");
+        live.handle_update(customer, &update("208.65.152.0/22", &[17557, 36561]));
+
+        // A checkpoint clone shares every untouched RIB shard...
+        let checkpoint = live.clone();
+        let (shared, total) = checkpoint.rib().cow_shard_sharing(live.rib());
+        assert_eq!(shared, total);
+        // ...and live writes after the checkpoint copy only what changed,
+        // never leaking into the checkpoint.
+        live.handle_update(customer, &update("208.65.154.0/24", &[17557, 36561]));
+        assert_eq!(live.rib().prefix_count(), 2);
+        assert_eq!(checkpoint.rib().prefix_count(), 1);
+        let (shared_after, _) = checkpoint.rib().cow_shard_sharing(live.rib());
+        assert!(shared_after < total);
+        assert!(
+            shared_after >= total - 2,
+            "at most the touched shards copied"
+        );
+
+        // deep_clone shares nothing from the start.
+        let deep = live.deep_clone();
+        assert_eq!(deep.rib().cow_shard_sharing(live.rib()).0, 0);
+        assert_eq!(deep.rib().prefix_count(), live.rib().prefix_count());
+    }
+
+    #[test]
+    fn load_routes_installs_without_filtering_or_propagation() {
+        let mut r = provider();
+        let routes: Vec<Route> = (0..100u32)
+            .map(|i| {
+                let mut attrs = RouteAttrs::default();
+                attrs.as_path = AsPath::from_sequence([1299, 100_000 + i]);
+                attrs.next_hop = Ipv4Addr::new(10, 0, 2, 1);
+                Route::new(
+                    Ipv4Prefix::new((20 << 24) | (i << 8), 24).expect("valid"),
+                    attrs,
+                    PeerId(2),
+                    2,
+                )
+            })
+            .collect();
+        let loaded = r.load_routes(routes, 0);
+        assert_eq!(loaded, 100);
+        assert_eq!(r.rib().prefix_count(), 100);
+        assert_eq!(r.stats().routes_accepted, 100);
+        // Nothing was queued toward peers: the fast path skips propagation.
+        assert_eq!(r.stats().messages_sent, 0);
     }
 
     #[test]

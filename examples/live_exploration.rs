@@ -53,7 +53,12 @@ fn main() {
     //    the orchestrator quiesces the simulator, harvests the new window
     //    and runs one round over every node.
     let flap_prefix: Ipv4Prefix = "41.1.0.0/16".parse().expect("valid");
-    let orchestrator = LiveOrchestrator::new(session).with_max_rounds(8);
+    // Compaction (on by default) would drop the harvested log after each
+    // round; this example re-harvests the same simulator at the end for
+    // the one-shot comparison, so the full history is retained.
+    let orchestrator = LiveOrchestrator::new(session)
+        .with_max_rounds(8)
+        .with_log_compaction(false);
     let report = orchestrator.run(&mut sim, |sim, epoch| {
         let mut attrs = RouteAttrs::default();
         attrs.as_path = AsPath::from_sequence([asn::CUSTOMER, asn::CUSTOMER]);

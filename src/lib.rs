@@ -28,10 +28,11 @@ pub mod prelude {
     pub use dice_bgp::AsPath;
     pub use dice_checkpoint::{CheckpointManager, Checkpointable};
     pub use dice_core::{
-        CheckpointedRouter, CustomerFilterMode, Dice, DiceBuilder, DiceConfig, DiceSession,
-        ExplorationReport, Fault, FaultChecker, FaultKind, FleetExplorer, FleetFault, FleetReport,
-        ForwardingLoopChecker, LiveFault, LiveOrchestrator, LiveReport, LiveRound,
-        OriginHijackChecker, RouteOscillationChecker, SharedCoreScheduler, UpdateTemplate,
+        CheckpointMode, CheckpointedRouter, CustomerFilterMode, Dice, DiceBuilder, DiceConfig,
+        DiceSession, ExplorationReport, Fault, FaultChecker, FaultKind, FleetExplorer, FleetFault,
+        FleetReport, ForwardingLoopChecker, LiveFault, LiveOrchestrator, LiveReport, LiveRound,
+        OriginHijackChecker, RoundCheckpoint, RouteOscillationChecker, SharedCoreScheduler,
+        UpdateTemplate,
     };
     pub use dice_netsim::topology::{
         addr, asn, figure2_topology, figure2_topology_with_customer_filter, NodeId, Topology,
@@ -58,7 +59,8 @@ mod tests {
         fn assert_checkpointable<T: Checkpointable>() {}
         assert_checkpointable::<CheckpointedRouter>();
         let _ = CustomerFilterMode::Correct;
-        let dice = Dice::with_config(DiceConfig::default());
+        let dice =
+            Dice::with_config(DiceConfig::default().with_checkpoint_mode(CheckpointMode::CowRound));
         let _: &DiceConfig = dice.config();
         let _ = ExplorationReport::default();
         let _: Option<Fault> = None;
@@ -101,6 +103,7 @@ mod tests {
         let router = BgpRouter::new(spec.config.clone());
         let _: &RouterConfig = router.config();
         let _ = CheckpointManager::new(CheckpointedRouter(router.clone()));
+        let _ = RoundCheckpoint::capture(&router).share_count();
         let _: Option<&NeighborConfig> = spec.config.neighbors.first();
         let _ = ConcolicEngine::with_config(EngineConfig::default());
         let _ = ExecCtx::new();

@@ -93,34 +93,39 @@ fn multi_round_live_run_detects_an_oscillation_a_single_round_misses() {
     let mut sim = Simulator::new(&topo);
 
     let flap_prefix: Ipv4Prefix = "41.1.0.0/16".parse().expect("valid");
-    let live = LiveOrchestrator::new(two_checker_session()).run(&mut sim, |sim, epoch| {
-        match epoch {
-            // Epoch 0: the customer announces its block; the filter
-            // accepts it and the provider installs it.
-            0 => {
-                sim.inject(
-                    provider,
-                    addr::CUSTOMER,
-                    announcement(
-                        "41.1.0.0/16",
-                        &[asn::CUSTOMER, asn::CUSTOMER],
+    // Log compaction is disabled because this test deliberately
+    // re-harvests the same simulator afterwards with a one-shot fleet
+    // round, which needs the full delivery log.
+    let live = LiveOrchestrator::new(two_checker_session())
+        .with_log_compaction(false)
+        .run(&mut sim, |sim, epoch| {
+            match epoch {
+                // Epoch 0: the customer announces its block; the filter
+                // accepts it and the provider installs it.
+                0 => {
+                    sim.inject(
+                        provider,
                         addr::CUSTOMER,
-                    ),
-                );
-                true
+                        announcement(
+                            "41.1.0.0/16",
+                            &[asn::CUSTOMER, asn::CUSTOMER],
+                            addr::CUSTOMER,
+                        ),
+                    );
+                    true
+                }
+                // Epoch 1: the customer withdraws it again — by the end of the
+                // run the provider's table no longer holds the route.
+                _ => {
+                    sim.inject(
+                        provider,
+                        addr::CUSTOMER,
+                        BgpMessage::Update(UpdateMessage::withdraw(vec![flap_prefix])),
+                    );
+                    false
+                }
             }
-            // Epoch 1: the customer withdraws it again — by the end of the
-            // run the provider's table no longer holds the route.
-            _ => {
-                sim.inject(
-                    provider,
-                    addr::CUSTOMER,
-                    BgpMessage::Update(UpdateMessage::withdraw(vec![flap_prefix])),
-                );
-                false
-            }
-        }
-    });
+        });
 
     // The route is gone from the live table...
     assert!(sim

@@ -260,6 +260,77 @@ proptest! {
         }
     }
 
+    /// A sharded RIB is observationally identical to an unsharded one:
+    /// for any interleaving of announcements and withdrawals, every shard
+    /// count reports the same per-operation changes, the same counters,
+    /// the same Loc-RIB contents *in the same canonical order*, and the
+    /// same longest-prefix-match answers. Sharding is purely a
+    /// parallelism/copy-on-write optimisation.
+    #[test]
+    fn sharded_rib_is_observationally_identical_to_one_shard(
+        ops in prop::collection::vec(
+            // (announce?, prefix selector, length selector, peer, path tail)
+            (any::<bool>(), any::<u32>(), 0u8..=32, 1u32..5, 1u32..50),
+            1..80,
+        ),
+        probe_ips in prop::collection::vec(any::<u32>(), 1..8),
+    ) {
+        use dice_router::{Rib, RibChange};
+
+        // A small prefix pool (coarse address grid) so withdrawals and
+        // re-announcements frequently hit existing entries.
+        let materialize = |sel: u32, len: u8| {
+            Ipv4Prefix::new((sel % 64) << 26 | (sel % 7) << 13, len).expect("len <= 32")
+        };
+        let mut reference = Rib::with_shard_count(1);
+        let mut sharded: Vec<Rib> = [4usize, 64].iter().map(|&n| Rib::with_shard_count(n)).collect();
+        sharded.push(Rib::new()); // the core-sized default
+
+        for &(announce, sel, len, peer, tail) in &ops {
+            let prefix = materialize(sel, len);
+            if announce {
+                let mut attrs = RouteAttrs::default();
+                attrs.as_path = AsPath::from_sequence([1299, 100_000 + tail]);
+                attrs.next_hop = std::net::Ipv4Addr::new(10, 0, 2, 1);
+                let route = Route::new(prefix, attrs, PeerId(peer), peer);
+                let expected = reference.announce(route.clone());
+                for rib in &mut sharded {
+                    prop_assert_eq!(&rib.announce(route.clone()), &expected);
+                }
+            } else {
+                let expected = reference.withdraw(&prefix, PeerId(peer));
+                for rib in &mut sharded {
+                    prop_assert_eq!(&rib.withdraw(&prefix, PeerId(peer)), &expected);
+                }
+            }
+            // Exercised inline so RibChange is used even when all ops are
+            // announcements.
+            let _ = RibChange::Unchanged.is_change();
+        }
+
+        let expected_loc: Vec<(Ipv4Prefix, Route)> =
+            reference.loc_rib().map(|(p, r)| (p, r.clone())).collect();
+        for rib in &sharded {
+            prop_assert_eq!(rib.prefix_count(), reference.prefix_count());
+            prop_assert_eq!(rib.route_count(), reference.route_count());
+            prop_assert_eq!(rib.approx_size_bytes(), reference.approx_size_bytes());
+            let loc: Vec<(Ipv4Prefix, Route)> =
+                rib.loc_rib().map(|(p, r)| (p, r.clone())).collect();
+            prop_assert_eq!(&loc, &expected_loc, "canonical order diverged at {} shards", rib.shard_count());
+            for &ip in &probe_ips {
+                prop_assert_eq!(
+                    rib.lookup_ip(ip).map(|r| (r.prefix, r.learned_from)),
+                    reference.lookup_ip(ip).map(|r| (r.prefix, r.learned_from))
+                );
+                let probe = Ipv4Prefix::new(ip, 26).expect("len <= 32");
+                prop_assert_eq!(
+                    rib.best_covering_route(&probe).map(|r| r.prefix),
+                    reference.best_covering_route(&probe).map(|r| r.prefix)
+                );
+            }
+        }
+    }
+
     /// Fleet-wide fault deduplication is lossless: every fault present in
     /// any per-node report is represented in the merged list (same fleet
     /// key), every representative carries provenance, and no two merged
