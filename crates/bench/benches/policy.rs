@@ -1,12 +1,29 @@
-//! Microbenchmark: filter interpretation, concrete (live path) vs symbolic
-//! (exploration path) — the per-branch constraint-recording overhead.
+//! Policy-surface benchmarks.
+//!
+//! Two layers: a microbenchmark of filter interpretation — concrete (live
+//! path) vs symbolic (exploration path, with per-arm site bookkeeping) —
+//! and an end-to-end comparison of exploration with the policy surface
+//! *opaque* (`symbolic_policy_fields(false)`, the pre-policy-sites
+//! behaviour) vs *open* (policy sites registered, community / path-length
+//! fields symbolic). The open run must find the community-gated leak the
+//! opaque run provably cannot reach.
+//!
+//! Set `DICE_BENCH_POLICY_JSON=<path>` to write the comparison as a JSON
+//! baseline artifact (CI uploads `BENCH_policy.json` for perf-trajectory
+//! tracking).
+
+use std::time::{Duration, Instant};
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dice_bgp::attributes::RouteAttrs;
+use dice_bgp::message::UpdateMessage;
 use dice_bgp::prefix::Ipv4Prefix;
 use dice_bgp::route::{PeerId, Route};
 use dice_bgp::AsPath;
+use dice_core::{DiceBuilder, DiceSession, ExplorationReport};
+use dice_netsim::topology::{addr, asn, figure2_topology_with_customer_filter};
 use dice_router::policy::{eval_filter, parse_filter, RouteView};
+use dice_router::BgpRouter;
 use dice_symexec::ExecCtx;
 use std::net::Ipv4Addr;
 
@@ -21,6 +38,17 @@ const FILTER: &str = r#"
     }
 "#;
 
+/// The community-gated leak from `tests/policy_divergence.rs`: the second
+/// arm accepts more-specifics of the victim's /22 only when 3491:666 is
+/// attached — reachable only through a solver-synthesized announcement.
+const GATED_FILTER: &str = r#"
+    filter customer_in {
+        if net ~ [ 41.0.0.0/12{12,24} ] then accept;
+        if community ~ (3491, 666) && net ~ [ 208.65.152.0/22{22,25} ] then accept;
+        reject;
+    }
+"#;
+
 fn sample_route() -> Route {
     let mut attrs = RouteAttrs::default();
     attrs.as_path = AsPath::from_sequence([17557, 17557]);
@@ -31,6 +59,36 @@ fn sample_route() -> Route {
         PeerId(1),
         1,
     )
+}
+
+/// The Provider with the gated filter, the victim /22 installed, and a
+/// benign observed customer announcement carrying no communities.
+fn gated_scenario() -> (BgpRouter, PeerId, UpdateMessage) {
+    let topo =
+        figure2_topology_with_customer_filter(parse_filter(GATED_FILTER).expect("valid filter"));
+    let provider = topo.node_by_name("Provider").expect("node");
+    let mut router = BgpRouter::new(topo.nodes()[provider.0].config.clone());
+    router.start();
+
+    let internet = router.peer_by_address(addr::INTERNET).expect("peer");
+    let mut attrs = RouteAttrs::default();
+    attrs.as_path = AsPath::from_sequence([asn::INTERNET, 3356, asn::VICTIM]);
+    router.handle_update(
+        internet,
+        &UpdateMessage::announce(vec!["208.65.152.0/22".parse().expect("valid")], &attrs),
+    );
+
+    let customer = router.peer_by_address(addr::CUSTOMER).expect("peer");
+    let mut cattrs = RouteAttrs::default();
+    cattrs.as_path = AsPath::from_sequence([asn::CUSTOMER, asn::CUSTOMER]);
+    let observed = UpdateMessage::announce(vec!["41.1.0.0/16".parse().expect("valid")], &cattrs);
+    (router, customer, observed)
+}
+
+fn session(policy_fields: bool) -> DiceSession {
+    DiceBuilder::new()
+        .symbolic_policy_fields(policy_fields)
+        .build()
 }
 
 fn bench_policy(c: &mut Criterion) {
@@ -63,6 +121,86 @@ fn bench_policy(c: &mut Criterion) {
     });
 
     group.finish();
+
+    let (router, customer, observed) = gated_scenario();
+    let inputs = [(customer, observed)];
+
+    let mut group = c.benchmark_group("policy_exploration");
+    group.sample_size(10);
+
+    group.bench_function("opaque_fields", |b| {
+        let opaque = session(false);
+        b.iter(|| std::hint::black_box(opaque.explore(&router, &inputs).runs))
+    });
+
+    group.bench_function("policy_sites", |b| {
+        let open = session(true);
+        b.iter(|| std::hint::black_box(open.explore(&router, &inputs).runs))
+    });
+
+    group.finish();
+
+    // Direct readout + JSON baseline: what opening the policy surface
+    // costs, and what it buys (the gated leak only the open run finds).
+    let reps: u32 = std::env::var("DICE_BENCH_SAMPLE_SIZE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+    let time = |s: &DiceSession| -> (Duration, ExplorationReport) {
+        let mut best = Duration::MAX;
+        let mut last = ExplorationReport::default();
+        for _ in 0..reps.max(1) {
+            let start = Instant::now();
+            last = s.explore(&router, &inputs);
+            best = best.min(start.elapsed());
+        }
+        (best, last)
+    };
+    let (opaque_time, opaque) = time(&session(false));
+    let (open_time, open) = time(&session(true));
+    assert!(
+        !opaque.has_faults(),
+        "with the policy surface opaque the gated leak is unreachable"
+    );
+    assert!(
+        open.has_faults(),
+        "with policy sites open the solver synthesizes the gating community"
+    );
+    assert!(open.policy_sites >= 2, "both filter arms are registered");
+    assert!(open.solver_stats.policy_queries > 0);
+    let overhead = open_time.as_secs_f64() / opaque_time.as_secs_f64().max(f64::EPSILON);
+    println!(
+        "\npolicy exploration (1 input, gated filter): opaque {:?} ({} runs, {} fault(s)), \
+         open {:?} ({} runs, {} fault(s), {:.0}% policy coverage), overhead {overhead:.2}x",
+        opaque_time,
+        opaque.runs,
+        opaque.faults.len(),
+        open_time,
+        open.runs,
+        open.faults.len(),
+        open.policy_branch_coverage() * 100.0,
+    );
+
+    if let Ok(path) = std::env::var("DICE_BENCH_POLICY_JSON") {
+        let json = format!(
+            "{{\n  \"bench\": \"policy_gated_leak_round\",\n  \"opaque_ns\": {},\n  \
+             \"opaque_runs\": {},\n  \"opaque_faults\": {},\n  \"open_ns\": {},\n  \
+             \"open_runs\": {},\n  \"open_faults\": {},\n  \"policy_sites\": {},\n  \
+             \"policy_directions\": {},\n  \"policy_queries\": {},\n  \
+             \"overhead\": {overhead:.4}\n}}\n",
+            opaque_time.as_nanos(),
+            opaque.runs,
+            opaque.faults.len(),
+            open_time.as_nanos(),
+            open.runs,
+            open.faults.len(),
+            open.policy_sites,
+            open.policy_directions,
+            open.solver_stats.policy_queries,
+        );
+        std::fs::write(&path, json).expect("write bench baseline");
+        println!("wrote perf baseline to {path}");
+    }
 }
 
 criterion_group!(benches, bench_policy);

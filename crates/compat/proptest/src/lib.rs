@@ -62,6 +62,36 @@ pub trait Strategy {
     {
         Map { inner: self, f }
     }
+
+    /// Builds a depth-bounded recursive strategy, mirroring
+    /// `proptest::strategy::Strategy::prop_recursive`. `self` is the leaf
+    /// case; `recurse` wraps the strategy for one level into the strategy
+    /// for the next. Each of the `depth` levels mixes leaves back in with
+    /// equal weight, so samples stay small. The size-tuning parameters of
+    /// the real crate are accepted but ignored.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = BoxedStrategy(std::rc::Rc::new(self));
+        let mut current = leaf.clone();
+        for _ in 0..depth {
+            let deeper = recurse(current);
+            current = BoxedStrategy(std::rc::Rc::new(Union::new(vec![
+                Box::new(leaf.clone()),
+                Box::new(deeper),
+            ])));
+        }
+        current
+    }
 }
 
 /// The strategy returned by [`Strategy::prop_map`].
@@ -116,6 +146,81 @@ impl_tuple_strategy! {
     (A 0, B 1, C 2, D 3);
     (A 0, B 1, C 2, D 3, E 4);
     (A 0, B 1, C 2, D 3, E 4, F 5);
+}
+
+/// A strategy that always yields a clone of one value, mirroring
+/// `proptest::strategy::Just`.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// A cheaply clonable, type-erased strategy, mirroring
+/// `proptest::strategy::BoxedStrategy`. [`Strategy::prop_recursive`] hands
+/// one to its recursion closure so sub-strategies can be reused freely.
+pub struct BoxedStrategy<T>(std::rc::Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(std::rc::Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.0.sample(rng)
+    }
+}
+
+/// Uniform choice between alternative strategies for the same type — the
+/// engine behind [`prop_oneof!`].
+pub struct Union<T> {
+    alternatives: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union over the given alternatives.
+    pub fn new(alternatives: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!alternatives.is_empty(), "empty prop_oneof!");
+        Union { alternatives }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let pick = rng.gen_range(0..self.alternatives.len());
+        self.alternatives[pick].sample(rng)
+    }
+}
+
+/// Picks one of the strategies uniformly per sample, mirroring
+/// `proptest::prop_oneof!` (without case weights).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {{
+        let alternatives: ::std::vec::Vec<
+            ::std::boxed::Box<dyn $crate::Strategy<Value = _>>,
+        > = vec![$(::std::boxed::Box::new($strategy)),+];
+        $crate::Union::new(alternatives)
+    }};
 }
 
 /// Types with a canonical full-domain strategy.
@@ -227,7 +332,8 @@ pub mod prop {
 /// Everything a property test needs in scope.
 pub mod prelude {
     pub use crate::{
-        any, prop, prop_assert, prop_assert_eq, proptest, Arbitrary, ProptestConfig, Strategy,
+        any, prop, prop_assert, prop_assert_eq, prop_oneof, proptest, Arbitrary, BoxedStrategy,
+        Just, ProptestConfig, Strategy, Union,
     };
 }
 
@@ -289,6 +395,25 @@ mod tests {
             if let Some(v) = o {
                 prop_assert_eq!(v, 5);
             }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn oneof_and_just(x in prop_oneof![Just(7u32), 100u32..200, (0u32..3).prop_map(|v| v + 10)]) {
+            prop_assert!(x == 7 || (100..200).contains(&x) || (10..13).contains(&x));
+        }
+
+        #[test]
+        fn recursive_is_depth_bounded(
+            n in (0u32..10).prop_recursive(3, 8, 2, |inner| {
+                (inner, 0u32..10).prop_map(|(a, b)| a.max(b) + 100)
+            }),
+        ) {
+            // Each level adds exactly 100, and the depth bound is 3.
+            prop_assert!(n < 410);
         }
     }
 

@@ -405,7 +405,7 @@ mod tests {
     use dice_bgp::message::UpdateMessage;
     use dice_bgp::route::{PeerId, Route};
     use dice_bgp::AsPath;
-    use dice_router::{FilterOutcome, FilterVerdict};
+    use dice_router::FilterOutcome;
     use std::net::Ipv4Addr;
 
     fn rib_with_youtube() -> Rib {
@@ -428,16 +428,10 @@ mod tests {
             origin_as,
             accepted,
             next_hop: Ipv4Addr::new(10, 0, 1, 1),
-            filter: FilterOutcome {
-                verdict: if accepted {
-                    FilterVerdict::Accept
-                } else {
-                    FilterVerdict::Reject
-                },
-                local_pref: None,
-                med: None,
-                prepend: 0,
-                added_communities: Vec::new(),
+            filter: if accepted {
+                FilterOutcome::accepted()
+            } else {
+                FilterOutcome::rejected()
             },
             intercepted: Vec::new(),
         }

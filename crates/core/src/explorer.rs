@@ -78,6 +78,11 @@ pub struct DiceConfig {
     /// copy-on-write round checkpoint by default). Reports are identical
     /// in every mode — only allocation and copy costs change.
     pub checkpoint: CheckpointMode,
+    /// Whether the policy-oriented symbolic input fields (community slot,
+    /// AS-path length) are part of each template's exploration surface.
+    /// On by default; turning it off restores the message-field-only
+    /// surface, leaving filter arms gated on those attributes opaque.
+    pub symbolic_policy_fields: bool,
 }
 
 impl Default for DiceConfig {
@@ -88,6 +93,7 @@ impl Default for DiceConfig {
             anycast_whitelist: Vec::new(),
             workers: 0,
             checkpoint: CheckpointMode::default(),
+            symbolic_policy_fields: true,
         }
     }
 }
@@ -120,6 +126,12 @@ impl DiceConfig {
     /// Sets how handler state is materialized per observed input.
     pub fn with_checkpoint_mode(mut self, mode: CheckpointMode) -> Self {
         self.checkpoint = mode;
+        self
+    }
+
+    /// Enables or disables the policy-oriented symbolic input fields.
+    pub fn with_symbolic_policy_fields(mut self, enabled: bool) -> Self {
+        self.symbolic_policy_fields = enabled;
         self
     }
 }

@@ -100,6 +100,28 @@ impl FleetReport {
         self.nodes.iter().map(|n| n.report.faults.len()).sum()
     }
 
+    /// Total policy branch sites registered across the fleet (filter arms,
+    /// summed over nodes; an arm each of two nodes evaluates counts twice).
+    pub fn total_policy_sites(&self) -> usize {
+        self.nodes.iter().map(|n| n.report.policy_sites).sum()
+    }
+
+    /// Total policy (site, direction) pairs exercised across the fleet.
+    pub fn total_policy_directions(&self) -> usize {
+        self.nodes.iter().map(|n| n.report.policy_directions).sum()
+    }
+
+    /// Fleet-wide policy-branch coverage over registered filter arms, in
+    /// `[0, 1]`; `1.0` when no node registered any policy site.
+    pub fn policy_branch_coverage(&self) -> f64 {
+        let sites = self.total_policy_sites();
+        if sites == 0 {
+            1.0
+        } else {
+            self.total_policy_directions() as f64 / (2 * sites) as f64
+        }
+    }
+
     /// A canonical rendering of every deterministic field — per-node
     /// digests plus the deduplicated fault list. Independent of worker
     /// counts and core budgets.
@@ -130,6 +152,15 @@ impl fmt::Display for FleetReport {
             self.faults.len(),
             self.elapsed,
         )?;
+        if self.total_policy_sites() > 0 {
+            writeln!(
+                f,
+                "  policy: {:.0}% of filter-arm directions explored fleet-wide ({}/{})",
+                self.policy_branch_coverage() * 100.0,
+                self.total_policy_directions(),
+                2 * self.total_policy_sites(),
+            )?;
+        }
         for n in &self.nodes {
             writeln!(
                 f,

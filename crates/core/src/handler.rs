@@ -11,7 +11,7 @@ use dice_bgp::message::UpdateMessage;
 use dice_bgp::prefix::Ipv4Prefix;
 use dice_bgp::route::PeerId;
 use dice_router::policy::eval_filter;
-use dice_router::{BgpRouter, FilterOutcome, FilterVerdict};
+use dice_router::{BgpRouter, FilterOutcome};
 use dice_symexec::{ExecCtx, InputValues, SymbolicProgram};
 
 use crate::checkpoint::RoundCheckpoint;
@@ -126,22 +126,10 @@ impl SymbolicProgram for SymbolicUpdateHandler {
         // without an import filter accepts everything; a reference to a
         // missing filter fails closed, mirroring the live router.
         let filter_outcome = match router.peer(self.peer).and_then(|p| p.import_filter.clone()) {
-            None => FilterOutcome {
-                verdict: FilterVerdict::Accept,
-                local_pref: None,
-                med: None,
-                prepend: 0,
-                added_communities: Vec::new(),
-            },
+            None => FilterOutcome::accepted(),
             Some(name) => match router.config().filter(&name) {
                 Some(filter) => eval_filter(filter, &view, ctx),
-                None => FilterOutcome {
-                    verdict: FilterVerdict::Reject,
-                    local_pref: None,
-                    med: None,
-                    prepend: 0,
-                    added_communities: Vec::new(),
-                },
+                None => FilterOutcome::rejected(),
             },
         };
         let accepted = filter_outcome.is_accept();

@@ -112,6 +112,33 @@ impl LiveReport {
         self.rounds.last()
     }
 
+    /// Total policy branch sites registered across all rounds and nodes.
+    pub fn total_policy_sites(&self) -> usize {
+        self.rounds
+            .iter()
+            .map(|r| r.report.total_policy_sites())
+            .sum()
+    }
+
+    /// Total policy (site, direction) pairs exercised across all rounds.
+    pub fn total_policy_directions(&self) -> usize {
+        self.rounds
+            .iter()
+            .map(|r| r.report.total_policy_directions())
+            .sum()
+    }
+
+    /// Run-wide policy-branch coverage over registered filter arms, in
+    /// `[0, 1]`; `1.0` when no round registered any policy site.
+    pub fn policy_branch_coverage(&self) -> f64 {
+        let sites = self.total_policy_sites();
+        if sites == 0 {
+            1.0
+        } else {
+            self.total_policy_directions() as f64 / (2 * sites) as f64
+        }
+    }
+
     /// A canonical rendering of every deterministic field: each round's
     /// window and [`FleetReport::digest`], then the cross-round fault list
     /// with full provenance. Independent of wall-clock time, worker counts
@@ -156,6 +183,15 @@ impl fmt::Display for LiveReport {
             self.faults.len(),
             self.elapsed,
         )?;
+        if self.total_policy_sites() > 0 {
+            writeln!(
+                f,
+                "  policy: {:.0}% of filter-arm directions explored across rounds ({}/{})",
+                self.policy_branch_coverage() * 100.0,
+                self.total_policy_directions(),
+                2 * self.total_policy_sites(),
+            )?;
+        }
         for round in &self.rounds {
             writeln!(
                 f,

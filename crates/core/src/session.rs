@@ -88,6 +88,15 @@ impl DiceBuilder {
         self
     }
 
+    /// Enables or disables the policy-oriented symbolic input fields
+    /// (community slot, AS-path length). On by default; turning them off
+    /// restores the message-field-only exploration surface, leaving filter
+    /// arms gated on those attributes opaque to the solver.
+    pub fn symbolic_policy_fields(mut self, enabled: bool) -> Self {
+        self.config.symbolic_policy_fields = enabled;
+        self
+    }
+
     /// Sets the anycast whitelist applied by the default
     /// [`OriginHijackChecker`] (ignored once any checker is registered
     /// explicitly — configure explicit checkers directly).
@@ -283,6 +292,9 @@ impl DiceSession {
 
         report.branch_sites = coverage.site_count();
         report.complete_sites = coverage.complete_sites();
+        report.policy_sites = coverage.policy_site_count();
+        report.policy_complete_sites = coverage.policy_complete_sites();
+        report.policy_directions = coverage.policy_directions_covered();
         report.isolation_preserved = fingerprint.matches(live);
         report.elapsed = started.elapsed();
         report
@@ -302,7 +314,8 @@ impl DiceSession {
         peer: PeerId,
         update: &UpdateMessage,
     ) -> Option<InputOutcome> {
-        let template = UpdateTemplate::from_update(update)?;
+        let template = UpdateTemplate::from_update(update)?
+            .with_policy_fields(self.config.symbolic_policy_fields);
         let seed: InputValues = template.seed();
         let handler_checkpoint = match self.config.checkpoint {
             CheckpointMode::DeepClonePerInput => {

@@ -9,7 +9,7 @@
 //! symbolic fields as an input assignment, and rebuilds a valid UPDATE from
 //! any assignment the solver produces.
 
-use dice_bgp::attributes::{Origin, RouteAttrs};
+use dice_bgp::attributes::{Community, Origin, RouteAttrs};
 use dice_bgp::message::UpdateMessage;
 use dice_bgp::prefix::Ipv4Prefix;
 use dice_bgp::{AsPath, Asn};
@@ -30,6 +30,12 @@ pub mod fields {
     pub const LOCAL_PREF: &str = "attr.local_pref";
     /// Origin AS — the last AS on the path (32 bits).
     pub const SOURCE_AS: &str = "attr.source_as";
+    /// An extra COMMUNITIES attribute slot the solver may fill, encoded as
+    /// `asn << 16 | value` (32 bits). Zero means "no extra community"; the
+    /// `(0, 0)` community therefore cannot be synthesized through this slot.
+    pub const COMMUNITY: &str = "attr.community";
+    /// AS-path length (32 bits, clamped to `1..=64` on materialization).
+    pub const PATH_LEN: &str = "attr.path_len";
 }
 
 /// A template derived from one observed UPDATE message.
@@ -37,6 +43,10 @@ pub mod fields {
 pub struct UpdateTemplate {
     observed_prefix: Ipv4Prefix,
     observed_attrs: RouteAttrs,
+    /// Whether the policy-oriented fields ([`fields::COMMUNITY`],
+    /// [`fields::PATH_LEN`]) are part of the symbolic input. On by default;
+    /// turned off to reproduce the message-field-only exploration surface.
+    policy_fields: bool,
 }
 
 impl UpdateTemplate {
@@ -48,7 +58,24 @@ impl UpdateTemplate {
         Some(UpdateTemplate {
             observed_prefix: prefix,
             observed_attrs: update.route_attrs(),
+            policy_fields: true,
         })
+    }
+
+    /// Enables or disables the policy-oriented symbolic fields.
+    pub fn with_policy_fields(mut self, enabled: bool) -> Self {
+        self.policy_fields = enabled;
+        self
+    }
+
+    /// Whether the policy-oriented symbolic fields are enabled.
+    pub fn policy_fields(&self) -> bool {
+        self.policy_fields
+    }
+
+    /// The observed AS-path length clamped into the materializable range.
+    fn observed_path_len(&self) -> u64 {
+        (self.observed_attrs.as_path.length() as u64).clamp(1, 64)
     }
 
     /// The prefix of the observed announcement.
@@ -65,7 +92,7 @@ impl UpdateTemplate {
     /// defaults.
     pub fn input_spec(&self) -> InputSpec {
         let a = &self.observed_attrs;
-        InputSpec::new()
+        let spec = InputSpec::new()
             .field(fields::NLRI_ADDR, 32, self.observed_prefix.addr() as u64)
             .field(fields::NLRI_LEN, 8, self.observed_prefix.len() as u64)
             .field(fields::ORIGIN, 8, a.origin.code() as u64)
@@ -75,7 +102,12 @@ impl UpdateTemplate {
                 fields::SOURCE_AS,
                 32,
                 a.origin_as().map(|x| x.value()).unwrap_or(0) as u64,
-            )
+            );
+        if !self.policy_fields {
+            return spec;
+        }
+        spec.field(fields::COMMUNITY, 32, 0)
+            .field(fields::PATH_LEN, 32, self.observed_path_len())
     }
 
     /// The seed input: the values observed on the wire.
@@ -113,6 +145,19 @@ impl UpdateTemplate {
                 .unwrap_or(0) as u64,
         ) as u32;
         attrs.as_path = replace_origin_as(&self.observed_attrs.as_path, Asn(source_as));
+        if self.policy_fields {
+            let target = values
+                .get_or(fields::PATH_LEN, self.observed_path_len())
+                .clamp(1, 64) as usize;
+            attrs.as_path = resize_path(&attrs.as_path, target);
+            let slot = values.get_or(fields::COMMUNITY, 0) as u32;
+            if slot != 0 {
+                let community = Community(slot);
+                if !attrs.communities.contains(&community) {
+                    attrs.communities.push(community);
+                }
+            }
+        }
         (prefix, attrs)
     }
 
@@ -124,6 +169,16 @@ impl UpdateTemplate {
         let spec = self.input_spec();
         let get = |name: &str| values.get_or(name, spec.get(name).map(|f| f.default).unwrap_or(0));
         let a = &self.observed_attrs;
+        let path_len = if self.policy_fields {
+            ctx.symbolic_u32(fields::PATH_LEN, get(fields::PATH_LEN).clamp(1, 64) as u32)
+        } else {
+            Concolic::concrete(a.as_path.length() as u32)
+        };
+        let community_slot = if self.policy_fields {
+            ctx.symbolic_u32(fields::COMMUNITY, get(fields::COMMUNITY) as u32)
+        } else {
+            Concolic::concrete(0)
+        };
         RouteView {
             prefix_addr: ctx.symbolic_u32(fields::NLRI_ADDR, get(fields::NLRI_ADDR) as u32),
             prefix_len: ctx.symbolic_u8(fields::NLRI_LEN, get(fields::NLRI_LEN).min(32) as u8),
@@ -131,7 +186,7 @@ impl UpdateTemplate {
             neighbor_as: Concolic::concrete(
                 a.as_path.neighbor_as().map(|x| x.value()).unwrap_or(0),
             ),
-            path_len: Concolic::concrete(a.as_path.length() as u32),
+            path_len,
             med: ctx.symbolic_u32(fields::MED, get(fields::MED) as u32),
             local_pref: ctx.symbolic_u32(fields::LOCAL_PREF, get(fields::LOCAL_PREF) as u32),
             origin_code: ctx.symbolic_u8(fields::ORIGIN, (get(fields::ORIGIN) % 3) as u8),
@@ -140,6 +195,7 @@ impl UpdateTemplate {
                 .iter()
                 .map(|c| (c.asn_part(), c.value_part()))
                 .collect(),
+            community_slot,
         }
     }
 }
@@ -153,6 +209,27 @@ fn replace_origin_as(path: &AsPath, origin: Asn) -> AsPath {
         None => asns.push(origin.value()),
     }
     AsPath::from_sequence(asns)
+}
+
+/// Returns a copy of `path` resized to exactly `target` hops. The origin AS
+/// (last hop) is preserved; longer paths are produced by repeating the first
+/// hop (mimicking neighbor-side prepending), shorter ones by dropping hops
+/// from the front. Empty paths stay empty — there is no AS to repeat.
+fn resize_path(path: &AsPath, target: usize) -> AsPath {
+    let asns: Vec<u32> = path.flatten().iter().map(|a| a.value()).collect();
+    if asns.is_empty() || asns.len() == target {
+        return path.clone();
+    }
+    let mut resized = asns.clone();
+    if asns.len() < target {
+        let first = asns[0];
+        let mut padded = vec![first; target - asns.len()];
+        padded.extend(resized);
+        resized = padded;
+    } else {
+        resized = resized.split_off(asns.len() - target);
+    }
+    AsPath::from_sequence(resized)
 }
 
 #[cfg(test)]
@@ -175,7 +252,17 @@ mod tests {
         assert_eq!(seed.get(fields::NLRI_LEN), Some(22));
         assert_eq!(seed.get(fields::SOURCE_AS), Some(36561));
         assert_eq!(seed.get(fields::MED), Some(5));
-        assert_eq!(template.input_spec().len(), 6);
+        assert_eq!(seed.get(fields::COMMUNITY), Some(0));
+        assert_eq!(seed.get(fields::PATH_LEN), Some(2));
+        assert_eq!(template.input_spec().len(), 8);
+        assert_eq!(
+            template
+                .clone()
+                .with_policy_fields(false)
+                .input_spec()
+                .len(),
+            6
+        );
         assert!(UpdateTemplate::from_update(&UpdateMessage::withdraw(vec![])).is_none());
     }
 
@@ -224,8 +311,55 @@ mod tests {
         assert!(view.source_as.is_symbolic());
         assert!(view.med.is_symbolic());
         assert!(!view.neighbor_as.is_symbolic());
+        assert!(view.community_slot.is_symbolic());
+        assert!(view.path_len.is_symbolic());
         assert_eq!(view.prefix_len.value(), 22);
+        assert_eq!(view.path_len.value(), 2);
+        assert_eq!(view.community_slot.value(), 0);
+        assert_eq!(ctx.var_map().len(), 8);
+    }
+
+    #[test]
+    fn opaque_template_keeps_policy_fields_concrete() {
+        let template = UpdateTemplate::from_update(&observed())
+            .expect("has NLRI")
+            .with_policy_fields(false);
+        let mut ctx = ExecCtx::new();
+        let view = template.symbolic_view(&mut ctx, &template.seed());
+        assert!(!view.community_slot.is_symbolic());
+        assert!(!view.path_len.is_symbolic());
         assert_eq!(ctx.var_map().len(), 6);
+    }
+
+    #[test]
+    fn materialize_synthesizes_community_and_path_length() {
+        let template = UpdateTemplate::from_update(&observed()).expect("has NLRI");
+        let values = template
+            .seed()
+            .with(
+                fields::COMMUNITY,
+                dice_router::policy::encode_community(3491, 666) as u64,
+            )
+            .with(fields::PATH_LEN, 4);
+        let (_, attrs) = template.materialize(&values);
+        assert_eq!(
+            attrs.communities,
+            vec![Community::new(3491, 666)],
+            "solver-chosen community is attached"
+        );
+        assert_eq!(attrs.as_path.length(), 4);
+        // Origin AS survives the resize; padding repeats the first hop.
+        assert_eq!(attrs.origin_as().map(|a| a.value()), Some(36561));
+        assert_eq!(
+            attrs.as_path.flatten(),
+            vec![Asn(17557), Asn(17557), Asn(17557), Asn(36561)]
+        );
+        // An out-of-range length request is clamped, not rejected.
+        let (_, attrs) = template.materialize(&template.seed().with(fields::PATH_LEN, 10_000));
+        assert_eq!(attrs.as_path.length(), 64);
+        let (_, attrs) = template.materialize(&template.seed().with(fields::PATH_LEN, 0));
+        assert_eq!(attrs.as_path.length(), 1);
+        assert_eq!(attrs.origin_as().map(|a| a.value()), Some(36561));
     }
 
     #[test]

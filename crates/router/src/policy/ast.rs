@@ -39,20 +39,121 @@ impl FilterDef {
 
     /// Number of `if` statements (branch sites) in the filter.
     pub fn branch_count(&self) -> usize {
-        fn count(stmts: &[Stmt]) -> usize {
-            stmts
-                .iter()
-                .map(|s| match s {
-                    Stmt::If {
-                        then_branch,
-                        else_branch,
-                        ..
-                    } => 1 + count(then_branch) + count(else_branch),
-                    _ => 0,
-                })
-                .sum()
+        self.arm_ids().len()
+    }
+
+    /// The branch-site label of arm `id` within this filter.
+    ///
+    /// Labels are stable across runs and processes: they hash to the
+    /// [`dice_symexec::SiteId`](https://docs.rs) equivalent the engine
+    /// schedules, so a filter arm is the same exploration site no matter
+    /// which router, round or worker evaluates it.
+    pub fn site_label(&self, id: u32) -> String {
+        format!("filter:{}:if{}", self.name, id)
+    }
+
+    /// Arm identifiers in pre-order (the order the parser assigns them).
+    pub fn arm_ids(&self) -> Vec<u32> {
+        fn walk(stmts: &[Stmt], out: &mut Vec<u32>) {
+            for s in stmts {
+                if let Stmt::If {
+                    id,
+                    then_branch,
+                    else_branch,
+                    ..
+                } = s
+                {
+                    out.push(*id);
+                    walk(then_branch, out);
+                    walk(else_branch, out);
+                }
+            }
         }
-        count(&self.body)
+        let mut out = Vec::new();
+        walk(&self.body, &mut out);
+        out
+    }
+
+    /// Every addressable branch site of this filter as `(arm id, label)`
+    /// pairs, in pre-order. This is the registry the engine declares before
+    /// evaluation so that arms no execution has ever reached still count in
+    /// the policy-coverage denominator.
+    pub fn sites(&self) -> Vec<(u32, String)> {
+        self.arm_ids()
+            .into_iter()
+            .map(|id| (id, self.site_label(id)))
+            .collect()
+    }
+
+    /// Renumbers every `if` arm in pre-order starting from 0 — the exact
+    /// numbering [`crate::policy::parse_filter`] produces. Hand-built ASTs
+    /// should call this so their site IDs match what the same filter would
+    /// get when parsed from text.
+    pub fn assign_arm_ids(&mut self) {
+        fn walk(stmts: &mut [Stmt], next: &mut u32) {
+            for s in stmts {
+                if let Stmt::If {
+                    id,
+                    then_branch,
+                    else_branch,
+                    ..
+                } = s
+                {
+                    *id = *next;
+                    *next += 1;
+                    walk(then_branch, next);
+                    walk(else_branch, next);
+                }
+            }
+        }
+        let mut next = 0;
+        walk(&mut self.body, &mut next);
+    }
+}
+
+impl fmt::Display for FilterDef {
+    /// Renders the filter in the concrete syntax the parser accepts, so
+    /// `parse_filter(&def.to_string())` round-trips: same structure and —
+    /// when the arm IDs are in pre-order, as [`FilterDef::assign_arm_ids`]
+    /// and the parser both produce — the same site IDs.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "filter {} {{", self.name)?;
+        for stmt in &self.body {
+            write_stmt(f, stmt, 1)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+fn write_stmt(f: &mut fmt::Formatter<'_>, stmt: &Stmt, depth: usize) -> fmt::Result {
+    let pad = "    ".repeat(depth);
+    match stmt {
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            writeln!(f, "{pad}if {cond} then {{")?;
+            for s in then_branch {
+                write_stmt(f, s, depth + 1)?;
+            }
+            if else_branch.is_empty() {
+                writeln!(f, "{pad}}}")
+            } else {
+                writeln!(f, "{pad}}} else {{")?;
+                for s in else_branch {
+                    write_stmt(f, s, depth + 1)?;
+                }
+                writeln!(f, "{pad}}}")
+            }
+        }
+        Stmt::Accept => writeln!(f, "{pad}accept;"),
+        Stmt::Reject => writeln!(f, "{pad}reject;"),
+        Stmt::SetLocalPref(v) => writeln!(f, "{pad}local_pref = {v};"),
+        Stmt::SetMed(v) => writeln!(f, "{pad}med = {v};"),
+        Stmt::Prepend(n) => writeln!(f, "{pad}prepend {n};"),
+        Stmt::AddCommunity(a, b) => writeln!(f, "{pad}add community ({a}, {b});"),
     }
 }
 
@@ -101,6 +202,62 @@ pub enum Field {
     OriginCode,
     /// Prefix length of the announced network.
     PrefixLen,
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for PrefixPattern {
+    /// Renders in prefix-set syntax: `10.0.0.0/8`, `10.0.0.0/8+` or
+    /// `10.0.0.0/8{9,24}`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.prefix)?;
+        if self.min_len == self.prefix.len() && self.max_len == 32 && self.prefix.len() != 32 {
+            write!(f, "+")
+        } else if self.min_len == self.prefix.len() && self.max_len == self.prefix.len() {
+            Ok(())
+        } else {
+            write!(f, "{{{},{}}}", self.min_len, self.max_len)
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    /// Renders in the parser's expression syntax. Compound subexpressions
+    /// are fully parenthesised, so the printed text re-parses to exactly
+    /// the same tree (parentheses are a `primary` production).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::NetMatch(patterns) => {
+                write!(f, "net ~ [ ")?;
+                for (i, p) in patterns.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, " ]")
+            }
+            Expr::FieldCmp { field, op, value } => write!(f, "{field} {op} {value}"),
+            Expr::CommunityMatch(a, b) => write!(f, "community ~ ({a}, {b})"),
+            Expr::Not(e) => write!(f, "!({e})"),
+            Expr::And(a, b) => write!(f, "({a} && {b})"),
+            Expr::Or(a, b) => write!(f, "({a} || {b})"),
+            Expr::True => write!(f, "true"),
+            Expr::False => write!(f, "false"),
+        }
+    }
 }
 
 impl fmt::Display for Field {

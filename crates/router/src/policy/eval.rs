@@ -9,11 +9,24 @@
 //! nothing is recorded and the interpreter behaves like a plain filter
 //! engine.
 
-use dice_symexec::{Concolic, ConcolicBool, ExecCtx, CU32, CU8};
+use dice_symexec::{Concolic, ConcolicBool, ExecCtx, TermId, CU32, CU8};
 
 use dice_bgp::route::Route;
 
 use super::ast::{CmpOp, Expr, Field, FilterDef, Stmt};
+
+/// Packs a `(asn, value)` community into the 32-bit wire encoding used by
+/// the symbolic community slot (`asn` in the high half). `(0, 0)` encodes
+/// to 0, which the slot reserves for "no community attached", so that pair
+/// cannot be synthesized — it is not a meaningful community in practice.
+pub fn encode_community(asn: u16, value: u16) -> u32 {
+    ((asn as u32) << 16) | value as u32
+}
+
+/// Unpacks a community slot encoding produced by [`encode_community`].
+pub fn decode_community(slot: u32) -> (u16, u16) {
+    ((slot >> 16) as u16, (slot & 0xffff) as u16)
+}
 
 /// The route fields a filter may inspect, as concolic values.
 #[derive(Debug, Clone)]
@@ -34,9 +47,14 @@ pub struct RouteView {
     pub local_pref: CU32,
     /// ORIGIN code.
     pub origin_code: CU8,
-    /// Attached communities (concrete; community lists are not explored
-    /// symbolically).
+    /// Attached communities as observed on the route (always concrete).
     pub communities: Vec<(u16, u16)>,
+    /// One symbolic "flexible" community slot, encoded with
+    /// [`encode_community`]; 0 means no extra community. `community ~`
+    /// tests match when the observed list contains the community *or* the
+    /// slot equals its encoding, so the solver can synthesize a community
+    /// no observed trace carries.
+    pub community_slot: CU32,
 }
 
 impl RouteView {
@@ -64,8 +82,22 @@ impl RouteView {
                 .iter()
                 .map(|c| (c.asn_part(), c.value_part()))
                 .collect(),
+            community_slot: Concolic::concrete(0),
         }
     }
+}
+
+/// One executed `if` arm of a filter run: which arm, which way it went, and
+/// the condition term guarding it (None when the condition was fully
+/// concrete, e.g. on the live fast path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArmTrace {
+    /// Arm identifier within the filter ([`Stmt::If::id`]).
+    pub arm: u32,
+    /// Whether the condition held (the `then` branch ran).
+    pub taken: bool,
+    /// The path constraint guarding the taken direction, when symbolic.
+    pub constraint: Option<TermId>,
 }
 
 /// Accept/reject decision of a filter.
@@ -91,16 +123,31 @@ pub struct FilterOutcome {
     pub prepend: u32,
     /// Communities added by the filter.
     pub added_communities: Vec<(u16, u16)>,
+    /// Ordered trace of every `if` arm the run executed, with the path
+    /// constraint guarding each. Empty for the trivial outcomes built by
+    /// [`FilterOutcome::accepted`]/[`FilterOutcome::rejected`].
+    pub trace: Vec<ArmTrace>,
 }
 
 impl FilterOutcome {
-    fn rejected() -> Self {
+    /// The outcome of a filter (or absent filter) that rejects the route
+    /// outright, with no attribute changes and no arms executed.
+    pub fn rejected() -> Self {
         FilterOutcome {
             verdict: FilterVerdict::Reject,
             local_pref: None,
             med: None,
             prepend: 0,
             added_communities: Vec::new(),
+            trace: Vec::new(),
+        }
+    }
+
+    /// The outcome of an absent filter that accepts the route unchanged.
+    pub fn accepted() -> Self {
+        FilterOutcome {
+            verdict: FilterVerdict::Accept,
+            ..FilterOutcome::rejected()
         }
     }
 
@@ -121,8 +168,18 @@ enum Flow {
 /// A filter that falls off the end without executing `accept` or `reject`
 /// rejects the route, matching BIRD's default.
 pub fn eval_filter(filter: &FilterDef, view: &RouteView, ctx: &mut ExecCtx) -> FilterOutcome {
+    // Register every arm of the filter as a policy site before executing
+    // anything, so arms no run has ever reached still count in the
+    // policy-coverage denominator. Skipped on the fully concrete fast path
+    // (no symbolic inputs declared), which keeps live ingest free of the
+    // label formatting cost.
+    if !ctx.var_map().is_empty() {
+        for (_, label) in filter.sites() {
+            ctx.declare_policy_site(&label);
+        }
+    }
     let mut outcome = FilterOutcome::rejected();
-    match eval_stmts(&filter.name, &filter.body, view, ctx, &mut outcome) {
+    match eval_stmts(filter, &filter.body, view, ctx, &mut outcome) {
         Flow::Stop(v) => outcome.verdict = v,
         Flow::Continue => outcome.verdict = FilterVerdict::Reject,
     }
@@ -130,7 +187,7 @@ pub fn eval_filter(filter: &FilterDef, view: &RouteView, ctx: &mut ExecCtx) -> F
 }
 
 fn eval_stmts(
-    filter_name: &str,
+    filter: &FilterDef,
     stmts: &[Stmt],
     view: &RouteView,
     ctx: &mut ExecCtx,
@@ -151,12 +208,25 @@ fn eval_stmts(
                 else_branch,
             } => {
                 let condition = eval_expr(cond, view, ctx);
-                // The branch site is the configuration AST node, so recorded
-                // constraints attribute coverage to the *configuration*.
-                let label = format!("filter:{filter_name}:if{id}");
-                let taken = ctx.branch_labeled(&label, condition);
+                let constraint = condition.term();
+                let taken = if ctx.var_map().is_empty() {
+                    // Fully concrete fast path: no site bookkeeping, no
+                    // label formatting — live ingest just follows the arm.
+                    condition.value()
+                } else {
+                    // The branch site is the configuration AST node, so
+                    // recorded constraints attribute coverage to the
+                    // *configuration*.
+                    let label = filter.site_label(*id);
+                    ctx.policy_branch_labeled(&label, condition)
+                };
+                outcome.trace.push(ArmTrace {
+                    arm: *id,
+                    taken,
+                    constraint,
+                });
                 let branch = if taken { then_branch } else { else_branch };
-                match eval_stmts(filter_name, branch, view, ctx, outcome) {
+                match eval_stmts(filter, branch, view, ctx, outcome) {
                     Flow::Continue => {}
                     stop => return stop,
                 }
@@ -185,7 +255,21 @@ pub fn eval_expr(expr: &Expr, view: &RouteView, ctx: &mut ExecCtx) -> ConcolicBo
             let vb = eval_expr(b, view, ctx);
             va.or(&vb, ctx)
         }
-        Expr::CommunityMatch(a, b) => ConcolicBool::concrete(view.communities.contains(&(*a, *b))),
+        Expr::CommunityMatch(a, b) => {
+            // A route matches when the observed (always concrete) community
+            // list contains the community, or when the symbolic flexible
+            // slot carries it — the latter is what lets the solver attach a
+            // community no observed announcement had. `(0, 0)` is excluded:
+            // its encoding collides with the slot's "no community" value.
+            let observed = ConcolicBool::concrete(view.communities.contains(&(*a, *b)));
+            let encoded = encode_community(*a, *b);
+            if encoded == 0 {
+                observed
+            } else {
+                let slot_hit = view.community_slot.eq(&Concolic::concrete(encoded), ctx);
+                observed.or(&slot_hit, ctx)
+            }
+        }
         Expr::FieldCmp { field, op, value } => {
             let (lhs32, lhs8): (Option<CU32>, Option<CU8>) = match field {
                 Field::SourceAs => (Some(view.source_as), None),
@@ -349,11 +433,20 @@ mod tests {
             local_pref: Concolic::concrete(100),
             origin_code: Concolic::concrete(0),
             communities: Vec::new(),
+            community_slot: Concolic::concrete(0),
         };
         let out = eval_filter(&filter, &view, &mut ctx);
         assert!(out.is_accept());
         // Both `if` statements were evaluated over symbolic data.
         assert_eq!(ctx.branches().len(), 2);
+        // The outcome carries the ordered arm trace with constraints.
+        assert_eq!(out.trace.len(), 2);
+        assert_eq!((out.trace[0].arm, out.trace[0].taken), (0, true));
+        assert_eq!((out.trace[1].arm, out.trace[1].taken), (1, true));
+        assert!(out.trace.iter().all(|t| t.constraint.is_some()));
+        // Every arm of the filter is registered as a policy site, keyed by
+        // its stable label.
+        assert_eq!(ctx.policy_sites().len(), 2);
         // The path constraints hold for the concrete input used.
         let constraints = ctx.path_constraints();
         let model = ctx.concrete_model().clone();
@@ -411,6 +504,38 @@ mod tests {
             .communities
             .push(dice_bgp::Community::new(65000, 666));
         assert!(!eval_filter(&filter, &RouteView::concrete(&r), &mut ctx).is_accept());
+    }
+
+    #[test]
+    fn symbolic_community_slot_makes_community_match_explorable() {
+        let src = "filter f { if community ~ (65000, 666) then accept; reject; }";
+        let filter = parse_filter(src).expect("parses");
+        let mut ctx = ExecCtx::new();
+        let r = route("10.0.0.0/8", &[100]);
+        // Slot carries no community, so the concrete run is rejected — but
+        // the condition is symbolic, so the branch is recorded and its
+        // untaken direction can be negated to synthesize the community.
+        let view = RouteView {
+            community_slot: ctx.symbolic_u32("attr.community", 0),
+            ..RouteView::concrete(&r)
+        };
+        assert!(!eval_filter(&filter, &view, &mut ctx).is_accept());
+        assert_eq!(ctx.branches().len(), 1);
+        assert!(!ctx.branches()[0].taken);
+        // A slot carrying the encoding satisfies the match.
+        let mut ctx = ExecCtx::new();
+        let view = RouteView {
+            community_slot: ctx.symbolic_u32("attr.community", encode_community(65000, 666)),
+            ..RouteView::concrete(&r)
+        };
+        assert!(eval_filter(&filter, &view, &mut ctx).is_accept());
+    }
+
+    #[test]
+    fn community_encoding_round_trips() {
+        assert_eq!(decode_community(encode_community(65000, 666)), (65000, 666));
+        assert_eq!(encode_community(0, 0), 0);
+        assert_eq!(decode_community(0), (0, 0));
     }
 
     #[test]

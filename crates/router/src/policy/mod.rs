@@ -7,6 +7,9 @@ pub mod lexer;
 pub mod parser;
 
 pub use ast::{CmpOp, Expr, Field, FilterDef, PrefixPattern, Stmt};
-pub use eval::{eval_expr, eval_filter, FilterOutcome, FilterVerdict, RouteView};
+pub use eval::{
+    decode_community, encode_community, eval_expr, eval_filter, ArmTrace, FilterOutcome,
+    FilterVerdict, RouteView,
+};
 pub use lexer::{tokenize, LexError, Token};
 pub use parser::{parse_filter, ParseError, Parser};

@@ -394,6 +394,114 @@ impl Rib {
         total
     }
 
+    /// Like [`Rib::load_parallel`], but runs `filter` over every route *on
+    /// the worker threads* before announcing it; routes mapped to `None`
+    /// are dropped. Returns the number of routes accepted.
+    ///
+    /// This is the filtered table-dump fast path: policy evaluation — the
+    /// expensive per-route step — is fanned out together with the trie
+    /// inserts instead of serializing in front of them. Equivalent to
+    /// filtering the batch in order and announcing the survivors (asserted
+    /// by test): the filter only sees one route at a time and routes for
+    /// the same prefix keep their relative order within a shard bucket.
+    pub fn load_parallel_filtered<F>(
+        &mut self,
+        routes: Vec<Route>,
+        workers: usize,
+        filter: F,
+    ) -> usize
+    where
+        F: Fn(Route) -> Option<Route> + Sync,
+    {
+        let mut buckets: Vec<Vec<Route>> = (0..self.shards.len()).map(|_| Vec::new()).collect();
+        let mut short_routes = Vec::new();
+        for route in routes {
+            // The filter never rewrites the prefix (import policy only
+            // touches attributes), so bucketing before filtering is safe.
+            match self.shard_index(&route.prefix) {
+                Some(i) => buckets[i].push(route),
+                None => short_routes.push(route),
+            }
+        }
+        let mut accepted = 0usize;
+        if !short_routes.is_empty() {
+            let short = Arc::make_mut(&mut self.short);
+            for route in short_routes {
+                if let Some(route) = filter(route) {
+                    short.announce(route);
+                    accepted += 1;
+                }
+            }
+        }
+        let workers = match workers {
+            0 => std::thread::available_parallelism()
+                .map(usize::from)
+                .unwrap_or(1),
+            n => n,
+        };
+        let mut jobs: Vec<(&mut RibShard, Vec<Route>)> = self
+            .shards
+            .iter_mut()
+            .zip(buckets)
+            .filter(|(_, bucket)| !bucket.is_empty())
+            .map(|(shard, bucket)| (Arc::make_mut(shard), bucket))
+            .collect();
+        if jobs.is_empty() {
+            return accepted;
+        }
+        if workers <= 1 || jobs.len() == 1 {
+            for (shard, bucket) in jobs {
+                for route in bucket {
+                    if let Some(route) = filter(route) {
+                        shard.announce(route);
+                        accepted += 1;
+                    }
+                }
+            }
+            return accepted;
+        }
+        // Same greedy longest-processing-time balancing as the unfiltered
+        // path; the filter cost is proportional to bucket volume, so route
+        // counts remain the right load measure.
+        let worker_count = workers.min(jobs.len());
+        jobs.sort_by_key(|(_, bucket)| std::cmp::Reverse(bucket.len()));
+        type WorkerGroup<'a> = (usize, Vec<(&'a mut RibShard, Vec<Route>)>);
+        let mut groups: Vec<WorkerGroup<'_>> = (0..worker_count).map(|_| (0, Vec::new())).collect();
+        for job in jobs {
+            let lightest = groups
+                .iter_mut()
+                .min_by_key(|(load, _)| *load)
+                .expect("worker_count >= 1");
+            lightest.0 += job.1.len();
+            lightest.1.push(job);
+        }
+        let filter = &filter;
+        accepted
+            + std::thread::scope(|scope| {
+                let handles: Vec<_> = groups
+                    .into_iter()
+                    .map(|(_, group)| {
+                        scope.spawn(move || {
+                            let mut kept = 0usize;
+                            for (shard, bucket) in group {
+                                for route in bucket {
+                                    if let Some(route) = filter(route) {
+                                        shard.announce(route);
+                                        kept += 1;
+                                    }
+                                }
+                            }
+                            kept
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("rib load worker panicked"))
+                    .sum::<usize>()
+            })
+    }
+
     /// A fully independent copy: every shard's contents are duplicated,
     /// sharing nothing with `self`. This is what `Rib::clone` did before
     /// shards became copy-on-write; equivalence anchors and the checkpoint
@@ -880,5 +988,60 @@ mod tests {
         let mut empty = Rib::new();
         assert_eq!(empty.load_parallel(Vec::new(), 0), 0);
         assert_eq!(empty.prefix_count(), 0);
+    }
+
+    #[test]
+    fn load_parallel_filtered_equals_sequential_filter_then_announce() {
+        // Reject every odd source index and rewrite MED on the survivors,
+        // so the test catches both dropped routes and lost modifications.
+        let filter = |route: Route| -> Option<Route> {
+            let last = route.attrs.as_path.flatten().last()?.value();
+            if last % 2 == 1 {
+                return None;
+            }
+            let mut route = route;
+            route.attrs.med = Some(last);
+            Some(route)
+        };
+        let routes: Vec<Route> = (0..2_000u32)
+            .map(|i| {
+                let prefix = Ipv4Prefix::new(((i % 200 + 1) << 24) | (i << 8), 24).expect("valid");
+                Route::new(
+                    prefix,
+                    {
+                        let mut attrs = RouteAttrs::default();
+                        attrs.as_path = AsPath::from_sequence([1299, 100_000 + i]);
+                        attrs.next_hop = Ipv4Addr::new(10, 0, 2, 1);
+                        attrs
+                    },
+                    PeerId(2),
+                    2,
+                )
+            })
+            .chain(std::iter::once(route("0.0.0.0/0", 1, &[100])))
+            .collect();
+
+        let mut sequential = Rib::with_shard_count(16);
+        let mut kept = 0usize;
+        for r in routes.clone() {
+            if let Some(r) = filter(r) {
+                sequential.announce(r);
+                kept += 1;
+            }
+        }
+        assert!(kept > 0 && kept < routes.len(), "filter must bite");
+        for workers in [0usize, 1, 4] {
+            let mut parallel = Rib::with_shard_count(16);
+            assert_eq!(
+                parallel.load_parallel_filtered(routes.clone(), workers, filter),
+                kept,
+                "workers={workers}"
+            );
+            let a: Vec<(Ipv4Prefix, Route)> =
+                parallel.loc_rib().map(|(p, r)| (p, r.clone())).collect();
+            let b: Vec<(Ipv4Prefix, Route)> =
+                sequential.loc_rib().map(|(p, r)| (p, r.clone())).collect();
+            assert_eq!(a, b, "workers={workers}");
+        }
     }
 }

@@ -147,6 +147,38 @@ impl BgpRouter {
         loaded
     }
 
+    /// Bulk-loads routes through each route's import policy, with policy
+    /// evaluation running on the same worker threads that fan the inserts
+    /// out across disjoint RIB shards ([`Rib::load_parallel_filtered`]).
+    ///
+    /// Semantics per route match [`BgpRouter::apply_import`] keyed by
+    /// [`Route::learned_from`]: unknown peers and references to missing
+    /// filters reject (fail closed), peers without an import filter accept
+    /// as-is, and accepted routes carry the filter's attribute
+    /// modifications. Propagation is still bypassed and per-peer counters
+    /// are not updated, exactly like [`BgpRouter::load_routes`]. Returns
+    /// the number of routes accepted.
+    pub fn load_routes_filtered(&mut self, routes: Vec<Route>, workers: usize) -> usize {
+        let total = routes.len();
+        let config = &self.config;
+        let peers = &self.peers;
+        let import = |route: Route| -> Option<Route> {
+            let peer = peers.get(&route.learned_from)?;
+            let Some(filter_name) = &peer.import_filter else {
+                return Some(route);
+            };
+            let filter = config.filter(filter_name)?;
+            let mut ctx = ExecCtx::new();
+            let outcome = eval_filter(filter, &RouteView::concrete(&route), &mut ctx);
+            Self::apply_outcome(route, &outcome)
+        };
+        let accepted = self.rib.load_parallel_filtered(routes, workers, import);
+        self.stats.prefixes_announced += total as u64;
+        self.stats.routes_accepted += accepted as u64;
+        self.stats.routes_rejected += (total - accepted) as u64;
+        accepted
+    }
+
     /// Router-wide counters.
     pub fn stats(&self) -> &RouterStats {
         &self.stats
@@ -336,13 +368,7 @@ impl BgpRouter {
             return None;
         }
         let outcome = match &to.export_filter {
-            None => FilterOutcome {
-                verdict: crate::policy::FilterVerdict::Accept,
-                local_pref: None,
-                med: None,
-                prepend: 0,
-                added_communities: Vec::new(),
-            },
+            None => FilterOutcome::accepted(),
             Some(name) => {
                 let filter = self.config.filter(name)?;
                 let mut ctx = ExecCtx::new();
@@ -658,6 +684,78 @@ mod tests {
         assert_eq!(r.stats().routes_accepted, 100);
         // Nothing was queued toward peers: the fast path skips propagation.
         assert_eq!(r.stats().messages_sent, 0);
+    }
+
+    #[test]
+    fn load_routes_filtered_matches_serial_import() {
+        // A mixed batch: customer routes inside and outside the allowed
+        // block, transit routes (accept-all filter), and routes from an
+        // unknown peer (fail closed). The parallel filtered ingest must
+        // land exactly the table the serial apply_import path produces.
+        let template = provider();
+        let customer = template
+            .peer_by_address(Ipv4Addr::new(10, 0, 1, 1))
+            .expect("peer");
+        let transit = template
+            .peer_by_address(Ipv4Addr::new(10, 0, 2, 1))
+            .expect("peer");
+        let mut routes: Vec<Route> = Vec::new();
+        for i in 0..200u32 {
+            let (peer, prefix) = match i % 4 {
+                // In the customer's allocation: accepted by customer_in.
+                0 => (
+                    customer,
+                    Ipv4Prefix::new((208 << 24) | (65 << 16) | (152 << 8), 24),
+                ),
+                // Outside it: rejected by customer_in.
+                1 => (customer, Ipv4Prefix::new((8 << 24) | (i << 8), 24)),
+                // Transit: accept-all.
+                2 => (transit, Ipv4Prefix::new((20 << 24) | (i << 8), 24)),
+                // Unknown peer: fail closed.
+                _ => (PeerId(999), Ipv4Prefix::new((30 << 24) | (i << 8), 24)),
+            };
+            let mut attrs = RouteAttrs::default();
+            attrs.as_path = AsPath::from_sequence([1299, 100_000 + i]);
+            attrs.next_hop = Ipv4Addr::new(10, 0, 2, 1);
+            routes.push(Route::new(prefix.expect("valid"), attrs, peer, peer.0));
+        }
+
+        let mut serial = provider();
+        let mut accepted_serial = 0usize;
+        for route in routes.clone() {
+            if let Some(imported) = serial.apply_import(route.learned_from, route) {
+                serial.rib.announce(imported);
+                accepted_serial += 1;
+            }
+        }
+        assert!(
+            accepted_serial < routes.len(),
+            "some routes must be rejected"
+        );
+
+        for workers in [0usize, 1, 4] {
+            let mut parallel = provider();
+            let accepted = parallel.load_routes_filtered(routes.clone(), workers);
+            assert_eq!(accepted, accepted_serial, "workers={workers}");
+            let a: Vec<(Ipv4Prefix, Route)> = parallel
+                .rib()
+                .loc_rib()
+                .map(|(p, r)| (p, r.clone()))
+                .collect();
+            let b: Vec<(Ipv4Prefix, Route)> = serial
+                .rib()
+                .loc_rib()
+                .map(|(p, r)| (p, r.clone()))
+                .collect();
+            assert_eq!(a, b, "workers={workers}");
+            assert_eq!(parallel.stats().routes_accepted, accepted as u64);
+            assert_eq!(
+                parallel.stats().routes_rejected,
+                (routes.len() - accepted) as u64
+            );
+            // Still the table-dump fast path: nothing queued toward peers.
+            assert_eq!(parallel.stats().messages_sent, 0);
+        }
     }
 
     #[test]

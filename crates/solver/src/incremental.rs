@@ -165,6 +165,13 @@ impl IncrementalSolver {
         &self.stats
     }
 
+    /// Mutable access to this session's statistics, so callers that know a
+    /// query's provenance (e.g. the exploration engine attributing
+    /// policy-derived queries) can annotate the counters.
+    pub fn stats_mut(&mut self) -> &mut SolverStats {
+        &mut self.stats
+    }
+
     /// Resets cumulative statistics.
     pub fn reset_stats(&mut self) {
         self.stats = SolverStats::new();

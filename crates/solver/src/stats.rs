@@ -63,6 +63,14 @@ pub struct SolverStats {
     /// Constraints newly folded into interval domains by incremental
     /// queries.
     pub assertions_propagated: u64,
+    /// Queries derived from *policy* branch sites (router-configuration
+    /// filter arms) rather than message-field branches. Attributed by the
+    /// exploration engine, which knows each candidate's provenance.
+    pub policy_queries: u64,
+    /// Of the constraint work reused from assertion stacks
+    /// ([`SolverStats::assertions_reused`]), the share reused by
+    /// policy-derived queries.
+    pub policy_assertions_reused: u64,
 }
 
 impl SolverStats {
@@ -92,6 +100,8 @@ impl SolverStats {
         self.session_pops += other.session_pops;
         self.assertions_reused += other.assertions_reused;
         self.assertions_propagated += other.assertions_propagated;
+        self.policy_queries += other.policy_queries;
+        self.policy_assertions_reused += other.policy_assertions_reused;
     }
 
     /// Records elapsed time for one query.
@@ -145,6 +155,13 @@ impl fmt::Display for SolverStats {
                 self.reuse_rate() * 100.0,
                 self.session_pushes,
                 self.session_pops,
+            )?;
+        }
+        if self.policy_queries > 0 {
+            write!(
+                f,
+                " policy={} policy_reused={}",
+                self.policy_queries, self.policy_assertions_reused,
             )?;
         }
         Ok(())
@@ -202,6 +219,24 @@ mod tests {
         s.record_time(Duration::from_micros(10));
         s.record_time(Duration::from_micros(30));
         assert_eq!(s.mean_query_time(), Duration::from_micros(20));
+    }
+
+    #[test]
+    fn policy_counters_merge_and_display_conditionally() {
+        let mut a = SolverStats::new();
+        // No policy queries: the display stays byte-identical to before.
+        assert!(!a.to_string().contains("policy"));
+        let b = SolverStats {
+            policy_queries: 4,
+            policy_assertions_reused: 7,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.policy_queries, 4);
+        assert_eq!(a.policy_assertions_reused, 7);
+        let text = a.to_string();
+        assert!(text.contains("policy=4"));
+        assert!(text.contains("policy_reused=7"));
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! sequence of branch records observed along the current code path.
 
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::panic::Location;
@@ -101,6 +101,7 @@ pub struct ExecCtx {
     concrete: Model,
     branches: Vec<BranchRecord>,
     site_labels: HashMap<SiteId, String>,
+    policy_sites: BTreeSet<SiteId>,
     recording: bool,
     max_branches: usize,
 }
@@ -120,6 +121,7 @@ impl ExecCtx {
             concrete: Model::new(),
             branches: Vec::new(),
             site_labels: HashMap::new(),
+            policy_sites: BTreeSet::new(),
             recording: true,
             max_branches: 100_000,
         }
@@ -262,6 +264,31 @@ impl ExecCtx {
         self.branch_at(site, cond)
     }
 
+    /// Declares a *policy* branch site — a site that lives in the router's
+    /// configuration (a filter `if` arm) rather than in code. Declaration
+    /// is independent of execution: the filter interpreter declares every
+    /// arm of a filter up front, so arms no run has reached still count in
+    /// the policy-coverage denominator.
+    pub fn declare_policy_site(&mut self, label: &str) -> SiteId {
+        let site = SiteId::from_label(label);
+        self.site_labels
+            .entry(site)
+            .or_insert_with(|| label.to_string());
+        self.policy_sites.insert(site);
+        site
+    }
+
+    /// Records a labelled branch at a policy site (declaring it as such).
+    pub fn policy_branch_labeled(&mut self, label: &str, cond: ConcolicBool) -> bool {
+        let site = self.declare_policy_site(label);
+        self.branch_at(site, cond)
+    }
+
+    /// The policy sites declared during this run, in stable order.
+    pub fn policy_sites(&self) -> &BTreeSet<SiteId> {
+        &self.policy_sites
+    }
+
     /// The conjunction of constraints describing the executed path.
     pub fn path_constraints(&mut self) -> Vec<TermId> {
         let branches = self.branches.clone();
@@ -364,6 +391,24 @@ mod tests {
         assert_eq!(ctx.branches()[0].site, ctx.branches()[1].site);
         assert_eq!(ctx.site_labels()[&ctx.branches()[0].site], "filter:line1");
         assert_eq!(SiteId::from_label("filter:line1"), ctx.branches()[0].site);
+    }
+
+    #[test]
+    fn policy_sites_are_declared_independently_of_execution() {
+        let mut ctx = ExecCtx::new();
+        let declared = ctx.declare_policy_site("filter:f:if0");
+        let unexecuted = ctx.declare_policy_site("filter:f:if1");
+        assert_eq!(declared, SiteId::from_label("filter:f:if0"));
+        assert_eq!(ctx.policy_sites().len(), 2);
+        assert!(ctx.branches().is_empty(), "declaration records no branch");
+        // Executing one of them records a branch at the same site.
+        let x = ctx.symbolic_u32("x", 1);
+        let cond = x.gt(&CU32::concrete(0), &mut ctx);
+        ctx.policy_branch_labeled("filter:f:if0", cond);
+        assert_eq!(ctx.branches().len(), 1);
+        assert_eq!(ctx.branches()[0].site, declared);
+        assert!(ctx.policy_sites().contains(&unexecuted));
+        assert_eq!(ctx.site_labels()[&unexecuted], "filter:f:if1");
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! tell the engine (and the operator) how close it is, and drive the
 //! coverage-guided search strategy.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 use crate::context::SiteId;
 
@@ -32,6 +32,11 @@ impl SiteCoverage {
 pub struct Coverage {
     sites: HashMap<SiteId, SiteCoverage>,
     labels: HashMap<SiteId, String>,
+    /// Sites that live in router *configuration* (filter arms) rather than
+    /// code. Registration is independent of execution, so the denominator
+    /// of [`Coverage::policy_branch_coverage`] includes arms no run has
+    /// reached.
+    policy: BTreeSet<SiteId>,
 }
 
 impl Coverage {
@@ -108,6 +113,53 @@ impl Coverage {
         self.directions_covered() as f64 / (2 * self.sites.len()) as f64
     }
 
+    /// Registers a policy branch site (a filter arm). Registering a site
+    /// does not mark any direction covered — it only adds the site to the
+    /// policy-coverage denominator.
+    pub fn register_policy_site(&mut self, site: SiteId) {
+        self.policy.insert(site);
+    }
+
+    /// Returns true if the site was registered as a policy site.
+    pub fn is_policy_site(&self, site: SiteId) -> bool {
+        self.policy.contains(&site)
+    }
+
+    /// Number of registered policy branch sites (executed or not).
+    pub fn policy_site_count(&self) -> usize {
+        self.policy.len()
+    }
+
+    /// Number of policy sites for which both directions were observed.
+    pub fn policy_complete_sites(&self) -> usize {
+        self.policy
+            .iter()
+            .filter(|s| self.sites.get(s).is_some_and(|c| c.is_complete()))
+            .count()
+    }
+
+    /// Number of `(policy site, direction)` pairs observed.
+    pub fn policy_directions_covered(&self) -> usize {
+        self.policy
+            .iter()
+            .filter_map(|s| self.sites.get(s))
+            .map(|c| usize::from(c.taken) + usize::from(c.not_taken))
+            .sum()
+    }
+
+    /// Policy-branch coverage ratio: observed policy directions over
+    /// `2 * registered policy sites`. Unlike [`Coverage::branch_coverage`],
+    /// the denominator counts *registered* sites, so arms no execution has
+    /// reached drag the ratio down.
+    ///
+    /// Returns 1.0 when no policy sites are registered.
+    pub fn policy_branch_coverage(&self) -> f64 {
+        if self.policy.is_empty() {
+            return 1.0;
+        }
+        self.policy_directions_covered() as f64 / (2 * self.policy.len()) as f64
+    }
+
     /// Iterates over `(site, coverage)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (SiteId, SiteCoverage)> + '_ {
         self.sites.iter().map(|(&s, &c)| (s, c))
@@ -124,6 +176,7 @@ impl Coverage {
         for (&site, label) in &other.labels {
             self.labels.entry(site).or_insert_with(|| label.clone());
         }
+        self.policy.extend(other.policy.iter().copied());
     }
 }
 
@@ -165,6 +218,43 @@ mod tests {
         let cov = Coverage::new();
         assert_eq!(cov.branch_coverage(), 1.0);
         assert_eq!(cov.site_count(), 0);
+    }
+
+    #[test]
+    fn policy_sites_count_registered_arms_even_when_unexecuted() {
+        let mut cov = Coverage::new();
+        assert_eq!(cov.policy_branch_coverage(), 1.0);
+        cov.register_policy_site(site(1));
+        cov.register_policy_site(site(2));
+        assert_eq!(cov.policy_site_count(), 2);
+        assert!(cov.is_policy_site(site(1)));
+        assert!(!cov.is_policy_site(site(3)));
+        // Nothing executed yet: 0 of 4 directions.
+        assert_eq!(cov.policy_directions_covered(), 0);
+        assert_eq!(cov.policy_branch_coverage(), 0.0);
+        // One direction of one arm: 1/4. Message-field sites don't count.
+        cov.record(site(1), true);
+        cov.record(site(9), true);
+        cov.record(site(9), false);
+        assert_eq!(cov.policy_directions_covered(), 1);
+        assert!((cov.policy_branch_coverage() - 0.25).abs() < 1e-9);
+        assert_eq!(cov.policy_complete_sites(), 0);
+        cov.record(site(1), false);
+        assert_eq!(cov.policy_complete_sites(), 1);
+        // Registration never marks directions covered by itself.
+        assert!(cov.site(site(2)).is_none());
+    }
+
+    #[test]
+    fn merge_unions_policy_registrations() {
+        let mut a = Coverage::new();
+        a.register_policy_site(site(1));
+        let mut b = Coverage::new();
+        b.register_policy_site(site(2));
+        b.record(site(2), true);
+        a.merge(&b);
+        assert_eq!(a.policy_site_count(), 2);
+        assert_eq!(a.policy_directions_covered(), 1);
     }
 
     #[test]

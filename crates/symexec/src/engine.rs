@@ -230,6 +230,8 @@ pub struct ExplorationStats {
     pub runs: usize,
     /// Number of negation candidates generated.
     pub candidates: usize,
+    /// Of those, candidates targeting *policy* branch sites (filter arms).
+    pub policy_candidates: usize,
     /// Candidates skipped because their target path had already been tried.
     pub skipped_duplicates: usize,
     /// Candidates skipped by coverage pruning.
@@ -460,10 +462,17 @@ impl ConcolicEngine {
                 let query = run.trace.negation_query(candidate.branch_index);
                 (query, run.trace.concrete.clone())
             };
+            let reused_before = solver.stats().assertions_reused;
             let verdict = {
                 let run = &mut state.runs[candidate.run_index];
                 solver.solve(&mut run.trace.arena, &query, Some(&seed_model))
             };
+            if candidate.is_policy {
+                let reused = solver.stats().assertions_reused - reused_before;
+                let stats = solver.stats_mut();
+                stats.policy_queries += 1;
+                stats.policy_assertions_reused += reused;
+            }
             match verdict {
                 Verdict::Sat(model) => {
                     state.stats.solver_sat += 1;
@@ -728,6 +737,15 @@ impl ConcolicEngine {
     /// marks its path as attempted and enqueues its negation candidates.
     fn integrate<O>(&self, record: RunRecord<O>, state: &mut ExplorationState<O>) {
         let run_index = state.runs.len();
+        // Policy sites are registered (denominator) independently of which
+        // branches the run actually executed, so never-reached filter arms
+        // still show up as uncovered in the policy-coverage report.
+        for &site in &record.trace.policy_sites {
+            state.coverage.register_policy_site(site);
+            if let Some(label) = record.trace.site_labels.get(&site) {
+                state.coverage.record_label(site, label);
+            }
+        }
         for b in &record.trace.branches {
             state.coverage.record(b.site, b.taken);
             if let Some(label) = record.trace.site_labels.get(&b.site) {
@@ -742,14 +760,19 @@ impl ConcolicEngine {
             self.config.max_candidates_per_run.min(candidate_count)
         };
         for (branch_index, b) in record.trace.branches.iter().enumerate().take(limit) {
+            let is_policy = record.trace.policy_sites.contains(&b.site);
             state.worklist.push(Candidate {
                 run_index,
                 branch_index,
                 generation: record.generation,
                 site: b.site,
                 taken: b.taken,
+                is_policy,
             });
             state.stats.candidates += 1;
+            if is_policy {
+                state.stats.policy_candidates += 1;
+            }
         }
         state.runs.push(record);
     }
@@ -780,7 +803,14 @@ fn solve_unit(
         let branch = unit.trace.branches[index];
         let negated = branch.negated_constraint(&mut unit.trace.arena);
         session.assert_term(&mut unit.trace.arena, negated);
+        let reused_before = session.stats().assertions_reused;
         let verdict = session.check(&unit.trace.arena, Some(&seed_model));
+        if candidate.is_policy {
+            let reused = session.stats().assertions_reused - reused_before;
+            let stats = session.stats_mut();
+            stats.policy_queries += 1;
+            stats.policy_assertions_reused += reused;
+        }
         session.pop();
 
         let msg = match verdict {

@@ -6,7 +6,7 @@
 //! fault checkers inspect.
 
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::hash::{Hash, Hasher};
 
 use dice_solver::{Model, TermArena, TermId, VarId};
@@ -44,6 +44,9 @@ pub struct ExecTrace {
     pub var_map: HashMap<String, VarId>,
     /// The input values the run was started with.
     pub input: InputValues,
+    /// Policy branch sites declared during the run (every arm of every
+    /// filter the run evaluated, executed or not).
+    pub policy_sites: BTreeSet<SiteId>,
 }
 
 impl ExecTrace {
@@ -60,12 +63,14 @@ impl ExecTrace {
             concrete: Model::new(),
             var_map: HashMap::new(),
             input: InputValues::new(),
+            policy_sites: BTreeSet::new(),
         }
     }
 
     /// Builds a trace from a finished execution context and its input.
     pub fn from_ctx(ctx: ExecCtx, input: InputValues) -> Self {
         let site_labels = ctx.site_labels().clone();
+        let policy_sites = ctx.policy_sites().clone();
         let (arena, branches, concrete, var_map) = ctx.into_parts();
         ExecTrace {
             arena,
@@ -74,6 +79,7 @@ impl ExecTrace {
             concrete,
             var_map,
             input,
+            policy_sites,
         }
     }
 

@@ -25,6 +25,11 @@ pub struct Candidate {
     pub site: SiteId,
     /// Direction the original run took at this branch.
     pub taken: bool,
+    /// True when the branch site lives in router configuration (a policy
+    /// filter arm) rather than code. Scheduling is identical either way;
+    /// the flag attributes solver queries to policy exploration in
+    /// [`dice_solver::SolverStats`]-style accounting.
+    pub is_policy: bool,
 }
 
 /// Strategy used to pick the next candidate from the worklist.
@@ -205,6 +210,7 @@ mod tests {
             generation,
             site: SiteId(site),
             taken,
+            is_policy: false,
         }
     }
 

@@ -7,7 +7,9 @@ use proptest::prelude::*;
 use dice::prelude::*;
 use dice_bgp::attributes::{Community, Origin};
 use dice_bgp::wire;
-use dice_router::policy::{eval_filter, parse_filter, RouteView};
+use dice_router::policy::{
+    eval_filter, parse_filter, CmpOp, Expr, Field, FilterDef, PrefixPattern, RouteView, Stmt,
+};
 use dice_router::PrefixTrie;
 use dice_solver::{Solver, TermArena};
 use dice_symexec::{ExecCtx, CU32};
@@ -37,6 +39,88 @@ fn arb_attrs() -> impl Strategy<Value = RouteAttrs> {
                 .collect();
             attrs
         })
+}
+
+fn arb_pattern() -> impl Strategy<Value = PrefixPattern> {
+    (any::<u32>(), 0u8..=32, 0u8..=32, 0u8..=32).prop_map(|(addr, len, a, b)| {
+        let prefix = Ipv4Prefix::new(addr, len).expect("len <= 32");
+        PrefixPattern::with_range(prefix, a.min(b), a.max(b))
+    })
+}
+
+fn arb_policy_expr() -> impl Strategy<Value = Expr> {
+    let field = prop_oneof![
+        Just(Field::SourceAs),
+        Just(Field::NeighborAs),
+        Just(Field::PathLen),
+        Just(Field::Med),
+        Just(Field::LocalPref),
+        Just(Field::OriginCode),
+        Just(Field::PrefixLen),
+    ];
+    let op = prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ];
+    let leaf = prop_oneof![
+        prop::collection::vec(arb_pattern(), 1..3).prop_map(Expr::NetMatch),
+        (field, op, any::<u32>()).prop_map(|(field, op, value)| Expr::FieldCmp {
+            field,
+            op,
+            value: value as u64,
+        }),
+        (any::<u16>(), any::<u16>()).prop_map(|(a, b)| Expr::CommunityMatch(a, b)),
+        Just(Expr::True),
+        Just(Expr::False),
+    ];
+    leaf.prop_recursive(2, 8, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn arb_policy_stmt() -> impl Strategy<Value = Stmt> {
+    let leaf = prop_oneof![
+        Just(Stmt::Accept),
+        Just(Stmt::Reject),
+        (0u64..1000).prop_map(Stmt::SetLocalPref),
+        (0u64..1000).prop_map(Stmt::SetMed),
+        (0u64..4).prop_map(Stmt::Prepend),
+        (any::<u16>(), any::<u16>()).prop_map(|(a, b)| Stmt::AddCommunity(a, b)),
+    ];
+    leaf.prop_recursive(2, 12, 3, |inner| {
+        (
+            arb_policy_expr(),
+            prop::collection::vec(inner.clone(), 0..3),
+            prop::collection::vec(inner, 0..2),
+        )
+            .prop_map(|(cond, then_branch, else_branch)| Stmt::If {
+                id: 0,
+                cond,
+                then_branch,
+                else_branch,
+            })
+    })
+}
+
+/// An arbitrary filter whose arm IDs carry the canonical pre-order
+/// numbering ([`FilterDef::assign_arm_ids`]), as the parser would assign.
+fn arb_policy_filter() -> impl Strategy<Value = FilterDef> {
+    prop::collection::vec(arb_policy_stmt(), 1..4).prop_map(|body| {
+        let mut filter = FilterDef {
+            name: "f".into(),
+            body,
+        };
+        filter.assign_arm_ids();
+        filter
+    })
 }
 
 proptest! {
@@ -170,6 +254,59 @@ proptest! {
         let constraints = sym_ctx.path_constraints();
         let model = sym_ctx.concrete_model().clone();
         prop_assert!(model.satisfies_all(sym_ctx.arena(), &constraints));
+    }
+
+    /// Printing a filter AST and re-parsing it preserves the structure
+    /// *and the arm IDs*: a policy branch site is the same addressable
+    /// exploration site whether the filter came from text or from a
+    /// hand-built (then canonically renumbered) AST.
+    #[test]
+    fn policy_ast_display_parse_roundtrip_preserves_site_ids(filter in arb_policy_filter()) {
+        let reparsed = parse_filter(&filter.to_string()).expect("display output re-parses");
+        prop_assert_eq!(&reparsed, &filter);
+        prop_assert_eq!(reparsed.sites(), filter.sites());
+    }
+
+    /// Concrete and symbolic evaluation of the same filter over the same
+    /// route values take identical arm traces — same arms, same
+    /// directions, in the same order — and the same verdict. Symbolic
+    /// evaluation additionally registers every arm as a policy site;
+    /// concrete evaluation registers nothing.
+    #[test]
+    fn policy_arm_traces_agree_between_concrete_and_symbolic(
+        filter in arb_policy_filter(),
+        prefix in arb_prefix(),
+        attrs in arb_attrs(),
+    ) {
+        let route = Route::new(prefix, attrs, PeerId(1), 1);
+        let mut concrete_ctx = ExecCtx::new();
+        let concrete = eval_filter(&filter, &RouteView::concrete(&route), &mut concrete_ctx);
+
+        let mut sym_ctx = ExecCtx::new();
+        let base = RouteView::concrete(&route);
+        let view = RouteView {
+            prefix_addr: sym_ctx.symbolic_u32("nlri.addr", base.prefix_addr.value()),
+            prefix_len: sym_ctx.symbolic_u8("nlri.len", base.prefix_len.value()),
+            source_as: sym_ctx.symbolic_u32("attr.source_as", base.source_as.value()),
+            med: sym_ctx.symbolic_u32("attr.med", base.med.value()),
+            path_len: sym_ctx.symbolic_u32("attr.path_len", base.path_len.value()),
+            community_slot: sym_ctx.symbolic_u32("attr.community", 0),
+            ..base
+        };
+        let symbolic = eval_filter(&filter, &view, &mut sym_ctx);
+
+        prop_assert_eq!(concrete.verdict, symbolic.verdict);
+        let concrete_arms: Vec<(u32, bool)> =
+            concrete.trace.iter().map(|t| (t.arm, t.taken)).collect();
+        let symbolic_arms: Vec<(u32, bool)> =
+            symbolic.trace.iter().map(|t| (t.arm, t.taken)).collect();
+        prop_assert_eq!(concrete_arms, symbolic_arms);
+        // Concrete traces never carry constraints; concrete contexts never
+        // record branches or register sites.
+        prop_assert!(concrete.trace.iter().all(|t| t.constraint.is_none()));
+        prop_assert!(concrete_ctx.branches().is_empty());
+        prop_assert!(concrete_ctx.policy_sites().is_empty());
+        prop_assert_eq!(sym_ctx.policy_sites().len(), filter.branch_count());
     }
 
     /// Copy-on-write snapshots: unmodified forks share every page, and a
