@@ -6,7 +6,10 @@
 //! [`crate::DiceBuilder::checker`]; the session applies every registered
 //! checker to every explored outcome.
 //!
-//! Three checkers ship with the crate:
+//! The shipped corpus spans three tiers, mirroring the cheap-per-event vs.
+//! windowed-pattern split of production detection pipelines:
+//!
+//! Per-event ([`FaultChecker::check`]):
 //!
 //! * [`OriginHijackChecker`] — the showcase checker of §4.2: "for each
 //!   exploratory message, we check whether the announced route is accepted,
@@ -18,16 +21,40 @@
 //!   whose NLRI covers their own BGP next hop with no more-specific
 //!   installed route to resolve it: installing such a route makes next-hop
 //!   resolution recurse through the route itself, a forwarding loop.
-//! * [`RouteOscillationChecker`] — a *sequence-aware* checker over
-//!   [`FaultChecker::check_round`]: it replays the intercepted message
+//! * [`RouteLeakChecker`] — Gao-Rexford valley-free violations: an accepted
+//!   route learned from a *customer* whose AS path transited a *peer* or
+//!   *provider* has already gone down-and-up the economic hierarchy once —
+//!   the classic route leak, caught even when the origin is legitimate.
+//! * [`MoreSpecificHijackChecker`] — strictly-more-specific announcements
+//!   that spoof the installed covering route's origin but arrive through a
+//!   different neighbor: the sub-prefix hijack shape that evades
+//!   origin-only checks.
+//! * [`BlackholeChecker`] — accepted routes whose next hop resolves through
+//!   neither the checkpointed table nor a directly-connected address:
+//!   installing them silently discards traffic.
+//!
+//! Per-round ([`FaultChecker::check_round`]):
+//!
+//! * [`RouteOscillationChecker`] — replays the intercepted message
 //!   sequences of a whole round's runs and flags prefixes the node would
 //!   alternately announce and withdraw — the route-flapping signature that
 //!   per-outcome checks cannot see.
+//!
+//! Cross-round ([`FaultChecker::check_live`]):
+//!
+//! * [`CrossRoundFlapChecker`] — stitches the per-round observed windows a
+//!   live orchestrator accumulates ([`RoundOutcomes`]) into one
+//!   announce/withdraw timeline per `(node, prefix)` and flags flaps
+//!   *slower than one epoch window* — each individual round sees at most
+//!   one direction, so neither per-event nor per-round checkers can fire.
 
+use std::collections::BTreeMap;
 use std::fmt;
 use std::net::Ipv4Addr;
 
+use dice_bgp::message::UpdateMessage;
 use dice_bgp::prefix::Ipv4Prefix;
+use dice_bgp::route::PeerId;
 use dice_bgp::Asn;
 use dice_netsim::topology::NodeId;
 use dice_router::Rib;
@@ -91,6 +118,52 @@ pub enum FaultKind {
         /// when later rounds observe more flips of the same prefix.
         transitions: usize,
     },
+    /// A Gao-Rexford valley-free violation: a route learned from a
+    /// customer AS transited a peer or provider AS, so it has already
+    /// descended the economic hierarchy once and is now climbing back up —
+    /// a route leak even when every origin is legitimate.
+    RouteLeak {
+        /// The prefix the exploratory message announced.
+        announced: Ipv4Prefix,
+        /// The customer neighbor the route was learned from.
+        customer_as: Asn,
+        /// The peer/provider AS the path transited — the valley.
+        via_as: Asn,
+    },
+    /// A strictly-more-specific announcement that spoofs the installed
+    /// covering route's origin AS but arrives through a different
+    /// neighbor: longest-prefix match diverts the covered traffic while
+    /// origin-based checks see nothing wrong.
+    MoreSpecificHijack {
+        /// The more-specific prefix the exploratory message announced.
+        announced: Ipv4Prefix,
+        /// The installed covering prefix whose traffic would divert.
+        existing_prefix: Ipv4Prefix,
+        /// The (spoofed) origin AS both routes claim.
+        origin: Asn,
+    },
+    /// An accepted route whose BGP next hop has no forwarding path: the
+    /// checkpointed table cannot resolve it and it is not a
+    /// directly-connected address, so installing the route silently
+    /// discards the covered traffic.
+    Blackhole {
+        /// The prefix the exploratory message announced.
+        announced: Ipv4Prefix,
+        /// The unresolvable next hop.
+        next_hop: Ipv4Addr,
+    },
+    /// Across *live rounds* a node observed the same prefix alternately
+    /// announced and withdrawn: a flap slower than one epoch window,
+    /// invisible to any single round's checkers.
+    CrossRoundFlap {
+        /// The flapping prefix.
+        announced: Ipv4Prefix,
+        /// Direction changes across the stitched round timeline. Excluded
+        /// from the [`fmt::Display`] rendering (like
+        /// [`FaultKind::RouteOscillation`]) so the dedup key stays stable
+        /// as later rounds extend the timeline.
+        transitions: usize,
+    },
 }
 
 impl Fault {
@@ -116,6 +189,10 @@ impl Fault {
             FaultKind::PotentialHijack { announced, .. } => *announced,
             FaultKind::ForwardingLoop { announced, .. } => *announced,
             FaultKind::RouteOscillation { announced, .. } => *announced,
+            FaultKind::RouteLeak { announced, .. } => *announced,
+            FaultKind::MoreSpecificHijack { announced, .. } => *announced,
+            FaultKind::Blackhole { announced, .. } => *announced,
+            FaultKind::CrossRoundFlap { announced, .. } => *announced,
         }
     }
 
@@ -163,6 +240,43 @@ impl fmt::Display for FaultKind {
                     "route oscillation: {announced} alternates between announce and withdraw"
                 )
             }
+            FaultKind::RouteLeak {
+                announced,
+                customer_as,
+                via_as,
+            } => {
+                write!(
+                    f,
+                    "route leak: {announced} learned from customer {customer_as} transited peer/provider {via_as} (valley-free violation)"
+                )
+            }
+            FaultKind::MoreSpecificHijack {
+                announced,
+                existing_prefix,
+                origin,
+            } => {
+                write!(
+                    f,
+                    "more-specific hijack: {announced} spoofs origin {origin} of installed {existing_prefix} via a different neighbor"
+                )
+            }
+            FaultKind::Blackhole {
+                announced,
+                next_hop,
+            } => {
+                write!(
+                    f,
+                    "blackhole: {announced} has unresolvable next hop {next_hop}"
+                )
+            }
+            FaultKind::CrossRoundFlap { announced, .. } => {
+                // Like RouteOscillation, the transition count stays out of
+                // the rendering so the dedup key is round-count stable.
+                write!(
+                    f,
+                    "cross-round flap: {announced} alternates between announce and withdraw across live rounds"
+                )
+            }
         }
     }
 }
@@ -175,6 +289,28 @@ impl fmt::Display for Fault {
             None => write!(f, " [{}]", self.checker),
         }
     }
+}
+
+/// One live round's worth of material for cross-round (temporal) checkers:
+/// what a node *observed* on the wire during the round's epoch window, and
+/// what exploration *derived* from it.
+///
+/// The observed window matters independently of the outcomes: pure
+/// withdrawals carry no explorable input (no outcomes are produced for
+/// them), and leaf nodes may intercept nothing — yet their observed
+/// timelines are exactly where slow flaps show up.
+#[derive(Debug, Clone)]
+pub struct RoundOutcomes {
+    /// The live round index the material came from.
+    pub round: usize,
+    /// The node whose window this is.
+    pub node: NodeId,
+    /// The `(peer, update)` pairs the node observed during the round's
+    /// epoch window, in delivery order.
+    pub observed: Vec<(PeerId, UpdateMessage)>,
+    /// The exploratory outcomes the round produced for this node, in
+    /// execution order.
+    pub outcomes: Vec<HandlerOutcome>,
 }
 
 /// A checker applied to every exploratory outcome.
@@ -202,6 +338,21 @@ pub trait FaultChecker: Send + Sync {
     /// once per exploration round, after the per-outcome pass.
     fn check_round(&self, outcomes: &[HandlerOutcome], checkpoint_rib: &Rib) -> Vec<Fault> {
         let _ = (outcomes, checkpoint_rib);
+        Vec::new()
+    }
+
+    /// Inspects the accumulated material of *multiple live rounds*, in
+    /// round order — the temporal tier above [`FaultChecker::check_round`].
+    ///
+    /// The default implementation reports nothing, mirroring the
+    /// `check_round` pattern: per-event and per-round checkers need not
+    /// care, and existing implementations keep compiling unchanged.
+    /// Cross-round checkers such as [`CrossRoundFlapChecker`] override it
+    /// to stitch per-round sequences and catch misbehaviour slower than
+    /// one epoch window. A live orchestrator applies it after every
+    /// executed round, over its bounded round history.
+    fn check_live(&self, rounds: &[RoundOutcomes]) -> Vec<Fault> {
+        let _ = rounds;
         Vec::new()
     }
 }
@@ -398,6 +549,323 @@ impl FaultChecker for RouteOscillationChecker {
     }
 }
 
+/// The economic role of a neighbor AS in the Gao-Rexford model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AsRelationship {
+    /// The AS pays us for transit: routes learned from it may go anywhere.
+    Customer,
+    /// Settlement-free peering: routes exchanged only between customer
+    /// cones.
+    Peer,
+    /// We pay the AS for transit.
+    Provider,
+}
+
+/// The Gao-Rexford valley-free route-leak checker.
+///
+/// Configure the AS-relationship map with the builder methods, then: an
+/// *accepted* exploratory route whose neighbor AS (first hop of
+/// [`HandlerOutcome::as_path`]) is classified [`AsRelationship::Customer`]
+/// must not have transited any AS classified [`AsRelationship::Peer`] or
+/// [`AsRelationship::Provider`] further along the path. Such a route has
+/// already descended the economic hierarchy and is climbing back up — a
+/// valley — which is the route-leak shape regardless of whether every
+/// origin on the path is legitimate (this is what distinguishes it from
+/// [`OriginHijackChecker`], which needs an installed competing route).
+///
+/// Unclassified ASes are ignored: the checker only reasons about
+/// relationships it was told about, so a partial map yields false
+/// negatives, never false positives.
+#[derive(Debug, Clone, Default)]
+pub struct RouteLeakChecker {
+    relationships: BTreeMap<u32, AsRelationship>,
+}
+
+impl RouteLeakChecker {
+    /// Creates a checker with an empty relationship map (reports nothing
+    /// until relationships are configured).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Classifies `asn` with the given relationship.
+    pub fn with_relationship(mut self, asn: u32, relationship: AsRelationship) -> Self {
+        self.relationships.insert(asn, relationship);
+        self
+    }
+
+    /// Classifies `asn` as a customer.
+    pub fn with_customer(self, asn: u32) -> Self {
+        self.with_relationship(asn, AsRelationship::Customer)
+    }
+
+    /// Classifies `asn` as a settlement-free peer.
+    pub fn with_peer(self, asn: u32) -> Self {
+        self.with_relationship(asn, AsRelationship::Peer)
+    }
+
+    /// Classifies `asn` as a provider.
+    pub fn with_provider(self, asn: u32) -> Self {
+        self.with_relationship(asn, AsRelationship::Provider)
+    }
+}
+
+impl FaultChecker for RouteLeakChecker {
+    fn name(&self) -> &str {
+        "route-leak"
+    }
+
+    fn check(&self, outcome: &HandlerOutcome, _checkpoint_rib: &Rib) -> Option<Fault> {
+        if !outcome.accepted {
+            return None;
+        }
+        let neighbor = *outcome.as_path.first()?;
+        if self.relationships.get(&neighbor) != Some(&AsRelationship::Customer) {
+            return None;
+        }
+        let via = outcome.as_path[1..].iter().find(|asn| {
+            matches!(
+                self.relationships.get(asn),
+                Some(AsRelationship::Peer | AsRelationship::Provider)
+            )
+        })?;
+        Some(Fault::new(
+            self.name(),
+            FaultKind::RouteLeak {
+                announced: outcome.prefix,
+                customer_as: Asn(neighbor),
+                via_as: Asn(*via),
+            },
+        ))
+    }
+}
+
+/// Flags strictly-more-specific announcements that spoof the installed
+/// covering route's origin but arrive through a different neighbor.
+///
+/// [`OriginHijackChecker`] only fires when the claimed origin *differs*
+/// from the installed one — so an attacker who forges the victim's AS at
+/// the end of the path slips through while longest-prefix match still
+/// diverts all the covered traffic toward them. This checker closes that
+/// gap: the announcement must be strictly more specific than the best
+/// installed covering route, claim the *same* origin, and reach the node
+/// through a different neighbor AS than the installed route did.
+#[derive(Debug, Clone, Default)]
+pub struct MoreSpecificHijackChecker {
+    anycast_whitelist: Vec<Ipv4Prefix>,
+}
+
+impl MoreSpecificHijackChecker {
+    /// Creates a checker with an empty whitelist.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds prefixes that legitimately de-aggregate via multiple
+    /// adjacencies (traffic engineering, anycast); announcements inside
+    /// them are not reported.
+    pub fn with_anycast_whitelist(mut self, prefixes: Vec<Ipv4Prefix>) -> Self {
+        self.anycast_whitelist = prefixes;
+        self
+    }
+}
+
+impl FaultChecker for MoreSpecificHijackChecker {
+    fn name(&self) -> &str {
+        "more-specific-hijack"
+    }
+
+    fn check(&self, outcome: &HandlerOutcome, checkpoint_rib: &Rib) -> Option<Fault> {
+        if !outcome.accepted {
+            return None;
+        }
+        if self
+            .anycast_whitelist
+            .iter()
+            .any(|w| w.contains(&outcome.prefix))
+        {
+            return None;
+        }
+        let existing = checkpoint_rib.best_covering_route(&outcome.prefix)?;
+        if outcome.prefix.len() <= existing.prefix.len() {
+            return None;
+        }
+        let existing_origin = existing.origin_as()?;
+        // A *different* claimed origin is OriginHijackChecker's case; this
+        // checker owns the spoofed-origin shape.
+        if existing_origin.value() != outcome.origin_as {
+            return None;
+        }
+        let announced_neighbor = *outcome.as_path.first()?;
+        let existing_neighbor = existing.attrs.as_path.neighbor_as()?;
+        if announced_neighbor == existing_neighbor.value() {
+            // Same adjacency as the installed route: legitimate
+            // de-aggregation by the same origin.
+            return None;
+        }
+        Some(Fault::new(
+            self.name(),
+            FaultKind::MoreSpecificHijack {
+                announced: outcome.prefix,
+                existing_prefix: existing.prefix,
+                origin: existing_origin,
+            },
+        ))
+    }
+}
+
+/// Flags accepted routes whose next hop has no forwarding path.
+///
+/// A next hop is resolvable if the checkpointed table covers it or it is a
+/// directly-connected address (configure those with
+/// [`BlackholeChecker::with_connected`] — typically the node's peer
+/// addresses). An accepted route failing both silently discards the
+/// covered traffic once installed: the blackhole a session reset leaves
+/// behind when the route that used to resolve the next hop was withdrawn.
+/// Announcements covering their *own* next hop are left to
+/// [`ForwardingLoopChecker`], which owns that shape.
+#[derive(Debug, Clone, Default)]
+pub struct BlackholeChecker {
+    connected: Vec<Ipv4Addr>,
+}
+
+impl BlackholeChecker {
+    /// Creates a checker with no connected addresses configured.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares directly-connected next-hop addresses that always resolve
+    /// (typically the node's configured peer addresses).
+    pub fn with_connected(mut self, addresses: Vec<Ipv4Addr>) -> Self {
+        self.connected = addresses;
+        self
+    }
+}
+
+impl FaultChecker for BlackholeChecker {
+    fn name(&self) -> &str {
+        "blackhole"
+    }
+
+    fn check(&self, outcome: &HandlerOutcome, checkpoint_rib: &Rib) -> Option<Fault> {
+        if !outcome.accepted {
+            return None;
+        }
+        let next_hop = u32::from(outcome.next_hop);
+        if next_hop == 0 {
+            return None;
+        }
+        if outcome.prefix.contains_ip(next_hop) {
+            // Self-covering next hop: ForwardingLoopChecker's case.
+            return None;
+        }
+        if self.connected.contains(&outcome.next_hop) {
+            return None;
+        }
+        if checkpoint_rib.lookup_ip(next_hop).is_some() {
+            return None;
+        }
+        Some(Fault::new(
+            self.name(),
+            FaultKind::Blackhole {
+                announced: outcome.prefix,
+                next_hop: outcome.next_hop,
+            },
+        ))
+    }
+}
+
+/// Detects flaps slower than one epoch window by stitching per-round
+/// observed timelines across live rounds.
+///
+/// For each round and node, the checker reduces the node's observed window
+/// to at most one direction per prefix (the *last* announce or withdraw of
+/// that prefix in the window — BGP's implicit-replacement semantics), then
+/// concatenates those per-round summaries into one timeline per
+/// `(node, prefix)` and counts direction changes. A prefix announced in
+/// round 0, withdrawn in round 1 and announced again in round 2 flips
+/// twice — yet every individual round saw a single direction, so
+/// [`FaultChecker::check`] and [`FaultChecker::check_round`] are
+/// structurally unable to catch it. Only the
+/// [`FaultChecker::check_live`] hook fires.
+#[derive(Debug, Clone, Copy)]
+pub struct CrossRoundFlapChecker {
+    min_transitions: usize,
+}
+
+impl Default for CrossRoundFlapChecker {
+    fn default() -> Self {
+        CrossRoundFlapChecker { min_transitions: 2 }
+    }
+}
+
+impl CrossRoundFlapChecker {
+    /// Creates the checker with the default threshold of two transitions
+    /// (one full announce→withdraw→announce cycle).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets how many cross-round direction changes a `(node, prefix)`
+    /// timeline needs before it is reported (clamped to at least 1).
+    pub fn with_min_transitions(mut self, transitions: usize) -> Self {
+        self.min_transitions = transitions.max(1);
+        self
+    }
+}
+
+impl FaultChecker for CrossRoundFlapChecker {
+    fn name(&self) -> &str {
+        "cross-round-flap"
+    }
+
+    fn check(&self, _outcome: &HandlerOutcome, _checkpoint_rib: &Rib) -> Option<Fault> {
+        None
+    }
+
+    fn check_live(&self, rounds: &[RoundOutcomes]) -> Vec<Fault> {
+        // Per (node, prefix): one summary direction per round. The slice
+        // arrives in round order, so appending preserves the timeline.
+        let mut timelines: BTreeMap<(usize, Ipv4Prefix), Vec<bool>> = BTreeMap::new();
+        for round in rounds {
+            let mut last: BTreeMap<Ipv4Prefix, bool> = BTreeMap::new();
+            for (_, update) in &round.observed {
+                // Withdrawals before NLRI within one UPDATE, mirroring the
+                // implicit-replacement order of RFC 4271 §3.1.
+                for prefix in &update.withdrawn {
+                    last.insert(*prefix, false);
+                }
+                for prefix in &update.nlri {
+                    last.insert(*prefix, true);
+                }
+            }
+            for (prefix, direction) in last {
+                timelines
+                    .entry((round.node.0, prefix))
+                    .or_default()
+                    .push(direction);
+            }
+        }
+        timelines
+            .into_iter()
+            .filter_map(|((node, prefix), timeline)| {
+                let transitions = timeline.windows(2).filter(|w| w[0] != w[1]).count();
+                (transitions >= self.min_transitions).then(|| {
+                    Fault::new(
+                        self.name(),
+                        FaultKind::CrossRoundFlap {
+                            announced: prefix,
+                            transitions,
+                        },
+                    )
+                    .with_node(NodeId(node))
+                })
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -428,6 +896,7 @@ mod tests {
             origin_as,
             accepted,
             next_hop: Ipv4Addr::new(10, 0, 1, 1),
+            as_path: vec![origin_as],
             filter: if accepted {
                 FilterOutcome::accepted()
             } else {
@@ -435,6 +904,14 @@ mod tests {
             },
             intercepted: Vec::new(),
         }
+    }
+
+    /// An accepted outcome carrying an explicit AS path (neighbor first,
+    /// origin last).
+    fn outcome_with_path(prefix: &str, path: &[u32]) -> HandlerOutcome {
+        let mut o = outcome(prefix, path.last().copied().unwrap_or(0), true);
+        o.as_path = path.to_vec();
+        o
     }
 
     /// An outcome that would have emitted one announce (or withdraw) of
@@ -661,6 +1138,269 @@ mod tests {
         assert!(checker
             .check(&outcome("41.1.0.0/16", 17557, true), &rib)
             .is_none());
+    }
+
+    #[test]
+    fn route_leak_detects_a_valley() {
+        // From the provider's seat: 17557 is a customer, 1299 a peer.
+        let checker = RouteLeakChecker::new()
+            .with_customer(17557)
+            .with_peer(1299)
+            .with_provider(3356);
+        let rib = Rib::new();
+        // The customer re-exports a route it learned from its own transit
+        // (1299): customer-learned but peer-transited — a valley.
+        let leaked = outcome_with_path("41.1.0.0/16", &[17557, 1299, 15169]);
+        let fault = checker.check(&leaked, &rib).expect("leak detected");
+        assert_eq!(fault.checker, "route-leak");
+        match &fault.kind {
+            FaultKind::RouteLeak {
+                customer_as,
+                via_as,
+                ..
+            } => {
+                assert_eq!(*customer_as, Asn(17557));
+                assert_eq!(*via_as, Asn(1299));
+            }
+            other => panic!("unexpected fault kind {other:?}"),
+        }
+        assert_eq!(fault.leaked_prefix().to_string(), "41.1.0.0/16");
+        assert!(fault.to_string().contains("valley-free"));
+
+        // A provider in the tail is just as much of a valley.
+        assert!(checker
+            .check(
+                &outcome_with_path("41.1.0.0/16", &[17557, 3356, 15169]),
+                &rib
+            )
+            .is_some());
+    }
+
+    #[test]
+    fn route_leak_stays_quiet_without_a_valley() {
+        let checker = RouteLeakChecker::new().with_customer(17557).with_peer(1299);
+        let rib = Rib::new();
+        // The customer originating its own space is valley-free.
+        assert!(checker
+            .check(&outcome_with_path("41.1.0.0/16", &[17557, 17557]), &rib)
+            .is_none());
+        // Routes learned from the peer are unconstrained on import.
+        assert!(checker
+            .check(&outcome_with_path("8.8.0.0/16", &[1299, 15169]), &rib)
+            .is_none());
+        // Unclassified neighbor: no relationship knowledge, no report.
+        assert!(checker
+            .check(&outcome_with_path("8.8.0.0/16", &[64_512, 1299]), &rib)
+            .is_none());
+        // Rejected routes are never faults.
+        let mut rejected = outcome_with_path("41.1.0.0/16", &[17557, 1299, 15169]);
+        rejected.accepted = false;
+        assert!(checker.check(&rejected, &rib).is_none());
+        // An empty relationship map reports nothing at all.
+        assert!(RouteLeakChecker::new()
+            .check(&outcome_with_path("41.1.0.0/16", &[17557, 1299]), &rib)
+            .is_none());
+    }
+
+    #[test]
+    fn more_specific_hijack_detects_spoofed_origin_via_other_neighbor() {
+        let rib = rib_with_youtube(); // /22 via neighbor 1299, origin 36561
+        let checker = MoreSpecificHijackChecker::new();
+        // A /24 inside the /22 claiming the victim's own origin (36561) but
+        // arriving via the customer (17557): origin-hijack sees nothing
+        // (origins match) — this checker fires.
+        let spoofed = outcome_with_path("208.65.153.0/24", &[17557, 36561]);
+        assert!(
+            OriginHijackChecker::new().check(&spoofed, &rib).is_none(),
+            "origin check is blind to a spoofed origin"
+        );
+        let fault = checker.check(&spoofed, &rib).expect("hijack detected");
+        assert_eq!(fault.checker, "more-specific-hijack");
+        match &fault.kind {
+            FaultKind::MoreSpecificHijack {
+                existing_prefix,
+                origin,
+                ..
+            } => {
+                assert_eq!(existing_prefix.to_string(), "208.65.152.0/22");
+                assert_eq!(*origin, Asn(36561));
+            }
+            other => panic!("unexpected fault kind {other:?}"),
+        }
+    }
+
+    #[test]
+    fn more_specific_hijack_allows_legitimate_deaggregation() {
+        let rib = rib_with_youtube();
+        let checker = MoreSpecificHijackChecker::new();
+        // Same origin AND same neighbor (1299): the victim de-aggregating
+        // its own block over the same adjacency.
+        assert!(checker
+            .check(
+                &outcome_with_path("208.65.153.0/24", &[1299, 3356, 36561]),
+                &rib
+            )
+            .is_none());
+        // A different origin is OriginHijackChecker's case, not ours.
+        assert!(checker
+            .check(&outcome_with_path("208.65.153.0/24", &[17557, 17557]), &rib)
+            .is_none());
+        // Equal-length announcements are not "more specific".
+        assert!(checker
+            .check(&outcome_with_path("208.65.152.0/22", &[17557, 36561]), &rib)
+            .is_none());
+        // Whitelisted ranges are suppressed.
+        let lenient = MoreSpecificHijackChecker::new()
+            .with_anycast_whitelist(vec!["208.65.152.0/22".parse().expect("valid")]);
+        assert!(lenient
+            .check(&outcome_with_path("208.65.153.0/24", &[17557, 36561]), &rib)
+            .is_none());
+    }
+
+    #[test]
+    fn blackhole_fires_on_unresolvable_next_hop() {
+        let checker = BlackholeChecker::new();
+        let rib = Rib::new();
+        // 41.1.0.0/16 with next hop 10.0.1.1: the empty table cannot
+        // resolve it and it is not declared connected.
+        let fault = checker
+            .check(&outcome("41.1.0.0/16", 17557, true), &rib)
+            .expect("blackhole detected");
+        assert_eq!(fault.checker, "blackhole");
+        match &fault.kind {
+            FaultKind::Blackhole { next_hop, .. } => {
+                assert_eq!(*next_hop, Ipv4Addr::new(10, 0, 1, 1));
+            }
+            other => panic!("unexpected fault kind {other:?}"),
+        }
+        assert!(fault.to_string().contains("blackhole"));
+    }
+
+    #[test]
+    fn blackhole_resolvable_next_hops_are_fine() {
+        let rib = rib_with_youtube();
+        let checker = BlackholeChecker::new();
+        // Covered by an installed route? Use a next hop inside the /22.
+        let mut covered = outcome("41.1.0.0/16", 17557, true);
+        covered.next_hop = Ipv4Addr::new(208, 65, 152, 7);
+        assert!(checker.check(&covered, &rib).is_none());
+        // Declared directly connected.
+        let connected = BlackholeChecker::new().with_connected(vec![Ipv4Addr::new(10, 0, 1, 1)]);
+        assert!(connected
+            .check(&outcome("41.1.0.0/16", 17557, true), &rib)
+            .is_none());
+        // Self-covering next hop is ForwardingLoopChecker's shape.
+        assert!(checker
+            .check(&outcome("10.0.0.0/8", 17557, true), &rib)
+            .is_none());
+        // Rejected routes are never faults.
+        assert!(checker
+            .check(&outcome("41.1.0.0/16", 17557, false), &rib)
+            .is_none());
+        // A zero next hop carries no forwarding claim.
+        let mut zero = outcome("41.1.0.0/16", 17557, true);
+        zero.next_hop = Ipv4Addr::new(0, 0, 0, 0);
+        assert!(checker.check(&zero, &rib).is_none());
+    }
+
+    fn live_round(round: usize, node: usize, events: &[(&str, bool)]) -> RoundOutcomes {
+        let observed = events
+            .iter()
+            .map(|(prefix, announce)| {
+                let parsed: Ipv4Prefix = prefix.parse().expect("valid");
+                let update = if *announce {
+                    UpdateMessage::announce(vec![parsed], &RouteAttrs::default())
+                } else {
+                    UpdateMessage::withdraw(vec![parsed])
+                };
+                (PeerId(1), update)
+            })
+            .collect();
+        RoundOutcomes {
+            round,
+            node: NodeId(node),
+            observed,
+            outcomes: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn cross_round_flap_stitches_what_single_rounds_cannot_see() {
+        let checker = CrossRoundFlapChecker::new();
+        // Announce / withdraw / announce, one direction per round: within
+        // any single round there is nothing to see.
+        let rounds = [
+            live_round(0, 2, &[("41.1.0.0/16", true)]),
+            live_round(1, 2, &[("41.1.0.0/16", false)]),
+            live_round(2, 2, &[("41.1.0.0/16", true)]),
+        ];
+        for round in &rounds {
+            assert!(
+                checker.check_live(std::slice::from_ref(round)).is_empty(),
+                "a single round has no transitions"
+            );
+        }
+        let faults = checker.check_live(&rounds);
+        assert_eq!(faults.len(), 1);
+        let fault = &faults[0];
+        assert_eq!(fault.checker, "cross-round-flap");
+        assert_eq!(fault.node, Some(NodeId(2)));
+        assert_eq!(fault.leaked_prefix().to_string(), "41.1.0.0/16");
+        match fault.kind {
+            FaultKind::CrossRoundFlap { transitions, .. } => assert_eq!(transitions, 2),
+            ref other => panic!("unexpected fault kind {other:?}"),
+        }
+        // The per-event hook stays silent by design; the dedup key is
+        // stable as the timeline grows.
+        assert!(checker
+            .check(&outcome("41.1.0.0/16", 17557, true), &Rib::new())
+            .is_none());
+        let longer = [
+            rounds[0].clone(),
+            rounds[1].clone(),
+            rounds[2].clone(),
+            live_round(3, 2, &[("41.1.0.0/16", false)]),
+        ];
+        let more = checker.check_live(&longer);
+        assert_eq!(more.len(), 1);
+        assert_eq!(more[0].fleet_key(), fault.fleet_key());
+    }
+
+    #[test]
+    fn cross_round_flap_separates_nodes_and_needs_transitions() {
+        let checker = CrossRoundFlapChecker::new();
+        // The same prefix alternating across *different* nodes never forms
+        // one timeline.
+        let split = [
+            live_round(0, 1, &[("41.1.0.0/16", true)]),
+            live_round(1, 2, &[("41.1.0.0/16", false)]),
+            live_round(2, 1, &[("41.1.0.0/16", true)]),
+        ];
+        assert!(checker.check_live(&split).is_empty());
+        // One announce + one withdraw is half a cycle.
+        let half = [
+            live_round(0, 1, &[("41.1.0.0/16", true)]),
+            live_round(1, 1, &[("41.1.0.0/16", false)]),
+        ];
+        assert!(checker.check_live(&half).is_empty());
+        assert_eq!(
+            CrossRoundFlapChecker::new()
+                .with_min_transitions(0)
+                .check_live(&half)
+                .len(),
+            1
+        );
+        // Within one round, only the *last* direction of a prefix counts
+        // (implicit replacement): announce-then-withdraw in the same
+        // window summarizes as withdrawn.
+        let collapsed = [
+            live_round(0, 1, &[("41.1.0.0/16", true)]),
+            live_round(1, 1, &[("41.1.0.0/16", true), ("41.1.0.0/16", false)]),
+            live_round(2, 1, &[("41.1.0.0/16", true)]),
+        ];
+        assert_eq!(checker.check_live(&collapsed).len(), 1);
+        // The default check_live of per-event checkers reports nothing.
+        assert!(OriginHijackChecker::new().check_live(&half).is_empty());
     }
 
     #[test]

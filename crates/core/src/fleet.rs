@@ -37,6 +37,7 @@ use dice_netsim::topology::NodeId;
 use dice_netsim::Simulator;
 
 use crate::checker::Fault;
+use crate::handler::HandlerOutcome;
 use crate::report::ExplorationReport;
 use crate::session::DiceSession;
 
@@ -72,6 +73,13 @@ pub struct FleetReport {
     pub nodes: Vec<NodeReport>,
     /// Fleet-wide deduplicated faults, in first-sighting order.
     pub faults: Vec<FleetFault>,
+    /// Number of faults the simulation's [`dice_netsim::FaultPlan`] had
+    /// injected by the time this round ran (link flaps, session resets,
+    /// message drops/duplicates/delays — delivery errors excluded). Zero
+    /// for unperturbed simulations, and rendered in the digest and
+    /// [`fmt::Display`] only when nonzero so quiescent-network reports stay
+    /// byte-identical to pre-fault-injection builds.
+    pub injected_faults: u64,
     /// Wall-clock duration of the whole fleet round.
     pub elapsed: Duration,
 }
@@ -137,6 +145,10 @@ impl FleetReport {
             writeln!(out, "fleet-fault:{} nodes=[{}]", f.fault, nodes.join(","))
                 .expect("writing to a String cannot fail");
         }
+        if self.injected_faults > 0 {
+            writeln!(out, "injected-faults:{}", self.injected_faults)
+                .expect("writing to a String cannot fail");
+        }
         out
     }
 }
@@ -159,6 +171,13 @@ impl fmt::Display for FleetReport {
                 self.policy_branch_coverage() * 100.0,
                 self.total_policy_directions(),
                 2 * self.total_policy_sites(),
+            )?;
+        }
+        if self.injected_faults > 0 {
+            writeln!(
+                f,
+                "  fault plan: {} fault(s) injected into the simulation",
+                self.injected_faults,
             )?;
         }
         for n in &self.nodes {
@@ -308,6 +327,19 @@ impl FleetExplorer {
     /// for identical windows the report digest is byte-identical to
     /// [`FleetExplorer::explore_nodes`] for every budget setting.
     pub fn explore_windows(&self, sim: &Simulator, windows: Vec<NodeWindow>) -> FleetReport {
+        self.explore_windows_collecting(sim, windows).0
+    }
+
+    /// Like [`FleetExplorer::explore_windows`], but also returns every
+    /// node's explored outcome sequence (in window order, each node's
+    /// outcomes concatenated in input order) — what a live orchestrator
+    /// stitches into [`crate::checker::RoundOutcomes`] for the cross-round
+    /// ([`crate::FaultChecker::check_live`]) pass.
+    pub fn explore_windows_collecting(
+        &self,
+        sim: &Simulator,
+        windows: Vec<NodeWindow>,
+    ) -> (FleetReport, Vec<(NodeId, Vec<HandlerOutcome>)>) {
         let started = Instant::now();
         let mut seen = std::collections::HashSet::new();
         let windows: Vec<NodeWindow> = windows
@@ -341,28 +373,32 @@ impl FleetExplorer {
 
         // Work-stealing fan-out over nodes, results merged back in window
         // order so the report is deterministic for every budget.
-        let reports = crate::parallel::fan_out(&items, concurrent, |(i, (node, observed))| {
-            sessions[*i].explore(sim.router(*node), observed)
+        let results = crate::parallel::fan_out(&items, concurrent, |(i, (node, observed))| {
+            sessions[*i].explore_collecting(sim.router(*node), observed)
         });
 
-        let node_reports: Vec<NodeReport> = windows
-            .iter()
-            .zip(reports)
-            .map(|((node, _), report)| NodeReport {
+        let mut node_reports: Vec<NodeReport> = Vec::with_capacity(windows.len());
+        let mut node_outcomes: Vec<(NodeId, Vec<HandlerOutcome>)> =
+            Vec::with_capacity(windows.len());
+        for ((node, _), (report, outcomes)) in windows.iter().zip(results) {
+            node_reports.push(NodeReport {
                 node: *node,
                 name: sim.name(*node).to_string(),
                 report,
-            })
-            .collect();
+            });
+            node_outcomes.push((*node, outcomes));
+        }
         let keyed: Vec<(NodeId, &ExplorationReport)> =
             node_reports.iter().map(|n| (n.node, &n.report)).collect();
         let faults = dedup_fleet_faults(&keyed);
 
-        FleetReport {
+        let report = FleetReport {
             nodes: node_reports,
             faults,
+            injected_faults: sim.injected_fault_count() as u64,
             elapsed: started.elapsed(),
-        }
+        };
+        (report, node_outcomes)
     }
 }
 

@@ -29,6 +29,10 @@ pub struct HandlerOutcome {
     pub accepted: bool,
     /// The BGP next hop carried by the exploratory message.
     pub next_hop: std::net::Ipv4Addr,
+    /// The flattened AS path carried by the exploratory message, neighbor
+    /// AS first, origin AS last. Relationship-aware checkers (e.g. the
+    /// Gao-Rexford [`crate::RouteLeakChecker`]) classify each hop.
+    pub as_path: Vec<u32>,
     /// The filter outcome (attribute modifications requested).
     pub filter: FilterOutcome,
     /// The messages this execution would have emitted, in emission order —
@@ -165,6 +169,7 @@ impl SymbolicProgram for SymbolicUpdateHandler {
             origin_as: attrs.origin_as().map(|a| a.value()).unwrap_or(0),
             accepted,
             next_hop: attrs.next_hop,
+            as_path: attrs.as_path.flatten().iter().map(|a| a.value()).collect(),
             filter: filter_outcome,
             intercepted,
         }

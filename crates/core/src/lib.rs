@@ -19,8 +19,12 @@
 //!   ([`MessageInterceptor`], [`LiveStateFingerprint`]), and
 //! * applying **fault checkers** to every explored state; the showcase
 //!   checker flags origin misconfiguration / route leaks
-//!   ([`OriginHijackChecker`]), and a second checker flags self-resolving
-//!   forwarding loops ([`ForwardingLoopChecker`]).
+//!   ([`OriginHijackChecker`]), joined by an adversarial-scenario library:
+//!   self-resolving forwarding loops ([`ForwardingLoopChecker`]),
+//!   Gao-Rexford valley violations ([`RouteLeakChecker`]), more-specific
+//!   prefix hijacks ([`MoreSpecificHijackChecker`]), blackholed next hops
+//!   ([`BlackholeChecker`]) and cross-round route flaps
+//!   ([`CrossRoundFlapChecker`], via [`FaultChecker::check_live`]).
 //!
 //! Three entry points drive rounds:
 //!
@@ -36,7 +40,10 @@
 //!   harvesting an incremental epoch window of newly observed inputs, and
 //!   accumulates a [`LiveReport`] with cross-round fault deduplication.
 //!   Sequence-aware checkers ([`RouteOscillationChecker`]) exploit the
-//!   per-run intercepted message sequences continuous rounds record.
+//!   per-run intercepted message sequences continuous rounds record, and a
+//!   deterministic [`FaultPlan`] ([`LiveOrchestrator::with_fault_plan`])
+//!   perturbs the network between epochs so exploration also covers the
+//!   faulty-network behaviours a quiescent run can never exhibit.
 //!
 //! ## Example
 //!
@@ -90,8 +97,9 @@ pub mod session;
 pub mod symbolic_input;
 
 pub use checker::{
-    Fault, FaultChecker, FaultKind, ForwardingLoopChecker, OriginHijackChecker,
-    RouteOscillationChecker,
+    AsRelationship, BlackholeChecker, CrossRoundFlapChecker, Fault, FaultChecker, FaultKind,
+    ForwardingLoopChecker, MoreSpecificHijackChecker, OriginHijackChecker, RoundOutcomes,
+    RouteLeakChecker, RouteOscillationChecker,
 };
 pub use checkpoint::RoundCheckpoint;
 pub use checkpointable::CheckpointedRouter;
@@ -108,5 +116,5 @@ pub use session::{DiceBuilder, DiceSession};
 pub use symbolic_input::{fields, UpdateTemplate};
 
 // Re-exported so examples and benches can select the misconfiguration mode
-// without importing dice-netsim directly.
-pub use dice_netsim::CustomerFilterMode;
+// and build fault plans without importing dice-netsim directly.
+pub use dice_netsim::{CustomerFilterMode, FaultPlan, FaultSpec, FaultTrace};

@@ -26,6 +26,17 @@
 //!    disable via [`LiveOrchestrator::with_log_compaction`]), bounding a
 //!    long live session's memory by the unharvested tail.
 //!
+//! Two optional dimensions ride on the loop. A deterministic
+//! [`FaultPlan`] ([`LiveOrchestrator::with_fault_plan`]) perturbs the
+//! network between epochs — link flaps, session resets, seeded message
+//! drop/duplicate/reorder — with every injected event recorded in the
+//! simulator's [`dice_netsim::FaultTrace`], so a faulty run replays
+//! byte-for-byte from `(plan, seed)`. And after each round the temporal
+//! checker pass ([`crate::FaultChecker::check_live`]) re-examines a rolling
+//! cross-round history ([`LiveOrchestrator::with_live_history`]) of per-node
+//! observation windows, catching faults — route flaps, wedged convergence —
+//! that no single round's window can show.
+//!
 //! Each round's state is a fresh copy-on-write [`crate::RoundCheckpoint`]
 //! per node, captured when the round runs and dropped with it — a
 //! checkpoint never outlives the epoch window it was taken for, and within
@@ -47,9 +58,9 @@ use std::fmt;
 use std::time::{Duration, Instant};
 
 use dice_netsim::topology::NodeId;
-use dice_netsim::Simulator;
+use dice_netsim::{FaultPlan, Simulator};
 
-use crate::checker::Fault;
+use crate::checker::{Fault, RoundOutcomes};
 use crate::fleet::{FleetExplorer, FleetReport};
 use crate::session::DiceSession;
 
@@ -85,6 +96,12 @@ pub struct LiveReport {
     /// Faults deduplicated across nodes *and* rounds by
     /// [`Fault::fleet_key`], in first-sighting order.
     pub faults: Vec<LiveFault>,
+    /// Total number of faults the run's [`FaultPlan`] injected into the
+    /// simulation (link flaps, session resets, message perturbations;
+    /// structural delivery errors excluded). Zero without a plan, and
+    /// rendered in the digest and [`fmt::Display`] only when nonzero so
+    /// unperturbed runs stay byte-identical to pre-fault-injection builds.
+    pub injected_faults: u64,
     /// Wall-clock duration of the whole run (driving, simulating and
     /// exploring).
     pub elapsed: Duration,
@@ -168,6 +185,10 @@ impl LiveReport {
             )
             .expect("writing to a String cannot fail");
         }
+        if self.injected_faults > 0 {
+            writeln!(out, "injected-faults:{}", self.injected_faults)
+                .expect("writing to a String cannot fail");
+        }
         out
     }
 }
@@ -190,6 +211,13 @@ impl fmt::Display for LiveReport {
                 self.policy_branch_coverage() * 100.0,
                 self.total_policy_directions(),
                 2 * self.total_policy_sites(),
+            )?;
+        }
+        if self.injected_faults > 0 {
+            writeln!(
+                f,
+                "  fault plan: {} fault(s) injected across the run",
+                self.injected_faults,
             )?;
         }
         for round in &self.rounds {
@@ -237,6 +265,8 @@ pub struct LiveOrchestrator {
     quiesce_steps: u64,
     max_rounds: usize,
     compact_log: bool,
+    fault_plan: Option<FaultPlan>,
+    live_history: usize,
 }
 
 impl Default for LiveOrchestrator {
@@ -254,6 +284,8 @@ impl LiveOrchestrator {
             quiesce_steps: 100,
             max_rounds: 64,
             compact_log: true,
+            fault_plan: None,
+            live_history: 64,
         }
     }
 
@@ -295,6 +327,28 @@ impl LiveOrchestrator {
         self
     }
 
+    /// Installs a deterministic [`FaultPlan`] driven alongside the run: the
+    /// plan is installed into the simulator when [`LiveOrchestrator::run`]
+    /// starts (resetting the fault runtime and reseeding its RNG from the
+    /// plan's seed), and the plan's epoch-scheduled faults — link flaps,
+    /// session resets — are applied at the start of every driver epoch,
+    /// *before* the driver injects that epoch's traffic. An empty plan
+    /// injects nothing and leaves every report digest byte-identical to a
+    /// run without a plan.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Bounds the rolling cross-round history handed to the temporal
+    /// checker pass ([`crate::FaultChecker::check_live`]): the most recent
+    /// `entries` per-node round windows are retained (default 64; clamped
+    /// to at least 1). Only rounds that observed something occupy entries.
+    pub fn with_live_history(mut self, entries: usize) -> Self {
+        self.live_history = entries.max(1);
+        self
+    }
+
     /// The fleet explorer driving each round.
     pub fn explorer(&self) -> &FleetExplorer {
         &self.explorer
@@ -321,12 +375,19 @@ impl LiveOrchestrator {
         F: FnMut(&mut Simulator, usize) -> bool,
     {
         let started = Instant::now();
+        if let Some(plan) = &self.fault_plan {
+            sim.install_fault_plan(plan.clone());
+        }
         let nodes: Vec<NodeId> = (0..sim.len()).map(NodeId).collect();
         let mut report = LiveReport::default();
         let mut index: HashMap<(String, dice_bgp::Ipv4Prefix, String), usize> = HashMap::new();
         let mut cursor = 0u64;
+        let mut history: Vec<RoundOutcomes> = Vec::new();
 
         for epoch in 0..self.max_rounds.max(1) {
+            // Scheduled faults fire first, so the driver's epoch traffic
+            // lands on the perturbed network. A no-op without a plan.
+            sim.apply_epoch_faults(epoch as u64);
             let more = drive(sim, epoch);
             sim.run_to_quiescence(self.quiesce_steps);
             let head = sim.observed_cursor();
@@ -335,9 +396,33 @@ impl LiveOrchestrator {
                     .iter()
                     .map(|&node| (node, sim.observed_inputs_in(node, cursor, head)))
                     .collect();
-                let fleet = self.explorer.explore_windows(sim, windows);
+                let (fleet, outcomes) = self
+                    .explorer
+                    .explore_windows_collecting(sim, windows.clone());
                 let round_index = report.rounds.len();
                 Self::merge_round_faults(&mut report.faults, &mut index, &fleet, round_index);
+
+                // Stitch the round's per-node windows into the rolling
+                // history and run the temporal checker pass over it.
+                let by_node: HashMap<NodeId, Vec<_>> = windows.into_iter().collect();
+                for (node, outcomes) in outcomes {
+                    let observed = by_node.get(&node).cloned().unwrap_or_default();
+                    if observed.is_empty() && outcomes.is_empty() {
+                        continue;
+                    }
+                    history.push(RoundOutcomes {
+                        round: round_index,
+                        node,
+                        observed,
+                        outcomes,
+                    });
+                }
+                if history.len() > self.live_history {
+                    history.drain(..history.len() - self.live_history);
+                }
+                let temporal = self.explorer.session().check_live(&history);
+                Self::merge_temporal_faults(&mut report.faults, &mut index, &temporal, round_index);
+
                 report.rounds.push(LiveRound {
                     index: round_index,
                     window: (cursor, head),
@@ -355,6 +440,7 @@ impl LiveOrchestrator {
             }
         }
 
+        report.injected_faults = sim.injected_fault_count() as u64;
         report.elapsed = started.elapsed();
         report
     }
@@ -363,6 +449,42 @@ impl LiveOrchestrator {
     /// list: keys ([`Fault::fleet_key`]) already present collect the new
     /// sighting's nodes and round; new keys append in first-sighting
     /// order. Nothing is ever dropped.
+    /// Folds the temporal pass's faults ([`crate::FaultChecker::check_live`]
+    /// over the rolling history) into the cross-round list. Temporal
+    /// checkers re-examine the whole history every round, so an already
+    /// known key only records the new round once (and any new node); fresh
+    /// keys append in first-sighting order.
+    fn merge_temporal_faults(
+        faults: &mut Vec<LiveFault>,
+        index: &mut HashMap<(String, dice_bgp::Ipv4Prefix, String), usize>,
+        found: &[Fault],
+        round: usize,
+    ) {
+        for fault in found {
+            match index.entry(fault.fleet_key()) {
+                std::collections::hash_map::Entry::Occupied(slot) => {
+                    let existing = &mut faults[*slot.get()];
+                    if let Some(node) = fault.node {
+                        if !existing.nodes.contains(&node) {
+                            existing.nodes.push(node);
+                        }
+                    }
+                    if existing.rounds.last() != Some(&round) {
+                        existing.rounds.push(round);
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(faults.len());
+                    faults.push(LiveFault {
+                        fault: fault.clone(),
+                        nodes: fault.node.into_iter().collect(),
+                        rounds: vec![round],
+                    });
+                }
+            }
+        }
+    }
+
     fn merge_round_faults(
         faults: &mut Vec<LiveFault>,
         index: &mut HashMap<(String, dice_bgp::Ipv4Prefix, String), usize>,

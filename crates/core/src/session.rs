@@ -243,6 +243,20 @@ impl DiceSession {
         live: &BgpRouter,
         observed: &[(PeerId, UpdateMessage)],
     ) -> ExplorationReport {
+        self.explore_collecting(live, observed).0
+    }
+
+    /// Like [`DiceSession::explore`], but also returns every explored
+    /// outcome of the round, concatenated in input order (each input's runs
+    /// in execution order) — the same sequence the round-level checker pass
+    /// replays. Orchestrators stitch these into
+    /// [`crate::checker::RoundOutcomes`] histories for the cross-round
+    /// ([`FaultChecker::check_live`]) pass.
+    pub fn explore_collecting(
+        &self,
+        live: &BgpRouter,
+        observed: &[(PeerId, UpdateMessage)],
+    ) -> (ExplorationReport, Vec<HandlerOutcome>) {
         let started = Instant::now();
         let fingerprint = LiveStateFingerprint::capture(live);
         // Checkpoint: a copy-on-write fork of the live node's state, taken
@@ -297,7 +311,7 @@ impl DiceSession {
         report.policy_directions = coverage.policy_directions_covered();
         report.isolation_preserved = fingerprint.matches(live);
         report.elapsed = started.elapsed();
-        report
+        (report, round_outcomes)
     }
 
     /// Explores one observed input from the checkpointed state.
@@ -366,6 +380,20 @@ impl DiceSession {
         self.checkers
             .iter()
             .flat_map(|checker| checker.check_round(outcomes, rib))
+            .collect()
+    }
+
+    /// Applies every registered checker's cross-round hook
+    /// ([`FaultChecker::check_live`]) to a rolling history of per-round
+    /// outcome windows, in registration order. Live orchestrators call this
+    /// after each round with their bounded [`crate::checker::RoundOutcomes`]
+    /// history; the
+    /// default hook returns nothing, so sessions without temporal checkers
+    /// pay nothing.
+    pub fn check_live(&self, rounds: &[crate::checker::RoundOutcomes]) -> Vec<Fault> {
+        self.checkers
+            .iter()
+            .flat_map(|checker| checker.check_live(rounds))
             .collect()
     }
 

@@ -14,17 +14,25 @@
 //! * [`trace::generate_trace`] — synthetic full-table and update traces
 //!   with realistic prefix-length and AS-path distributions;
 //! * [`Replayer`] and [`ThroughputMeter`] — the updates/second measurement
-//!   used by the CPU-overhead experiment.
+//!   used by the CPU-overhead experiment;
+//! * [`faults::FaultPlan`] — deterministic, seeded fault injection (link
+//!   flaps, session resets, message drop/duplicate/reorder) the simulator
+//!   consults at enqueue and delivery time, with every injected event
+//!   recorded in a replayable [`faults::FaultTrace`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod faults;
 pub mod metrics;
 pub mod replay;
 pub mod sim;
 pub mod topology;
 pub mod trace;
 
+pub use faults::{
+    DeliveryError, FaultPlan, FaultSpec, FaultTrace, InjectedFault, InjectedFaultKind,
+};
 pub use metrics::{slowdown_percent, MeasuredRegion, ThroughputMeter};
 pub use replay::{ReplayStats, Replayer};
 pub use sim::{ObservedInput, SimStats, Simulator};

@@ -11,11 +11,15 @@ use dice_bgp::message::{BgpMessage, UpdateMessage};
 use dice_bgp::route::PeerId;
 use dice_router::BgpRouter;
 
+use crate::faults::{
+    DeliveryError, EnqueueVerdict, FaultPlan, FaultRuntime, FaultSpec, FaultTrace,
+    InjectedFaultKind,
+};
 use crate::topology::{NodeId, Topology};
 
 /// One UPDATE observed by a node during simulation: the raw material DiCE
 /// exploration seeds from ("previously observed inputs", §2.3).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ObservedInput {
     /// Global delivery-log sequence number (the entry's *epoch tag*):
     /// assigned monotonically at record time and never reused, so harvest
@@ -34,6 +38,7 @@ pub struct ObservedInput {
 #[derive(Debug, Clone)]
 struct InFlight {
     deliver_at: u64,
+    from_node: NodeId,
     to_node: NodeId,
     from_peer: PeerId,
     message: BgpMessage,
@@ -46,6 +51,12 @@ pub struct SimStats {
     pub delivered: u64,
     /// Messages dropped because the receiving peer could not be resolved.
     pub undeliverable: u64,
+    /// Messages dropped by the fault layer (down link or injected loss).
+    pub dropped: u64,
+    /// Extra message copies enqueued by injected duplication.
+    pub duplicated: u64,
+    /// Messages delayed past the link delay by injected reordering.
+    pub reordered: u64,
     /// Current virtual time in ticks.
     pub now: u64,
 }
@@ -61,6 +72,7 @@ pub struct Simulator {
     /// Next sequence number to tag an observed entry with; equals the
     /// number of UPDATEs ever recorded, independent of drains.
     observed_seq: u64,
+    faults: FaultRuntime,
 }
 
 impl Simulator {
@@ -83,6 +95,7 @@ impl Simulator {
             stats: SimStats::default(),
             observed: Vec::new(),
             observed_seq: 0,
+            faults: FaultRuntime::new(FaultPlan::default()),
         }
     }
 
@@ -90,6 +103,95 @@ impl Simulator {
     pub fn with_link_delay(mut self, ticks: u64) -> Self {
         self.link_delay = ticks.max(1);
         self
+    }
+
+    /// Installs a fault plan (builder form). See
+    /// [`Simulator::install_fault_plan`].
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.install_fault_plan(plan);
+        self
+    }
+
+    /// Installs a fault plan, resetting the fault runtime: the RNG reseeds
+    /// from the plan, all links come back up, and the trace restarts. An
+    /// empty plan injects nothing — the run stays byte-identical to one
+    /// with no plan installed.
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = FaultRuntime::new(plan);
+    }
+
+    /// The installed fault plan (empty by default).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        self.faults.plan()
+    }
+
+    /// The record of every event the fault layer injected or diagnosed so
+    /// far.
+    pub fn fault_trace(&self) -> &FaultTrace {
+        self.faults.trace()
+    }
+
+    /// Number of faults injected so far (excluding structural delivery
+    /// errors) — the count `FleetReport`/`LiveReport` carry per round.
+    pub fn injected_fault_count(&self) -> usize {
+        self.faults.trace().injected_count()
+    }
+
+    /// Applies the faults the plan schedules for the start of `epoch`:
+    /// link flaps change link state (messages already in flight across a
+    /// link that went down are lost at delivery time), and session resets
+    /// tear down and re-establish the session between two nodes, flushing
+    /// learned routes with proper withdrawal propagation. A no-op under an
+    /// empty plan; drivers and orchestrators call this once per epoch.
+    pub fn apply_epoch_faults(&mut self, epoch: u64) {
+        let now = self.stats.now;
+        self.faults.apply_link_epoch(epoch, now);
+        let resets: Vec<(NodeId, NodeId)> = self
+            .faults
+            .plan()
+            .specs()
+            .iter()
+            .filter_map(|spec| match *spec {
+                FaultSpec::SessionReset { a, b, epoch: e } if e == epoch => Some((a, b)),
+                _ => None,
+            })
+            .collect();
+        for (a, b) in resets {
+            self.apply_session_reset(a, b, epoch);
+        }
+    }
+
+    /// Resets the BGP session between `a` and `b`: both sides tear their
+    /// FSM down, withdraw every route learned from the other (propagating
+    /// the withdrawals to their remaining established peers), and then
+    /// re-establish. Withdrawn routes stay gone until live traffic
+    /// re-announces them.
+    fn apply_session_reset(&mut self, a: NodeId, b: NodeId, epoch: u64) {
+        let a_addr = self.routers[a.0].router_id();
+        let b_addr = self.routers[b.0].router_id();
+        let mut withdrawn_routes = 0;
+        for (node, peer_addr) in [(a, b_addr), (b, a_addr)] {
+            if let Some(peer) = self.routers[node.0].peer_by_address(peer_addr) {
+                let outcome = self.routers[node.0].reset_session(peer);
+                withdrawn_routes += outcome.withdrawn_routes;
+                self.enqueue_outgoing(node, outcome.outgoing);
+            }
+        }
+        for (node, peer_addr) in [(a, b_addr), (b, a_addr)] {
+            if let Some(peer) = self.routers[node.0].peer_by_address(peer_addr) {
+                self.routers[node.0].reestablish_session(peer);
+            }
+        }
+        let now = self.stats.now;
+        self.faults.record(
+            now,
+            InjectedFaultKind::SessionReset {
+                a,
+                b,
+                epoch,
+                withdrawn_routes,
+            },
+        );
     }
 
     /// Number of nodes.
@@ -137,6 +239,14 @@ impl Simulator {
     pub fn inject(&mut self, node: NodeId, from_address: std::net::Ipv4Addr, message: BgpMessage) {
         let Some(peer) = self.routers[node.0].peer_by_address(from_address) else {
             self.stats.undeliverable += 1;
+            let now = self.stats.now;
+            self.faults.record(
+                now,
+                InjectedFaultKind::DeliveryError(DeliveryError::UnknownSourceAddress {
+                    node,
+                    address: from_address,
+                }),
+            );
             return;
         };
         self.record_observed(node, peer, &message);
@@ -214,7 +324,7 @@ impl Simulator {
     /// Removes and returns `node`'s entries from the observation log, in
     /// delivery order, leaving every other node's pending inputs — and all
     /// sequence numbers — intact. This is the per-node replacement for the
-    /// deprecated global [`Simulator::clear_observed`] wipe.
+    /// global `clear_observed` wipe removed after its deprecation cycle.
     pub fn drain_observed(&mut self, node: NodeId) -> Vec<(PeerId, UpdateMessage)> {
         let mut drained = Vec::new();
         self.observed.retain(|o| {
@@ -248,46 +358,72 @@ impl Simulator {
         cut
     }
 
-    /// Clears the observation log for **all** nodes at once.
-    #[deprecated(
-        since = "0.1.0",
-        note = "a global wipe drops other nodes' pending inputs mid-harvest; \
-                use `drain_observed(node)` or windowed harvesting via \
-                `observed_cursor()` / `observed_inputs_in(node, from, to)`"
-    )]
-    pub fn clear_observed(&mut self) {
-        self.observed.clear();
-    }
-
     fn enqueue_outgoing(&mut self, from_node: NodeId, outgoing: Vec<(PeerId, BgpMessage)>) {
         for (peer_id, message) in outgoing {
             match self.resolve(from_node, peer_id) {
-                Some((to_node, from_peer)) => {
-                    self.queue.push_back(InFlight {
-                        deliver_at: self.stats.now + self.link_delay,
-                        to_node,
-                        from_peer,
-                        message,
-                    });
+                Ok((to_node, from_peer)) => {
+                    let now = self.stats.now;
+                    match self.faults.on_enqueue(from_node, to_node, now) {
+                        EnqueueVerdict::Drop => {
+                            self.stats.dropped += 1;
+                        }
+                        EnqueueVerdict::Deliver { extra_delays } => {
+                            self.stats.duplicated += extra_delays.len() as u64 - 1;
+                            self.stats.reordered +=
+                                extra_delays.iter().filter(|d| **d > 0).count() as u64;
+                            for extra in extra_delays {
+                                self.queue.push_back(InFlight {
+                                    deliver_at: self.stats.now + self.link_delay + extra,
+                                    from_node,
+                                    to_node,
+                                    from_peer,
+                                    message: message.clone(),
+                                });
+                            }
+                        }
+                    }
                 }
-                None => self.stats.undeliverable += 1,
+                Err(error) => {
+                    self.stats.undeliverable += 1;
+                    let now = self.stats.now;
+                    self.faults
+                        .record(now, InjectedFaultKind::DeliveryError(error));
+                }
             }
         }
     }
 
     /// Resolves "node A sends to its peer P" into "node B receives from its
     /// peer Q": the peer's address identifies the destination router, and
-    /// the sender's router id identifies the receiving peer entry.
-    fn resolve(&self, from_node: NodeId, peer: PeerId) -> Option<(NodeId, PeerId)> {
+    /// the sender's router id identifies the receiving peer entry. Each
+    /// failure mode reports which leg of that resolution broke.
+    fn resolve(&self, from_node: NodeId, peer: PeerId) -> Result<(NodeId, PeerId), DeliveryError> {
         let sender = &self.routers[from_node.0];
-        let peer_addr = sender.peer(peer)?.address;
+        let peer_addr = sender
+            .peer(peer)
+            .ok_or(DeliveryError::UnknownPeer {
+                node: from_node,
+                peer,
+            })?
+            .address;
         let to_node = self
             .routers
             .iter()
             .position(|r| r.router_id() == peer_addr)
-            .map(NodeId)?;
-        let from_peer = self.routers[to_node.0].peer_by_address(sender.router_id())?;
-        Some((to_node, from_peer))
+            .map(NodeId)
+            .ok_or(DeliveryError::UnresolvedPeerAddress {
+                node: from_node,
+                peer,
+                address: peer_addr,
+            })?;
+        let from_peer = self.routers[to_node.0]
+            .peer_by_address(sender.router_id())
+            .ok_or(DeliveryError::NoReturnPeer {
+                node: from_node,
+                to_node,
+                sender: sender.router_id(),
+            })?;
+        Ok((to_node, from_peer))
     }
 
     /// Advances virtual time by one tick, delivering everything due.
@@ -305,8 +441,23 @@ impl Simulator {
             }
         }
         self.queue = remaining;
-        let delivered = due.len();
+        let mut delivered = 0;
         for m in due {
+            // A link that went down while the message was in flight loses
+            // it at delivery time.
+            if self.faults.link_is_down(m.from_node, m.to_node) {
+                self.stats.dropped += 1;
+                self.faults.record(
+                    now,
+                    InjectedFaultKind::MessageDropped {
+                        from: m.from_node,
+                        to: m.to_node,
+                        link_down: true,
+                    },
+                );
+                continue;
+            }
+            delivered += 1;
             self.record_observed(m.to_node, m.from_peer, &m.message);
             let out = self.routers[m.to_node.0].handle_message(m.from_peer, &m.message);
             self.stats.delivered += 1;
@@ -481,8 +632,8 @@ mod tests {
         );
         assert_eq!(sim.observed_log().len(), 2);
 
-        // Per-node drains empty the log without the deprecated global
-        // wipe (which would also have dropped other nodes' entries).
+        // Per-node drains empty the log without a global wipe (which
+        // would also have dropped other nodes' entries).
         for node in [provider, customer, internet] {
             sim.drain_observed(node);
         }
@@ -617,7 +768,7 @@ mod tests {
     }
 
     #[test]
-    fn unknown_source_address_is_counted() {
+    fn unknown_source_address_is_counted_and_diagnosable() {
         let topo = figure2_topology(CustomerFilterMode::Correct);
         let mut sim = Simulator::new(&topo);
         let provider = topo.node_by_name("Provider").expect("node");
@@ -628,5 +779,149 @@ mod tests {
         );
         assert_eq!(sim.stats().undeliverable, 1);
         assert_eq!(sim.stats().delivered, 0);
+        // The silent counter bump now has a structured, diagnosable form
+        // in the fault trace — without counting as an *injected* fault.
+        assert_eq!(sim.fault_trace().len(), 1);
+        assert_eq!(sim.fault_trace().delivery_error_count(), 1);
+        assert_eq!(sim.injected_fault_count(), 0);
+        match &sim.fault_trace().events()[0].kind {
+            InjectedFaultKind::DeliveryError(DeliveryError::UnknownSourceAddress {
+                node,
+                address,
+            }) => {
+                assert_eq!(*node, provider);
+                assert_eq!(*address, std::net::Ipv4Addr::new(192, 0, 2, 99));
+            }
+            other => panic!("expected a structured delivery error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn session_reset_withdraws_learned_routes_and_reestablishes() {
+        let topo = figure2_topology(CustomerFilterMode::Missing);
+        let mut sim = Simulator::new(&topo);
+        let provider = topo.node_by_name("Provider").expect("node");
+        let customer = topo.node_by_name("Customer").expect("node");
+        let internet = topo.node_by_name("RestOfInternet").expect("node");
+
+        sim.inject(
+            provider,
+            addr::CUSTOMER,
+            announcement("41.1.0.0/16", &[asn::CUSTOMER], addr::CUSTOMER),
+        );
+        sim.run_to_quiescence(100);
+        assert_eq!(sim.router(internet).rib().prefix_count(), 1);
+
+        sim.install_fault_plan(FaultPlan::new(0).with_spec(FaultSpec::SessionReset {
+            a: provider,
+            b: customer,
+            epoch: 1,
+        }));
+        sim.apply_epoch_faults(1);
+        sim.run_to_quiescence(100);
+
+        // The provider flushed the customer-learned route and the
+        // withdrawal propagated to the rest of the Internet.
+        assert_eq!(sim.router(provider).rib().prefix_count(), 0);
+        assert_eq!(sim.router(internet).rib().prefix_count(), 0);
+        assert_eq!(sim.injected_fault_count(), 1);
+        assert!(sim
+            .fault_trace()
+            .digest()
+            .contains("session-reset node1<->node0"));
+
+        // Sessions re-established: a fresh announcement flows again.
+        sim.inject(
+            provider,
+            addr::CUSTOMER,
+            announcement("41.64.0.0/12", &[asn::CUSTOMER], addr::CUSTOMER),
+        );
+        sim.run_to_quiescence(100);
+        assert_eq!(sim.router(internet).rib().prefix_count(), 1);
+    }
+
+    #[test]
+    fn link_flap_loses_traffic_while_down() {
+        let topo = figure2_topology(CustomerFilterMode::Missing);
+        let plan = FaultPlan::new(0).with_spec(FaultSpec::LinkFlap {
+            a: topo.node_by_name("Provider").expect("node"),
+            b: topo.node_by_name("RestOfInternet").expect("node"),
+            down_epoch: 1,
+            up_epoch: 2,
+        });
+        let mut sim = Simulator::new(&topo).with_fault_plan(plan);
+        let provider = topo.node_by_name("Provider").expect("node");
+        let internet = topo.node_by_name("RestOfInternet").expect("node");
+
+        sim.apply_epoch_faults(1);
+        sim.inject(
+            provider,
+            addr::CUSTOMER,
+            announcement("41.1.0.0/16", &[asn::CUSTOMER], addr::CUSTOMER),
+        );
+        sim.run_to_quiescence(100);
+        // The provider accepted the route but the re-advertisement toward
+        // the Internet was lost on the downed link.
+        assert_eq!(sim.router(provider).rib().prefix_count(), 1);
+        assert_eq!(sim.router(internet).rib().prefix_count(), 0);
+        assert!(sim.stats().dropped >= 1);
+
+        // After the link recovers, new traffic flows again.
+        sim.apply_epoch_faults(2);
+        sim.inject(
+            provider,
+            addr::CUSTOMER,
+            announcement("41.64.0.0/12", &[asn::CUSTOMER], addr::CUSTOMER),
+        );
+        sim.run_to_quiescence(100);
+        assert_eq!(sim.router(internet).rib().prefix_count(), 1);
+    }
+
+    #[test]
+    fn same_plan_and_seed_replays_byte_identically() {
+        let run = |seed: u64| {
+            let topo = figure2_topology(CustomerFilterMode::Missing);
+            let provider = topo.node_by_name("Provider").expect("node");
+            let plan = FaultPlan::new(seed)
+                .with_spec(FaultSpec::MessageDrop {
+                    a: provider,
+                    b: topo.node_by_name("RestOfInternet").expect("node"),
+                    probability: 0.4,
+                })
+                .with_spec(FaultSpec::MessageReorder {
+                    a: provider,
+                    b: topo.node_by_name("Customer").expect("node"),
+                    probability: 0.5,
+                    max_extra_ticks: 3,
+                });
+            let mut sim = Simulator::new(&topo).with_fault_plan(plan);
+            for i in 0..8u32 {
+                sim.inject(
+                    provider,
+                    addr::CUSTOMER,
+                    announcement(&format!("41.{i}.0.0/16"), &[asn::CUSTOMER], addr::CUSTOMER),
+                );
+                sim.run_to_quiescence(50);
+            }
+            (
+                sim.observed_log().to_vec(),
+                sim.fault_trace().digest(),
+                sim.stats(),
+            )
+        };
+        let (log_a, trace_a, stats_a) = run(11);
+        let (log_b, trace_b, stats_b) = run(11);
+        assert_eq!(log_a, log_b, "delivery logs replay byte-identically");
+        assert_eq!(trace_a, trace_b, "fault traces replay byte-identically");
+        assert_eq!(stats_a, stats_b);
+        assert!(
+            stats_a.dropped > 0 || stats_a.reordered > 0,
+            "plan perturbed something"
+        );
+
+        // A different seed perturbs differently (with overwhelming
+        // probability for this many draws).
+        let (_, trace_c, _) = run(12);
+        assert_ne!(trace_a, trace_c, "seed changes the injected sequence");
     }
 }

@@ -39,6 +39,17 @@ pub struct RouterStats {
 /// A message addressed to a specific peer.
 pub type Outgoing = (PeerId, BgpMessage);
 
+/// What tearing a session down produced: the flushed-route count and the
+/// withdrawal UPDATEs to propagate to the remaining established peers.
+#[derive(Debug, Default)]
+pub struct SessionResetOutcome {
+    /// Prefixes whose candidate learned from the reset peer was withdrawn
+    /// from the RIB.
+    pub withdrawn_routes: usize,
+    /// Withdrawals for best-route changes, addressed to the other peers.
+    pub outgoing: Vec<Outgoing>,
+}
+
 /// The BGP router.
 ///
 /// # Examples
@@ -358,6 +369,44 @@ impl BgpRouter {
         let out = self.propagate(change, None);
         self.stats.messages_sent += out.len() as u64;
         out
+    }
+
+    /// Tears the session to `peer` down with RFC 4271 table semantics: the
+    /// FSM drops out of `Established`, every RIB candidate learned from the
+    /// peer is withdrawn, and best-route changes propagate as withdrawal
+    /// UPDATEs to the remaining established peers. The session stays down
+    /// until [`BgpRouter::reestablish_session`] (or a fresh OPEN) brings it
+    /// back; withdrawn routes do not return by themselves.
+    pub fn reset_session(&mut self, peer: PeerId) -> SessionResetOutcome {
+        let Some(p) = self.peers.get_mut(&peer) else {
+            return SessionResetOutcome::default();
+        };
+        p.session.handle(SessionEvent::TransportFailed);
+        let prefixes: Vec<Ipv4Prefix> = self
+            .rib
+            .loc_rib()
+            .map(|(prefix, _)| prefix)
+            .filter(|prefix| self.rib.candidates(prefix).any(|r| r.learned_from == peer))
+            .collect();
+        let mut outgoing = Vec::new();
+        for prefix in &prefixes {
+            self.stats.prefixes_withdrawn += 1;
+            let change = self.rib.withdraw(prefix, peer);
+            outgoing.extend(self.propagate(change, Some(peer)));
+        }
+        self.stats.messages_sent += outgoing.len() as u64;
+        SessionResetOutcome {
+            withdrawn_routes: prefixes.len(),
+            outgoing,
+        }
+    }
+
+    /// Brings the session to `peer` back to `Established` (the simulator's
+    /// shortcut for the reconnect handshake after a reset).
+    pub fn reestablish_session(&mut self, peer: PeerId) {
+        if let Some(p) = self.peers.get_mut(&peer) {
+            p.session.establish();
+        }
     }
 
     /// Builds the UPDATE sent to `to` for a best-route change, applying the

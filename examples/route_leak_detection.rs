@@ -1,7 +1,16 @@
 //! The full §4.2 scenario on the Figure 2 topology: compare how the three
 //! customer-filter configurations behave in the live network (simulator)
-//! and what DiCE predicts about them (exploration), for the YouTube /
+//! and what DiCE detects about them (exploration), for the YouTube /
 //! Pakistan Telecom class of incident.
+//!
+//! Detection uses the relationship-aware Gao-Rexford checker
+//! ([`RouteLeakChecker`]): the Provider classifies AS 17557 as its
+//! customer and AS 1299 as its peer, so a customer-learned route whose AS
+//! path transits the peer is a valley-free violation — the route-leak
+//! shape itself, independent of which prefix is being leaked. That makes
+//! the checker strictly sharper than prefix/origin pinning: it condemns
+//! peer-transiting paths even inside the customer's own allocation, which
+//! no configuration in the scenario filters on.
 //!
 //! Run with `cargo run --example route_leak_detection`.
 
@@ -49,10 +58,11 @@ fn incident_spreads(mode: CustomerFilterMode) -> bool {
         .unwrap_or(false)
 }
 
-/// Runs DiCE proactively on the Provider before any incident: explore
-/// inputs derived from a routine customer announcement and report the
-/// prefix ranges that could be leaked.
-fn dice_prediction(mode: CustomerFilterMode) -> ExplorationReport {
+/// Runs DiCE on the Provider with the Gao-Rexford route-leak checker: the
+/// observed input is the customer re-exporting a route it learned from its
+/// *other* upstream (AS 1299) — a textbook leak. The checker fires exactly
+/// when the import filter admits the valley.
+fn dice_detection(mode: CustomerFilterMode) -> ExplorationReport {
     let topo = figure2_topology(mode);
     let provider = topo.node_by_name("Provider").expect("node");
     let mut router = BgpRouter::new(topo.nodes()[provider.0].config.clone());
@@ -66,17 +76,35 @@ fn dice_prediction(mode: CustomerFilterMode) -> ExplorationReport {
         &UpdateMessage::announce(vec!["208.65.152.0/22".parse().expect("valid")], &attrs),
     );
 
+    // The leaked route: learned from the customer, but its path transits
+    // the Provider's peer (1299) on the way to the victim's origin.
     let customer = router.peer_by_address(addr::CUSTOMER).expect("peer");
     let mut cattrs = RouteAttrs::default();
-    cattrs.as_path = AsPath::from_sequence([asn::CUSTOMER, asn::CUSTOMER]);
-    let observed = UpdateMessage::announce(vec!["41.1.0.0/16".parse().expect("valid")], &cattrs);
-    Dice::new().run_single(&router, customer, &observed)
+    cattrs.as_path = AsPath::from_sequence([asn::CUSTOMER, asn::INTERNET, asn::VICTIM]);
+    let observed =
+        UpdateMessage::announce(vec!["208.65.153.0/24".parse().expect("valid")], &cattrs);
+
+    let session = DiceBuilder::new()
+        .checker(Box::new(
+            RouteLeakChecker::new()
+                .with_customer(asn::CUSTOMER)
+                .with_peer(asn::INTERNET),
+        ))
+        .build();
+    let report = session.explore(&router, &[(customer, observed)]);
+    // Every fault this session can raise comes from the valley-free
+    // checker — the registry replaced the default origin-hijack one.
+    assert!(
+        report.faults.iter().all(|f| f.checker == "route-leak"),
+        "unexpected checker in {report}"
+    );
+    report
 }
 
 fn main() {
     println!(
         "{:<42} {:>18} {:>22}",
-        "customer filter configuration", "incident spreads?", "DiCE predicts leak?"
+        "customer filter configuration", "incident spreads?", "DiCE flags leak?"
     );
     for (mode, label) in [
         (
@@ -93,7 +121,7 @@ fn main() {
         ),
     ] {
         let spreads = incident_spreads(mode);
-        let report = dice_prediction(mode);
+        let report = dice_detection(mode);
         println!(
             "{:<42} {:>18} {:>22}",
             label,
@@ -114,9 +142,10 @@ fn main() {
         );
     }
     println!();
-    println!("A correct filter stops the incident and DiCE stays quiet; the erroneous filter");
-    println!("lets the incident through and DiCE flags the leakable range in advance. The");
-    println!("fully missing filter also lets the incident through, but offers no configured");
-    println!("policy branches for this observed input, so detection requires the partially");
-    println!("correct configuration the paper evaluates (or a denser installed table).");
+    println!("The correct filter stops the victim-prefix incident (no outage), but DiCE's");
+    println!("exploration still finds a valley it admits: announcements inside the customer's");
+    println!("own 41.0.0.0/12 block that transit the peer pass the prefix+origin pin — the");
+    println!("filter is not path-aware. The misconfigurations additionally admit the victim's");
+    println!("/24 itself, the leak that actually spreads. The origin-hijack checker alone");
+    println!("could flag none of these without a covering route already installed.");
 }

@@ -28,16 +28,20 @@ pub mod prelude {
     pub use dice_bgp::AsPath;
     pub use dice_checkpoint::{CheckpointManager, Checkpointable};
     pub use dice_core::{
-        CheckpointMode, CheckpointedRouter, CustomerFilterMode, Dice, DiceBuilder, DiceConfig,
-        DiceSession, ExplorationReport, Fault, FaultChecker, FaultKind, FleetExplorer, FleetFault,
-        FleetReport, ForwardingLoopChecker, LiveFault, LiveOrchestrator, LiveReport, LiveRound,
-        OriginHijackChecker, RoundCheckpoint, RouteOscillationChecker, SharedCoreScheduler,
-        UpdateTemplate,
+        AsRelationship, BlackholeChecker, CheckpointMode, CheckpointedRouter,
+        CrossRoundFlapChecker, CustomerFilterMode, Dice, DiceBuilder, DiceConfig, DiceSession,
+        ExplorationReport, Fault, FaultChecker, FaultKind, FleetExplorer, FleetFault, FleetReport,
+        ForwardingLoopChecker, LiveFault, LiveOrchestrator, LiveReport, LiveRound,
+        MoreSpecificHijackChecker, OriginHijackChecker, RoundCheckpoint, RoundOutcomes,
+        RouteLeakChecker, RouteOscillationChecker, SharedCoreScheduler, UpdateTemplate,
     };
     pub use dice_netsim::topology::{
         addr, asn, figure2_topology, figure2_topology_with_customer_filter, NodeId, Topology,
     };
     pub use dice_netsim::{generate_trace, Replayer, Simulator, TraceGenConfig};
+    pub use dice_netsim::{
+        DeliveryError, FaultPlan, FaultSpec, FaultTrace, InjectedFault, InjectedFaultKind,
+    };
     pub use dice_router::{BgpRouter, NeighborConfig, RouterConfig};
     pub use dice_symexec::{ConcolicEngine, EngineConfig, ExecCtx, InputValues};
 }
@@ -74,10 +78,32 @@ mod tests {
         let _: Option<FleetFault> = None;
         let _ = FleetReport::default();
         let _ = RouteOscillationChecker::new().with_min_transitions(3);
+        let _ = RouteLeakChecker::new()
+            .with_customer(17_557)
+            .with_peer(1_299)
+            .with_provider(3_491);
+        let _: Option<AsRelationship> = None;
+        let _ = MoreSpecificHijackChecker::new();
+        let _ = BlackholeChecker::new();
+        let _ = CrossRoundFlapChecker::new().with_min_transitions(2);
+        let _: Option<RoundOutcomes> = None;
+        let plan = FaultPlan::new(7).with_spec(FaultSpec::LinkFlap {
+            a: NodeId(0),
+            b: NodeId(1),
+            down_epoch: 1,
+            up_epoch: 2,
+        });
+        assert!(!plan.is_empty());
+        let _ = FaultTrace::default();
+        let _: Option<InjectedFault> = None;
+        let _: Option<InjectedFaultKind> = None;
+        let _: Option<DeliveryError> = None;
         let live = LiveOrchestrator::default()
             .with_core_budget(1)
             .with_quiesce_steps(50)
-            .with_max_rounds(2);
+            .with_max_rounds(2)
+            .with_fault_plan(plan)
+            .with_live_history(8);
         let _: &FleetExplorer = live.explorer();
         let _: Option<LiveFault> = None;
         let _: Option<LiveRound> = None;

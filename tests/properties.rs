@@ -532,3 +532,140 @@ proptest! {
         }
     }
 }
+
+/// Deterministic fault-injection properties: a [`FaultPlan`] is a pure
+/// function of its specs and seed. Fewer cases than the blocks above —
+/// each case drives full simulations (and live exploration rounds).
+fn faulty_figure2_run(plan: FaultPlan) -> (String, String, dice_netsim::SimStats) {
+    let topo = figure2_topology(CustomerFilterMode::Missing);
+    let provider = topo.node_by_name("Provider").expect("node");
+    let mut sim = Simulator::new(&topo).with_fault_plan(plan);
+    let blocks = ["41.1.0.0/16", "41.64.0.0/12", "198.51.100.0/24"];
+    for (epoch, block) in blocks.iter().enumerate() {
+        sim.apply_epoch_faults(epoch as u64);
+        let mut attrs = RouteAttrs::default();
+        attrs.as_path = AsPath::from_sequence([17557, 17557]);
+        attrs.next_hop = std::net::Ipv4Addr::new(10, 0, 1, 1);
+        sim.inject(
+            provider,
+            addr::CUSTOMER,
+            BgpMessage::Update(UpdateMessage::announce(
+                vec![block.parse().expect("valid")],
+                &attrs,
+            )),
+        );
+        sim.run_to_quiescence(100);
+    }
+    (
+        format!("{:?}", sim.observed_log()),
+        sim.fault_trace().digest(),
+        sim.stats(),
+    )
+}
+
+fn live_digest_under(plan: Option<FaultPlan>) -> String {
+    let topo = figure2_topology(CustomerFilterMode::Missing);
+    let provider = topo.node_by_name("Provider").expect("node");
+    let mut sim = Simulator::new(&topo);
+    let session = DiceBuilder::new()
+        .engine(EngineConfig::default().with_max_runs(4))
+        .build();
+    let mut orchestrator = LiveOrchestrator::new(session).with_core_budget(1);
+    if let Some(plan) = plan {
+        orchestrator = orchestrator.with_fault_plan(plan);
+    }
+    let blocks = ["41.1.0.0/16", "41.64.0.0/12"];
+    orchestrator
+        .run(&mut sim, |sim, epoch| {
+            if let Some(block) = blocks.get(epoch) {
+                let mut attrs = RouteAttrs::default();
+                attrs.as_path = AsPath::from_sequence([17557, 17557]);
+                attrs.next_hop = std::net::Ipv4Addr::new(10, 0, 1, 1);
+                sim.inject(
+                    provider,
+                    addr::CUSTOMER,
+                    BgpMessage::Update(UpdateMessage::announce(
+                        vec![block.parse().expect("valid")],
+                        &attrs,
+                    )),
+                );
+            }
+            epoch + 1 < blocks.len()
+        })
+        .digest()
+}
+
+fn arb_message_plan() -> impl Strategy<Value = FaultPlan> {
+    (any::<u64>(), 0u32..=100, 0u32..=100, 0u32..=100, 1u64..4).prop_map(
+        |(seed, p_drop, p_dup, p_reorder, ticks)| {
+            let (p_drop, p_dup, p_reorder) = (
+                f64::from(p_drop) / 100.0,
+                f64::from(p_dup) / 100.0,
+                f64::from(p_reorder) / 100.0,
+            );
+            let a = NodeId(1); // Provider
+            let b = NodeId(2); // RestOfInternet
+            FaultPlan::new(seed)
+                .with_spec(FaultSpec::MessageDrop {
+                    a,
+                    b,
+                    probability: p_drop,
+                })
+                .with_spec(FaultSpec::MessageDuplicate {
+                    a,
+                    b,
+                    probability: p_dup,
+                })
+                .with_spec(FaultSpec::MessageReorder {
+                    a,
+                    b,
+                    probability: p_reorder,
+                    max_extra_ticks: ticks,
+                })
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Replay contract: the same plan (specs + seed) over the same driver
+    /// sequence reproduces the delivery log, the fault trace and the
+    /// simulation counters byte for byte.
+    #[test]
+    fn fault_replay_is_byte_identical_for_same_plan_and_seed(plan in arb_message_plan()) {
+        let first = faulty_figure2_run(plan.clone());
+        let second = faulty_figure2_run(plan);
+        prop_assert_eq!(first.0, second.0, "delivery logs diverged");
+        prop_assert_eq!(first.1, second.1, "fault traces diverged");
+        prop_assert_eq!(first.2, second.2, "stats diverged");
+    }
+
+    /// An empty plan — whatever its seed — injects nothing: the simulator
+    /// log and the live exploration digest are byte-identical to a run
+    /// with no plan installed at all.
+    #[test]
+    fn empty_fault_plan_leaves_every_digest_unchanged(seed in any::<u64>()) {
+        let baseline = faulty_figure2_run(FaultPlan::default());
+        let seeded = faulty_figure2_run(FaultPlan::new(seed));
+        prop_assert_eq!(baseline.0, seeded.0);
+        prop_assert_eq!(&seeded.1, "", "an empty plan records nothing");
+        prop_assert_eq!(baseline.2, seeded.2);
+    }
+
+    /// The live orchestration path upholds both contracts end to end:
+    /// same plan, same digest; empty plan, unperturbed digest.
+    #[test]
+    fn live_digests_are_replayable_and_fault_free_without_a_plan(plan in arb_message_plan(), seed in any::<u64>()) {
+        prop_assert_eq!(
+            live_digest_under(Some(plan.clone())),
+            live_digest_under(Some(plan)),
+            "faulty live runs must replay byte for byte"
+        );
+        prop_assert_eq!(
+            live_digest_under(Some(FaultPlan::new(seed))),
+            live_digest_under(None),
+            "an empty plan must not change live exploration"
+        );
+    }
+}
