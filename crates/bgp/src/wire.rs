@@ -11,7 +11,7 @@ use std::net::Ipv4Addr;
 
 use crate::asn::{AsPath, AsPathSegment, Asn};
 use crate::attributes::{flags, Aggregator, AttrCode, Community, Origin, PathAttribute};
-use crate::error::{BgpError, NotificationData};
+use crate::error::{BgpError, NotificationData, UpdateErrorSubcode};
 use crate::message::{
     BgpMessage, KeepaliveMessage, MessageType, NotificationMessage, OpenMessage, UpdateMessage,
 };
@@ -70,6 +70,12 @@ pub fn decode(buf: &[u8]) -> Result<(BgpMessage, usize), BgpError> {
         MessageType::Notification => BgpMessage::Notification(decode_notification(&mut body)?),
         MessageType::Keepalive => BgpMessage::Keepalive(KeepaliveMessage),
     };
+    if !body.is_empty() {
+        // The header's length field promises more body than the message
+        // type accounts for (a KEEPALIVE with a body, an OPEN with bytes
+        // after its optional parameters).
+        return Err(BgpError::BadLength(len as u16));
+    }
     Ok((msg, len))
 }
 
@@ -101,7 +107,11 @@ fn decode_open(buf: &mut &[u8]) -> Result<OpenMessage, BgpError> {
     let hold_time = buf.get_u16();
     let bgp_identifier = buf.get_u32();
     let opt_len = buf.get_u8() as usize;
-    need(buf, opt_len)?;
+    if buf.len() < opt_len {
+        // The declared optional-parameters length disagrees with the
+        // header's message length.
+        return Err(BgpError::BadLength(opt_len as u16));
+    }
     buf.advance(opt_len);
     Ok(OpenMessage {
         version,
@@ -182,23 +192,48 @@ fn encode_attribute(attr: &PathAttribute, out: &mut BytesMut) {
 }
 
 fn decode_attribute(buf: &mut &[u8]) -> Result<Option<PathAttribute>, BgpError> {
-    need(buf, 3)?;
+    if buf.len() < 3 {
+        return Err(BgpError::Update(UpdateErrorSubcode::MalformedAttributeList));
+    }
     let attr_flags = buf.get_u8();
-    let code = buf.get_u8();
+    let code_raw = buf.get_u8();
+    if attr_flags & 0x0f != 0 {
+        // The low four flag bits are unused and must be zero (RFC 4271
+        // §4.3) — this also rejects garbage flags on unknown codes.
+        return Err(BgpError::Update(UpdateErrorSubcode::AttributeFlagsError));
+    }
     let len = if attr_flags & flags::EXTENDED_LENGTH != 0 {
-        need(buf, 2)?;
+        if buf.len() < 2 {
+            return Err(BgpError::Update(UpdateErrorSubcode::MalformedAttributeList));
+        }
         buf.get_u16() as usize
     } else {
-        need(buf, 1)?;
+        if buf.is_empty() {
+            return Err(BgpError::Update(UpdateErrorSubcode::MalformedAttributeList));
+        }
         buf.get_u8() as usize
     };
-    need(buf, len)?;
+    if buf.len() < len {
+        return Err(BgpError::BadAttribute {
+            code: code_raw,
+            reason: "declared length overruns attribute block",
+        });
+    }
     let mut value = &buf[..len];
     buf.advance(len);
-    let Some(code) = AttrCode::from_code(code) else {
+    let Some(code) = AttrCode::from_code(code_raw) else {
         // Unknown optional attributes are skipped (not stored).
         return Ok(None);
     };
+    let expected = code.default_flags();
+    if (attr_flags ^ expected) & flags::OPTIONAL != 0 {
+        // A well-known attribute marked optional, or vice versa.
+        return Err(BgpError::Update(UpdateErrorSubcode::AttributeFlagsError));
+    }
+    if expected & flags::OPTIONAL == 0 && attr_flags & flags::TRANSITIVE == 0 {
+        // Well-known attributes are always transitive.
+        return Err(BgpError::Update(UpdateErrorSubcode::AttributeFlagsError));
+    }
     let attr = match code {
         AttrCode::Origin => {
             if value.len() != 1 {
@@ -329,15 +364,31 @@ fn encode_update(u: &UpdateMessage, out: &mut BytesMut) {
 }
 
 fn decode_update(buf: &mut &[u8]) -> Result<UpdateMessage, BgpError> {
-    need(buf, 2)?;
+    // The header's length field already promised a complete message, so an
+    // inner length field pointing past the body is a malformed message
+    // (RFC 4271 §6.3), never a truncation to wait out.
+    let malformed = || BgpError::Update(UpdateErrorSubcode::MalformedAttributeList);
+    let reframe = |e: BgpError| match e {
+        BgpError::Truncated { .. } => malformed(),
+        other => other,
+    };
+    if buf.len() < 2 {
+        return Err(malformed());
+    }
     let withdrawn_len = buf.get_u16() as usize;
-    need(buf, withdrawn_len)?;
-    let withdrawn = decode_prefixes(&buf[..withdrawn_len])?;
+    if buf.len() < withdrawn_len {
+        return Err(malformed());
+    }
+    let withdrawn = decode_prefixes(&buf[..withdrawn_len]).map_err(reframe)?;
     buf.advance(withdrawn_len);
 
-    need(buf, 2)?;
+    if buf.len() < 2 {
+        return Err(malformed());
+    }
     let attrs_len = buf.get_u16() as usize;
-    need(buf, attrs_len)?;
+    if buf.len() < attrs_len {
+        return Err(malformed());
+    }
     let mut attr_buf = &buf[..attrs_len];
     buf.advance(attrs_len);
     let mut attributes = Vec::new();
@@ -347,7 +398,7 @@ fn decode_update(buf: &mut &[u8]) -> Result<UpdateMessage, BgpError> {
         }
     }
 
-    let nlri = decode_prefixes(buf)?;
+    let nlri = decode_prefixes(buf).map_err(reframe)?;
     *buf = &[];
     Ok(UpdateMessage {
         withdrawn,
@@ -515,6 +566,161 @@ mod tests {
         let update = decoded.as_update().expect("update");
         assert!(update.attributes.is_empty());
         assert_eq!(update.nlri, vec!["10.0.0.0/8".parse().expect("valid")]);
+    }
+
+    fn frame(msg_type: MessageType, body: &[u8]) -> Vec<u8> {
+        let mut raw = BytesMut::new();
+        raw.put_bytes(0xff, 16);
+        raw.put_u16((HEADER_LEN + body.len()) as u16);
+        raw.put_u8(msg_type as u8);
+        raw.extend_from_slice(body);
+        raw.freeze().to_vec()
+    }
+
+    fn update_with_raw_attr(attr_flags: u8, code: u8, value: &[u8]) -> Vec<u8> {
+        let mut body = BytesMut::new();
+        body.put_u16(0); // No withdrawn routes.
+        body.put_u16((3 + value.len()) as u16);
+        body.put_u8(attr_flags);
+        body.put_u8(code);
+        body.put_u8(value.len() as u8);
+        body.extend_from_slice(value);
+        frame(MessageType::Update, &body)
+    }
+
+    #[test]
+    fn keepalive_with_body_is_rejected() {
+        let raw = frame(MessageType::Keepalive, &[0, 0]);
+        assert_eq!(decode(&raw), Err(BgpError::BadLength(21)));
+    }
+
+    #[test]
+    fn open_trailing_bytes_are_rejected() {
+        let mut body = BytesMut::new();
+        body.put_u8(4); // Version.
+        body.put_u16(64500);
+        body.put_u16(180);
+        body.put_u32(0xc0a80001);
+        body.put_u8(0); // No optional parameters...
+        body.put_u8(0xaa); // ...yet one more byte in the body.
+        let raw = frame(MessageType::Open, &body);
+        assert!(matches!(decode(&raw), Err(BgpError::BadLength(_))));
+    }
+
+    #[test]
+    fn open_optional_params_overrun_is_rejected() {
+        let mut body = BytesMut::new();
+        body.put_u8(4);
+        body.put_u16(64500);
+        body.put_u16(180);
+        body.put_u32(0xc0a80001);
+        body.put_u8(9); // Declares 9 bytes of optional params; none follow.
+        let raw = frame(MessageType::Open, &body);
+        assert_eq!(decode(&raw), Err(BgpError::BadLength(9)));
+    }
+
+    #[test]
+    fn update_withdrawn_overrun_is_malformed() {
+        // Withdrawn-routes length claims 50 bytes the body does not hold.
+        let mut body = BytesMut::new();
+        body.put_u16(50);
+        let raw = frame(MessageType::Update, &body);
+        assert_eq!(
+            decode(&raw),
+            Err(BgpError::Update(UpdateErrorSubcode::MalformedAttributeList))
+        );
+    }
+
+    #[test]
+    fn update_attrs_overrun_is_malformed() {
+        // Path-attributes length claims 50 bytes the body does not hold.
+        let mut body = BytesMut::new();
+        body.put_u16(0);
+        body.put_u16(50);
+        let raw = frame(MessageType::Update, &body);
+        assert_eq!(
+            decode(&raw),
+            Err(BgpError::Update(UpdateErrorSubcode::MalformedAttributeList))
+        );
+    }
+
+    #[test]
+    fn attribute_length_overrunning_its_block_is_rejected() {
+        // ORIGIN declares a 10-byte value but the attribute block ends
+        // after 1.
+        let mut body = BytesMut::new();
+        body.put_u16(0);
+        body.put_u16(4); // flags + code + len + one value byte.
+        body.put_u8(flags::TRANSITIVE);
+        body.put_u8(AttrCode::Origin as u8);
+        body.put_u8(10);
+        body.put_u8(0);
+        let raw = frame(MessageType::Update, &body);
+        assert_eq!(
+            decode(&raw),
+            Err(BgpError::BadAttribute {
+                code: AttrCode::Origin as u8,
+                reason: "declared length overruns attribute block",
+            })
+        );
+    }
+
+    #[test]
+    fn truncated_attribute_header_is_malformed() {
+        // The attribute block ends mid-header (flags byte only).
+        let mut body = BytesMut::new();
+        body.put_u16(0);
+        body.put_u16(1);
+        body.put_u8(flags::TRANSITIVE);
+        let raw = frame(MessageType::Update, &body);
+        assert_eq!(
+            decode(&raw),
+            Err(BgpError::Update(UpdateErrorSubcode::MalformedAttributeList))
+        );
+    }
+
+    #[test]
+    fn unused_attribute_flag_bits_are_rejected() {
+        let raw = update_with_raw_attr(flags::TRANSITIVE | 0x01, AttrCode::Origin as u8, &[0]);
+        assert_eq!(
+            decode(&raw),
+            Err(BgpError::Update(UpdateErrorSubcode::AttributeFlagsError))
+        );
+        // The unused-bits rule applies to unknown codes too.
+        let raw = update_with_raw_attr(flags::OPTIONAL | flags::TRANSITIVE | 0x08, 99, &[0]);
+        assert_eq!(
+            decode(&raw),
+            Err(BgpError::Update(UpdateErrorSubcode::AttributeFlagsError))
+        );
+    }
+
+    #[test]
+    fn wrong_optional_bit_is_rejected() {
+        // ORIGIN is well-known; marking it optional is a flags error.
+        let raw = update_with_raw_attr(
+            flags::OPTIONAL | flags::TRANSITIVE,
+            AttrCode::Origin as u8,
+            &[0],
+        );
+        assert_eq!(
+            decode(&raw),
+            Err(BgpError::Update(UpdateErrorSubcode::AttributeFlagsError))
+        );
+        // MED is optional; presenting it as well-known is a flags error.
+        let raw = update_with_raw_attr(flags::TRANSITIVE, AttrCode::Med as u8, &[0, 0, 0, 0]);
+        assert_eq!(
+            decode(&raw),
+            Err(BgpError::Update(UpdateErrorSubcode::AttributeFlagsError))
+        );
+    }
+
+    #[test]
+    fn well_known_attribute_missing_transitive_is_rejected() {
+        let raw = update_with_raw_attr(0, AttrCode::Origin as u8, &[0]);
+        assert_eq!(
+            decode(&raw),
+            Err(BgpError::Update(UpdateErrorSubcode::AttributeFlagsError))
+        );
     }
 
     #[test]

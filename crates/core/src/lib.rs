@@ -85,6 +85,7 @@
 pub mod checker;
 pub mod checkpoint;
 pub mod checkpointable;
+pub mod control;
 pub mod explorer;
 pub mod fleet;
 pub mod handler;
@@ -103,6 +104,7 @@ pub use checker::{
 };
 pub use checkpoint::RoundCheckpoint;
 pub use checkpointable::CheckpointedRouter;
+pub use control::{ControlPlane, ControlSnapshot, IngestCounters, CONTROL_SCHEMA_VERSION};
 pub use explorer::{CheckpointMode, Dice, DiceConfig};
 pub use fleet::{
     dedup_fleet_faults, FleetExplorer, FleetFault, FleetReport, NodeReport, NodeWindow,

@@ -57,10 +57,14 @@ use std::collections::HashMap;
 use std::fmt;
 use std::time::{Duration, Instant};
 
+use dice_checkpoint::CowForkStats;
 use dice_netsim::topology::NodeId;
-use dice_netsim::{FaultPlan, Simulator};
+use dice_netsim::{FaultPlan, SharedIngestStats, Simulator};
+use dice_solver::SolverStats;
 
 use crate::checker::{Fault, RoundOutcomes};
+use crate::checkpoint::RoundCheckpoint;
+use crate::control::{ControlPlane, ControlSnapshot, IngestCounters};
 use crate::fleet::{FleetExplorer, FleetReport};
 use crate::session::DiceSession;
 
@@ -267,6 +271,8 @@ pub struct LiveOrchestrator {
     compact_log: bool,
     fault_plan: Option<FaultPlan>,
     live_history: usize,
+    control: ControlPlane,
+    ingest_stats: Option<SharedIngestStats>,
 }
 
 impl Default for LiveOrchestrator {
@@ -286,6 +292,8 @@ impl LiveOrchestrator {
             compact_log: true,
             fault_plan: None,
             live_history: 64,
+            control: ControlPlane::new(),
+            ingest_stats: None,
         }
     }
 
@@ -349,6 +357,33 @@ impl LiveOrchestrator {
         self
     }
 
+    /// Publishes run status through an externally owned [`ControlPlane`]
+    /// instead of the orchestrator's own: hand one clone of the plane to
+    /// whatever serves status and the other here. Equivalent to sampling
+    /// [`LiveOrchestrator::control_plane`].
+    pub fn with_control_plane(mut self, plane: ControlPlane) -> Self {
+        self.control = plane;
+        self
+    }
+
+    /// Attaches the shared counters of a wire-ingest driver
+    /// ([`dice_netsim::WireReplayDriver::stats`]) so decode/error counts
+    /// and decode throughput report through every published
+    /// [`ControlSnapshot`].
+    pub fn with_ingest_stats(mut self, stats: SharedIngestStats) -> Self {
+        self.ingest_stats = Some(stats);
+        self
+    }
+
+    /// The control plane this orchestrator publishes to: a clone-cheap,
+    /// `Arc`-shared handle. [`crate::ControlPlane::sample`] it from any
+    /// thread mid-run; [`LiveOrchestrator::run`] publishes a fresh
+    /// [`ControlSnapshot`] after every executed round and once more when
+    /// the run ends.
+    pub fn control_plane(&self) -> ControlPlane {
+        self.control.clone()
+    }
+
     /// The fleet explorer driving each round.
     pub fn explorer(&self) -> &FleetExplorer {
         &self.explorer
@@ -384,7 +419,20 @@ impl LiveOrchestrator {
         let mut cursor = 0u64;
         let mut history: Vec<RoundOutcomes> = Vec::new();
 
+        // Control-plane accumulators: per-round latency, merged solver
+        // counters, and shard-level CoW sharing of each round's per-node
+        // forks, probed when the round's window closes.
+        let mut solver = SolverStats::default();
+        let mut last_latency = Duration::ZERO;
+        let mut latency_total = Duration::ZERO;
+        let mut cow = CowForkStats::default();
+        let mut forks: Vec<RoundCheckpoint> = nodes
+            .iter()
+            .map(|&node| RoundCheckpoint::capture(sim.router(node)))
+            .collect();
+
         for epoch in 0..self.max_rounds.max(1) {
+            let epoch_started = Instant::now();
             // Scheduled faults fire first, so the driver's epoch traffic
             // lands on the perturbed network. A no-op without a plan.
             sim.apply_epoch_faults(epoch as u64);
@@ -423,6 +471,9 @@ impl LiveOrchestrator {
                 let temporal = self.explorer.session().check_live(&history);
                 Self::merge_temporal_faults(&mut report.faults, &mut index, &temporal, round_index);
 
+                for node in &fleet.nodes {
+                    solver.merge(&node.report.solver_stats);
+                }
                 report.rounds.push(LiveRound {
                     index: round_index,
                     window: (cursor, head),
@@ -434,6 +485,27 @@ impl LiveOrchestrator {
                     // log below it can never be harvested again: drop it.
                     sim.trim_observed_below(cursor);
                 }
+
+                // The round's forks are done: probe how much each still
+                // shares with its live router, then recapture for the next
+                // window.
+                for (fork, &node) in forks.iter_mut().zip(&nodes) {
+                    let probe = fork.cow_stats_vs(sim.router(node));
+                    cow.units_total += probe.units_total;
+                    cow.units_shared += probe.units_shared;
+                    *fork = RoundCheckpoint::capture(sim.router(node));
+                }
+                last_latency = epoch_started.elapsed();
+                latency_total += last_latency;
+                self.control.publish(self.assemble_snapshot(
+                    &report,
+                    sim,
+                    &solver,
+                    last_latency,
+                    latency_total,
+                    cow,
+                    cursor,
+                ));
             }
             if !more {
                 break;
@@ -442,7 +514,58 @@ impl LiveOrchestrator {
 
         report.injected_faults = sim.injected_fault_count() as u64;
         report.elapsed = started.elapsed();
+        self.control.publish(self.assemble_snapshot(
+            &report,
+            sim,
+            &solver,
+            last_latency,
+            latency_total,
+            cow,
+            cursor,
+        ));
         report
+    }
+
+    /// Builds the [`ControlSnapshot`] published after each executed round
+    /// (and once more at run end) from the in-progress report, the
+    /// simulator, and the run's accumulated counters.
+    #[allow(clippy::too_many_arguments)]
+    fn assemble_snapshot(
+        &self,
+        report: &LiveReport,
+        sim: &Simulator,
+        solver: &SolverStats,
+        last_latency: Duration,
+        latency_total: Duration,
+        cow: CowForkStats,
+        watermark: u64,
+    ) -> ControlSnapshot {
+        let rounds = report.rounds.len();
+        ControlSnapshot {
+            rounds,
+            total_runs: report.total_runs(),
+            distinct_faults: report.faults.len(),
+            injected_faults: sim.injected_fault_count() as u64,
+            last_round_latency: last_latency,
+            mean_round_latency: if rounds == 0 {
+                Duration::ZERO
+            } else {
+                latency_total / rounds as u32
+            },
+            solver_queries: solver.queries,
+            solver_incremental_queries: solver.incremental_queries,
+            solver_reuse_rate: solver.reuse_rate(),
+            policy_coverage: report.policy_branch_coverage(),
+            cow,
+            compaction_watermark: watermark,
+            delivered: sim.stats().delivered,
+            ingest: self
+                .ingest_stats
+                .as_ref()
+                .map(|stats| IngestCounters::from(&stats.snapshot()))
+                .unwrap_or_default(),
+            ..ControlSnapshot::default()
+        }
     }
 
     /// Folds one round's fleet-deduplicated faults into the cross-round

@@ -18,12 +18,17 @@
 //! * [`faults::FaultPlan`] — deterministic, seeded fault injection (link
 //!   flaps, session resets, message drop/duplicate/reorder) the simulator
 //!   consults at enqueue and delivery time, with every injected event
-//!   recorded in a replayable [`faults::FaultTrace`].
+//!   recorded in a replayable [`faults::FaultTrace`];
+//! * [`ingest::WireTrace`] and [`ingest::WireReplayDriver`] — MRT-style
+//!   wire-level replay: framed raw BGP message bytes decoded strictly
+//!   through `dice_bgp::wire::decode` (with per-message byte-identity
+//!   checks) and driven into the simulator epoch by epoch.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod faults;
+pub mod ingest;
 pub mod metrics;
 pub mod replay;
 pub mod sim;
@@ -32,6 +37,10 @@ pub mod trace;
 
 pub use faults::{
     DeliveryError, FaultPlan, FaultSpec, FaultTrace, InjectedFault, InjectedFaultKind,
+};
+pub use ingest::{
+    synthesize_wire_trace, IngestError, IngestStats, SharedIngestStats, WireRecord,
+    WireReplayDriver, WireTrace,
 };
 pub use metrics::{slowdown_percent, MeasuredRegion, ThroughputMeter};
 pub use replay::{ReplayStats, Replayer};

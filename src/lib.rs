@@ -28,17 +28,22 @@ pub mod prelude {
     pub use dice_bgp::AsPath;
     pub use dice_checkpoint::{CheckpointManager, Checkpointable};
     pub use dice_core::{
-        AsRelationship, BlackholeChecker, CheckpointMode, CheckpointedRouter,
-        CrossRoundFlapChecker, CustomerFilterMode, Dice, DiceBuilder, DiceConfig, DiceSession,
-        ExplorationReport, Fault, FaultChecker, FaultKind, FleetExplorer, FleetFault, FleetReport,
-        ForwardingLoopChecker, LiveFault, LiveOrchestrator, LiveReport, LiveRound,
-        MoreSpecificHijackChecker, OriginHijackChecker, RoundCheckpoint, RoundOutcomes,
-        RouteLeakChecker, RouteOscillationChecker, SharedCoreScheduler, UpdateTemplate,
+        AsRelationship, BlackholeChecker, CheckpointMode, CheckpointedRouter, ControlPlane,
+        ControlSnapshot, CrossRoundFlapChecker, CustomerFilterMode, Dice, DiceBuilder, DiceConfig,
+        DiceSession, ExplorationReport, Fault, FaultChecker, FaultKind, FleetExplorer, FleetFault,
+        FleetReport, ForwardingLoopChecker, IngestCounters, LiveFault, LiveOrchestrator,
+        LiveReport, LiveRound, MoreSpecificHijackChecker, OriginHijackChecker, RoundCheckpoint,
+        RoundOutcomes, RouteLeakChecker, RouteOscillationChecker, SharedCoreScheduler,
+        UpdateTemplate, CONTROL_SCHEMA_VERSION,
     };
     pub use dice_netsim::topology::{
         addr, asn, figure2_topology, figure2_topology_with_customer_filter, NodeId, Topology,
     };
     pub use dice_netsim::{generate_trace, Replayer, Simulator, TraceGenConfig};
+    pub use dice_netsim::{
+        synthesize_wire_trace, IngestError, IngestStats, SharedIngestStats, WireRecord,
+        WireReplayDriver, WireTrace,
+    };
     pub use dice_netsim::{
         DeliveryError, FaultPlan, FaultSpec, FaultTrace, InjectedFault, InjectedFaultKind,
     };
@@ -134,5 +139,27 @@ mod tests {
         let _ = ConcolicEngine::with_config(EngineConfig::default());
         let _ = ExecCtx::new();
         let _ = InputValues::new().with("x", 1);
+
+        let mut wire = WireTrace::new();
+        wire.push_update(
+            0,
+            NodeId(0),
+            addr::INTERNET,
+            &UpdateMessage::withdraw(Vec::new()),
+        );
+        let _: Option<&WireRecord> = wire.records.first();
+        let _ = WireTrace::from_bytes(&wire.to_bytes()).expect("round-trips");
+        let _ = synthesize_wire_trace(&config, NodeId(0), asn::INTERNET, addr::INTERNET);
+        let driver = WireReplayDriver::new(wire)
+            .with_frames_per_epoch(4)
+            .with_epoch_ms(250);
+        let shared: SharedIngestStats = driver.stats();
+        let _: IngestStats = shared.snapshot();
+        let _ = IngestError::BadMagic;
+        let plane = ControlPlane::new();
+        plane.publish(ControlSnapshot::default());
+        let snapshot = plane.sample();
+        assert_eq!(snapshot.schema_version, CONTROL_SCHEMA_VERSION);
+        let _ = IngestCounters::default();
     }
 }

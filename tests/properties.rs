@@ -152,6 +152,42 @@ proptest! {
         prop_assert_eq!(decoded, BgpMessage::Update(update));
     }
 
+    /// Wire-trace round-trip: random valid updates → encode → serialize
+    /// the trace → parse → decode each frame → re-encode, every stage byte
+    /// identical. This is the contract `WireReplayDriver` enforces per
+    /// frame at ingest time.
+    #[test]
+    fn wire_trace_roundtrips_byte_identically(
+        msgs in prop::collection::vec(
+            (
+                any::<u64>(),
+                prop::collection::vec(arb_prefix(), 0..6),
+                prop::collection::vec(arb_prefix(), 0..6),
+                arb_attrs(),
+            ),
+            1..12,
+        ),
+    ) {
+        let mut trace = WireTrace::new();
+        for (at_ms, nlri, withdrawn, attrs) in &msgs {
+            let update = UpdateMessage {
+                withdrawn: withdrawn.clone(),
+                attributes: if nlri.is_empty() { Vec::new() } else { attrs.to_attributes() },
+                nlri: nlri.clone(),
+            };
+            trace.push_update(*at_ms, NodeId(1), addr::CUSTOMER, &update);
+        }
+        let bytes = trace.to_bytes();
+        let parsed = WireTrace::from_bytes(&bytes).expect("serialized trace parses");
+        prop_assert_eq!(&parsed, &trace);
+        prop_assert_eq!(parsed.to_bytes(), bytes);
+        for record in &parsed.records {
+            let (msg, used) = wire::decode(&record.bytes).expect("frame decodes");
+            prop_assert_eq!(used, record.bytes.len());
+            prop_assert_eq!(wire::encode(&msg).to_vec(), record.bytes.clone());
+        }
+    }
+
     /// The trie's longest-prefix match agrees with a naive linear scan.
     #[test]
     fn trie_matches_naive_longest_prefix_match(
