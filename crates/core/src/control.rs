@@ -24,11 +24,18 @@ use std::time::Duration;
 
 use dice_checkpoint::CowForkStats;
 use dice_netsim::IngestStats;
+use dice_obs::HistogramSummary;
 
 /// Schema version of [`ControlSnapshot`]. Bumped whenever a field is
 /// added, removed or changes meaning; consumers should check it before
 /// interpreting the rest of the snapshot.
-pub const CONTROL_SCHEMA_VERSION: u32 = 1;
+///
+/// **v1 → v2:** every v1 field is preserved with its meaning and rendered
+/// position unchanged; v2 appends latency *distributions* — histogram
+/// summaries (count/p50/p90/p99/max) for round latency, solver wave
+/// latency, and per-epoch ingest decode time — where v1 only carried
+/// last/mean scalars.
+pub const CONTROL_SCHEMA_VERSION: u32 = 2;
 
 /// Wire-ingest counters, mirrored from
 /// [`dice_netsim::IngestStats`] into the control plane's stable schema
@@ -49,6 +56,8 @@ pub struct IngestCounters {
     pub bytes_consumed: u64,
     /// Decode throughput in updates/s (0 before any frame).
     pub updates_per_second: f64,
+    /// Distribution of per-epoch frame-decode time (schema v2).
+    pub decode_latency: HistogramSummary,
 }
 
 impl From<&IngestStats> for IngestCounters {
@@ -61,6 +70,7 @@ impl From<&IngestStats> for IngestCounters {
             reencode_mismatches: stats.reencode_mismatches,
             bytes_consumed: stats.bytes_consumed,
             updates_per_second: stats.updates_per_second(),
+            decode_latency: stats.decode_time.summary(),
         }
     }
 }
@@ -113,6 +123,12 @@ pub struct ControlSnapshot {
     /// Wire-ingest counters; all zero when the run is not fed from a wire
     /// trace.
     pub ingest: IngestCounters,
+    /// Distribution of round wall-clock latency across the run (schema
+    /// v2; one sample per executed round).
+    pub round_latency: HistogramSummary,
+    /// Distribution of batched solver-wave latency across all rounds and
+    /// inputs (schema v2; empty when exploration runs sequentially).
+    pub wave_latency: HistogramSummary,
 }
 
 impl Default for ControlSnapshot {
@@ -133,14 +149,30 @@ impl Default for ControlSnapshot {
             compaction_watermark: 0,
             delivered: 0,
             ingest: IngestCounters::default(),
+            round_latency: HistogramSummary::default(),
+            wave_latency: HistogramSummary::default(),
         }
     }
 }
 
 impl ControlSnapshot {
+    /// Mean round latency from a running total, guarding the zero-round
+    /// state: before the first round completes there is nothing to divide
+    /// by, and the mean is defined as `Duration::ZERO`.
+    pub fn mean_latency(latency_total: Duration, rounds: usize) -> Duration {
+        if rounds == 0 {
+            return Duration::ZERO;
+        }
+        // A round count beyond u32::MAX saturates the divisor instead of
+        // panicking; the mean is indistinguishable from zero there anyway.
+        latency_total / u32::try_from(rounds).unwrap_or(u32::MAX)
+    }
+
     /// The stable rendered form, one field group per line. This is the
     /// serialized surface consumers scrape; its shape is pinned by golden
-    /// tests and changes only with [`CONTROL_SCHEMA_VERSION`].
+    /// tests and changes only with [`CONTROL_SCHEMA_VERSION`]. The v1
+    /// lines render first, byte-identical to schema v1; the v2 latency
+    /// distributions follow.
     pub fn render(&self) -> String {
         format!(
             "control-snapshot v{}\n\
@@ -149,7 +181,10 @@ impl ControlSnapshot {
              solver queries={} incremental={} reuse={:.1}%\n\
              policy coverage={:.1}%\n\
              cow shards {}/{} shared\n\
-             ingest frames={} decoded={} injected={} errors={} mismatches={} bytes={} rate={:.0}/s\n",
+             ingest frames={} decoded={} injected={} errors={} mismatches={} bytes={} rate={:.0}/s\n\
+             round-latency {}\n\
+             wave-latency {}\n\
+             decode-latency {}\n",
             self.schema_version,
             self.rounds,
             self.total_runs,
@@ -172,8 +207,127 @@ impl ControlSnapshot {
             self.ingest.reencode_mismatches,
             self.ingest.bytes_consumed,
             self.ingest.updates_per_second,
+            self.round_latency,
+            self.wave_latency,
+            self.ingest.decode_latency,
         )
     }
+
+    /// The machine-readable export: the snapshot as Prometheus text
+    /// exposition format. Counters and gauges mirror the rendered lines;
+    /// the three latency distributions export as `summary` families with
+    /// `quantile` labels (the snapshot carries condensed summaries, not
+    /// raw buckets). Output parses against
+    /// [`dice_obs::validate_prometheus_text`].
+    pub fn prometheus(&self) -> String {
+        let mut text = dice_obs::PrometheusText::new();
+        text.counter(
+            "dice_rounds_total",
+            "Exploration rounds executed.",
+            self.rounds as u64,
+        );
+        text.counter(
+            "dice_runs_total",
+            "Exploration executions across all rounds and nodes.",
+            self.total_runs as u64,
+        );
+        text.gauge(
+            "dice_distinct_faults",
+            "Distinct faults after cross-round deduplication.",
+            self.distinct_faults as f64,
+        );
+        text.counter(
+            "dice_injected_faults_total",
+            "Faults injected by the fault plan.",
+            self.injected_faults,
+        );
+        text.counter(
+            "dice_delivered_messages_total",
+            "Messages delivered by the simulator.",
+            self.delivered,
+        );
+        text.counter(
+            "dice_compaction_watermark",
+            "Delivery-log compaction watermark.",
+            self.compaction_watermark,
+        );
+        text.counter(
+            "dice_solver_queries_total",
+            "Solver queries across all rounds.",
+            self.solver_queries,
+        );
+        text.counter(
+            "dice_solver_incremental_queries_total",
+            "Solver queries answered through incremental sessions.",
+            self.solver_incremental_queries,
+        );
+        text.gauge(
+            "dice_solver_reuse_ratio",
+            "Share of incremental constraint work reused.",
+            self.solver_reuse_rate,
+        );
+        text.gauge(
+            "dice_policy_coverage_ratio",
+            "Policy-branch coverage.",
+            self.policy_coverage,
+        );
+        text.counter(
+            "dice_ingest_frames_total",
+            "Wire frames pulled from the trace.",
+            self.ingest.frames,
+        );
+        text.counter(
+            "dice_ingest_decode_errors_total",
+            "Wire frames rejected by the codec.",
+            self.ingest.decode_errors,
+        );
+        text.gauge(
+            "dice_ingest_updates_per_second",
+            "Decode throughput through the wire codec.",
+            self.ingest.updates_per_second,
+        );
+        let mut out = text.finish();
+        summary_family(
+            &mut out,
+            "dice_round_latency_seconds",
+            "Round wall-clock latency distribution.",
+            &self.round_latency,
+        );
+        summary_family(
+            &mut out,
+            "dice_wave_latency_seconds",
+            "Batched solver-wave latency distribution.",
+            &self.wave_latency,
+        );
+        summary_family(
+            &mut out,
+            "dice_ingest_decode_latency_seconds",
+            "Per-epoch wire decode latency distribution.",
+            &self.ingest.decode_latency,
+        );
+        out
+    }
+}
+
+/// Append one Prometheus `summary` family rendering a condensed
+/// [`HistogramSummary`] (quantile labels in seconds, plus `_count`).
+fn summary_family(out: &mut String, name: &str, help: &str, summary: &HistogramSummary) {
+    use std::fmt::Write as _;
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} summary");
+    for (quantile, value) in [
+        ("0.5", summary.p50),
+        ("0.9", summary.p90),
+        ("0.99", summary.p99),
+        ("1", summary.max),
+    ] {
+        let _ = writeln!(
+            out,
+            "{name}{{quantile=\"{quantile}\"}} {}",
+            value as f64 / 1e9
+        );
+    }
+    let _ = writeln!(out, "{name}_count {}", summary.count);
 }
 
 impl fmt::Display for ControlSnapshot {
@@ -248,6 +402,27 @@ mod tests {
                 reencode_mismatches: 0,
                 bytes_consumed: 5400,
                 updates_per_second: 1234.0,
+                decode_latency: HistogramSummary {
+                    count: 3,
+                    p50: 200_000,
+                    p90: 350_000,
+                    p99: 350_000,
+                    max: 350_000,
+                },
+            },
+            round_latency: HistogramSummary {
+                count: 3,
+                p50: 10_000_000,
+                p90: 12_000_000,
+                p99: 12_000_000,
+                max: 12_000_000,
+            },
+            wave_latency: HistogramSummary {
+                count: 40,
+                p50: 60_000,
+                p90: 110_000,
+                p99: 140_000,
+                max: 140_000,
             },
         }
     }
@@ -256,13 +431,16 @@ mod tests {
     fn golden_render_of_a_populated_snapshot() {
         assert_eq!(
             populated().render(),
-            "control-snapshot v1\n\
+            "control-snapshot v2\n\
              rounds=3 runs=120 faults=2 injected=1 delivered=42 watermark=9\n\
              latency last=12ms mean=10ms\n\
              solver queries=400 incremental=350 reuse=62.5%\n\
              policy coverage=75.0%\n\
              cow shards 7/8 shared\n\
-             ingest frames=100 decoded=98 injected=98 errors=2 mismatches=0 bytes=5400 rate=1234/s\n"
+             ingest frames=100 decoded=98 injected=98 errors=2 mismatches=0 bytes=5400 rate=1234/s\n\
+             round-latency n=3 p50=10ms p90=12ms p99=12ms max=12ms\n\
+             wave-latency n=40 p50=60µs p90=110µs p99=140µs max=140µs\n\
+             decode-latency n=3 p50=200µs p90=350µs p99=350µs max=350µs\n"
         );
         assert_eq!(populated().to_string(), populated().render());
     }
@@ -271,14 +449,68 @@ mod tests {
     fn golden_render_of_the_default_snapshot() {
         assert_eq!(
             ControlSnapshot::default().render(),
-            "control-snapshot v1\n\
+            "control-snapshot v2\n\
              rounds=0 runs=0 faults=0 injected=0 delivered=0 watermark=0\n\
              latency last=0ns mean=0ns\n\
              solver queries=0 incremental=0 reuse=0.0%\n\
              policy coverage=100.0%\n\
              cow shards 0/0 shared\n\
-             ingest frames=0 decoded=0 injected=0 errors=0 mismatches=0 bytes=0 rate=0/s\n"
+             ingest frames=0 decoded=0 injected=0 errors=0 mismatches=0 bytes=0 rate=0/s\n\
+             round-latency n=0\n\
+             wave-latency n=0\n\
+             decode-latency n=0\n"
         );
+    }
+
+    #[test]
+    fn golden_render_of_the_empty_zero_round_snapshot() {
+        // The zero-round state a sidecar samples before the first round
+        // completes: latency fields must render as zeros (the mean guard),
+        // and every distribution is empty.
+        let empty = ControlSnapshot {
+            mean_round_latency: ControlSnapshot::mean_latency(Duration::ZERO, 0),
+            ..ControlSnapshot::default()
+        };
+        assert_eq!(empty, ControlSnapshot::default());
+        assert_eq!(
+            empty.render(),
+            ControlSnapshot::default().render(),
+            "the published zero-round snapshot is the golden default"
+        );
+        assert!(empty.render().contains("latency last=0ns mean=0ns\n"));
+    }
+
+    #[test]
+    fn mean_latency_guards_the_zero_round_division() {
+        assert_eq!(
+            ControlSnapshot::mean_latency(Duration::ZERO, 0),
+            Duration::ZERO
+        );
+        assert_eq!(
+            ControlSnapshot::mean_latency(Duration::from_secs(9), 0),
+            Duration::ZERO
+        );
+        assert_eq!(
+            ControlSnapshot::mean_latency(Duration::from_secs(9), 3),
+            Duration::from_secs(3)
+        );
+    }
+
+    #[test]
+    fn prometheus_export_parses_and_carries_the_quantiles() {
+        let doc = populated().prometheus();
+        dice_obs::validate_prometheus_text(&doc).expect("export parses against the grammar");
+        assert!(doc.contains("# TYPE dice_round_latency_seconds summary"));
+        assert!(doc.contains("dice_round_latency_seconds{quantile=\"0.5\"} 0.01"));
+        assert!(doc.contains("dice_round_latency_seconds_count 3"));
+        assert!(doc.contains("dice_rounds_total 3"));
+        assert!(doc.contains("dice_solver_reuse_ratio 0.625"));
+        assert!(doc.contains("dice_ingest_updates_per_second 1234"));
+
+        // The empty snapshot also exports a complete, parseable document.
+        let empty = ControlSnapshot::default().prometheus();
+        dice_obs::validate_prometheus_text(&empty).expect("empty export parses");
+        assert!(empty.contains("dice_round_latency_seconds_count 0"));
     }
 
     #[test]

@@ -108,6 +108,17 @@ impl FleetReport {
         self.nodes.iter().map(|n| n.report.faults.len()).sum()
     }
 
+    /// Solver-wave latency distribution merged across every node's report
+    /// ([`ExplorationReport::wave_latency`]). Purely observational — never
+    /// part of [`FleetReport::digest`].
+    pub fn wave_latency(&self) -> dice_obs::Histogram {
+        let mut merged = dice_obs::Histogram::new();
+        for n in &self.nodes {
+            merged.merge(&n.report.wave_latency);
+        }
+        merged
+    }
+
     /// Total policy branch sites registered across the fleet (filter arms,
     /// summed over nodes; an arm each of two nodes evaluates counts twice).
     pub fn total_policy_sites(&self) -> usize {
@@ -298,6 +309,7 @@ impl FleetExplorer {
 
         // Harvest in one pass over the delivery log, grouping entries by
         // requested node (cloning only what an explored node observed).
+        let mut harvest_span = dice_obs::span("core", "fleet.harvest");
         let mut by_node: HashMap<NodeId, Vec<_>> = HashMap::new();
         for entry in sim.observed_log() {
             if seen.contains(&entry.node) {
@@ -311,6 +323,8 @@ impl FleetExplorer {
             .iter()
             .map(|&node| (node, by_node.remove(&node).unwrap_or_default()))
             .collect();
+        harvest_span.set_detail(harvested.iter().map(|(_, w)| w.len() as u64).sum());
+        drop(harvest_span);
         self.explore_windows(sim, harvested)
     }
 
@@ -373,9 +387,12 @@ impl FleetExplorer {
 
         // Work-stealing fan-out over nodes, results merged back in window
         // order so the report is deterministic for every budget.
+        let mut explore_span = dice_obs::span("core", "fleet.explore");
+        explore_span.set_detail(windows.len() as u64);
         let results = crate::parallel::fan_out(&items, concurrent, |(i, (node, observed))| {
             sessions[*i].explore_collecting(sim.router(*node), observed)
         });
+        drop(explore_span);
 
         let mut node_reports: Vec<NodeReport> = Vec::with_capacity(windows.len());
         let mut node_outcomes: Vec<(NodeId, Vec<HandlerOutcome>)> =

@@ -425,6 +425,8 @@ impl LiveOrchestrator {
         let mut solver = SolverStats::default();
         let mut last_latency = Duration::ZERO;
         let mut latency_total = Duration::ZERO;
+        let mut round_latency = dice_obs::Histogram::new();
+        let mut wave_latency = dice_obs::Histogram::new();
         let mut cow = CowForkStats::default();
         let mut forks: Vec<RoundCheckpoint> = nodes
             .iter()
@@ -440,10 +442,13 @@ impl LiveOrchestrator {
             sim.run_to_quiescence(self.quiesce_steps);
             let head = sim.observed_cursor();
             if head > cursor {
+                let mut harvest_span = dice_obs::span("core", "live.harvest");
                 let windows: Vec<_> = nodes
                     .iter()
                     .map(|&node| (node, sim.observed_inputs_in(node, cursor, head)))
                     .collect();
+                harvest_span.set_detail(windows.iter().map(|(_, w)| w.len() as u64).sum());
+                drop(harvest_span);
                 let (fleet, outcomes) = self
                     .explorer
                     .explore_windows_collecting(sim, windows.clone());
@@ -468,12 +473,16 @@ impl LiveOrchestrator {
                 if history.len() > self.live_history {
                     history.drain(..history.len() - self.live_history);
                 }
+                let mut check_span = dice_obs::span("core", "live.check");
+                check_span.set_detail(history.len() as u64);
                 let temporal = self.explorer.session().check_live(&history);
+                drop(check_span);
                 Self::merge_temporal_faults(&mut report.faults, &mut index, &temporal, round_index);
 
                 for node in &fleet.nodes {
                     solver.merge(&node.report.solver_stats);
                 }
+                wave_latency.merge(&fleet.wave_latency());
                 report.rounds.push(LiveRound {
                     index: round_index,
                     window: (cursor, head),
@@ -497,12 +506,15 @@ impl LiveOrchestrator {
                 }
                 last_latency = epoch_started.elapsed();
                 latency_total += last_latency;
+                round_latency.record_duration(last_latency);
                 self.control.publish(self.assemble_snapshot(
                     &report,
                     sim,
                     &solver,
                     last_latency,
                     latency_total,
+                    round_latency.summary(),
+                    wave_latency.summary(),
                     cow,
                     cursor,
                 ));
@@ -520,6 +532,8 @@ impl LiveOrchestrator {
             &solver,
             last_latency,
             latency_total,
+            round_latency.summary(),
+            wave_latency.summary(),
             cow,
             cursor,
         ));
@@ -537,6 +551,8 @@ impl LiveOrchestrator {
         solver: &SolverStats,
         last_latency: Duration,
         latency_total: Duration,
+        round_latency: dice_obs::HistogramSummary,
+        wave_latency: dice_obs::HistogramSummary,
         cow: CowForkStats,
         watermark: u64,
     ) -> ControlSnapshot {
@@ -547,11 +563,9 @@ impl LiveOrchestrator {
             distinct_faults: report.faults.len(),
             injected_faults: sim.injected_fault_count() as u64,
             last_round_latency: last_latency,
-            mean_round_latency: if rounds == 0 {
-                Duration::ZERO
-            } else {
-                latency_total / rounds as u32
-            },
+            mean_round_latency: ControlSnapshot::mean_latency(latency_total, rounds),
+            round_latency,
+            wave_latency,
             solver_queries: solver.queries,
             solver_incremental_queries: solver.incremental_queries,
             solver_reuse_rate: solver.reuse_rate(),

@@ -153,6 +153,7 @@ struct InputOutcome {
     distinct_paths: usize,
     generated_inputs: usize,
     waves: usize,
+    wave_latency: dice_obs::Histogram,
     solver_stats: SolverStats,
     coverage: Coverage,
     intercepted_messages: usize,
@@ -284,6 +285,7 @@ impl DiceSession {
             report.distinct_paths += outcome.distinct_paths;
             report.generated_inputs += outcome.generated_inputs;
             report.solver_waves += outcome.waves;
+            report.wave_latency.merge(&outcome.wave_latency);
             report.solver_stats.merge(&outcome.solver_stats);
             coverage.merge(&outcome.coverage);
             report.intercepted_messages += outcome.intercepted_messages;
@@ -355,6 +357,7 @@ impl DiceSession {
             distinct_paths: exploration.distinct_paths(),
             generated_inputs: exploration.generated_inputs().len(),
             waves: exploration.stats.waves,
+            wave_latency: exploration.wave_latency,
             solver_stats: exploration.solver_stats,
             coverage: std::mem::replace(&mut exploration.coverage, Coverage::new()),
             intercepted_messages: handler.interceptor().len(),

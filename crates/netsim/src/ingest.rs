@@ -34,6 +34,7 @@ use std::time::Instant;
 use dice_bgp::error::BgpError;
 use dice_bgp::message::{BgpMessage, UpdateMessage};
 use dice_bgp::wire;
+use dice_obs::Histogram;
 
 use crate::metrics::ThroughputMeter;
 use crate::sim::Simulator;
@@ -307,6 +308,9 @@ pub struct IngestStats {
     pub bytes_consumed: u64,
     /// Decode throughput: updates/s through the wire codec.
     pub meter: ThroughputMeter,
+    /// Distribution of per-epoch frame-decode time (nanoseconds): one
+    /// sample per `drive` call, covering the codec loop only.
+    pub decode_time: Histogram,
     /// Every structured failure, in frame order.
     pub events: Vec<IngestError>,
 }
@@ -428,6 +432,7 @@ impl WireReplayDriver {
     /// contract. Failures are recorded in [`IngestStats::events`]; the
     /// frame is skipped and replay continues.
     pub fn drive(&mut self, sim: &mut Simulator, _epoch: usize) -> bool {
+        let mut span = dice_obs::span("netsim", "ingest.drive");
         let end = match self.split {
             EpochSplit::AllAtOnce => self.records.len(),
             EpochSplit::ByCount(n) => self.records.len().min(self.cursor + n),
@@ -481,7 +486,10 @@ impl WireReplayDriver {
                 }
             }
         }
-        batch.meter.record(batch.decoded, started.elapsed());
+        let decode_elapsed = started.elapsed();
+        batch.meter.record(batch.decoded, decode_elapsed);
+        batch.decode_time.record_duration(decode_elapsed);
+        span.set_detail(batch.frames);
         self.cursor = end;
 
         for (node, peer, msg) in injections {
@@ -494,9 +502,8 @@ impl WireReplayDriver {
             stats.decode_errors += batch.decode_errors;
             stats.reencode_mismatches += batch.reencode_mismatches;
             stats.bytes_consumed += batch.bytes_consumed;
-            stats
-                .meter
-                .record(batch.meter.updates(), batch.meter.elapsed());
+            stats.meter.merge(&batch.meter);
+            stats.decode_time.merge(&batch.decode_time);
             stats.events.extend(batch.events);
         });
         self.cursor < self.records.len()

@@ -36,6 +36,16 @@ impl ThroughputMeter {
         self.elapsed
     }
 
+    /// Folds another meter into this one, summing counts and elapsed time.
+    ///
+    /// Per-shard and per-worker meters are accumulated independently and
+    /// merged into the control plane's meter at publication points; the
+    /// result is identical to having recorded every region on one meter.
+    pub fn merge(&mut self, other: &ThroughputMeter) {
+        self.updates += other.updates;
+        self.elapsed += other.elapsed;
+    }
+
     /// Updates per second; 0 when no time has been recorded.
     pub fn updates_per_second(&self) -> f64 {
         let secs = self.elapsed.as_secs_f64();
@@ -101,6 +111,30 @@ mod tests {
         assert!((meter.updates_per_second() - 15.0).abs() < 1e-9);
         assert_eq!(meter.updates(), 300);
         assert_eq!(meter.elapsed(), Duration::from_secs(20));
+    }
+
+    #[test]
+    fn merge_folds_counts_and_elapsed_time() {
+        let mut total = ThroughputMeter::new();
+        let mut shard_a = ThroughputMeter::new();
+        let mut shard_b = ThroughputMeter::new();
+        shard_a.record(100, Duration::from_secs(4));
+        shard_b.record(50, Duration::from_secs(6));
+        total.merge(&shard_a);
+        total.merge(&shard_b);
+        assert_eq!(total.updates(), 150);
+        assert_eq!(total.elapsed(), Duration::from_secs(10));
+        assert!((total.updates_per_second() - 15.0).abs() < 1e-9);
+
+        // Merging is equivalent to recording every region on one meter.
+        let mut direct = ThroughputMeter::new();
+        direct.record(100, Duration::from_secs(4));
+        direct.record(50, Duration::from_secs(6));
+        assert_eq!(total, direct);
+
+        // Merging an empty meter is a no-op.
+        total.merge(&ThroughputMeter::new());
+        assert_eq!(total, direct);
     }
 
     #[test]

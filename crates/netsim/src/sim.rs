@@ -61,6 +61,31 @@ pub struct SimStats {
     pub now: u64,
 }
 
+impl std::fmt::Display for SimStats {
+    /// `delivered=… undeliverable=… now=…`, with the fault-layer counters
+    /// (`dropped`/`duplicated`/`reordered`) appended only when nonzero, so
+    /// a quiescent run renders identically with or without a fault plan
+    /// configured — the same only-when-nonzero convention the report
+    /// digests follow.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "delivered={} undeliverable={} now={}",
+            self.delivered, self.undeliverable, self.now
+        )?;
+        if self.dropped > 0 {
+            write!(f, " dropped={}", self.dropped)?;
+        }
+        if self.duplicated > 0 {
+            write!(f, " duplicated={}", self.duplicated)?;
+        }
+        if self.reordered > 0 {
+            write!(f, " reordered={}", self.reordered)?;
+        }
+        Ok(())
+    }
+}
+
 /// The simulator.
 pub struct Simulator {
     routers: Vec<BgpRouter>,
@@ -144,6 +169,8 @@ impl Simulator {
     /// learned routes with proper withdrawal propagation. A no-op under an
     /// empty plan; drivers and orchestrators call this once per epoch.
     pub fn apply_epoch_faults(&mut self, epoch: u64) {
+        let mut span = dice_obs::span("netsim", "sim.apply_epoch_faults");
+        let before = self.injected_fault_count();
         let now = self.stats.now;
         self.faults.apply_link_epoch(epoch, now);
         let resets: Vec<(NodeId, NodeId)> = self
@@ -159,6 +186,7 @@ impl Simulator {
         for (a, b) in resets {
             self.apply_session_reset(a, b, epoch);
         }
+        span.set_detail((self.injected_fault_count() - before) as u64);
     }
 
     /// Resets the BGP session between `a` and `b`: both sides tear their
@@ -429,6 +457,7 @@ impl Simulator {
     /// Advances virtual time by one tick, delivering everything due.
     /// Returns the number of messages delivered.
     pub fn step(&mut self) -> usize {
+        let mut span = dice_obs::span("netsim", "sim.step");
         self.stats.now += 1;
         let now = self.stats.now;
         let mut due = Vec::new();
@@ -463,6 +492,7 @@ impl Simulator {
             self.stats.delivered += 1;
             self.enqueue_outgoing(m.to_node, out);
         }
+        span.set_detail(delivered as u64);
         delivered
     }
 
@@ -485,6 +515,20 @@ mod tests {
     use dice_bgp::attributes::RouteAttrs;
     use dice_bgp::message::UpdateMessage;
     use dice_bgp::prefix::Ipv4Prefix;
+
+    #[test]
+    fn sim_stats_display_renders_fault_counters_only_when_nonzero() {
+        let mut stats = SimStats::default();
+        stats.delivered = 12;
+        stats.now = 40;
+        assert_eq!(stats.to_string(), "delivered=12 undeliverable=0 now=40");
+        stats.dropped = 2;
+        stats.reordered = 1;
+        assert_eq!(
+            stats.to_string(),
+            "delivered=12 undeliverable=0 now=40 dropped=2 reordered=1"
+        );
+    }
 
     fn announcement(prefix: &str, path: &[u32], next_hop: std::net::Ipv4Addr) -> BgpMessage {
         let mut attrs = RouteAttrs::default();

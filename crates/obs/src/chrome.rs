@@ -1,0 +1,517 @@
+//! Chrome Trace Event Format export (JSONL) and a serde-free validator.
+//!
+//! Each line is one complete (`ph:"X"`) or instant (`ph:"i"`) event object,
+//! directly loadable by `chrome://tracing` and Perfetto. Timestamps are
+//! microseconds as the format requires; the exact nanosecond values travel
+//! in `args` so the validator can round-trip events losslessly.
+
+use crate::sink::TraceEvent;
+use std::fmt::Write as _;
+
+/// Render recorded events as Chrome Trace Event Format, one JSON object per
+/// line (the "JSON Lines" flavour both Chrome and Perfetto accept).
+pub fn chrome_trace_jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for event in events {
+        let ts_us = event.start_ns / 1_000;
+        let ts_frac = event.start_ns % 1_000;
+        out.push_str("{\"name\":");
+        write_json_string(&mut out, event.name);
+        out.push_str(",\"cat\":");
+        write_json_string(&mut out, event.scope);
+        match event.dur_ns {
+            Some(dur_ns) => {
+                let dur_us = dur_ns / 1_000;
+                let dur_frac = dur_ns % 1_000;
+                let _ = write!(
+                    out,
+                    ",\"ph\":\"X\",\"ts\":{ts_us}.{ts_frac:03},\"dur\":{dur_us}.{dur_frac:03}"
+                );
+            }
+            None => {
+                let _ = write!(out, ",\"ph\":\"i\",\"ts\":{ts_us}.{ts_frac:03},\"s\":\"t\"");
+            }
+        }
+        let _ = write!(
+            out,
+            ",\"pid\":1,\"tid\":{},\"args\":{{\"seq\":{},\"detail\":{},\"start_ns\":{}",
+            event.tid, event.seq, event.detail, event.start_ns
+        );
+        if let Some(dur_ns) = event.dur_ns {
+            let _ = write!(out, ",\"dur_ns\":{dur_ns}");
+        }
+        out.push_str("}}\n");
+    }
+    out
+}
+
+/// One event parsed back out of the JSONL export.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChromeEvent {
+    /// Event name.
+    pub name: String,
+    /// Category (the instrumentation scope).
+    pub cat: String,
+    /// Phase: `"X"` (complete) or `"i"` (instant).
+    pub ph: String,
+    /// Thread ID.
+    pub tid: u64,
+    /// Monotonic sequence ID (from `args.seq`).
+    pub seq: u64,
+    /// Detail payload (from `args.detail`).
+    pub detail: u64,
+    /// Exact start time in nanoseconds (from `args.start_ns`).
+    pub start_ns: u64,
+    /// Exact duration in nanoseconds for complete events (from
+    /// `args.dur_ns`).
+    pub dur_ns: Option<u64>,
+}
+
+/// Parse and validate a Chrome Trace JSONL document produced by
+/// [`chrome_trace_jsonl`], without serde: every line must be a JSON object
+/// with the required fields, phases must be `X` (with `dur`) or `i`, and
+/// the microsecond `ts`/`dur` fields must agree with the exact nanosecond
+/// values carried in `args`. Returns the round-tripped events.
+pub fn validate_chrome_trace_jsonl(text: &str) -> Result<Vec<ChromeEvent>, String> {
+    let mut events = Vec::new();
+    for (index, line) in text.lines().enumerate() {
+        let lineno = index + 1;
+        if line.is_empty() {
+            continue;
+        }
+        let value = parse_json(line).map_err(|e| format!("line {lineno}: {e}"))?;
+        events.push(event_from_json(&value).map_err(|e| format!("line {lineno}: {e}"))?);
+    }
+    Ok(events)
+}
+
+fn event_from_json(value: &Json) -> Result<ChromeEvent, String> {
+    let obj = value.as_object().ok_or("event is not a JSON object")?;
+    let name = get_string(obj, "name")?;
+    let cat = get_string(obj, "cat")?;
+    let ph = get_string(obj, "ph")?;
+    let tid = get_u64(obj, "tid")?;
+    let ts_us = get_f64(obj, "ts")?;
+    let args = get(obj, "args")?
+        .as_object()
+        .ok_or("\"args\" is not an object")?;
+    let seq = get_u64(args, "seq")?;
+    let detail = get_u64(args, "detail")?;
+    let start_ns = get_u64(args, "start_ns")?;
+    if (ts_us - start_ns as f64 / 1_000.0).abs() > 0.5 {
+        return Err(format!(
+            "ts {ts_us}µs disagrees with args.start_ns {start_ns}"
+        ));
+    }
+    let dur_ns = match ph.as_str() {
+        "X" => {
+            let dur_us = get_f64(obj, "dur")?;
+            let dur_ns = get_u64(args, "dur_ns")?;
+            if (dur_us - dur_ns as f64 / 1_000.0).abs() > 0.5 {
+                return Err(format!(
+                    "dur {dur_us}µs disagrees with args.dur_ns {dur_ns}"
+                ));
+            }
+            Some(dur_ns)
+        }
+        "i" => None,
+        other => return Err(format!("unsupported phase {other:?}")),
+    };
+    Ok(ChromeEvent {
+        name,
+        cat,
+        ph,
+        tid,
+        seq,
+        detail,
+        start_ns,
+        dur_ns,
+    })
+}
+
+fn get<'a>(obj: &'a [(String, Json)], key: &str) -> Result<&'a Json, String> {
+    obj.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("missing field {key:?}"))
+}
+
+fn get_string(obj: &[(String, Json)], key: &str) -> Result<String, String> {
+    get(obj, key)?
+        .as_str()
+        .map(str::to_owned)
+        .ok_or_else(|| format!("field {key:?} is not a string"))
+}
+
+fn get_u64(obj: &[(String, Json)], key: &str) -> Result<u64, String> {
+    let raw = match get(obj, key)? {
+        Json::Number(raw) => raw,
+        _ => return Err(format!("field {key:?} is not a number")),
+    };
+    raw.parse::<u64>()
+        .map_err(|_| format!("field {key:?} is not an unsigned integer: {raw:?}"))
+}
+
+fn get_f64(obj: &[(String, Json)], key: &str) -> Result<f64, String> {
+    let raw = match get(obj, key)? {
+        Json::Number(raw) => raw,
+        _ => return Err(format!("field {key:?} is not a number")),
+    };
+    raw.parse::<f64>()
+        .map_err(|_| format!("field {key:?} is not a number: {raw:?}"))
+}
+
+/// Minimal JSON value. Numbers keep their literal text so integer fields
+/// round-trip exactly (no detour through `f64`).
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Number(String),
+    String(String),
+    Array(Vec<Json>),
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::String(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Parse exactly one JSON value from `input`, rejecting trailing garbage.
+fn parse_json(input: &str) -> Result<Json, String> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_whitespace(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_whitespace(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_whitespace(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(Json::String(parse_string(bytes, pos)?)),
+        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    literal: &str,
+    value: Json,
+) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(literal.as_bytes()) {
+        *pos += literal.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let digits_start = *pos;
+    while *pos < bytes.len() && bytes[*pos].is_ascii_digit() {
+        *pos += 1;
+    }
+    if *pos == digits_start {
+        return Err(format!("invalid number at byte {start}"));
+    }
+    if bytes.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        let frac_start = *pos;
+        while *pos < bytes.len() && bytes[*pos].is_ascii_digit() {
+            *pos += 1;
+        }
+        if *pos == frac_start {
+            return Err(format!("invalid number at byte {start}"));
+        }
+    }
+    if matches!(bytes.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(bytes.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        let exp_start = *pos;
+        while *pos < bytes.len() && bytes[*pos].is_ascii_digit() {
+            *pos += 1;
+        }
+        if *pos == exp_start {
+            return Err(format!("invalid number at byte {start}"));
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("number bytes are ASCII");
+    Ok(Json::Number(text.to_string()))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    debug_assert_eq!(bytes[*pos], b'"');
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000C}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape")?;
+                        let hex = std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?;
+                        let code = u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                        out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                        *pos += 4;
+                    }
+                    _ => return Err("invalid escape".to_string()),
+                }
+                *pos += 1;
+            }
+            Some(&byte) if byte < 0x20 => {
+                return Err("unescaped control character in string".to_string())
+            }
+            Some(_) => {
+                // Consume one UTF-8 code point.
+                let rest = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| "invalid UTF-8 in string".to_string())?;
+                let c = rest.chars().next().expect("non-empty");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    debug_assert_eq!(bytes[*pos], b'{');
+    *pos += 1;
+    let mut fields = Vec::new();
+    skip_whitespace(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Object(fields));
+    }
+    loop {
+        skip_whitespace(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {pos}", pos = *pos));
+        }
+        let key = parse_string(bytes, pos)?;
+        skip_whitespace(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {pos}", pos = *pos));
+        }
+        *pos += 1;
+        let value = parse_value(bytes, pos)?;
+        fields.push((key, value));
+        skip_whitespace(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Object(fields));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    debug_assert_eq!(bytes[*pos], b'[');
+    *pos += 1;
+    let mut items = Vec::new();
+    skip_whitespace(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Array(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_whitespace(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Array(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent {
+                seq: 0,
+                tid: 0,
+                scope: "netsim",
+                name: "sim.step",
+                start_ns: 1_234,
+                dur_ns: Some(56_789),
+                detail: 3,
+            },
+            TraceEvent {
+                seq: 1,
+                tid: 2,
+                scope: "solver",
+                name: "solver.wave",
+                start_ns: 60_000,
+                dur_ns: None,
+                detail: 0,
+            },
+            TraceEvent {
+                seq: 2,
+                tid: 0,
+                scope: "core",
+                name: "live.round",
+                start_ns: 100_000_001,
+                dur_ns: Some(999),
+                detail: u64::MAX,
+            },
+        ]
+    }
+
+    #[test]
+    fn export_round_trips_through_the_validator() {
+        let events = sample_events();
+        let jsonl = chrome_trace_jsonl(&events);
+        assert_eq!(jsonl.lines().count(), events.len());
+        let parsed = validate_chrome_trace_jsonl(&jsonl).expect("export validates");
+        assert_eq!(parsed.len(), events.len());
+        for (original, round_tripped) in events.iter().zip(&parsed) {
+            assert_eq!(round_tripped.name, original.name);
+            assert_eq!(round_tripped.cat, original.scope);
+            assert_eq!(round_tripped.seq, original.seq);
+            assert_eq!(round_tripped.tid, original.tid);
+            assert_eq!(round_tripped.detail, original.detail);
+            assert_eq!(round_tripped.start_ns, original.start_ns);
+            assert_eq!(round_tripped.dur_ns, original.dur_ns);
+            assert_eq!(
+                round_tripped.ph,
+                if original.dur_ns.is_some() { "X" } else { "i" }
+            );
+        }
+    }
+
+    #[test]
+    fn complete_events_carry_microsecond_timestamps() {
+        let jsonl = chrome_trace_jsonl(&sample_events());
+        let first = jsonl.lines().next().expect("one line");
+        assert!(first.contains("\"ph\":\"X\""));
+        assert!(first.contains("\"ts\":1.234"));
+        assert!(first.contains("\"dur\":56.789"));
+        assert!(first.contains("\"pid\":1"));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        for bad in [
+            "not json",
+            "[1,2,3]",
+            "{\"name\":\"x\"}",
+            // ts disagrees with args.start_ns
+            "{\"name\":\"x\",\"cat\":\"c\",\"ph\":\"i\",\"ts\":99.000,\"s\":\"t\",\"pid\":1,\"tid\":0,\"args\":{\"seq\":0,\"detail\":0,\"start_ns\":1234}}",
+            // unknown phase
+            "{\"name\":\"x\",\"cat\":\"c\",\"ph\":\"B\",\"ts\":0.000,\"pid\":1,\"tid\":0,\"args\":{\"seq\":0,\"detail\":0,\"start_ns\":0}}",
+            // complete event missing dur
+            "{\"name\":\"x\",\"cat\":\"c\",\"ph\":\"X\",\"ts\":0.000,\"pid\":1,\"tid\":0,\"args\":{\"seq\":0,\"detail\":0,\"start_ns\":0,\"dur_ns\":5}}",
+            "{\"name\":\"x\",\"cat\":\"c\",\"ph\":\"i\",\"ts\":0.000}trailing",
+        ] {
+            assert!(
+                validate_chrome_trace_jsonl(bad).is_err(),
+                "accepted malformed document {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_nested_values() {
+        let value = parse_json(
+            "{\"a\":\"q\\\"\\\\\\n\\u0041\",\"b\":[1,-2.5,3e2,true,false,null],\"c\":{}}",
+        )
+        .expect("parses");
+        let obj = value.as_object().expect("object");
+        assert_eq!(get_string(obj, "a").unwrap(), "q\"\\\nA");
+        match get(obj, "b").unwrap() {
+            Json::Array(items) => {
+                assert_eq!(items.len(), 6);
+                assert_eq!(items[0], Json::Number("1".to_string()));
+                assert_eq!(items[1], Json::Number("-2.5".to_string()));
+                assert_eq!(items[2], Json::Number("3e2".to_string()));
+                assert_eq!(items[3], Json::Bool(true));
+                assert_eq!(items[5], Json::Null);
+            }
+            other => panic!("expected array, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_no_events() {
+        assert_eq!(validate_chrome_trace_jsonl("").unwrap(), Vec::new());
+        assert_eq!(validate_chrome_trace_jsonl("\n\n").unwrap(), Vec::new());
+    }
+}

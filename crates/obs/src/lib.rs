@@ -1,0 +1,44 @@
+//! Out-of-band observability for the DiCE reproduction.
+//!
+//! The exploration stack's correctness story is anchored in byte-identical
+//! report digests, so everything in this crate is strictly *out-of-band*:
+//! instrumentation never feeds data back into exploration, and every digest
+//! stays byte-identical whether tracing is enabled, disabled, or the crate is
+//! absent entirely.
+//!
+//! The pieces:
+//!
+//! - [`TraceSink`] — the recording interface. The process-global default is a
+//!   no-op: until [`install`] is called, [`span`]/[`event`] cost a single
+//!   relaxed atomic load and branch, which the optimizer hoists out of hot
+//!   loops. [`BufferedRecorder`] is the shipped sink: sharded, lock-cheap
+//!   per-thread buffers stamped with monotonic sequence IDs so replayed runs
+//!   produce stable event orders.
+//! - [`Span`] / [`span`] / [`event`] — RAII instrumentation helpers used by
+//!   `dice_netsim`, `dice_solver`, `dice_symexec`, and `dice_core`.
+//! - [`Histogram`] — a fixed-bucket log2 latency histogram with deterministic
+//!   p50/p90/p99/max quantiles and a `Copy`-able [`HistogramSummary`] that the
+//!   control plane embeds in `ControlSnapshot` (schema v2).
+//! - Exporters: [`PrometheusText`] renders the Prometheus text exposition
+//!   format (validated line-by-line by [`validate_prometheus_text`]), and
+//!   [`chrome_trace_jsonl`] renders Chrome Trace Event Format JSONL loadable
+//!   in `chrome://tracing` or Perfetto (round-tripped by the serde-free
+//!   [`validate_chrome_trace_jsonl`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chrome;
+mod histogram;
+mod prometheus;
+mod sink;
+mod span;
+
+pub use chrome::{chrome_trace_jsonl, validate_chrome_trace_jsonl, ChromeEvent};
+pub use histogram::{Histogram, HistogramSummary};
+pub use prometheus::{validate_prometheus_text, PrometheusText};
+pub use sink::{
+    enabled, install, now_ns, uninstall, BufferedRecorder, NoopSink, SinkGuard, TraceEvent,
+    TraceRecord, TraceSink,
+};
+pub use span::{event, span, Span};

@@ -317,8 +317,13 @@ impl IncrementalSolver {
     /// since the restored frame's last propagation) are folded into the
     /// interval domains; everything else is reused.
     pub fn check(&mut self, arena: &TermArena, seed: Option<&Model>) -> Verdict {
+        let mut span = dice_obs::span("solver", "solver.check");
+        let reused_before = self.stats.assertions_reused;
         let start = Instant::now();
         let verdict = self.check_inner(arena, seed);
+        // The span's payload is the number of assertions this query reused
+        // from the session instead of re-propagating — the incremental win.
+        span.set_detail(self.stats.assertions_reused - reused_before);
         self.stats.queries += 1;
         self.stats.incremental_queries += 1;
         match &verdict {

@@ -147,6 +147,20 @@ impl fmt::Display for SolverStats {
             self.unknown,
             self.mean_query_time()
         )?;
+        let decided = self.decided_by_preprocess
+            + self.decided_by_propagation
+            + self.decided_by_enumeration
+            + self.decided_by_search;
+        if decided > 0 {
+            write!(
+                f,
+                " decided pre/prop/enum/search={}/{}/{}/{}",
+                self.decided_by_preprocess,
+                self.decided_by_propagation,
+                self.decided_by_enumeration,
+                self.decided_by_search,
+            )?;
+        }
         if self.incremental_queries > 0 {
             write!(
                 f,
@@ -237,6 +251,26 @@ mod tests {
         let text = a.to_string();
         assert!(text.contains("policy=4"));
         assert!(text.contains("policy_reused=7"));
+    }
+
+    #[test]
+    fn decided_phase_segment_renders_only_when_nonzero() {
+        let zero = SolverStats::new();
+        assert_eq!(
+            zero.to_string(),
+            "queries=0 sat=0 unsat=0 unknown=0 mean=0ns"
+        );
+        let s = SolverStats {
+            queries: 5,
+            sat: 4,
+            unsat: 1,
+            decided_by_propagation: 3,
+            decided_by_search: 2,
+            ..Default::default()
+        };
+        assert!(s
+            .to_string()
+            .contains("decided pre/prop/enum/search=0/3/0/2"));
     }
 
     #[test]

@@ -266,6 +266,11 @@ pub struct Exploration<O> {
     pub stats: ExplorationStats,
     /// Cumulative solver statistics.
     pub solver_stats: SolverStats,
+    /// Wall-clock latency distribution of batched solver waves (one sample
+    /// per wave; empty for the sequential loop). Purely observational:
+    /// kept out of [`ExplorationStats`] so the batched-vs-sequential
+    /// equivalence contract stays a field-for-field comparison.
+    pub wave_latency: dice_obs::Histogram,
 }
 
 impl<O> Exploration<O> {
@@ -355,7 +360,12 @@ impl<O> ExplorationState<O> {
     }
 
     /// Finalizes counters and packages the exploration result.
-    fn finish(mut self, started: Instant, solver_stats: SolverStats) -> Exploration<O> {
+    fn finish(
+        mut self,
+        started: Instant,
+        solver_stats: SolverStats,
+        wave_latency: dice_obs::Histogram,
+    ) -> Exploration<O> {
         self.stats.runs = self.runs.len();
         self.stats.elapsed_ns = started.elapsed().as_nanos() as u64;
         Exploration {
@@ -363,6 +373,7 @@ impl<O> ExplorationState<O> {
             coverage: self.coverage,
             stats: self.stats,
             solver_stats,
+            wave_latency,
         }
     }
 }
@@ -494,7 +505,7 @@ impl ConcolicEngine {
             }
         }
 
-        state.finish(start, *solver.stats())
+        state.finish(start, *solver.stats(), dice_obs::Histogram::new())
     }
 
     /// The batched worklist loop: drain a wave, solve candidate groups
@@ -508,6 +519,7 @@ impl ConcolicEngine {
         let start = Instant::now();
         let mut state = ExplorationState::new(self.config.strategy);
         let mut solver_stats = SolverStats::new();
+        let mut wave_latency = dice_obs::Histogram::new();
 
         self.execute_seeds(program, seeds, &mut state);
 
@@ -518,10 +530,14 @@ impl ConcolicEngine {
                 break;
             }
             state.stats.waves += 1;
+            let mut wave_span = dice_obs::span("symexec", "symexec.wave");
+            wave_span.set_detail(wave.len() as u64);
+            let wave_started = Instant::now();
             self.solve_and_commit(program, &wave, &mut state, &mut solver_stats);
+            wave_latency.record_duration(wave_started.elapsed());
         }
 
-        state.finish(start, solver_stats)
+        state.finish(start, solver_stats, wave_latency)
     }
 
     /// Executes the seed inputs (the paper's "previously observed inputs").

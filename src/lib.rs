@@ -15,6 +15,7 @@ pub use dice_bgp as bgp;
 pub use dice_checkpoint as checkpoint;
 pub use dice_core as core;
 pub use dice_netsim as netsim;
+pub use dice_obs as obs;
 pub use dice_router as router;
 pub use dice_solver as solver;
 pub use dice_symexec as symexec;
@@ -46,6 +47,10 @@ pub mod prelude {
     };
     pub use dice_netsim::{
         DeliveryError, FaultPlan, FaultSpec, FaultTrace, InjectedFault, InjectedFaultKind,
+    };
+    pub use dice_obs::{
+        BufferedRecorder, Histogram, HistogramSummary, NoopSink, PrometheusText, SinkGuard,
+        TraceSink,
     };
     pub use dice_router::{BgpRouter, NeighborConfig, RouterConfig};
     pub use dice_symexec::{ConcolicEngine, EngineConfig, ExecCtx, InputValues};
@@ -161,5 +166,14 @@ mod tests {
         let snapshot = plane.sample();
         assert_eq!(snapshot.schema_version, CONTROL_SCHEMA_VERSION);
         let _ = IngestCounters::default();
+
+        let mut histogram = Histogram::new();
+        histogram.record(1);
+        let _: HistogramSummary = histogram.summary();
+        let _ = PrometheusText::new();
+        fn assert_sink<T: TraceSink>() {}
+        assert_sink::<NoopSink>();
+        assert_sink::<BufferedRecorder>();
+        let _: Option<SinkGuard> = None;
     }
 }

@@ -1,0 +1,106 @@
+//! End-to-end observability: a live run traced through the buffered
+//! recorder produces a loadable Chrome trace and a valid Prometheus
+//! exposition, publishes v2 latency summaries on the control plane, and —
+//! the tentpole invariant — reports byte-identical to an untraced run.
+
+use std::sync::Arc;
+
+use dice::obs::{chrome_trace_jsonl, validate_chrome_trace_jsonl, validate_prometheus_text};
+use dice::prelude::*;
+
+/// Drives two epochs of customer announcements through a Figure 2 live
+/// orchestration and returns the report plus the final control snapshot.
+fn live_run() -> (LiveReport, ControlSnapshot) {
+    let topo = figure2_topology(CustomerFilterMode::Erroneous);
+    let provider = topo.node_by_name("Provider").expect("node");
+    let mut sim = Simulator::new(&topo);
+    let session = DiceBuilder::new()
+        .engine(EngineConfig::default().with_max_runs(4))
+        .build();
+    let orchestrator = LiveOrchestrator::new(session).with_core_budget(1);
+    let control = orchestrator.control_plane();
+    let blocks = ["41.1.0.0/16", "41.64.0.0/12"];
+    let report = orchestrator.run(&mut sim, |sim, epoch| {
+        if let Some(block) = blocks.get(epoch) {
+            let mut attrs = RouteAttrs::default();
+            attrs.as_path = AsPath::from_sequence([17557, 17557]);
+            attrs.next_hop = std::net::Ipv4Addr::new(10, 0, 1, 1);
+            sim.inject(
+                provider,
+                addr::CUSTOMER,
+                BgpMessage::Update(UpdateMessage::announce(
+                    vec![block.parse().expect("valid")],
+                    &attrs,
+                )),
+            );
+        }
+        epoch + 1 < blocks.len()
+    });
+    let snapshot = (*control.sample()).clone();
+    (report, snapshot)
+}
+
+#[test]
+fn traced_live_run_exports_chrome_and_prometheus_without_touching_reports() {
+    let (baseline, _) = live_run();
+
+    let recorder = Arc::new(BufferedRecorder::new());
+    let (traced, snapshot) = {
+        let _guard = SinkGuard::install(recorder.clone());
+        live_run()
+    };
+
+    // Tentpole invariant: tracing never reaches a report.
+    assert_eq!(baseline.digest(), traced.digest());
+
+    // The recorder saw the whole stack: per-round orchestration phases,
+    // simulator steps and solver queries.
+    let events = recorder.drain();
+    assert!(!events.is_empty());
+    let scope_seen = |scope: &str| events.iter().any(|e| e.scope == scope);
+    assert!(scope_seen("core"), "orchestration phases traced");
+    assert!(scope_seen("netsim"), "simulator steps traced");
+    assert!(scope_seen("solver"), "solver queries traced");
+    assert!(scope_seen("symexec"), "solver waves traced");
+    assert!(
+        events.iter().any(|e| e.name == "live.harvest"),
+        "harvest phase traced"
+    );
+    assert!(
+        events.iter().any(|e| e.name == "live.check"),
+        "temporal check phase traced"
+    );
+
+    // The Chrome export round-trips through the serde-free validator with
+    // nothing lost.
+    let jsonl = chrome_trace_jsonl(&events);
+    let parsed = validate_chrome_trace_jsonl(&jsonl).expect("exported trace validates");
+    assert_eq!(parsed.len(), events.len());
+
+    // The control plane published v2 latency summaries...
+    assert_eq!(snapshot.schema_version, CONTROL_SCHEMA_VERSION);
+    assert_eq!(snapshot.round_latency.count, snapshot.rounds as u64);
+    assert!(snapshot.round_latency.max >= snapshot.round_latency.p50);
+    let render = snapshot.render();
+    assert!(render.starts_with("control-snapshot v2\n"));
+    assert!(render.contains("round-latency n="));
+    assert!(render.contains("wave-latency n="));
+    assert!(render.contains("decode-latency n="));
+
+    // ...and its Prometheus exposition parses against the text grammar.
+    let exposition = snapshot.prometheus();
+    validate_prometheus_text(&exposition).expect("exposition validates");
+    assert!(exposition.contains("dice_rounds_total"));
+    assert!(exposition.contains("dice_round_latency_seconds"));
+}
+
+#[test]
+fn untraced_snapshot_still_carries_latency_summaries() {
+    // No sink installed at all: summaries come from the report path, not
+    // the trace path, so they are populated either way.
+    let (report, snapshot) = live_run();
+    assert!(report.rounds.len() >= 2);
+    assert_eq!(snapshot.round_latency.count, report.rounds.len() as u64);
+    assert!(snapshot.mean_round_latency > std::time::Duration::ZERO);
+    validate_prometheus_text(&snapshot.prometheus()).expect("exposition validates");
+}

@@ -705,3 +705,78 @@ proptest! {
         );
     }
 }
+
+/// One fleet round over a perturbed Figure 2 simulation: the fleet digest
+/// plus each node's exploration digest, for the out-of-band tracing
+/// property below.
+fn fleet_digests_under(plan: FaultPlan) -> (String, Vec<String>) {
+    let topo = figure2_topology(CustomerFilterMode::Missing);
+    let provider = topo.node_by_name("Provider").expect("node");
+    let mut sim = Simulator::new(&topo).with_fault_plan(plan);
+    for (epoch, block) in ["41.1.0.0/16", "41.64.0.0/12"].iter().enumerate() {
+        sim.apply_epoch_faults(epoch as u64);
+        let mut attrs = RouteAttrs::default();
+        attrs.as_path = AsPath::from_sequence([17557, 17557]);
+        attrs.next_hop = std::net::Ipv4Addr::new(10, 0, 1, 1);
+        sim.inject(
+            provider,
+            addr::CUSTOMER,
+            BgpMessage::Update(UpdateMessage::announce(
+                vec![block.parse().expect("valid")],
+                &attrs,
+            )),
+        );
+        sim.run_to_quiescence(100);
+    }
+    let session = DiceBuilder::new()
+        .engine(EngineConfig::default().with_max_runs(4))
+        .build();
+    let fleet = FleetExplorer::new(session)
+        .with_core_budget(1)
+        .explore(&sim);
+    let nodes = fleet.nodes.iter().map(|n| n.report.digest()).collect();
+    (fleet.digest(), nodes)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Tracing is out-of-band by construction: for any fault plan, every
+    /// report digest — exploration, fleet and live — is byte-identical
+    /// whether no sink is installed, the no-op sink is installed, or the
+    /// buffered recorder is capturing every span. The recorder itself
+    /// observes a non-empty, sequence-ordered event stream, proving the
+    /// instrumentation actually fired while changing nothing.
+    #[test]
+    fn report_digests_are_identical_under_any_trace_sink(plan in arb_message_plan()) {
+        use std::sync::Arc;
+
+        let baseline_live = live_digest_under(Some(plan.clone()));
+        let (baseline_fleet, baseline_nodes) = fleet_digests_under(plan.clone());
+
+        let noop_live = {
+            let _guard = SinkGuard::install(Arc::new(NoopSink));
+            live_digest_under(Some(plan.clone()))
+        };
+        prop_assert_eq!(&baseline_live, &noop_live, "no-op sink changed a live digest");
+
+        let recorder = Arc::new(BufferedRecorder::new());
+        let (recorded_live, recorded_fleet, recorded_nodes) = {
+            let _guard = SinkGuard::install(recorder.clone());
+            let live = live_digest_under(Some(plan.clone()));
+            let (fleet, nodes) = fleet_digests_under(plan);
+            (live, fleet, nodes)
+        };
+        prop_assert_eq!(&baseline_live, &recorded_live, "recorder changed a live digest");
+        prop_assert_eq!(&baseline_fleet, &recorded_fleet, "recorder changed a fleet digest");
+        prop_assert_eq!(
+            &baseline_nodes,
+            &recorded_nodes,
+            "recorder changed a node exploration digest"
+        );
+
+        let events = recorder.drain();
+        prop_assert!(!events.is_empty(), "the live run emits spans");
+        prop_assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
+    }
+}
