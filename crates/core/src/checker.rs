@@ -47,8 +47,13 @@
 //!   announce/withdraw timeline per `(node, prefix)` and flags flaps
 //!   *slower than one epoch window* — each individual round sees at most
 //!   one direction, so neither per-event nor per-round checkers can fire.
+//! * [`BgpWedgieChecker`] — flags BGP wedgies: a prefix a node held in its
+//!   pre-fault steady state is withdrawn (typically when a partition's
+//!   session resets flush it) and never re-announced even though later
+//!   rounds keep flowing — the network re-stabilized in a *different*
+//!   stable state than the one it started in.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::net::Ipv4Addr;
 
@@ -164,6 +169,18 @@ pub enum FaultKind {
         /// as later rounds extend the timeline.
         transitions: usize,
     },
+    /// A BGP wedgie: after a fault (typically a partition that healed) a
+    /// node's steady-state routing differs from its pre-fault steady state
+    /// — a prefix it held was withdrawn and never re-announced even though
+    /// the network is quiescent again.
+    BgpWedgie {
+        /// The prefix stuck withdrawn.
+        announced: Ipv4Prefix,
+        /// Rounds the node stayed quiescent after the withdrawal without
+        /// the prefix coming back. Excluded from the [`fmt::Display`]
+        /// rendering so the dedup key stays stable as rounds accumulate.
+        stuck_rounds: usize,
+    },
 }
 
 impl Fault {
@@ -193,6 +210,7 @@ impl Fault {
             FaultKind::MoreSpecificHijack { announced, .. } => *announced,
             FaultKind::Blackhole { announced, .. } => *announced,
             FaultKind::CrossRoundFlap { announced, .. } => *announced,
+            FaultKind::BgpWedgie { announced, .. } => *announced,
         }
     }
 
@@ -275,6 +293,14 @@ impl fmt::Display for FaultKind {
                 write!(
                     f,
                     "cross-round flap: {announced} alternates between announce and withdraw across live rounds"
+                )
+            }
+            FaultKind::BgpWedgie { announced, .. } => {
+                // The stuck-round count stays out of the rendering (like the
+                // flap transition counts) so the dedup key is round-stable.
+                write!(
+                    f,
+                    "bgp wedgie: {announced} withdrawn after a fault and never re-announced in steady state"
                 )
             }
         }
@@ -866,6 +892,112 @@ impl FaultChecker for CrossRoundFlapChecker {
     }
 }
 
+/// Detects BGP wedgies — policy-dependent stable-state divergence — from
+/// the observed timelines across live rounds.
+///
+/// Using the same per-round reduction as [`CrossRoundFlapChecker`] (at most
+/// one direction per `(node, prefix)` per round, RFC 4271
+/// implicit-replacement order), the checker flags a `(node, prefix)` whose
+/// timeline ends in a withdrawal that followed an earlier announcement and
+/// then *stayed* withdrawn while at least `min_stable_rounds` later rounds
+/// flowed elsewhere in the fleet: the network re-stabilized, but in a
+/// different stable state than the pre-fault one. A single round cannot see
+/// this (the withdrawal alone is legitimate), and a flap checker cannot
+/// either — the defining feature of a wedgie is that the route *never*
+/// comes back, i.e. exactly one transition. Run the same scenario under an
+/// empty fault plan as the control: the wedgie surface is the differential
+/// against that clean run, which is how
+/// [`FaultPlanSearch`](crate::fault_search::FaultPlanSearch) uses it.
+#[derive(Debug, Clone, Copy)]
+pub struct BgpWedgieChecker {
+    min_stable_rounds: usize,
+}
+
+impl Default for BgpWedgieChecker {
+    fn default() -> Self {
+        BgpWedgieChecker {
+            min_stable_rounds: 1,
+        }
+    }
+}
+
+impl BgpWedgieChecker {
+    /// Creates the checker with the default stability threshold of one
+    /// round after the withdrawal.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets how many rounds must elapse after the final withdrawal, with
+    /// the prefix never re-announced, before the divergence counts as a
+    /// stable state rather than a transient (clamped to at least 1).
+    pub fn with_min_stable_rounds(mut self, rounds: usize) -> Self {
+        self.min_stable_rounds = rounds.max(1);
+        self
+    }
+}
+
+impl FaultChecker for BgpWedgieChecker {
+    fn name(&self) -> &str {
+        "bgp-wedgie"
+    }
+
+    fn check(&self, _outcome: &HandlerOutcome, _checkpoint_rib: &Rib) -> Option<Fault> {
+        None
+    }
+
+    fn check_live(&self, rounds: &[RoundOutcomes]) -> Vec<Fault> {
+        // Quiet nodes produce no RoundOutcomes, so "rounds after the
+        // withdrawal" is measured on the fleet-wide round clock: any node's
+        // activity proves time passed without the prefix coming back.
+        let mut all_rounds: BTreeSet<usize> = BTreeSet::new();
+        let mut timelines: BTreeMap<(usize, Ipv4Prefix), Vec<(usize, bool)>> = BTreeMap::new();
+        for round in rounds {
+            all_rounds.insert(round.round);
+            let mut last: BTreeMap<Ipv4Prefix, bool> = BTreeMap::new();
+            for (_, update) in &round.observed {
+                for prefix in &update.withdrawn {
+                    last.insert(*prefix, false);
+                }
+                for prefix in &update.nlri {
+                    last.insert(*prefix, true);
+                }
+            }
+            for (prefix, direction) in last {
+                timelines
+                    .entry((round.node.0, prefix))
+                    .or_default()
+                    .push((round.round, direction));
+            }
+        }
+        timelines
+            .into_iter()
+            .filter_map(|((node, prefix), timeline)| {
+                let &(withdrawn_at, last_direction) =
+                    timeline.last().expect("timelines have at least one entry");
+                if last_direction {
+                    return None;
+                }
+                let announced_before = timeline.iter().any(|&(r, d)| d && r < withdrawn_at);
+                if !announced_before {
+                    return None;
+                }
+                let stuck_rounds = all_rounds.iter().filter(|&&r| r > withdrawn_at).count();
+                (stuck_rounds >= self.min_stable_rounds).then(|| {
+                    Fault::new(
+                        self.name(),
+                        FaultKind::BgpWedgie {
+                            announced: prefix,
+                            stuck_rounds,
+                        },
+                    )
+                    .with_node(NodeId(node))
+                })
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1432,5 +1564,70 @@ mod tests {
         assert!(checker
             .check(&outcome("10.0.1.0/24", 17557, true), &rib)
             .is_some());
+    }
+
+    #[test]
+    fn bgp_wedgie_fires_on_a_stable_post_fault_divergence() {
+        let checker = BgpWedgieChecker::new();
+        // Announced, withdrawn, then a later round flowed elsewhere in the
+        // fleet while the prefix stayed gone: the steady state diverged.
+        let wedged = [
+            live_round(0, 2, &[("41.1.0.0/16", true)]),
+            live_round(1, 2, &[("41.1.0.0/16", false)]),
+            live_round(2, 1, &[("198.51.100.0/24", true)]),
+        ];
+        let faults = checker.check_live(&wedged);
+        assert_eq!(faults.len(), 1);
+        let fault = &faults[0];
+        assert_eq!(fault.checker, "bgp-wedgie");
+        assert_eq!(fault.node, Some(NodeId(2)));
+        assert_eq!(fault.leaked_prefix().to_string(), "41.1.0.0/16");
+        match fault.kind {
+            FaultKind::BgpWedgie { stuck_rounds, .. } => assert_eq!(stuck_rounds, 1),
+            ref other => panic!("expected a wedgie, got {other:?}"),
+        }
+        // One transition is below the flap checker's threshold: the two
+        // cross-round detectors partition the anomaly space.
+        assert!(CrossRoundFlapChecker::new().check_live(&wedged).is_empty());
+    }
+
+    #[test]
+    fn bgp_wedgie_needs_stability_and_a_prior_announcement() {
+        let checker = BgpWedgieChecker::new();
+        // The withdrawal is in the last round: nothing proves the network
+        // re-stabilized without the route, so nothing fires yet.
+        let transient = [
+            live_round(0, 2, &[("41.1.0.0/16", true)]),
+            live_round(1, 2, &[("41.1.0.0/16", false)]),
+        ];
+        assert!(checker.check_live(&transient).is_empty());
+        // A withdrawal with no earlier announcement is not a divergence.
+        let never_held = [
+            live_round(0, 2, &[("41.1.0.0/16", false)]),
+            live_round(1, 1, &[("198.51.100.0/24", true)]),
+        ];
+        assert!(checker.check_live(&never_held).is_empty());
+        // A re-announcement anywhere later clears the wedge.
+        let recovered = [
+            live_round(0, 2, &[("41.1.0.0/16", true)]),
+            live_round(1, 2, &[("41.1.0.0/16", false)]),
+            live_round(2, 2, &[("41.1.0.0/16", true)]),
+        ];
+        assert!(checker.check_live(&recovered).is_empty());
+        // A higher stability threshold needs more post-withdrawal rounds.
+        let strict = BgpWedgieChecker::new().with_min_stable_rounds(2);
+        let wedged = [
+            live_round(0, 2, &[("41.1.0.0/16", true)]),
+            live_round(1, 2, &[("41.1.0.0/16", false)]),
+            live_round(2, 1, &[("198.51.100.0/24", true)]),
+        ];
+        assert!(strict.check_live(&wedged).is_empty());
+        let longer = [
+            live_round(0, 2, &[("41.1.0.0/16", true)]),
+            live_round(1, 2, &[("41.1.0.0/16", false)]),
+            live_round(2, 1, &[("198.51.100.0/24", true)]),
+            live_round(3, 1, &[("198.51.101.0/24", true)]),
+        ];
+        assert_eq!(strict.check_live(&longer).len(), 1);
     }
 }

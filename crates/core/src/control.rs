@@ -35,7 +35,14 @@ use dice_obs::HistogramSummary;
 /// summaries (count/p50/p90/p99/max) for round latency, solver wave
 /// latency, and per-epoch ingest decode time — where v1 only carried
 /// last/mean scalars.
-pub const CONTROL_SCHEMA_VERSION: u32 = 2;
+///
+/// **v2 → v3:** every v2 field line is preserved byte-identically; v3
+/// appends the fault-trace identity (event count plus the FNV-1a
+/// fingerprint of [`dice_netsim::FaultTrace::digest`], so two runs with
+/// equal injected counts but different event sequences stay
+/// distinguishable) and the fault-plan search counters
+/// ([`SearchCounters`], all zero for plain no-search runs).
+pub const CONTROL_SCHEMA_VERSION: u32 = 3;
 
 /// Wire-ingest counters, mirrored from
 /// [`dice_netsim::IngestStats`] into the control plane's stable schema
@@ -71,6 +78,31 @@ impl From<&IngestStats> for IngestCounters {
             bytes_consumed: stats.bytes_consumed,
             updates_per_second: stats.updates_per_second(),
             decode_latency: stats.decode_time.summary(),
+        }
+    }
+}
+
+/// Fault-plan search counters in the control plane's stable schema
+/// (schema v3), mirrored from the [`crate::SearchSummary`] a
+/// [`crate::FaultPlanSearch`] attaches to its report. All zero for plain
+/// runs that never searched.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchCounters {
+    /// Candidate fault plans evaluated.
+    pub plans: u64,
+    /// Plans that surfaced never-seen coverage (fleet keys, checker
+    /// classes, or fault-trace event shapes).
+    pub novel: u64,
+    /// Distinct minimized, replayable counterexamples emitted.
+    pub repros: u64,
+}
+
+impl From<&crate::live::SearchSummary> for SearchCounters {
+    fn from(summary: &crate::live::SearchSummary) -> Self {
+        SearchCounters {
+            plans: summary.plans_tried,
+            novel: summary.novel_plans,
+            repros: summary.minimized_repros,
         }
     }
 }
@@ -129,6 +161,14 @@ pub struct ControlSnapshot {
     /// Distribution of batched solver-wave latency across all rounds and
     /// inputs (schema v2; empty when exploration runs sequentially).
     pub wave_latency: HistogramSummary,
+    /// Events in the simulator's fault trace, including structural
+    /// delivery errors (schema v3).
+    pub fault_trace_events: u64,
+    /// FNV-1a fingerprint of the fault-trace digest, `0` for an empty
+    /// trace (schema v3).
+    pub fault_trace_fingerprint: u64,
+    /// Fault-plan search counters; all zero without a search (schema v3).
+    pub search: SearchCounters,
 }
 
 impl Default for ControlSnapshot {
@@ -151,6 +191,9 @@ impl Default for ControlSnapshot {
             ingest: IngestCounters::default(),
             round_latency: HistogramSummary::default(),
             wave_latency: HistogramSummary::default(),
+            fault_trace_events: 0,
+            fault_trace_fingerprint: 0,
+            search: SearchCounters::default(),
         }
     }
 }
@@ -172,7 +215,8 @@ impl ControlSnapshot {
     /// serialized surface consumers scrape; its shape is pinned by golden
     /// tests and changes only with [`CONTROL_SCHEMA_VERSION`]. The v1
     /// lines render first, byte-identical to schema v1; the v2 latency
-    /// distributions follow.
+    /// distributions follow, then the v3 fault-trace identity and search
+    /// counters.
     pub fn render(&self) -> String {
         format!(
             "control-snapshot v{}\n\
@@ -184,7 +228,9 @@ impl ControlSnapshot {
              ingest frames={} decoded={} injected={} errors={} mismatches={} bytes={} rate={:.0}/s\n\
              round-latency {}\n\
              wave-latency {}\n\
-             decode-latency {}\n",
+             decode-latency {}\n\
+             fault-trace events={} fingerprint={:016x}\n\
+             search plans={} novel={} repros={}\n",
             self.schema_version,
             self.rounds,
             self.total_runs,
@@ -210,6 +256,11 @@ impl ControlSnapshot {
             self.round_latency,
             self.wave_latency,
             self.ingest.decode_latency,
+            self.fault_trace_events,
+            self.fault_trace_fingerprint,
+            self.search.plans,
+            self.search.novel,
+            self.search.repros,
         )
     }
 
@@ -285,6 +336,26 @@ impl ControlSnapshot {
             "dice_ingest_updates_per_second",
             "Decode throughput through the wire codec.",
             self.ingest.updates_per_second,
+        );
+        text.counter(
+            "dice_fault_trace_events_total",
+            "Events recorded in the fault trace.",
+            self.fault_trace_events,
+        );
+        text.counter(
+            "dice_search_plans_total",
+            "Candidate fault plans evaluated by the search.",
+            self.search.plans,
+        );
+        text.counter(
+            "dice_search_novel_plans_total",
+            "Searched plans that surfaced never-seen coverage.",
+            self.search.novel,
+        );
+        text.counter(
+            "dice_search_repros_total",
+            "Minimized replayable counterexamples emitted.",
+            self.search.repros,
         );
         let mut out = text.finish();
         summary_family(
@@ -424,6 +495,13 @@ mod tests {
                 p99: 140_000,
                 max: 140_000,
             },
+            fault_trace_events: 2,
+            fault_trace_fingerprint: 0x00ab_cdef_0123_4567,
+            search: SearchCounters {
+                plans: 16,
+                novel: 5,
+                repros: 1,
+            },
         }
     }
 
@@ -431,7 +509,7 @@ mod tests {
     fn golden_render_of_a_populated_snapshot() {
         assert_eq!(
             populated().render(),
-            "control-snapshot v2\n\
+            "control-snapshot v3\n\
              rounds=3 runs=120 faults=2 injected=1 delivered=42 watermark=9\n\
              latency last=12ms mean=10ms\n\
              solver queries=400 incremental=350 reuse=62.5%\n\
@@ -440,7 +518,9 @@ mod tests {
              ingest frames=100 decoded=98 injected=98 errors=2 mismatches=0 bytes=5400 rate=1234/s\n\
              round-latency n=3 p50=10ms p90=12ms p99=12ms max=12ms\n\
              wave-latency n=40 p50=60µs p90=110µs p99=140µs max=140µs\n\
-             decode-latency n=3 p50=200µs p90=350µs p99=350µs max=350µs\n"
+             decode-latency n=3 p50=200µs p90=350µs p99=350µs max=350µs\n\
+             fault-trace events=2 fingerprint=00abcdef01234567\n\
+             search plans=16 novel=5 repros=1\n"
         );
         assert_eq!(populated().to_string(), populated().render());
     }
@@ -449,7 +529,7 @@ mod tests {
     fn golden_render_of_the_default_snapshot() {
         assert_eq!(
             ControlSnapshot::default().render(),
-            "control-snapshot v2\n\
+            "control-snapshot v3\n\
              rounds=0 runs=0 faults=0 injected=0 delivered=0 watermark=0\n\
              latency last=0ns mean=0ns\n\
              solver queries=0 incremental=0 reuse=0.0%\n\
@@ -458,7 +538,32 @@ mod tests {
              ingest frames=0 decoded=0 injected=0 errors=0 mismatches=0 bytes=0 rate=0/s\n\
              round-latency n=0\n\
              wave-latency n=0\n\
-             decode-latency n=0\n"
+             decode-latency n=0\n\
+             fault-trace events=0 fingerprint=0000000000000000\n\
+             search plans=0 novel=0 repros=0\n"
+        );
+    }
+
+    #[test]
+    fn v2_field_lines_survive_the_v3_bump_byte_identically() {
+        // The migration contract: a v2 consumer scraping by line prefix
+        // keeps working — every v2 field line is byte-identical, and the
+        // v3 additions strictly append after the last v2 line.
+        let rendered = populated().render();
+        let v2_lines = "rounds=3 runs=120 faults=2 injected=1 delivered=42 watermark=9\n\
+             latency last=12ms mean=10ms\n\
+             solver queries=400 incremental=350 reuse=62.5%\n\
+             policy coverage=75.0%\n\
+             cow shards 7/8 shared\n\
+             ingest frames=100 decoded=98 injected=98 errors=2 mismatches=0 bytes=5400 rate=1234/s\n\
+             round-latency n=3 p50=10ms p90=12ms p99=12ms max=12ms\n\
+             wave-latency n=40 p50=60µs p90=110µs p99=140µs max=140µs\n\
+             decode-latency n=3 p50=200µs p90=350µs p99=350µs max=350µs\n";
+        assert!(rendered.contains(v2_lines));
+        let after = rendered.split(v2_lines).nth(1).expect("v2 block present");
+        assert_eq!(
+            after,
+            "fault-trace events=2 fingerprint=00abcdef01234567\nsearch plans=16 novel=5 repros=1\n"
         );
     }
 
@@ -506,6 +611,10 @@ mod tests {
         assert!(doc.contains("dice_rounds_total 3"));
         assert!(doc.contains("dice_solver_reuse_ratio 0.625"));
         assert!(doc.contains("dice_ingest_updates_per_second 1234"));
+        assert!(doc.contains("dice_fault_trace_events_total 2"));
+        assert!(doc.contains("dice_search_plans_total 16"));
+        assert!(doc.contains("dice_search_novel_plans_total 5"));
+        assert!(doc.contains("dice_search_repros_total 1"));
 
         // The empty snapshot also exports a complete, parseable document.
         let empty = ControlSnapshot::default().prometheus();

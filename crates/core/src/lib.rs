@@ -87,6 +87,7 @@ pub mod checkpoint;
 pub mod checkpointable;
 pub mod control;
 pub mod explorer;
+pub mod fault_search;
 pub mod fleet;
 pub mod handler;
 pub mod isolation;
@@ -98,20 +99,26 @@ pub mod session;
 pub mod symbolic_input;
 
 pub use checker::{
-    AsRelationship, BlackholeChecker, CrossRoundFlapChecker, Fault, FaultChecker, FaultKind,
-    ForwardingLoopChecker, MoreSpecificHijackChecker, OriginHijackChecker, RoundOutcomes,
-    RouteLeakChecker, RouteOscillationChecker,
+    AsRelationship, BgpWedgieChecker, BlackholeChecker, CrossRoundFlapChecker, Fault, FaultChecker,
+    FaultKind, ForwardingLoopChecker, MoreSpecificHijackChecker, OriginHijackChecker,
+    RoundOutcomes, RouteLeakChecker, RouteOscillationChecker,
 };
 pub use checkpoint::RoundCheckpoint;
 pub use checkpointable::CheckpointedRouter;
-pub use control::{ControlPlane, ControlSnapshot, IngestCounters, CONTROL_SCHEMA_VERSION};
+pub use control::{
+    ControlPlane, ControlSnapshot, IngestCounters, SearchCounters, CONTROL_SCHEMA_VERSION,
+};
 pub use explorer::{CheckpointMode, Dice, DiceConfig};
+pub use fault_search::{
+    fault_key, topology_fingerprint, FaultPlanSearch, FaultScenario, ReproBundle, ReproReplay,
+    SearchReport, SpecKindMask,
+};
 pub use fleet::{
     dedup_fleet_faults, FleetExplorer, FleetFault, FleetReport, NodeReport, NodeWindow,
 };
 pub use handler::{HandlerOutcome, SymbolicUpdateHandler};
 pub use isolation::{LiveStateFingerprint, MessageInterceptor};
-pub use live::{LiveFault, LiveOrchestrator, LiveReport, LiveRound};
+pub use live::{LiveFault, LiveOrchestrator, LiveReport, LiveRound, SearchSummary};
 pub use report::ExplorationReport;
 pub use scheduler::{ScheduleResult, SharedCoreScheduler};
 pub use session::{DiceBuilder, DiceSession};

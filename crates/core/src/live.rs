@@ -106,9 +106,32 @@ pub struct LiveReport {
     /// rendered in the digest and [`fmt::Display`] only when nonzero so
     /// unperturbed runs stay byte-identical to pre-fault-injection builds.
     pub injected_faults: u64,
+    /// Counters of the fault-plan search that produced this report, when
+    /// it came out of a [`FaultPlanSearch`](crate::FaultPlanSearch) rather
+    /// than a single run. `None` (and absent from the digest and
+    /// [`fmt::Display`]) for plain runs, so no-search digests stay
+    /// byte-identical to pre-search builds.
+    pub search: Option<SearchSummary>,
     /// Wall-clock duration of the whole run (driving, simulating and
     /// exploring).
     pub elapsed: Duration,
+}
+
+/// Aggregate counters of a fault-plan search, attached to the
+/// [`LiveReport`] a [`FaultPlanSearch`](crate::FaultPlanSearch) returns
+/// and exported through the schema-v3 [`crate::ControlSnapshot`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchSummary {
+    /// Candidate plans evaluated (the empty-plan baseline and shrinker
+    /// probe runs excluded).
+    pub plans_tried: u64,
+    /// Plans that surfaced a never-seen fleet key, checker class, or
+    /// fault-trace event shape.
+    pub novel_plans: u64,
+    /// Distinct minimized, replayable counterexamples emitted.
+    pub minimized_repros: u64,
+    /// Faults injected across every candidate run, summed.
+    pub injected_total: u64,
 }
 
 impl LiveReport {
@@ -193,6 +216,17 @@ impl LiveReport {
             writeln!(out, "injected-faults:{}", self.injected_faults)
                 .expect("writing to a String cannot fail");
         }
+        if let Some(search) = &self.search {
+            writeln!(
+                out,
+                "search:plans={} novel={} repros={} injected={}",
+                search.plans_tried,
+                search.novel_plans,
+                search.minimized_repros,
+                search.injected_total
+            )
+            .expect("writing to a String cannot fail");
+        }
         out
     }
 }
@@ -222,6 +256,13 @@ impl fmt::Display for LiveReport {
                 f,
                 "  fault plan: {} fault(s) injected across the run",
                 self.injected_faults,
+            )?;
+        }
+        if let Some(search) = &self.search {
+            writeln!(
+                f,
+                "  fault search: {} plan(s) tried, {} novel, {} minimized repro(s)",
+                search.plans_tried, search.novel_plans, search.minimized_repros,
             )?;
         }
         for round in &self.rounds {
@@ -562,6 +603,8 @@ impl LiveOrchestrator {
             total_runs: report.total_runs(),
             distinct_faults: report.faults.len(),
             injected_faults: sim.injected_fault_count() as u64,
+            fault_trace_events: sim.fault_trace().len() as u64,
+            fault_trace_fingerprint: sim.fault_trace().fingerprint(),
             last_round_latency: last_latency,
             mean_round_latency: ControlSnapshot::mean_latency(latency_total, rounds),
             round_latency,

@@ -89,20 +89,46 @@ pub enum FaultSpec {
         /// Upper bound on the extra delay, in ticks (at least 1).
         max_extra_ticks: u64,
     },
+    /// At the start of `epoch`, every link between the named node set and
+    /// the rest of the topology is severed *atomically*: all boundary links
+    /// go down first (so no withdrawal leaks across a link that is itself
+    /// being severed), then each severed link gets session-reset semantics —
+    /// both sides flush the routes learned from the other and re-establish
+    /// their (now inert) FSM. The partition persists until a matching
+    /// [`FaultSpec::Heal`] restores the links.
+    Partition {
+        /// The node set to cut off from everything outside it.
+        nodes: Vec<NodeId>,
+        /// Epoch at whose start the partition fires.
+        epoch: u64,
+    },
+    /// At the start of `epoch`, every severed boundary link of the named
+    /// node set comes back up. Withdrawn routes do not re-announce by
+    /// themselves — only live traffic re-learns them, which is exactly the
+    /// divergence window the wedgie checker watches.
+    Heal {
+        /// The node set whose boundary links to restore.
+        nodes: Vec<NodeId>,
+        /// Epoch at whose start the heal fires.
+        epoch: u64,
+    },
 }
 
 impl FaultSpec {
     /// The undirected link the spec applies to, normalized so `(a, b)` and
-    /// `(b, a)` compare equal.
-    pub fn link(&self) -> (NodeId, NodeId) {
+    /// `(b, a)` compare equal. `None` for the multi-link variants
+    /// ([`FaultSpec::Partition`] / [`FaultSpec::Heal`]), whose affected
+    /// links depend on the topology.
+    pub fn link(&self) -> Option<(NodeId, NodeId)> {
         let (a, b) = match *self {
             FaultSpec::LinkFlap { a, b, .. }
             | FaultSpec::SessionReset { a, b, .. }
             | FaultSpec::MessageDrop { a, b, .. }
             | FaultSpec::MessageDuplicate { a, b, .. }
             | FaultSpec::MessageReorder { a, b, .. } => (a, b),
+            FaultSpec::Partition { .. } | FaultSpec::Heal { .. } => return None,
         };
-        normalize_link(a, b)
+        Some(normalize_link(a, b))
     }
 }
 
@@ -269,6 +295,25 @@ pub enum InjectedFaultKind {
         /// Total prefixes flushed across both sides.
         withdrawn_routes: usize,
     },
+    /// A partition fired: every boundary link of the node set was severed
+    /// atomically, each with session-reset semantics.
+    PartitionSevered {
+        /// The partitioned node set, sorted and deduplicated.
+        nodes: Vec<NodeId>,
+        /// The epoch whose start fired the partition.
+        epoch: u64,
+        /// Number of boundary links severed.
+        links: usize,
+    },
+    /// A heal fired: the node set's severed boundary links came back up.
+    PartitionHealed {
+        /// The healed node set, sorted and deduplicated.
+        nodes: Vec<NodeId>,
+        /// The epoch whose start fired the heal.
+        epoch: u64,
+        /// Number of boundary links restored.
+        links: usize,
+    },
     /// A message crossing a link was dropped.
     MessageDropped {
         /// Sending node.
@@ -320,6 +365,24 @@ impl fmt::Display for InjectedFaultKind {
                 "session-reset node{}<->node{} epoch={epoch} withdrawn={withdrawn_routes}",
                 a.0, b.0
             ),
+            InjectedFaultKind::PartitionSevered {
+                nodes,
+                epoch,
+                links,
+            } => write!(
+                f,
+                "partition-severed nodes=[{}] epoch={epoch} links={links}",
+                render_nodes(nodes)
+            ),
+            InjectedFaultKind::PartitionHealed {
+                nodes,
+                epoch,
+                links,
+            } => write!(
+                f,
+                "partition-healed nodes=[{}] epoch={epoch} links={links}",
+                render_nodes(nodes)
+            ),
             InjectedFaultKind::MessageDropped {
                 from,
                 to,
@@ -346,6 +409,12 @@ impl fmt::Display for InjectedFaultKind {
             InjectedFaultKind::DeliveryError(err) => write!(f, "delivery-error {err}"),
         }
     }
+}
+
+/// Renders a node set as a comma-separated id list for trace lines.
+fn render_nodes(nodes: &[NodeId]) -> String {
+    let ids: Vec<String> = nodes.iter().map(|n| n.0.to_string()).collect();
+    ids.join(",")
 }
 
 /// One timestamped entry in the [`FaultTrace`].
@@ -413,6 +482,22 @@ impl FaultTrace {
             out.push('\n');
         }
         out
+    }
+
+    /// FNV-1a 64-bit fingerprint of [`FaultTrace::digest`], `0` for an
+    /// empty trace. Two runs with equal injected *counts* but different
+    /// event sequences get different fingerprints, which is what the
+    /// control plane exports so such runs stay distinguishable.
+    pub fn fingerprint(&self) -> u64 {
+        if self.events.is_empty() {
+            return 0;
+        }
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in self.digest().bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
     }
 }
 
@@ -500,6 +585,31 @@ impl FaultRuntime {
         }
     }
 
+    /// Marks one boundary link of a partition as down, recording a
+    /// [`InjectedFaultKind::LinkDown`] if it was up. Returns true when the
+    /// link actually transitioned (the caller applies session-reset
+    /// semantics only to links it severed itself).
+    pub(crate) fn sever_link(&mut self, a: NodeId, b: NodeId, epoch: u64, now: u64) -> bool {
+        let (a, b) = normalize_link(a, b);
+        if self.down_links.insert((a.0, b.0)) {
+            self.record(now, InjectedFaultKind::LinkDown { a, b, epoch });
+            return true;
+        }
+        false
+    }
+
+    /// Restores one boundary link of a healed partition, recording a
+    /// [`InjectedFaultKind::LinkUp`] if it was down. Returns true when the
+    /// link actually transitioned.
+    pub(crate) fn restore_link(&mut self, a: NodeId, b: NodeId, epoch: u64, now: u64) -> bool {
+        let (a, b) = normalize_link(a, b);
+        if self.down_links.remove(&(a.0, b.0)) {
+            self.record(now, InjectedFaultKind::LinkUp { a, b, epoch });
+            return true;
+        }
+        false
+    }
+
     /// Decides the fate of one message about to be enqueued from `from` to
     /// `to`, drawing the RNG in spec order (the replay contract) and
     /// recording every perturbation.
@@ -523,7 +633,7 @@ impl FaultRuntime {
             .plan
             .specs()
             .iter()
-            .filter(|s| s.link() == link)
+            .filter(|s| s.link() == Some(link))
             .cloned()
             .collect();
         for spec in specs {
@@ -596,8 +706,83 @@ mod tests {
         assert_eq!(plan.specs().len(), 2);
         assert!(!plan.is_empty());
         assert!(FaultPlan::default().is_empty());
-        assert_eq!(plan.specs()[0].link(), (NodeId(0), NodeId(2)));
-        assert_eq!(plan.specs()[1].link(), (NodeId(0), NodeId(1)));
+        assert_eq!(plan.specs()[0].link(), Some((NodeId(0), NodeId(2))));
+        assert_eq!(plan.specs()[1].link(), Some((NodeId(0), NodeId(1))));
+    }
+
+    #[test]
+    fn multi_link_specs_have_no_single_link() {
+        let partition = FaultSpec::Partition {
+            nodes: vec![NodeId(0)],
+            epoch: 1,
+        };
+        let heal = FaultSpec::Heal {
+            nodes: vec![NodeId(0)],
+            epoch: 2,
+        };
+        assert_eq!(partition.link(), None);
+        assert_eq!(heal.link(), None);
+    }
+
+    #[test]
+    fn sever_and_restore_transition_once_and_record() {
+        let mut rt = FaultRuntime::new(FaultPlan::default());
+        assert!(rt.sever_link(NodeId(2), NodeId(0), 1, 5));
+        assert!(!rt.sever_link(NodeId(0), NodeId(2), 1, 5), "already down");
+        assert!(rt.link_is_down(NodeId(0), NodeId(2)));
+        assert!(rt.restore_link(NodeId(0), NodeId(2), 2, 9));
+        assert!(!rt.restore_link(NodeId(0), NodeId(2), 2, 9), "already up");
+        assert!(!rt.link_is_down(NodeId(0), NodeId(2)));
+        assert_eq!(
+            rt.trace().digest(),
+            "t5 link-down node0<->node2 epoch=1\nt9 link-up node0<->node2 epoch=2\n"
+        );
+    }
+
+    #[test]
+    fn partition_events_render_node_sets() {
+        let mut rt = FaultRuntime::new(FaultPlan::default());
+        rt.record(
+            3,
+            InjectedFaultKind::PartitionSevered {
+                nodes: vec![NodeId(0), NodeId(2)],
+                epoch: 1,
+                links: 2,
+            },
+        );
+        rt.record(
+            8,
+            InjectedFaultKind::PartitionHealed {
+                nodes: vec![NodeId(0), NodeId(2)],
+                epoch: 2,
+                links: 2,
+            },
+        );
+        assert_eq!(
+            rt.trace().digest(),
+            "t3 partition-severed nodes=[0,2] epoch=1 links=2\n\
+             t8 partition-healed nodes=[0,2] epoch=2 links=2\n"
+        );
+        assert_eq!(rt.trace().injected_count(), 2);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_sequences_and_zeroes_when_empty() {
+        assert_eq!(FaultTrace::default().fingerprint(), 0);
+        let mut first = FaultRuntime::new(FaultPlan::default());
+        first.sever_link(NodeId(0), NodeId(1), 1, 5);
+        let mut second = FaultRuntime::new(FaultPlan::default());
+        second.sever_link(NodeId(0), NodeId(2), 1, 5);
+        assert_eq!(
+            first.trace().fingerprint(),
+            first.trace().clone().fingerprint(),
+            "stable across clones"
+        );
+        assert_ne!(
+            first.trace().fingerprint(),
+            second.trace().fingerprint(),
+            "equal counts, different events"
+        );
     }
 
     #[test]

@@ -166,8 +166,10 @@ impl Simulator {
     /// link flaps change link state (messages already in flight across a
     /// link that went down are lost at delivery time), and session resets
     /// tear down and re-establish the session between two nodes, flushing
-    /// learned routes with proper withdrawal propagation. A no-op under an
-    /// empty plan; drivers and orchestrators call this once per epoch.
+    /// learned routes with proper withdrawal propagation, and partitions
+    /// sever (or heals restore) every boundary link of a node set
+    /// atomically. A no-op under an empty plan; drivers and orchestrators
+    /// call this once per epoch.
     pub fn apply_epoch_faults(&mut self, epoch: u64) {
         let mut span = dice_obs::span("netsim", "sim.apply_epoch_faults");
         let before = self.injected_fault_count();
@@ -186,7 +188,111 @@ impl Simulator {
         for (a, b) in resets {
             self.apply_session_reset(a, b, epoch);
         }
+        let cuts: Vec<(Vec<NodeId>, bool)> = self
+            .faults
+            .plan()
+            .specs()
+            .iter()
+            .filter_map(|spec| match spec {
+                FaultSpec::Partition { nodes, epoch: e } if *e == epoch => {
+                    Some((nodes.clone(), true))
+                }
+                FaultSpec::Heal { nodes, epoch: e } if *e == epoch => Some((nodes.clone(), false)),
+                _ => None,
+            })
+            .collect();
+        for (nodes, sever) in cuts {
+            if sever {
+                self.apply_partition(&nodes, epoch);
+            } else {
+                self.apply_heal(&nodes, epoch);
+            }
+        }
         span.set_detail((self.injected_fault_count() - before) as u64);
+    }
+
+    /// The normalized boundary links of a node set: every existing peering
+    /// with exactly one endpoint inside the set, sorted and deduplicated so
+    /// partition processing order is deterministic. Node ids outside the
+    /// topology are ignored.
+    fn partition_links(&self, nodes: &[NodeId]) -> Vec<(NodeId, NodeId)> {
+        let inside: std::collections::BTreeSet<usize> = nodes
+            .iter()
+            .filter(|n| n.0 < self.routers.len())
+            .map(|n| n.0)
+            .collect();
+        let mut links = std::collections::BTreeSet::new();
+        for &i in &inside {
+            for o in 0..self.routers.len() {
+                if inside.contains(&o) {
+                    continue;
+                }
+                let peered = self.routers[i]
+                    .peer_by_address(self.routers[o].router_id())
+                    .is_some()
+                    || self.routers[o]
+                        .peer_by_address(self.routers[i].router_id())
+                        .is_some();
+                if peered {
+                    let (a, b) = crate::faults::normalize_link(NodeId(i), NodeId(o));
+                    links.insert((a.0, b.0));
+                }
+            }
+        }
+        links
+            .into_iter()
+            .map(|(a, b)| (NodeId(a), NodeId(b)))
+            .collect()
+    }
+
+    /// Severs every boundary link of `nodes` atomically: all links go down
+    /// before any session reset fires, so the withdrawals a reset emits
+    /// toward other severed links are themselves lost — no state leaks
+    /// across the partition boundary.
+    fn apply_partition(&mut self, nodes: &[NodeId], epoch: u64) {
+        let links = self.partition_links(nodes);
+        let now = self.stats.now;
+        let mut set: Vec<NodeId> = nodes.to_vec();
+        set.sort_by_key(|n| n.0);
+        set.dedup();
+        self.faults.record(
+            now,
+            InjectedFaultKind::PartitionSevered {
+                nodes: set,
+                epoch,
+                links: links.len(),
+            },
+        );
+        let mut severed = Vec::new();
+        for &(a, b) in &links {
+            if self.faults.sever_link(a, b, epoch, now) {
+                severed.push((a, b));
+            }
+        }
+        for (a, b) in severed {
+            self.apply_session_reset(a, b, epoch);
+        }
+    }
+
+    /// Restores every boundary link of `nodes`. No reset fires on heal:
+    /// withdrawn routes stay gone until live traffic re-announces them.
+    fn apply_heal(&mut self, nodes: &[NodeId], epoch: u64) {
+        let links = self.partition_links(nodes);
+        let now = self.stats.now;
+        let mut set: Vec<NodeId> = nodes.to_vec();
+        set.sort_by_key(|n| n.0);
+        set.dedup();
+        self.faults.record(
+            now,
+            InjectedFaultKind::PartitionHealed {
+                nodes: set,
+                epoch,
+                links: links.len(),
+            },
+        );
+        for (a, b) in links {
+            self.faults.restore_link(a, b, epoch, now);
+        }
     }
 
     /// Resets the BGP session between `a` and `b`: both sides tear their
@@ -919,6 +1025,124 @@ mod tests {
         );
         sim.run_to_quiescence(100);
         assert_eq!(sim.router(internet).rib().prefix_count(), 1);
+    }
+
+    #[test]
+    fn partition_and_heal_sever_and_restore_boundary_links() {
+        let topo = figure2_topology(CustomerFilterMode::Missing);
+        let mut sim = Simulator::new(&topo);
+        let provider = topo.node_by_name("Provider").expect("node");
+        let internet = topo.node_by_name("RestOfInternet").expect("node");
+
+        // Pre-fault steady state: the customer route reached the Internet.
+        sim.inject(
+            provider,
+            addr::CUSTOMER,
+            announcement("41.1.0.0/16", &[asn::CUSTOMER], addr::CUSTOMER),
+        );
+        sim.run_to_quiescence(100);
+        assert_eq!(sim.router(internet).rib().prefix_count(), 1);
+
+        sim.install_fault_plan(
+            FaultPlan::new(0)
+                .with_spec(FaultSpec::Partition {
+                    nodes: vec![internet],
+                    epoch: 1,
+                })
+                .with_spec(FaultSpec::Heal {
+                    nodes: vec![internet],
+                    epoch: 2,
+                }),
+        );
+        sim.apply_epoch_faults(1);
+        sim.run_to_quiescence(100);
+        // The reset flushed the Internet node's learned route, and the
+        // severed link keeps new traffic out.
+        assert_eq!(sim.router(internet).rib().prefix_count(), 0);
+        sim.inject(
+            provider,
+            addr::CUSTOMER,
+            announcement("41.64.0.0/12", &[asn::CUSTOMER], addr::CUSTOMER),
+        );
+        sim.run_to_quiescence(100);
+        assert_eq!(sim.router(provider).rib().prefix_count(), 2);
+        assert_eq!(
+            sim.router(internet).rib().prefix_count(),
+            0,
+            "re-advertisement lost on the severed boundary link"
+        );
+        assert!(sim.stats().dropped >= 1);
+        let digest = sim.fault_trace().digest();
+        assert!(digest.contains("partition-severed nodes=[2] epoch=1 links=1"));
+        assert!(digest.contains("link-down node1<->node2 epoch=1"));
+        assert!(digest.contains("session-reset node1<->node2 epoch=1"));
+
+        // Heal: fresh traffic flows again, but nothing withdrawn or lost
+        // during the partition re-announces by itself — the steady state
+        // diverges from the pre-fault one (the wedgie surface).
+        sim.apply_epoch_faults(2);
+        sim.inject(
+            provider,
+            addr::CUSTOMER,
+            announcement("41.96.0.0/12", &[asn::CUSTOMER], addr::CUSTOMER),
+        );
+        sim.run_to_quiescence(100);
+        let digest = sim.fault_trace().digest();
+        assert!(digest.contains("partition-healed nodes=[2] epoch=2 links=1"));
+        assert!(digest.contains("link-up node1<->node2 epoch=2"));
+        assert_eq!(sim.router(internet).rib().prefix_count(), 1);
+        assert!(
+            sim.router(internet)
+                .rib()
+                .best_route(&"41.1.0.0/16".parse().expect("valid"))
+                .is_none(),
+            "pre-fault best route stays gone after the heal"
+        );
+    }
+
+    #[test]
+    fn partitioning_a_middle_node_severs_every_boundary_link_atomically() {
+        let topo = figure2_topology(CustomerFilterMode::Missing);
+        let provider = topo.node_by_name("Provider").expect("node");
+        let customer = topo.node_by_name("Customer").expect("node");
+        let internet = topo.node_by_name("RestOfInternet").expect("node");
+        let mut sim = Simulator::new(&topo);
+        sim.inject(
+            provider,
+            addr::CUSTOMER,
+            announcement("41.1.0.0/16", &[asn::CUSTOMER], addr::CUSTOMER),
+        );
+        sim.run_to_quiescence(100);
+        let customer_before = sim.router(customer).rib().prefix_count();
+
+        sim.install_fault_plan(FaultPlan::new(0).with_spec(FaultSpec::Partition {
+            nodes: vec![provider],
+            epoch: 1,
+        }));
+        sim.apply_epoch_faults(1);
+        sim.run_to_quiescence(100);
+        let digest = sim.fault_trace().digest();
+        assert!(digest.contains("partition-severed nodes=[1] epoch=1 links=2"));
+        assert!(digest.contains("link-down node0<->node1 epoch=1"));
+        assert!(digest.contains("link-down node1<->node2 epoch=1"));
+        assert!(digest.contains("session-reset node0<->node1 epoch=1"));
+        assert!(digest.contains("session-reset node1<->node2 epoch=1"));
+        // Both links went down before either reset fired, so the provider's
+        // withdrawals were lost at the boundary instead of leaking across;
+        // the customer keeps only what it already originated locally.
+        assert_eq!(sim.router(provider).rib().prefix_count(), 0);
+        assert_eq!(sim.router(internet).rib().prefix_count(), 0);
+        assert_eq!(sim.router(customer).rib().prefix_count(), customer_before);
+        // Duplicate partition of the same set is idempotent on link state.
+        sim.install_fault_plan(FaultPlan::new(0).with_spec(FaultSpec::Partition {
+            nodes: vec![provider, provider],
+            epoch: 1,
+        }));
+        sim.apply_epoch_faults(1);
+        assert!(sim
+            .fault_trace()
+            .digest()
+            .contains("partition-severed nodes=[1] epoch=1 links=2"));
     }
 
     #[test]

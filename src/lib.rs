@@ -29,13 +29,14 @@ pub mod prelude {
     pub use dice_bgp::AsPath;
     pub use dice_checkpoint::{CheckpointManager, Checkpointable};
     pub use dice_core::{
-        AsRelationship, BlackholeChecker, CheckpointMode, CheckpointedRouter, ControlPlane,
-        ControlSnapshot, CrossRoundFlapChecker, CustomerFilterMode, Dice, DiceBuilder, DiceConfig,
-        DiceSession, ExplorationReport, Fault, FaultChecker, FaultKind, FleetExplorer, FleetFault,
-        FleetReport, ForwardingLoopChecker, IngestCounters, LiveFault, LiveOrchestrator,
-        LiveReport, LiveRound, MoreSpecificHijackChecker, OriginHijackChecker, RoundCheckpoint,
-        RoundOutcomes, RouteLeakChecker, RouteOscillationChecker, SharedCoreScheduler,
-        UpdateTemplate, CONTROL_SCHEMA_VERSION,
+        AsRelationship, BgpWedgieChecker, BlackholeChecker, CheckpointMode, CheckpointedRouter,
+        ControlPlane, ControlSnapshot, CrossRoundFlapChecker, CustomerFilterMode, Dice,
+        DiceBuilder, DiceConfig, DiceSession, ExplorationReport, Fault, FaultChecker, FaultKind,
+        FaultPlanSearch, FaultScenario, FleetExplorer, FleetFault, FleetReport,
+        ForwardingLoopChecker, IngestCounters, LiveFault, LiveOrchestrator, LiveReport, LiveRound,
+        MoreSpecificHijackChecker, OriginHijackChecker, ReproBundle, ReproReplay, RoundCheckpoint,
+        RoundOutcomes, RouteLeakChecker, RouteOscillationChecker, SearchCounters, SearchReport,
+        SearchSummary, SharedCoreScheduler, SpecKindMask, UpdateTemplate, CONTROL_SCHEMA_VERSION,
     };
     pub use dice_netsim::topology::{
         addr, asn, figure2_topology, figure2_topology_with_customer_filter, NodeId, Topology,
@@ -96,6 +97,7 @@ mod tests {
         let _ = MoreSpecificHijackChecker::new();
         let _ = BlackholeChecker::new();
         let _ = CrossRoundFlapChecker::new().with_min_transitions(2);
+        let _ = BgpWedgieChecker::new().with_min_stable_rounds(2);
         let _: Option<RoundOutcomes> = None;
         let plan = FaultPlan::new(7).with_spec(FaultSpec::LinkFlap {
             a: NodeId(0),
@@ -118,6 +120,20 @@ mod tests {
         let _: Option<LiveFault> = None;
         let _: Option<LiveRound> = None;
         let _ = LiveReport::default();
+        let search = FaultPlanSearch::new(LiveOrchestrator::default())
+            .with_seed(7)
+            .with_budget(0)
+            .with_max_specs(4)
+            .with_epoch_horizon(3)
+            .with_spec_kinds(SpecKindMask::only_partitions());
+        let _: &LiveOrchestrator = search.orchestrator();
+        let _ = SpecKindMask::all();
+        let _: Option<Box<dyn FaultScenario>> = None;
+        let _ = SearchReport::default();
+        let _ = SearchSummary::default();
+        let _ = SearchCounters::default();
+        let _: Option<ReproBundle> = None;
+        let _: Option<ReproReplay> = None;
         let _ = figure2_topology_with_customer_filter(dice_router::policy::FilterDef::accept_all(
             "customer_in",
         ));

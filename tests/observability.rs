@@ -77,12 +77,12 @@ fn traced_live_run_exports_chrome_and_prometheus_without_touching_reports() {
     let parsed = validate_chrome_trace_jsonl(&jsonl).expect("exported trace validates");
     assert_eq!(parsed.len(), events.len());
 
-    // The control plane published v2 latency summaries...
+    // The control plane published the latency summaries (v2 lines, intact under v3)...
     assert_eq!(snapshot.schema_version, CONTROL_SCHEMA_VERSION);
     assert_eq!(snapshot.round_latency.count, snapshot.rounds as u64);
     assert!(snapshot.round_latency.max >= snapshot.round_latency.p50);
     let render = snapshot.render();
-    assert!(render.starts_with("control-snapshot v2\n"));
+    assert!(render.starts_with("control-snapshot v3\n"));
     assert!(render.contains("round-latency n="));
     assert!(render.contains("wave-latency n="));
     assert!(render.contains("decode-latency n="));

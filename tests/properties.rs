@@ -662,6 +662,24 @@ fn arb_message_plan() -> impl Strategy<Value = FaultPlan> {
     )
 }
 
+fn arb_partition_plan() -> impl Strategy<Value = FaultPlan> {
+    (any::<u64>(), 0usize..3, 0u64..2, prop::option::of(2u64..4)).prop_map(
+        |(seed, node, cut_epoch, heal_epoch)| {
+            let mut plan = FaultPlan::new(seed).with_spec(FaultSpec::Partition {
+                nodes: vec![NodeId(node)],
+                epoch: cut_epoch,
+            });
+            if let Some(epoch) = heal_epoch {
+                plan = plan.with_spec(FaultSpec::Heal {
+                    nodes: vec![NodeId(node)],
+                    epoch,
+                });
+            }
+            plan
+        },
+    )
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
@@ -702,6 +720,23 @@ proptest! {
             live_digest_under(Some(FaultPlan::new(seed))),
             live_digest_under(None),
             "an empty plan must not change live exploration"
+        );
+    }
+
+    /// Partition/heal specs uphold the same replay contract as the
+    /// single-link specs: the multi-link sever (and its per-link session
+    /// resets) is deterministic from the plan alone.
+    #[test]
+    fn partition_plans_replay_byte_identically(plan in arb_partition_plan()) {
+        let first = faulty_figure2_run(plan.clone());
+        let second = faulty_figure2_run(plan.clone());
+        prop_assert_eq!(first.0, second.0, "delivery logs diverged");
+        prop_assert_eq!(first.1, second.1, "fault traces diverged");
+        prop_assert_eq!(first.2, second.2, "stats diverged");
+        prop_assert_eq!(
+            live_digest_under(Some(plan.clone())),
+            live_digest_under(Some(plan)),
+            "partitioned live runs must replay byte for byte"
         );
     }
 }
